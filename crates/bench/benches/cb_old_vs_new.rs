@@ -1,0 +1,27 @@
+//! Old (naive, per-homomorphism) vs new (set-oriented) chase implementation.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_chase::{chase_to_universal_plan, ChaseOptions};
+use mars_cq::{naive_chase, ChaseBudget};
+use mars_workloads::stress;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cb_old_vs_new");
+    g.sample_size(10);
+    for depth in [4usize, 6] {
+        let q = stress::compiled_stress_query(depth);
+        let tix = stress::stress_constraints();
+        g.bench_with_input(BenchmarkId::new("old_naive", depth), &depth, |b, _| {
+            b.iter(|| {
+                naive_chase(&q, &tix, &ChaseBudget::default().with_timeout(Duration::from_secs(2)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("new_set_oriented", depth), &depth, |b, _| {
+            b.iter(|| chase_to_universal_plan(&q, &tix, &ChaseOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

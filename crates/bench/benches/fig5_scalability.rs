@@ -1,0 +1,18 @@
+//! Figure 5: time to initial reformulation and delta to best minimal
+//! reformulation as the star size NC grows.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_bench::measure_fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_scalability");
+    g.sample_size(10);
+    for nc in [3usize, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("reformulate_star", nc), &nc, |b, &nc| {
+            b.iter(|| measure_fig5(nc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 8: reformulation with vs without schema specialization.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars::MarsOptions;
+use mars_workloads::star::StarConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_specialization");
+    g.sample_size(10);
+    for nc in [3usize, 4] {
+        let cfg = StarConfig::figure8(nc);
+        g.bench_with_input(BenchmarkId::new("without_specialization", nc), &cfg, |b, cfg| {
+            b.iter(|| {
+                let m = cfg.mars(MarsOptions::default());
+                m.reformulate_xbind(&cfg.client_query())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_specialization", nc), &cfg, |b, cfg| {
+            b.iter(|| {
+                let m = cfg.mars(MarsOptions::specialized());
+                m.reformulate_xbind(&cfg.client_query())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

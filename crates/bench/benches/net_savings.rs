@@ -1,0 +1,31 @@
+//! Section 4.2: reformulation cost vs execution over redundant storage.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars::MarsOptions;
+use mars_workloads::star::StarConfig;
+use std::collections::HashMap;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_savings");
+    g.sample_size(10);
+    for nc in [3usize, 4] {
+        let cfg = StarConfig::figure5(nc);
+        let (xml, db) = cfg.populate(5, 4, 17);
+        let mars = cfg.mars(MarsOptions::specialized());
+        let block = mars.reformulate_xbind(&cfg.client_query());
+        let best = block.result.best_or_initial().cloned().expect("reformulation");
+
+        g.bench_with_input(BenchmarkId::new("unreformulated_naive_xml", nc), &nc, |b, _| {
+            b.iter(|| xml.eval_xbind(&cfg.client_query(), &HashMap::new()))
+        });
+        g.bench_with_input(BenchmarkId::new("reformulated_over_views", nc), &nc, |b, _| {
+            b.iter(|| db.query(&best))
+        });
+        g.bench_with_input(BenchmarkId::new("reformulation_itself", nc), &nc, |b, _| {
+            b.iter(|| mars.reformulate_xbind(&cfg.client_query()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

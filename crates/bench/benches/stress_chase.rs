@@ -1,0 +1,24 @@
+//! Section 3 stress test: chase of //a/b/.../j with TIX, with and without the
+//! closure shortcut.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_chase::{chase_to_universal_plan, ChaseOptions};
+use mars_workloads::stress;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stress_chase");
+    g.sample_size(10);
+    for depth in [6usize, 8, 10] {
+        let q = stress::compiled_stress_query(depth);
+        let tix = stress::stress_constraints();
+        g.bench_with_input(BenchmarkId::new("join_tree", depth), &depth, |b, _| {
+            b.iter(|| chase_to_universal_plan(&q, &tix, &ChaseOptions::without_shortcut()))
+        });
+        g.bench_with_input(BenchmarkId::new("join_tree_plus_shortcut", depth), &depth, |b, _| {
+            b.iter(|| chase_to_universal_plan(&q, &tix, &ChaseOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Section 4.2: reformulation of realistic XMark-style queries.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mars_workloads::xmark;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xmark_feasibility");
+    g.sample_size(10);
+    let system = xmark::mars(true);
+    for q in xmark::query_suite() {
+        g.bench_function(&q.name, |b| b.iter(|| system.reformulate_xbind(&q)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

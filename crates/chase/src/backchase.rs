@@ -1,0 +1,459 @@
+//! The backchase: bottom-up enumeration of subqueries of the universal plan
+//! with cost-based pruning (Section 2.3) and the XML-specific navigation
+//! pruning of Section 3.2.
+//!
+//! Reformulations may only mention the *proprietary* schema, so the
+//! enumeration is restricted to the subquery `M` of the universal plan induced
+//! by proprietary-schema atoms (the *initial reformulation*); all minimal
+//! reformulations are subqueries of `M`. Subqueries are inspected in order of
+//! increasing size; when one is found equivalent to the original query it is a
+//! *minimal* reformulation (no smaller subquery was equivalent), the best cost
+//! is updated, and supersets are pruned.
+
+use crate::chase::{chase_to_universal_plan, ChaseOptions, UniversalPlan};
+use crate::reach::{prune_parallel_desc, ReachabilityGraph};
+use mars_cost::CostEstimator;
+use mars_cq::containment::containment_mapping;
+use mars_cq::{ConjunctiveQuery, Ded, Predicate};
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Options controlling the backchase.
+#[derive(Clone, Debug)]
+pub struct BackchaseOptions {
+    /// Enumerate *all* minimal reformulations, even those costing more than
+    /// the best found so far. Needed by the experiments that count
+    /// reformulations (and by the paper's proposed cost-model testbed); when
+    /// `false`, cost-based pruning discards expensive candidates early.
+    pub exhaustive: bool,
+    /// Apply pruning criterion 1 (drop parallel `desc` atoms) to the pool.
+    pub prune_parallel_desc: bool,
+    /// Apply criteria 2–3 (navigation contiguity + entry-point anchoring).
+    pub navigation_pruning: bool,
+    /// Upper bound on the number of candidate subqueries inspected.
+    pub max_candidates: usize,
+    /// Chase options used for the "back" chases (equivalence checks).
+    pub chase: ChaseOptions,
+}
+
+impl Default for BackchaseOptions {
+    fn default() -> Self {
+        BackchaseOptions {
+            exhaustive: false,
+            prune_parallel_desc: true,
+            navigation_pruning: true,
+            max_candidates: 200_000,
+            chase: ChaseOptions::default(),
+        }
+    }
+}
+
+impl BackchaseOptions {
+    /// Options that enumerate every minimal reformulation.
+    pub fn exhaustive() -> BackchaseOptions {
+        BackchaseOptions { exhaustive: true, ..Default::default() }
+    }
+}
+
+/// Result of the backchase.
+#[derive(Clone, Debug)]
+pub struct BackchaseOutcome {
+    /// All minimal reformulations found (query + estimated cost), in the
+    /// order they were discovered (increasing subquery size).
+    pub minimal: Vec<(ConjunctiveQuery, f64)>,
+    /// The minimum-cost reformulation.
+    pub best: Option<(ConjunctiveQuery, f64)>,
+    /// Number of candidate subqueries inspected.
+    pub candidates_inspected: usize,
+    /// Number of (chase-based) equivalence checks performed.
+    pub equivalence_checks: usize,
+    /// Number of candidates discarded by cost-based pruning.
+    pub pruned_by_cost: usize,
+    /// Wall-clock duration of the backchase.
+    pub duration: Duration,
+}
+
+impl BackchaseOutcome {
+    fn empty() -> BackchaseOutcome {
+        BackchaseOutcome {
+            minimal: Vec::new(),
+            best: None,
+            candidates_inspected: 0,
+            equivalence_checks: 0,
+            pruned_by_cost: 0,
+            duration: Duration::default(),
+        }
+    }
+}
+
+/// The *initial reformulation*: the largest subquery of the universal plan
+/// induced by proprietary-schema atoms. If any reformulation exists, this is
+/// one (not necessarily minimal), and every minimal reformulation is a
+/// subquery of it.
+pub fn initial_reformulation(
+    universal_plan: &ConjunctiveQuery,
+    proprietary: &HashSet<Predicate>,
+) -> ConjunctiveQuery {
+    let indices: Vec<usize> = universal_plan
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| proprietary.contains(&a.predicate))
+        .map(|(i, _)| i)
+        .collect();
+    let mut q = universal_plan.subquery(&indices);
+    q.name = format!("{}_initial", universal_plan.name);
+    q
+}
+
+/// Is `candidate` (a subquery of the universal plan, same head) equivalent to
+/// the original query under the dependencies?
+///
+/// * `original ⊆ candidate` holds iff `candidate` maps into every branch of
+///   the (already computed) universal plan preserving the head — for
+///   subqueries of a branch this is the identity mapping, but we check
+///   explicitly so that multi-branch (disjunctive) plans are handled.
+/// * `candidate ⊆ original` holds iff chasing `candidate` ("back") yields a
+///   plan into which the original maps preserving the head.
+fn is_reformulation(
+    candidate: &ConjunctiveQuery,
+    original: &ConjunctiveQuery,
+    universal_plan_branches: &[ConjunctiveQuery],
+    deds: &[Ded],
+    chase_opts: &ChaseOptions,
+) -> bool {
+    if !candidate.is_safe() {
+        return false;
+    }
+    // original ⊆ candidate
+    if !universal_plan_branches.iter().all(|b| containment_mapping(candidate, b).is_some()) {
+        return false;
+    }
+    // candidate ⊆ original
+    let back: UniversalPlan = chase_to_universal_plan(candidate, deds, chase_opts);
+    if !back.stats.completed || back.branches.is_empty() {
+        return false;
+    }
+    back.branches.iter().all(|b| containment_mapping(original, b).is_some())
+}
+
+/// Run the backchase.
+///
+/// `original` is the query being reformulated, `universal_plan` the result of
+/// the chase (its `branches`), `proprietary` the set of predicates that may
+/// appear in a reformulation.
+pub fn backchase(
+    original: &ConjunctiveQuery,
+    universal_plan: &UniversalPlan,
+    proprietary: &HashSet<Predicate>,
+    deds: &[Ded],
+    estimator: &dyn CostEstimator,
+    options: &BackchaseOptions,
+) -> BackchaseOutcome {
+    let start = Instant::now();
+    let mut outcome = BackchaseOutcome::empty();
+    if universal_plan.branches.is_empty() {
+        outcome.duration = start.elapsed();
+        return outcome;
+    }
+    let primary = universal_plan.primary();
+    let pruned_plan =
+        if options.prune_parallel_desc { prune_parallel_desc(primary) } else { primary.clone() };
+
+    // Pool of candidate atoms: proprietary atoms of the (pruned) plan.
+    let pool: Vec<_> = pruned_plan
+        .body
+        .iter()
+        .filter(|a| proprietary.contains(&a.predicate))
+        .cloned()
+        .collect();
+    if pool.is_empty() || pool.len() > 128 {
+        // Either nothing to enumerate, or the pool is too large for subset
+        // enumeration: fall back to greedy minimization of the initial
+        // reformulation (documented limitation; the paper relies on schema
+        // specialization to keep pools small).
+        if !pool.is_empty() {
+            let initial = ConjunctiveQuery {
+                name: format!("{}_initial", primary.name),
+                head: primary.head.clone(),
+                body: pool.clone(),
+                inequalities: primary.inequalities.clone(),
+            };
+            if let Some(minimized) = greedy_minimize(
+                &initial,
+                original,
+                &universal_plan.branches,
+                deds,
+                &options.chase,
+                &mut outcome,
+            ) {
+                let cost = estimator.estimate(&minimized);
+                outcome.best = Some((minimized.clone(), cost));
+                outcome.minimal.push((minimized, cost));
+            }
+        }
+        outcome.duration = start.elapsed();
+        return outcome;
+    }
+
+    let pool_query = ConjunctiveQuery {
+        name: format!("{}_pool", primary.name),
+        head: primary.head.clone(),
+        body: pool.clone(),
+        inequalities: primary.inequalities.clone(),
+    };
+    let graph = ReachabilityGraph::new(&pool_query);
+
+    // Breadth-first enumeration by subset size, represented as u128 bitsets.
+    let mut visited: HashSet<u128> = HashSet::new();
+    let mut frontier: VecDeque<u128> = VecDeque::new();
+    let mut found_masks: Vec<u128> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+
+    let seeds: Vec<usize> =
+        if options.navigation_pruning { graph.roots.clone() } else { (0..pool.len()).collect() };
+    for s in seeds {
+        let mask = 1u128 << s;
+        if visited.insert(mask) {
+            frontier.push_back(mask);
+        }
+    }
+
+    while let Some(mask) = frontier.pop_front() {
+        if outcome.candidates_inspected >= options.max_candidates {
+            break;
+        }
+        // Minimality pruning: supersets of a found reformulation are not minimal.
+        if found_masks.iter().any(|&f| f & mask == f) {
+            continue;
+        }
+        let subset: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+        outcome.candidates_inspected += 1;
+
+        let candidate = {
+            let mut q = pool_query.subquery(&subset);
+            q.name = format!("{}_candidate{}", original.name, outcome.candidates_inspected);
+            q
+        };
+        let cost = estimator.estimate(&candidate);
+
+        // Cost-based pruning: a subquery costing more than the best found so
+        // far cannot lead to the optimum (monotone cost model), so neither it
+        // nor its supersets are considered further.
+        if !options.exhaustive && cost > best_cost {
+            outcome.pruned_by_cost += 1;
+            continue;
+        }
+
+        let legal = !options.navigation_pruning || graph.is_legal_subset(&subset);
+        if legal && candidate.is_safe() {
+            outcome.equivalence_checks += 1;
+            if is_reformulation(
+                &candidate,
+                original,
+                &universal_plan.branches,
+                deds,
+                &options.chase,
+            ) {
+                found_masks.push(mask);
+                if cost < best_cost {
+                    best_cost = cost;
+                    outcome.best = Some((candidate.clone(), cost));
+                }
+                outcome.minimal.push((candidate, cost));
+                continue; // supersets are not minimal
+            }
+        }
+
+        // Grow the subset by one atom.
+        let grow: Vec<usize> = if options.navigation_pruning {
+            graph.enabled(&subset)
+        } else {
+            (0..pool.len()).filter(|i| mask & (1 << i) == 0).collect()
+        };
+        for g in grow {
+            let next = mask | (1 << g);
+            if visited.insert(next) {
+                frontier.push_back(next);
+            }
+        }
+    }
+
+    outcome.duration = start.elapsed();
+    outcome
+}
+
+/// Greedy minimization used when the candidate pool is too large for subset
+/// enumeration: repeatedly drop atoms from the initial reformulation while it
+/// remains a reformulation.
+fn greedy_minimize(
+    initial: &ConjunctiveQuery,
+    original: &ConjunctiveQuery,
+    branches: &[ConjunctiveQuery],
+    deds: &[Ded],
+    chase_opts: &ChaseOptions,
+    outcome: &mut BackchaseOutcome,
+) -> Option<ConjunctiveQuery> {
+    outcome.equivalence_checks += 1;
+    if !is_reformulation(initial, original, branches, deds, chase_opts) {
+        return None;
+    }
+    let mut current = initial.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..current.body.len() {
+            if current.body.len() == 1 {
+                break;
+            }
+            let mut cand = current.clone();
+            cand.body.remove(i);
+            outcome.equivalence_checks += 1;
+            if is_reformulation(&cand, original, branches, deds, chase_opts) {
+                current = cand;
+                changed = true;
+                break;
+            }
+        }
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cost::WeightedAtomEstimator;
+    use mars_cq::ded::view_dependencies;
+    use mars_cq::{Atom, Term, Variable};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    /// The running Section 2.3 example: public schema {A, B}, storage {V},
+    /// LAV view V(x,z) :- A(x,y), B(y,z), semantic constraint (ind).
+    fn section_2_3_setup() -> (ConjunctiveQuery, Vec<Ded>, HashSet<Predicate>) {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![Variable::named("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let defq = ConjunctiveQuery::new("V")
+            .with_head(vec![t("x"), t("z")])
+            .with_body(vec![
+                Atom::named("A", vec![t("x"), t("y")]),
+                Atom::named("B", vec![t("y"), t("z")]),
+            ]);
+        let (c_v, b_v) = view_dependencies("V", &defq);
+        let deds = vec![ind, c_v, b_v];
+        let proprietary: HashSet<Predicate> = [Predicate::new("V")].into_iter().collect();
+        (q, deds, proprietary)
+    }
+
+    #[test]
+    fn section_2_3_backchase_finds_view_rewriting() {
+        let (q, deds, proprietary) = section_2_3_setup();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let out =
+            backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        assert_eq!(out.minimal.len(), 1);
+        let (best, _) = out.best.as_ref().unwrap();
+        assert_eq!(best.body.len(), 1);
+        assert_eq!(best.body[0].predicate.name(), "V");
+    }
+
+    #[test]
+    fn initial_reformulation_restricts_to_proprietary_atoms() {
+        let (q, deds, proprietary) = section_2_3_setup();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let initial = initial_reformulation(up.primary(), &proprietary);
+        assert_eq!(initial.body.len(), 1);
+        assert_eq!(initial.body[0].predicate.name(), "V");
+    }
+
+    /// A redundant-storage scenario: the proprietary schema stores the public
+    /// relation A itself *and* the view V. Both the A-only and the V-only
+    /// rewritings are minimal reformulations; the best one is chosen by cost.
+    #[test]
+    fn redundant_storage_yields_multiple_minimal_reformulations() {
+        let (q, mut deds, _) = section_2_3_setup();
+        // Proprietary copy of A, described by a GAV-style identity view.
+        let defa = ConjunctiveQuery::new("Astored")
+            .with_head(vec![t("x"), t("y")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let (c_a, b_a) = view_dependencies("Astored", &defa);
+        deds.push(c_a);
+        deds.push(b_a);
+        let proprietary: HashSet<Predicate> =
+            [Predicate::new("V"), Predicate::new("Astored")].into_iter().collect();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        assert_eq!(out.minimal.len(), 2, "both the view and the stored copy are minimal");
+        let best = out.best.as_ref().unwrap();
+        assert_eq!(best.0.body.len(), 1);
+        // Cost pruning (non-exhaustive) still finds at least one and the best.
+        let pruned = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        assert!(pruned.best.is_some());
+    }
+
+    #[test]
+    fn no_reformulation_without_supporting_constraint() {
+        // Without (ind) the view cannot answer Q.
+        let (q, deds, proprietary) = section_2_3_setup();
+        let deds_no_ind: Vec<Ded> = deds.iter().skip(1).cloned().collect();
+        let up = chase_to_universal_plan(&q, &deds_no_ind, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let out = backchase(
+            &q,
+            &up,
+            &proprietary,
+            &deds_no_ind,
+            &est,
+            &BackchaseOptions::default(),
+        );
+        assert!(out.minimal.is_empty());
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn unsafe_subqueries_are_rejected() {
+        // Head variable x must be bound by the reformulation body.
+        let (q, deds, _) = section_2_3_setup();
+        // Make only B proprietary: B(y,z) does not bind x, so no reformulation.
+        let proprietary: HashSet<Predicate> = [Predicate::new("B")].into_iter().collect();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        assert!(out.minimal.is_empty());
+    }
+
+    #[test]
+    fn cost_pruning_reduces_inspected_candidates() {
+        let (q, mut deds, _) = section_2_3_setup();
+        let defa = ConjunctiveQuery::new("Astored")
+            .with_head(vec![t("x"), t("y")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let (c_a, b_a) = view_dependencies("Astored", &defa);
+        deds.push(c_a);
+        deds.push(b_a);
+        let proprietary: HashSet<Predicate> =
+            [Predicate::new("V"), Predicate::new("Astored")].into_iter().collect();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let exhaustive =
+            backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        let pruned = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        assert!(pruned.candidates_inspected <= exhaustive.candidates_inspected);
+        assert_eq!(
+            pruned.best.as_ref().map(|(_, c)| *c),
+            exhaustive.best.as_ref().map(|(_, c)| *c),
+            "pruning must not change the optimum under a monotone cost model"
+        );
+    }
+}

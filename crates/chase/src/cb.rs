@@ -1,0 +1,312 @@
+//! The top-level Chase & Backchase driver.
+//!
+//! [`ChaseBackchase`] bundles the dependency set (compiled schema
+//! correspondence + XICs + TIX), the proprietary-schema predicate set, a
+//! plug-in cost estimator and the chase/backchase options, and exposes the
+//! reformulation entry points used by the MARS facade and the experiments:
+//!
+//! * [`ChaseBackchase::reformulate`] — full C&B: chase to the universal plan,
+//!   compute the initial reformulation, run the backchase, return all minimal
+//!   reformulations and the cost-optimal one;
+//! * [`ChaseBackchase::initial_only`] — "switch off" the backchase and return
+//!   just the initial reformulation (Section 2.3), for scenarios without
+//!   significant redundancy or when any reformulation is needed fast.
+
+use crate::backchase::{backchase, initial_reformulation, BackchaseOptions, BackchaseOutcome};
+use crate::chase::{chase_to_universal_plan, ChaseOptions, ChaseStats};
+use mars_cost::{CostEstimator, WeightedAtomEstimator};
+use mars_cq::{ConjunctiveQuery, Ded, Predicate};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options for the full C&B run.
+#[derive(Clone, Debug, Default)]
+pub struct CbOptions {
+    /// Chase options (universal-plan construction).
+    pub chase: ChaseOptions,
+    /// Backchase options (minimization).
+    pub backchase: BackchaseOptions,
+}
+
+impl CbOptions {
+    /// Options enumerating all minimal reformulations.
+    pub fn exhaustive() -> CbOptions {
+        CbOptions { chase: ChaseOptions::default(), backchase: BackchaseOptions::exhaustive() }
+    }
+}
+
+/// Timing and size statistics of a C&B run.
+#[derive(Clone, Debug, Default)]
+pub struct CbStatistics {
+    /// Statistics of the chase phase.
+    pub chase: ChaseStats,
+    /// Time to build the universal plan.
+    pub time_to_universal_plan: Duration,
+    /// Time to the initial reformulation (chase + restriction to the
+    /// proprietary schema) — the quantity plotted in Figure 5.
+    pub time_to_initial: Duration,
+    /// Additional time spent in the backchase ("delta to best minimal
+    /// reformulation" in Figure 5).
+    pub backchase_duration: Duration,
+    /// End-to-end duration.
+    pub total: Duration,
+    /// Number of atoms in the (primary) universal plan.
+    pub universal_plan_atoms: usize,
+    /// Candidate subqueries inspected by the backchase.
+    pub candidates_inspected: usize,
+    /// Equivalence (chase) checks performed by the backchase.
+    pub equivalence_checks: usize,
+}
+
+/// The result of reformulating one query.
+#[derive(Clone, Debug)]
+pub struct ReformulationResult {
+    /// The universal plan (primary branch).
+    pub universal_plan: ConjunctiveQuery,
+    /// The initial reformulation (largest proprietary subquery), if non-empty.
+    pub initial: Option<ConjunctiveQuery>,
+    /// All minimal reformulations found (with estimated costs).
+    pub minimal: Vec<(ConjunctiveQuery, f64)>,
+    /// The cost-optimal reformulation.
+    pub best: Option<(ConjunctiveQuery, f64)>,
+    /// Statistics.
+    pub stats: CbStatistics,
+}
+
+impl ReformulationResult {
+    /// The best reformulation, falling back to the initial one.
+    pub fn best_or_initial(&self) -> Option<&ConjunctiveQuery> {
+        self.best.as_ref().map(|(q, _)| q).or(self.initial.as_ref())
+    }
+
+    /// Did MARS find any reformulation at all?
+    pub fn has_reformulation(&self) -> bool {
+        self.best.is_some() || self.initial.as_ref().map(|q| !q.body.is_empty()).unwrap_or(false)
+    }
+}
+
+/// The C&B engine.
+#[derive(Clone)]
+pub struct ChaseBackchase {
+    /// Dependencies: compiled schema correspondence, XICs, TIX, relational
+    /// integrity constraints.
+    pub deds: Vec<Ded>,
+    /// Predicates of the proprietary schema (the only ones allowed in
+    /// reformulations).
+    pub proprietary: HashSet<Predicate>,
+    /// Plug-in cost estimator.
+    pub estimator: Arc<dyn CostEstimator>,
+    /// Options.
+    pub options: CbOptions,
+}
+
+impl ChaseBackchase {
+    /// An engine with the default (weighted-atom) cost estimator.
+    pub fn new(deds: Vec<Ded>, proprietary: HashSet<Predicate>) -> ChaseBackchase {
+        ChaseBackchase {
+            deds,
+            proprietary,
+            estimator: Arc::new(WeightedAtomEstimator::default()),
+            options: CbOptions::default(),
+        }
+    }
+
+    /// Builder: replace the cost estimator.
+    pub fn with_estimator(mut self, estimator: Arc<dyn CostEstimator>) -> ChaseBackchase {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Builder: replace the options.
+    pub fn with_options(mut self, options: CbOptions) -> ChaseBackchase {
+        self.options = options;
+        self
+    }
+
+    /// Builder: add proprietary predicates by name.
+    pub fn with_proprietary_names(mut self, names: &[&str]) -> ChaseBackchase {
+        self.proprietary.extend(names.iter().map(|n| Predicate::new(n)));
+        self
+    }
+
+    /// Full chase & backchase reformulation of a query.
+    pub fn reformulate(&self, query: &ConjunctiveQuery) -> ReformulationResult {
+        let start = Instant::now();
+        let up = chase_to_universal_plan(query, &self.deds, &self.options.chase);
+        let time_to_universal_plan = start.elapsed();
+
+        let (universal_plan, initial) = if up.branches.is_empty() {
+            (
+                ConjunctiveQuery {
+                    name: format!("{}_unsat", query.name),
+                    head: query.head.clone(),
+                    body: Vec::new(),
+                    inequalities: query.inequalities.clone(),
+                },
+                None,
+            )
+        } else {
+            let primary = up.primary().clone();
+            let initial = initial_reformulation(&primary, &self.proprietary);
+            let initial = if initial.body.is_empty() { None } else { Some(initial) };
+            (primary, initial)
+        };
+        let time_to_initial = start.elapsed();
+
+        let bc: BackchaseOutcome = if up.branches.is_empty() {
+            BackchaseOutcome {
+                minimal: Vec::new(),
+                best: None,
+                candidates_inspected: 0,
+                equivalence_checks: 0,
+                pruned_by_cost: 0,
+                duration: Duration::default(),
+            }
+        } else {
+            backchase(
+                query,
+                &up,
+                &self.proprietary,
+                &self.deds,
+                self.estimator.as_ref(),
+                &self.options.backchase,
+            )
+        };
+
+        let stats = CbStatistics {
+            chase: up.stats.clone(),
+            time_to_universal_plan,
+            time_to_initial,
+            backchase_duration: bc.duration,
+            total: start.elapsed(),
+            universal_plan_atoms: universal_plan.body.len(),
+            candidates_inspected: bc.candidates_inspected,
+            equivalence_checks: bc.equivalence_checks,
+        };
+        ReformulationResult {
+            universal_plan,
+            initial,
+            minimal: bc.minimal,
+            best: bc.best,
+            stats,
+        }
+    }
+
+    /// Chase only ("switch off the backchase"): return the initial
+    /// reformulation and the chase statistics.
+    pub fn initial_only(&self, query: &ConjunctiveQuery) -> (Option<ConjunctiveQuery>, CbStatistics) {
+        let start = Instant::now();
+        let up = chase_to_universal_plan(query, &self.deds, &self.options.chase);
+        let time_to_universal_plan = start.elapsed();
+        let initial = up.branches.first().map(|b| initial_reformulation(b, &self.proprietary));
+        let initial = initial.filter(|q| !q.body.is_empty());
+        let stats = CbStatistics {
+            universal_plan_atoms: up.branches.first().map(|b| b.body.len()).unwrap_or(0),
+            chase: up.stats,
+            time_to_universal_plan,
+            time_to_initial: start.elapsed(),
+            backchase_duration: Duration::default(),
+            total: start.elapsed(),
+            candidates_inspected: 0,
+            equivalence_checks: 0,
+        };
+        (initial, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::ded::view_dependencies;
+    use mars_cq::{Atom, Term, Variable};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn engine() -> (ChaseBackchase, ConjunctiveQuery) {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![Variable::named("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let defq = ConjunctiveQuery::new("V")
+            .with_head(vec![t("x"), t("z")])
+            .with_body(vec![
+                Atom::named("A", vec![t("x"), t("y")]),
+                Atom::named("B", vec![t("y"), t("z")]),
+            ]);
+        let (c_v, b_v) = view_dependencies("V", &defq);
+        let proprietary: HashSet<Predicate> = [Predicate::new("V")].into_iter().collect();
+        (ChaseBackchase::new(vec![ind, c_v, b_v], proprietary), q)
+    }
+
+    #[test]
+    fn end_to_end_reformulation() {
+        let (cb, q) = engine();
+        let result = cb.reformulate(&q);
+        assert!(result.has_reformulation());
+        let best = result.best.as_ref().unwrap();
+        assert_eq!(best.0.body.len(), 1);
+        assert_eq!(best.0.body[0].predicate.name(), "V");
+        assert_eq!(result.stats.universal_plan_atoms, 3);
+        assert!(result.stats.time_to_initial <= result.stats.total);
+        assert_eq!(result.minimal.len(), 1);
+        assert_eq!(result.best_or_initial().unwrap().body[0].predicate.name(), "V");
+    }
+
+    #[test]
+    fn initial_only_skips_backchase() {
+        let (cb, q) = engine();
+        let (initial, stats) = cb.initial_only(&q);
+        let initial = initial.expect("initial reformulation exists");
+        assert_eq!(initial.body.len(), 1);
+        assert_eq!(stats.candidates_inspected, 0);
+        assert_eq!(stats.backchase_duration, Duration::default());
+    }
+
+    #[test]
+    fn queries_without_reformulation_are_reported() {
+        let (cb, _) = engine();
+        // A query over a predicate unrelated to the correspondence.
+        let q = ConjunctiveQuery::new("Qother")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("C", vec![t("x")])]);
+        let result = cb.reformulate(&q);
+        assert!(!result.has_reformulation());
+        assert!(result.best.is_none());
+        assert!(result.initial.is_none());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let (cb, q) = engine();
+        let cb = cb
+            .with_estimator(Arc::new(WeightedAtomEstimator::default()))
+            .with_options(CbOptions::exhaustive())
+            .with_proprietary_names(&["extraRel"]);
+        assert!(cb.proprietary.contains(&Predicate::new("extraRel")));
+        let result = cb.reformulate(&q);
+        assert!(result.has_reformulation());
+    }
+
+    #[test]
+    fn unsatisfiable_query_produces_empty_plan() {
+        let denial = Ded::denial(
+            "no_a",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+        );
+        let cb = ChaseBackchase::new(vec![denial], HashSet::new());
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let result = cb.reformulate(&q);
+        assert!(result.universal_plan.body.is_empty());
+        assert!(!result.has_reformulation());
+    }
+}

@@ -1,0 +1,522 @@
+//! The set-oriented chase to the universal plan.
+//!
+//! Chasing a query with a set of DEDs is implemented as repeated rounds of
+//! bulk premise evaluation over the symbolic instance (hash joins, Section
+//! 3.1), a semijoin extension check per homomorphism, and set-oriented
+//! application of the unsatisfied steps. The `(refl)/(base)/(trans)` TIX
+//! constraints are short-cut by a direct transitive-closure computation
+//! (Section 3.2) when [`ChaseOptions::use_shortcut`] is enabled.
+
+use crate::compiled::CompiledDed;
+use crate::instance::SymbolicInstance;
+use crate::shortcut::{apply_closure, detect_closure_constraints, ClosureConstraints};
+use mars_cq::{Conjunct, ConjunctiveQuery, Ded, Substitution, Term, Variable};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Options controlling the chase.
+#[derive(Clone, Debug)]
+pub struct ChaseOptions {
+    /// Short-cut the `(refl)/(base)/(trans)` constraints by computing the
+    /// transitive closure directly (Section 3.2).
+    pub use_shortcut: bool,
+    /// Maximum number of chase rounds.
+    pub max_rounds: usize,
+    /// Maximum number of atoms in any branch instance.
+    pub max_atoms: usize,
+    /// Maximum number of branches of the chase tree (disjunctive DEDs).
+    pub max_branches: usize,
+    /// Wall-clock timeout.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ChaseOptions {
+    fn default() -> Self {
+        ChaseOptions {
+            use_shortcut: true,
+            max_rounds: 10_000,
+            max_atoms: 200_000,
+            max_branches: 32,
+            timeout: None,
+        }
+    }
+}
+
+impl ChaseOptions {
+    /// Options with the shortcut disabled (used by the ablation experiments).
+    pub fn without_shortcut() -> ChaseOptions {
+        ChaseOptions { use_shortcut: false, ..Default::default() }
+    }
+
+    /// Builder: set a wall-clock timeout.
+    pub fn with_timeout(mut self, d: Duration) -> ChaseOptions {
+        self.timeout = Some(d);
+        self
+    }
+}
+
+/// Bookkeeping collected during the chase.
+#[derive(Clone, Debug, Default)]
+pub struct ChaseStats {
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Number of applied chase steps (atom-producing or unifying).
+    pub applied_steps: usize,
+    /// Number of `desc` atoms added by the shortcut.
+    pub shortcut_desc_added: usize,
+    /// Number of failed branches (denials or constant clashes).
+    pub failed_branches: usize,
+    /// True if the chase reached a fixpoint within the budget.
+    pub completed: bool,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// The chase result: one universal plan per surviving branch.
+#[derive(Clone, Debug)]
+pub struct UniversalPlan {
+    /// Surviving branches (exactly one for non-disjunctive dependency sets).
+    pub branches: Vec<ConjunctiveQuery>,
+    /// Chase statistics.
+    pub stats: ChaseStats,
+}
+
+impl UniversalPlan {
+    /// The single branch, if the chase did not branch.
+    pub fn single(&self) -> Option<&ConjunctiveQuery> {
+        if self.branches.len() == 1 {
+            self.branches.first()
+        } else {
+            None
+        }
+    }
+
+    /// The first branch; panics if the query was inconsistent with the
+    /// constraints (no surviving branch).
+    pub fn primary(&self) -> &ConjunctiveQuery {
+        self.branches.first().expect("universal plan has no surviving branch")
+    }
+
+    /// Total number of atoms across branches (used in experiment reports).
+    pub fn total_atoms(&self) -> usize {
+        self.branches.iter().map(|b| b.body.len()).sum()
+    }
+}
+
+/// One branch of the chase tree during execution.
+#[derive(Clone, Debug)]
+struct Branch {
+    inst: SymbolicInstance,
+    head: Vec<Term>,
+    inequalities: Vec<(Term, Term)>,
+}
+
+impl Branch {
+    fn from_query(q: &ConjunctiveQuery) -> Branch {
+        Branch {
+            inst: SymbolicInstance::from_query(q),
+            head: q.head.clone(),
+            inequalities: q.inequalities.clone(),
+        }
+    }
+
+    fn rename(&mut self, s: &Substitution) {
+        self.inst.apply_substitution(s);
+        self.head = self.head.iter().map(|t| s.apply_term_deep(*t)).collect();
+        self.inequalities = self
+            .inequalities
+            .iter()
+            .map(|(a, b)| (s.apply_term_deep(*a), s.apply_term_deep(*b)))
+            .collect();
+    }
+
+    fn to_query(&self, name: &str) -> ConjunctiveQuery {
+        self.inst.to_query(name, self.head.clone(), self.inequalities.clone())
+    }
+}
+
+enum RoundResult {
+    NoChange,
+    Changed,
+    Failed,
+    Split(Vec<Branch>),
+}
+
+/// Apply one conclusion conjunct under homomorphism `h`. Returns `Err(())` if
+/// the application forces two distinct constants to be equal.
+fn apply_conjunct(
+    branch: &mut Branch,
+    conjunct: &Conjunct,
+    h: &Substitution,
+    fresh: &mut u32,
+) -> Result<(), ()> {
+    let mut sub = h.clone();
+    // Freshen every conclusion variable not bound by the premise mapping.
+    for v in conjunct.variables() {
+        if !sub.binds(v) {
+            sub.set(v, Term::Var(Variable { name: v.name, index: *fresh }));
+            *fresh += 1;
+        }
+    }
+    for atom in &conjunct.atoms {
+        branch.inst.insert_atom(&sub.apply_atom(atom));
+    }
+    for (a, b) in &conjunct.equalities {
+        let ia = sub.apply_term_deep(*a);
+        let ib = sub.apply_term_deep(*b);
+        if ia == ib {
+            continue;
+        }
+        let (from, to) = match (ia, ib) {
+            (Term::Var(v), t) => (v, t),
+            (t, Term::Var(v)) => (v, t),
+            (Term::Const(_), Term::Const(_)) => return Err(()),
+        };
+        let mut s = Substitution::new();
+        s.set(from, to);
+        branch.rename(&s);
+        sub = sub.then(&s);
+    }
+    Ok(())
+}
+
+/// One round over a branch: evaluate every dependency's premise in bulk,
+/// apply every unblocked step. Returns as soon as a disjunctive or unifying
+/// step requires restarting the round.
+fn run_round(
+    branch: &mut Branch,
+    compiled: &[CompiledDed],
+    fresh: &mut u32,
+    stats: &mut ChaseStats,
+    max_atoms: usize,
+) -> RoundResult {
+    let mut changed = false;
+    for ded in compiled {
+        let bindings = ded.premise_bindings(&branch.inst);
+        for h in bindings {
+            // Re-check against the (possibly grown) instance so that bulk
+            // application does not duplicate work already satisfied earlier in
+            // this round.
+            if ded.blocked(&h, &branch.inst) {
+                continue;
+            }
+            stats.applied_steps += 1;
+            if ded.conclusions.is_empty() {
+                return RoundResult::Failed;
+            }
+            if ded.conclusions.len() > 1 {
+                let mut children = Vec::new();
+                for c in &ded.conclusions {
+                    let mut child = branch.clone();
+                    if apply_conjunct(&mut child, &c.conjunct, &h, fresh).is_ok() {
+                        children.push(child);
+                    } else {
+                        stats.failed_branches += 1;
+                    }
+                }
+                return RoundResult::Split(children);
+            }
+            let conclusion = &ded.conclusions[0];
+            match apply_conjunct(branch, &conclusion.conjunct, &h, fresh) {
+                Ok(()) => changed = true,
+                Err(()) => return RoundResult::Failed,
+            }
+            if branch.inst.len() > max_atoms {
+                return RoundResult::Changed;
+            }
+            // A unification may invalidate the remaining pre-computed
+            // bindings for this dependency: restart the round.
+            if !conclusion.conjunct.equalities.is_empty() {
+                return RoundResult::Changed;
+            }
+        }
+    }
+    if changed {
+        RoundResult::Changed
+    } else {
+        RoundResult::NoChange
+    }
+}
+
+/// Chase `query` with `deds` to the universal plan.
+pub fn chase_to_universal_plan(
+    query: &ConjunctiveQuery,
+    deds: &[Ded],
+    options: &ChaseOptions,
+) -> UniversalPlan {
+    let start = Instant::now();
+    let closure = if options.use_shortcut {
+        detect_closure_constraints(deds)
+    } else {
+        ClosureConstraints::default()
+    };
+    let skip: HashSet<usize> = closure.indices().into_iter().collect();
+    let compiled: Vec<CompiledDed> = deds
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !skip.contains(i))
+        .map(|(_, d)| CompiledDed::compile(d))
+        .collect();
+
+    let mut stats = ChaseStats { completed: true, ..Default::default() };
+    let initial = Branch::from_query(query);
+    let mut fresh = initial.inst.max_variable_index() + 1;
+    let mut worklist = vec![initial];
+    let mut done: Vec<Branch> = Vec::new();
+
+    while let Some(mut branch) = worklist.pop() {
+        if done.len() + worklist.len() + 1 > options.max_branches {
+            stats.completed = false;
+            done.push(branch);
+            continue;
+        }
+        loop {
+            let over_budget = stats.rounds >= options.max_rounds
+                || branch.inst.len() >= options.max_atoms
+                || options.timeout.map(|t| start.elapsed() > t).unwrap_or(false);
+            if over_budget {
+                stats.completed = false;
+                done.push(branch);
+                break;
+            }
+            stats.rounds += 1;
+
+            let mut shortcut_changed = false;
+            if options.use_shortcut && closure.any() {
+                let added = apply_closure(&mut branch.inst, &closure);
+                stats.shortcut_desc_added += added;
+                shortcut_changed = added > 0;
+            }
+
+            match run_round(&mut branch, &compiled, &mut fresh, &mut stats, options.max_atoms) {
+                RoundResult::NoChange => {
+                    if !shortcut_changed {
+                        done.push(branch);
+                        break;
+                    }
+                }
+                RoundResult::Changed => {}
+                RoundResult::Failed => {
+                    stats.failed_branches += 1;
+                    break;
+                }
+                RoundResult::Split(children) => {
+                    worklist.extend(children);
+                    break;
+                }
+            }
+        }
+    }
+
+    stats.duration = start.elapsed();
+    let branches = done
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b.to_query(&format!("{}_up{}", query.name, i)))
+        .collect();
+    UniversalPlan { branches, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::atom::builders::*;
+    use mars_cq::ded::view_dependencies;
+    use mars_cq::{naive_chase, Atom, ChaseBudget, Conjunct, Term};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn v(n: &str) -> Variable {
+        Variable::named(n)
+    }
+
+    fn tix_core() -> Vec<Ded> {
+        vec![
+            Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]),
+            Ded::tgd(
+                "trans",
+                vec![desc(t("x"), t("y")), desc(t("y"), t("z"))],
+                vec![],
+                vec![desc(t("x"), t("z"))],
+            ),
+        ]
+    }
+
+    #[test]
+    fn section_2_3_universal_plan_matches_naive_chase() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let defq = ConjunctiveQuery::new("V")
+            .with_head(vec![t("x"), t("z")])
+            .with_body(vec![
+                Atom::named("A", vec![t("x"), t("y")]),
+                Atom::named("B", vec![t("y"), t("z")]),
+            ]);
+        let (c_v, b_v) = view_dependencies("V", &defq);
+        let deds = vec![ind, c_v, b_v];
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        assert!(up.stats.completed);
+        let plan = up.primary();
+        assert_eq!(plan.body.len(), 3);
+        let preds: Vec<String> = plan.body.iter().map(|a| a.predicate.name()).collect();
+        assert!(preds.contains(&"V".to_string()));
+
+        // Same size as the naive chase result.
+        let naive = naive_chase(&q, &deds, &ChaseBudget::small());
+        assert_eq!(naive.single().unwrap().body.len(), plan.body.len());
+    }
+
+    #[test]
+    fn chain_closure_with_and_without_shortcut_agree() {
+        let n = 7;
+        let mut body = vec![root(t("x0")), desc(t("x0"), t("x1"))];
+        for i in 1..n {
+            body.push(child(t(&format!("x{i}")), t(&format!("x{}", i + 1))));
+        }
+        let q = ConjunctiveQuery::new("path").with_head(vec![t(&format!("x{n}"))]).with_body(body);
+        let with = chase_to_universal_plan(&q, &tix_core(), &ChaseOptions::default());
+        let without = chase_to_universal_plan(&q, &tix_core(), &ChaseOptions::without_shortcut());
+        assert!(with.stats.completed && without.stats.completed);
+        assert_eq!(with.primary().body.len(), without.primary().body.len());
+        assert!(with.stats.shortcut_desc_added > 0);
+        assert_eq!(without.stats.shortcut_desc_added, 0);
+        // The shortcut replaces many individual steps.
+        assert!(with.stats.applied_steps < without.stats.applied_steps);
+    }
+
+    #[test]
+    fn egd_unification_rewrites_head() {
+        // key: R(k,a) ∧ R(k,b) → a = b; head exposes both a and b.
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x"), t("y")])
+            .with_body(vec![
+                Atom::named("R", vec![t("k"), t("x")]),
+                Atom::named("R", vec![t("k"), t("y")]),
+            ]);
+        let key = Ded::egd(
+            "key",
+            vec![
+                Atom::named("R", vec![t("u"), t("p")]),
+                Atom::named("R", vec![t("u"), t("q")]),
+            ],
+            t("p"),
+            t("q"),
+        );
+        let up = chase_to_universal_plan(&q, &[key], &ChaseOptions::default());
+        let plan = up.primary();
+        assert_eq!(plan.head[0], plan.head[1], "head variables must be unified");
+        assert_eq!(plan.body.len(), 1);
+    }
+
+    #[test]
+    fn denial_fails_all_branches() {
+        let q = ConjunctiveQuery::new("Q").with_body(vec![child(t("x"), t("x"))]);
+        let denial = Ded::denial("no_self", vec![child(t("u"), t("u"))]);
+        let up = chase_to_universal_plan(&q, &[denial], &ChaseOptions::default());
+        assert!(up.branches.is_empty());
+        assert_eq!(up.stats.failed_branches, 1);
+    }
+
+    #[test]
+    fn disjunctive_dependency_splits_branches() {
+        let d = Ded::disjunctive(
+            "st",
+            vec![Atom::named("R", vec![t("x")])],
+            vec![
+                Conjunct::atoms(vec![Atom::named("S", vec![t("x")])]),
+                Conjunct::atoms(vec![Atom::named("T", vec![t("x")])]),
+            ],
+        );
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a")])
+            .with_body(vec![Atom::named("R", vec![t("a")])]);
+        let up = chase_to_universal_plan(&q, &[d], &ChaseOptions::default());
+        assert_eq!(up.branches.len(), 2);
+        assert!(up.single().is_none());
+        assert_eq!(up.total_atoms(), 4);
+    }
+
+    #[test]
+    fn budget_stops_divergent_chase() {
+        let d = Ded::tgd(
+            "inf",
+            vec![Atom::named("R", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("R", vec![t("y"), t("z")])],
+        );
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a")])
+            .with_body(vec![Atom::named("R", vec![t("a"), t("b")])]);
+        let opts = ChaseOptions { max_rounds: 4, ..Default::default() };
+        let up = chase_to_universal_plan(&q, &[d], &opts);
+        assert!(!up.stats.completed);
+        assert!(!up.branches.is_empty());
+    }
+
+    #[test]
+    fn view_atoms_enter_plan_only_when_semantics_allow() {
+        // Without (ind), the view V(x,z) :- A(x,y), B(y,z) cannot be brought
+        // into the chase of Q(x) :- A(x,y).
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let defq = ConjunctiveQuery::new("V")
+            .with_head(vec![t("x"), t("z")])
+            .with_body(vec![
+                Atom::named("A", vec![t("x"), t("y")]),
+                Atom::named("B", vec![t("y"), t("z")]),
+            ]);
+        let (c_v, b_v) = view_dependencies("V", &defq);
+        let up = chase_to_universal_plan(&q, &[c_v, b_v], &ChaseOptions::default());
+        let plan = up.primary();
+        assert!(plan.body.iter().all(|a| a.predicate.name() != "V"));
+    }
+
+    #[test]
+    fn fresh_variables_do_not_collide() {
+        // Two independent A-facts each trigger (ind): the two invented B
+        // targets must be distinct variables.
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x1"), t("x2")])
+            .with_body(vec![
+                Atom::named("A", vec![t("x1"), t("y1")]),
+                Atom::named("A", vec![t("x2"), t("y2")]),
+            ]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let up = chase_to_universal_plan(&q, &[ind], &ChaseOptions::default());
+        let plan = up.primary();
+        let b_atoms: Vec<&Atom> =
+            plan.body.iter().filter(|a| a.predicate.name() == "B").collect();
+        assert_eq!(b_atoms.len(), 2);
+        assert_ne!(b_atoms[0].args[1], b_atoms[1].args[1]);
+    }
+
+    #[test]
+    fn timeout_is_reported_as_incomplete() {
+        let d = Ded::tgd(
+            "inf",
+            vec![Atom::named("R", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("R", vec![t("y"), t("z")])],
+        );
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a")])
+            .with_body(vec![Atom::named("R", vec![t("a"), t("b")])]);
+        let opts = ChaseOptions::default().with_timeout(Duration::from_millis(0));
+        let up = chase_to_universal_plan(&q, &[d], &opts);
+        assert!(!up.stats.completed);
+    }
+}

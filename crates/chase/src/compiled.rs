@@ -1,0 +1,205 @@
+//! Compiled constraints.
+//!
+//! Constraints are compiled once, when read into the system (Section 3.1):
+//! the premise becomes a join plan evaluated over the symbolic instance and
+//! each conclusion disjunct becomes the probe side of a semijoin used for the
+//! extension check.
+
+use crate::evaluate::{evaluate_bindings, satisfiable};
+use crate::instance::SymbolicInstance;
+use mars_cq::{Conjunct, Ded, Substitution, Term};
+
+/// A compiled conclusion disjunct.
+#[derive(Clone, Debug)]
+pub struct CompiledConclusion {
+    /// The original conjunct.
+    pub conjunct: Conjunct,
+    /// True if the conjunct has no atoms (pure equality / EGD component).
+    pub is_pure_equality: bool,
+}
+
+impl CompiledConclusion {
+    fn new(conjunct: &Conjunct) -> CompiledConclusion {
+        CompiledConclusion {
+            is_pure_equality: conjunct.atoms.is_empty(),
+            conjunct: conjunct.clone(),
+        }
+    }
+
+    /// Does the homomorphism `h` (from the owning DED's premise into `inst`)
+    /// extend to this conclusion over `inst`?
+    ///
+    /// Equalities among premise-bound terms are checked directly; equalities
+    /// that mention a still-free existential variable force a binding for it;
+    /// remaining atoms are checked by a (semijoin-style) satisfiability query
+    /// over the instance.
+    pub fn satisfied(&self, h: &Substitution, inst: &SymbolicInstance) -> bool {
+        let mut init = h.clone();
+        for (a, b) in &self.conjunct.equalities {
+            let ia = init.apply_term_deep(*a);
+            let ib = init.apply_term_deep(*b);
+            if ia == ib {
+                continue;
+            }
+            if let Term::Var(v) = ia {
+                if a.as_var() == Some(v) && !init.binds(v) {
+                    init.set(v, ib);
+                    continue;
+                }
+            }
+            if let Term::Var(v) = ib {
+                if b.as_var() == Some(v) && !init.binds(v) {
+                    init.set(v, ia);
+                    continue;
+                }
+            }
+            return false;
+        }
+        if self.conjunct.atoms.is_empty() {
+            return true;
+        }
+        satisfiable(&self.conjunct.atoms, &[], inst, &init)
+    }
+}
+
+/// A DED compiled for set-oriented chasing.
+#[derive(Clone, Debug)]
+pub struct CompiledDed {
+    /// The source dependency.
+    pub ded: Ded,
+    /// Compiled conclusions (empty for denial constraints).
+    pub conclusions: Vec<CompiledConclusion>,
+}
+
+impl CompiledDed {
+    /// Compile a dependency.
+    pub fn compile(ded: &Ded) -> CompiledDed {
+        CompiledDed {
+            conclusions: ded.conclusions.iter().map(CompiledConclusion::new).collect(),
+            ded: ded.clone(),
+        }
+    }
+
+    /// Compile a set of dependencies.
+    pub fn compile_all(deds: &[Ded]) -> Vec<CompiledDed> {
+        deds.iter().map(CompiledDed::compile).collect()
+    }
+
+    /// All homomorphisms from the premise into the instance (respecting the
+    /// premise inequalities), found in bulk by hash-join evaluation.
+    pub fn premise_bindings(&self, inst: &SymbolicInstance) -> Vec<Substitution> {
+        evaluate_bindings(
+            &self.ded.premise,
+            &self.ded.premise_inequalities,
+            inst,
+            &Substitution::new(),
+        )
+    }
+
+    /// Is the chase step for homomorphism `h` *blocked* (some conclusion
+    /// disjunct already holds)?
+    pub fn blocked(&self, h: &Substitution, inst: &SymbolicInstance) -> bool {
+        self.conclusions.iter().any(|c| c.satisfied(h, inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::atom::builders::*;
+    use mars_cq::{Atom, ConjunctiveQuery, Ded, Term, Variable};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn instance_of(atoms: Vec<Atom>) -> SymbolicInstance {
+        let q = ConjunctiveQuery::new("Q").with_body(atoms);
+        SymbolicInstance::from_query(&q)
+    }
+
+    #[test]
+    fn tgd_blocking_detection() {
+        // base: child(x,y) → desc(x,y)
+        let base = Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
+        let c = CompiledDed::compile(&base);
+        let inst_without = instance_of(vec![child(t("a"), t("b"))]);
+        let inst_with = instance_of(vec![child(t("a"), t("b")), desc(t("a"), t("b"))]);
+        let hs = c.premise_bindings(&inst_without);
+        assert_eq!(hs.len(), 1);
+        assert!(!c.blocked(&hs[0], &inst_without));
+        assert!(c.blocked(&hs[0], &inst_with));
+    }
+
+    #[test]
+    fn egd_blocking_detection() {
+        // key: R(k,a) ∧ R(k,b) → a=b
+        let key = Ded::egd(
+            "key",
+            vec![
+                Atom::named("R", vec![t("k"), t("a")]),
+                Atom::named("R", vec![t("k"), t("b")]),
+            ],
+            t("a"),
+            t("b"),
+        );
+        let c = CompiledDed::compile(&key);
+        assert!(c.conclusions[0].is_pure_equality);
+        let inst = instance_of(vec![
+            Atom::named("R", vec![t("u"), t("x")]),
+            Atom::named("R", vec![t("u"), t("y")]),
+        ]);
+        let hs = c.premise_bindings(&inst);
+        // Homomorphisms include mappings with a=b (blocked) and a≠b (unblocked).
+        assert!(hs.iter().any(|h| c.blocked(h, &inst)));
+        assert!(hs.iter().any(|h| !c.blocked(h, &inst)));
+    }
+
+    #[test]
+    fn existential_conclusions_use_semijoin() {
+        // ind: A(x,y) → ∃z B(y,z)
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![Variable::named("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let c = CompiledDed::compile(&ind);
+        let inst_no_b = instance_of(vec![Atom::named("A", vec![t("a"), t("b")])]);
+        let inst_b = instance_of(vec![
+            Atom::named("A", vec![t("a"), t("b")]),
+            Atom::named("B", vec![t("b"), t("c")]),
+        ]);
+        let h = &c.premise_bindings(&inst_no_b)[0];
+        assert!(!c.blocked(h, &inst_no_b));
+        assert!(c.blocked(h, &inst_b));
+    }
+
+    #[test]
+    fn premise_inequalities_respected_in_bindings() {
+        let d = Ded::tgd(
+            "neq",
+            vec![Atom::named("R", vec![t("x"), t("y")])],
+            vec![],
+            vec![Atom::named("S", vec![t("x")])],
+        )
+        .with_premise_inequalities(vec![(t("x"), t("y"))]);
+        let c = CompiledDed::compile(&d);
+        let inst = instance_of(vec![
+            Atom::named("R", vec![t("a"), t("a")]),
+            Atom::named("R", vec![t("a"), t("b")]),
+        ]);
+        assert_eq!(c.premise_bindings(&inst).len(), 1);
+    }
+
+    #[test]
+    fn denial_has_no_conclusions() {
+        let d = Ded::denial("no_self", vec![child(t("x"), t("x"))]);
+        let c = CompiledDed::compile(&d);
+        assert!(c.conclusions.is_empty());
+        let inst = instance_of(vec![child(t("a"), t("a"))]);
+        let hs = c.premise_bindings(&inst);
+        assert_eq!(hs.len(), 1);
+        assert!(!c.blocked(&hs[0], &inst));
+    }
+}

@@ -1,0 +1,371 @@
+//! Set-oriented evaluation of a conjunction of atoms over a symbolic
+//! instance.
+//!
+//! This is the workhorse of the new C&B implementation: constraint premises
+//! (and conclusions, for the semijoin extension check) are evaluated over
+//! `Inst(Q)` using hash joins with selections (constants, repeated variables)
+//! pushed into the joins, producing *all* homomorphisms in bulk rather than
+//! one backtracking search per candidate.
+
+use crate::instance::SymbolicInstance;
+use mars_cq::{Atom, Substitution, Term, Variable};
+use std::collections::HashMap;
+
+/// A homomorphism produced by evaluation (bindings of the evaluated atoms'
+/// variables to terms of the instance).
+pub type Binding = Substitution;
+
+/// How an argument position of an atom is handled during the join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// The position carries a constant; tuples not matching it are filtered
+    /// out while building the hash index (selection pushdown).
+    Const,
+    /// The position's variable is already bound by the current prefix of the
+    /// join; it participates in the hash key.
+    Join,
+    /// The position's variable is new; it is bound by this atom.
+    New,
+}
+
+/// Choose an evaluation order for the atoms: start from the atom with the
+/// most constants (most selective), then repeatedly pick an atom sharing a
+/// variable with the already-ordered prefix (avoiding Cartesian products when
+/// possible), preferring more constants.
+fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
+    let n = atoms.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: Vec<Variable> = initially_bound.to_vec();
+
+    let const_count =
+        |a: &Atom| a.args.iter().filter(|t| t.is_const()).count();
+
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        let mut best_key = (false, 0usize);
+        for (i, a) in atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let connected =
+                order.is_empty() || a.variables().any(|v| bound.contains(&v));
+            let key = (connected, const_count(a) + a.variables().filter(|v| bound.contains(v)).count());
+            if best.is_none() || key > best_key {
+                best = Some(i);
+                best_key = key;
+            }
+        }
+        let i = best.expect("atom available");
+        used[i] = true;
+        order.push(i);
+        bound.extend(atoms[i].variables());
+    }
+    order
+}
+
+/// Evaluate `atoms` (a conjunction) over `inst`, extending `initial`, and
+/// filter the results by the inequalities. Returns every homomorphism.
+pub fn evaluate_bindings(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+) -> Vec<Binding> {
+    if atoms.is_empty() {
+        // Only the initial binding, provided it satisfies the inequalities.
+        let ok = inequalities
+            .iter()
+            .all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
+        return if ok { vec![initial.clone()] } else { Vec::new() };
+    }
+
+    let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
+    let order = order_atoms(atoms, &initially_bound);
+
+    let mut rows: Vec<Substitution> = vec![initial.clone()];
+
+    for &ai in &order {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let atom = &atoms[ai];
+        let tuples = inst.relation(atom.predicate);
+        if tuples.is_empty() {
+            return Vec::new();
+        }
+
+        // Classify argument positions relative to the first row (all rows have
+        // the same bound-variable set by construction).
+        let probe = &rows[0];
+        let slots: Vec<Slot> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(_) => Slot::Const,
+                Term::Var(v) => {
+                    if probe.binds(*v) {
+                        Slot::Join
+                    } else {
+                        Slot::New
+                    }
+                }
+            })
+            .collect();
+
+        let join_positions: Vec<usize> =
+            (0..slots.len()).filter(|&i| slots[i] == Slot::Join).collect();
+
+        // Build the hash index over the relation: filter on constants and on
+        // repeated variables within the atom, key on the join positions.
+        let mut index: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
+        'tuples: for tuple in tuples {
+            // Selection pushdown: constants.
+            for (i, slot) in slots.iter().enumerate() {
+                if *slot == Slot::Const && tuple[i] != atom.args[i] {
+                    continue 'tuples;
+                }
+            }
+            // Selection pushdown: repeated variables inside the atom must be
+            // matched by equal terms in the tuple.
+            for i in 0..atom.args.len() {
+                for j in (i + 1)..atom.args.len() {
+                    if atom.args[i].is_var() && atom.args[i] == atom.args[j] && tuple[i] != tuple[j]
+                    {
+                        continue 'tuples;
+                    }
+                }
+            }
+            let key: Vec<Term> = join_positions.iter().map(|&i| tuple[i]).collect();
+            index.entry(key).or_default().push(tuple);
+        }
+
+        // Probe.
+        let mut next_rows: Vec<Substitution> = Vec::new();
+        for row in &rows {
+            let key: Vec<Term> = join_positions
+                .iter()
+                .map(|&i| row.apply_term(atom.args[i]))
+                .collect();
+            if let Some(matches) = index.get(&key) {
+                for tuple in matches {
+                    let mut extended = row.clone();
+                    let mut ok = true;
+                    for (i, slot) in slots.iter().enumerate() {
+                        if *slot == Slot::New {
+                            if let Term::Var(v) = atom.args[i] {
+                                if !extended.bind(v, tuple[i]) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if ok {
+                        next_rows.push(extended);
+                    }
+                }
+            }
+        }
+        rows = next_rows;
+    }
+
+    if !inequalities.is_empty() {
+        rows.retain(|r| {
+            inequalities.iter().all(|(a, b)| r.apply_term(*a) != r.apply_term(*b))
+        });
+    }
+    rows
+}
+
+/// Semijoin-style existence check: is there at least one extension of
+/// `initial` satisfying the atoms and inequalities? Cheaper than materializing
+/// all bindings when only existence matters.
+pub fn satisfiable(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+) -> bool {
+    // A dedicated early-exit evaluation would be slightly faster; for the
+    // input sizes produced by one conclusion this is not a bottleneck.
+    !evaluate_bindings(atoms, inequalities, inst, initial).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::atom::builders::*;
+    use mars_cq::{Atom, ConjunctiveQuery, Term};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn v(n: &str) -> Variable {
+        Variable::named(n)
+    }
+
+    fn example_instance() -> SymbolicInstance {
+        // Q(a,g) :- R(a,b), R(b,c), R(c,d), S(d,e), S(e,f), S(f,g)
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a"), t("g")])
+            .with_body(vec![
+                Atom::named("R", vec![t("a"), t("b")]),
+                Atom::named("R", vec![t("b"), t("c")]),
+                Atom::named("R", vec![t("c"), t("d")]),
+                Atom::named("S", vec![t("d"), t("e")]),
+                Atom::named("S", vec![t("e"), t("f")]),
+                Atom::named("S", vec![t("f"), t("g")]),
+            ]);
+        SymbolicInstance::from_query(&q)
+    }
+
+    #[test]
+    fn example_3_1_premise_evaluation() {
+        // premise: R(x,y), R(y,z), S(z,u), S(u,v) — exactly one homomorphism.
+        let premise = vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("y"), t("z")]),
+            Atom::named("S", vec![t("z"), t("u")]),
+            Atom::named("S", vec![t("u"), t("v")]),
+        ];
+        let inst = example_instance();
+        let res = evaluate_bindings(&premise, &[], &inst, &Substitution::new());
+        assert_eq!(res.len(), 1);
+        let h = &res[0];
+        assert_eq!(h.get(v("x")), Some(t("b")));
+        assert_eq!(h.get(v("v")), Some(t("f")));
+    }
+
+    #[test]
+    fn constants_are_pushed_into_the_scan() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&tag(t("n1"), "author"));
+        inst.insert_atom(&tag(t("n2"), "title"));
+        inst.insert_atom(&tag(t("n3"), "author"));
+        let res = evaluate_bindings(
+            &[tag(t("x"), "author")],
+            &[],
+            &inst,
+            &Substitution::new(),
+        );
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variables_in_one_atom() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&Atom::named("R", vec![t("a"), t("b")]));
+        inst.insert_atom(&Atom::named("R", vec![t("c"), t("c")]));
+        let res = evaluate_bindings(
+            &[Atom::named("R", vec![t("x"), t("x")])],
+            &[],
+            &inst,
+            &Substitution::new(),
+        );
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].get(v("x")), Some(t("c")));
+    }
+
+    #[test]
+    fn initial_bindings_restrict_results() {
+        let inst = example_instance();
+        let init = Substitution::from_pairs(vec![(v("x"), t("b"))]).unwrap();
+        let res =
+            evaluate_bindings(&[Atom::named("R", vec![t("x"), t("y")])], &[], &inst, &init);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].get(v("y")), Some(t("c")));
+    }
+
+    #[test]
+    fn inequalities_filter_bindings() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&Atom::named("R", vec![t("a"), t("a")]));
+        inst.insert_atom(&Atom::named("R", vec![t("a"), t("b")]));
+        let atoms = vec![Atom::named("R", vec![t("x"), t("y")])];
+        let all = evaluate_bindings(&atoms, &[], &inst, &Substitution::new());
+        assert_eq!(all.len(), 2);
+        let neq = evaluate_bindings(&atoms, &[(t("x"), t("y"))], &inst, &Substitution::new());
+        assert_eq!(neq.len(), 1);
+    }
+
+    #[test]
+    fn empty_atom_list_checks_only_inequalities() {
+        let inst = SymbolicInstance::new();
+        let init = Substitution::from_pairs(vec![(v("x"), t("a")), (v("y"), t("a"))]).unwrap();
+        assert_eq!(evaluate_bindings(&[], &[], &inst, &init).len(), 1);
+        assert!(evaluate_bindings(&[], &[(t("x"), t("y"))], &inst, &init).is_empty());
+    }
+
+    #[test]
+    fn missing_relation_yields_no_bindings() {
+        let inst = example_instance();
+        let res = evaluate_bindings(
+            &[Atom::named("Absent", vec![t("x")])],
+            &[],
+            &inst,
+            &Substitution::new(),
+        );
+        assert!(res.is_empty());
+        assert!(!satisfiable(
+            &[Atom::named("Absent", vec![t("x")])],
+            &[],
+            &inst,
+            &Substitution::new()
+        ));
+    }
+
+    #[test]
+    fn chain_evaluation_counts_paths() {
+        // child chain n1->n2->n3->n4; pattern child(x,y),child(y,z) has 2 matches.
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("n1"), t("n2")));
+        inst.insert_atom(&child(t("n2"), t("n3")));
+        inst.insert_atom(&child(t("n3"), t("n4")));
+        let res = evaluate_bindings(
+            &[child(t("x"), t("y")), child(t("y"), t("z"))],
+            &[],
+            &inst,
+            &Substitution::new(),
+        );
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_patterns_produce_cross_products() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&Atom::named("A", vec![t("a1")]));
+        inst.insert_atom(&Atom::named("A", vec![t("a2")]));
+        inst.insert_atom(&Atom::named("B", vec![t("b1")]));
+        inst.insert_atom(&Atom::named("B", vec![t("b2")]));
+        let res = evaluate_bindings(
+            &[Atom::named("A", vec![t("x")]), Atom::named("B", vec![t("y")])],
+            &[],
+            &inst,
+            &Substitution::new(),
+        );
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn agrees_with_backtracking_homomorphism_search() {
+        // Cross-check the set-oriented evaluator against the naive search
+        // from mars-cq on a moderately branchy instance.
+        let mut inst = SymbolicInstance::new();
+        let mut atoms_in_instance = Vec::new();
+        for i in 0..6 {
+            for j in 0..3 {
+                let a = child(t(&format!("p{i}")), t(&format!("c{i}_{j}")));
+                inst.insert_atom(&a);
+                atoms_in_instance.push(a);
+            }
+        }
+        let pattern = vec![child(t("x"), t("y")), child(t("x"), t("z"))];
+        let fast = evaluate_bindings(&pattern, &[], &inst, &Substitution::new());
+        let index = mars_cq::AtomIndex::new(&atoms_in_instance);
+        let slow =
+            mars_cq::find_all_homomorphisms(&pattern, &index, &Substitution::new(), None);
+        assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.len(), 6 * 3 * 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! The symbolic instance `Inst(Q)`.
+//!
+//! Section 3.1 of the paper: "we represent Q internally as a symbolic database
+//! instance Inst(Q) consisting of the relations ... whose constants are the
+//! variables of Q, and whose tuples are the atoms in Q's body". The chase then
+//! becomes query evaluation over this instance.
+
+use mars_cq::{Atom, ConjunctiveQuery, Predicate, Substitution, Term, Variable};
+use std::collections::{HashMap, HashSet};
+
+/// One relation of the symbolic instance: a deduplicated, insertion-ordered
+/// set of tuples whose entries are [`Term`]s (variables act as constants).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    tuples: Vec<Vec<Term>>,
+    set: HashSet<Vec<Term>>,
+}
+
+impl Relation {
+    /// Insert a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, tuple: Vec<Term>) -> bool {
+        if self.set.contains(&tuple) {
+            return false;
+        }
+        self.set.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Vec<Term>] {
+        &self.tuples
+    }
+
+    /// Does the relation contain the tuple?
+    pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The symbolic database instance associated with a query.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolicInstance {
+    relations: HashMap<Predicate, Relation>,
+    atom_count: usize,
+}
+
+impl SymbolicInstance {
+    /// The empty instance.
+    pub fn new() -> SymbolicInstance {
+        SymbolicInstance::default()
+    }
+
+    /// Build `Inst(Q)` from a query body.
+    pub fn from_query(q: &ConjunctiveQuery) -> SymbolicInstance {
+        let mut inst = SymbolicInstance::new();
+        for atom in &q.body {
+            inst.insert_atom(atom);
+        }
+        inst
+    }
+
+    /// Insert an atom as a tuple; returns `true` if it was new.
+    pub fn insert_atom(&mut self, atom: &Atom) -> bool {
+        let rel = self.relations.entry(atom.predicate).or_default();
+        let added = rel.insert(atom.args.clone());
+        if added {
+            self.atom_count += 1;
+        }
+        added
+    }
+
+    /// Does the instance contain the atom (exactly)?
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        self.relations
+            .get(&atom.predicate)
+            .map(|r| r.contains(&atom.args))
+            .unwrap_or(false)
+    }
+
+    /// The relation for a predicate (empty slice if absent).
+    pub fn relation(&self, p: Predicate) -> &[Vec<Term>] {
+        self.relations.get(&p).map(|r| r.tuples()).unwrap_or(&[])
+    }
+
+    /// All predicates present.
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Total number of atoms (tuples) in the instance.
+    pub fn len(&self) -> usize {
+        self.atom_count
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.atom_count == 0
+    }
+
+    /// All atoms, grouped by predicate (predicate iteration order is not
+    /// deterministic; use [`SymbolicInstance::to_query`] for a stable order).
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::with_capacity(self.atom_count);
+        for (p, rel) in &self.relations {
+            for t in rel.tuples() {
+                out.push(Atom::new(*p, t.clone()));
+            }
+        }
+        out
+    }
+
+    /// All terms appearing anywhere in the instance.
+    pub fn terms(&self) -> HashSet<Term> {
+        let mut out = HashSet::new();
+        for rel in self.relations.values() {
+            for t in rel.tuples() {
+                out.extend(t.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All variables appearing anywhere in the instance.
+    pub fn variables(&self) -> HashSet<Variable> {
+        self.terms().into_iter().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// Convert back to a query with the given name, head and inequalities.
+    /// Atoms are ordered by predicate name then argument order, which gives a
+    /// deterministic universal plan.
+    pub fn to_query(
+        &self,
+        name: &str,
+        head: Vec<Term>,
+        inequalities: Vec<(Term, Term)>,
+    ) -> ConjunctiveQuery {
+        let mut atoms = self.atoms();
+        atoms.sort_by(|a, b| {
+            (a.predicate.name(), &a.args).cmp(&(b.predicate.name(), &b.args))
+        });
+        ConjunctiveQuery { name: name.to_string(), head, body: atoms, inequalities }
+    }
+
+    /// Apply a substitution to every tuple of the instance (used when an EGD
+    /// unifies two terms). Rebuilds the per-relation dedup sets.
+    pub fn apply_substitution(&mut self, s: &Substitution) {
+        let mut new_relations: HashMap<Predicate, Relation> = HashMap::new();
+        let mut count = 0usize;
+        for (p, rel) in &self.relations {
+            let entry = new_relations.entry(*p).or_default();
+            for tuple in rel.tuples() {
+                let mapped: Vec<Term> = tuple.iter().map(|t| s.apply_term_deep(*t)).collect();
+                if entry.insert(mapped) {
+                    count += 1;
+                }
+            }
+        }
+        self.relations = new_relations;
+        self.atom_count = count;
+    }
+
+    /// Next free variable disambiguator, used when inventing fresh
+    /// (existential) variables during the chase.
+    pub fn max_variable_index(&self) -> u32 {
+        self.variables().into_iter().map(|v| v.index).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::atom::builders::*;
+    use mars_cq::{ConjunctiveQuery, Term};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn sample_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a")])
+            .with_body(vec![
+                root(t("r")),
+                desc(t("r"), t("d")),
+                child(t("d"), t("c")),
+                tag(t("c"), "author"),
+                text(t("c"), t("a")),
+            ])
+    }
+
+    #[test]
+    fn from_query_counts_atoms() {
+        let inst = SymbolicInstance::from_query(&sample_query());
+        assert_eq!(inst.len(), 5);
+        assert_eq!(inst.relation(mars_cq::Predicate::new("child")).len(), 1);
+        assert!(inst.contains_atom(&root(t("r"))));
+        assert!(!inst.contains_atom(&root(t("x"))));
+    }
+
+    #[test]
+    fn duplicate_atoms_are_deduplicated() {
+        let mut inst = SymbolicInstance::new();
+        assert!(inst.insert_atom(&child(t("a"), t("b"))));
+        assert!(!inst.insert_atom(&child(t("a"), t("b"))));
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn to_query_round_trip_is_stable() {
+        let q = sample_query();
+        let inst = SymbolicInstance::from_query(&q);
+        let back = inst.to_query("Q'", q.head.clone(), vec![]);
+        assert_eq!(back.body.len(), q.body.len());
+        // Every original atom survives.
+        for a in &q.body {
+            assert!(back.body.contains(a));
+        }
+        // Deterministic ordering.
+        let again = inst.to_query("Q''", q.head.clone(), vec![]);
+        assert_eq!(back.body, again.body);
+    }
+
+    #[test]
+    fn substitution_application_merges_tuples() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("x")));
+        inst.insert_atom(&child(t("a"), t("y")));
+        let mut s = Substitution::new();
+        s.set(mars_cq::Variable::named("y"), t("x"));
+        inst.apply_substitution(&s);
+        assert_eq!(inst.len(), 1);
+        assert!(inst.contains_atom(&child(t("a"), t("x"))));
+    }
+
+    #[test]
+    fn terms_and_variables_enumeration() {
+        let inst = SymbolicInstance::from_query(&sample_query());
+        let vars = inst.variables();
+        assert!(vars.contains(&mars_cq::Variable::named("r")));
+        assert!(vars.contains(&mars_cq::Variable::named("a")));
+        // "author" is a constant, not a variable.
+        assert_eq!(vars.len(), 4);
+        assert!(inst.terms().contains(&Term::constant_str("author")));
+        assert_eq!(inst.max_variable_index(), 0);
+    }
+
+    #[test]
+    fn empty_instance_behaviour() {
+        let inst = SymbolicInstance::new();
+        assert!(inst.is_empty());
+        assert_eq!(inst.len(), 0);
+        assert!(inst.atoms().is_empty());
+        assert_eq!(inst.relation(mars_cq::Predicate::new("nothing")).len(), 0);
+    }
+}

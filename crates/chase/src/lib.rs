@@ -1,0 +1,43 @@
+//! # mars-chase — the scalable Chase & Backchase engine
+//!
+//! This crate is the reproduction of Section 3 of the MARS paper: a new,
+//! set-oriented implementation of the C&B algorithm that scales to the large
+//! relational queries (hundreds of joins) and numerous constraints (hundreds
+//! of DEDs) produced by the XML-to-relational reduction.
+//!
+//! The key idea (Section 3.1) is that chasing a query `Q` with a constraint
+//! `c` can be viewed as *evaluating a relational query obtained from `c` over
+//! a small database obtained from `Q`* — the symbolic instance `Inst(Q)` whose
+//! constants are `Q`'s variables and whose tuples are `Q`'s body atoms.
+//! Constraint premises are compiled once into join plans evaluated with hash
+//! joins and selection pushdown; the extension check against the conclusion is
+//! a semijoin.
+//!
+//! On top of the chase the crate implements:
+//!
+//! * the **chase shortcut** of Section 3.2 (the effect of the TIX constraints
+//!   `(refl)`, `(base)`, `(trans)` is computed directly as a transitive
+//!   closure instead of step-by-step),
+//! * the **backchase** with bottom-up subquery enumeration, cost-based pruning
+//!   and the three XML-specific pruning criteria implemented on the atom
+//!   reachability graph,
+//! * the top-level [`ChaseBackchase`] driver returning the initial
+//!   reformulation, all minimal reformulations and the cost-optimal one.
+
+pub mod backchase;
+pub mod cb;
+pub mod chase;
+pub mod compiled;
+pub mod evaluate;
+pub mod instance;
+pub mod reach;
+pub mod shortcut;
+
+pub use backchase::{BackchaseOptions, BackchaseOutcome};
+pub use cb::{CbOptions, CbStatistics, ChaseBackchase, ReformulationResult};
+pub use chase::{chase_to_universal_plan, ChaseOptions, ChaseStats, UniversalPlan};
+pub use compiled::{CompiledConclusion, CompiledDed};
+pub use evaluate::{evaluate_bindings, Binding};
+pub use instance::SymbolicInstance;
+pub use reach::{prune_parallel_desc, ReachabilityGraph};
+pub use shortcut::{detect_closure_constraints, ClosureConstraints};

@@ -1,0 +1,405 @@
+//! Short-cutting the chase (Section 3.2).
+//!
+//! For the TIX constraints `(refl)`, `(base)` and `(trans)` the outcome of the
+//! chase is known up front: it adds to the query exactly the `desc` atoms of
+//! the reflexive-transitive closure of the `child`/`desc` atoms. Instead of
+//! performing `O(n²)` individual chase steps, MARS jumps directly to the
+//! result by computing the closure with a standard adjacency-based algorithm.
+//! In the paper's stress test this cuts the chase of `//a/b/.../j` with TIX
+//! from 2.6 s to 640 ms.
+//!
+//! GReX predicates are suffixed with their document name (`child#case.xml`);
+//! closure constraints are therefore detected and applied *per document*.
+
+use crate::instance::SymbolicInstance;
+use mars_cq::{Atom, Ded, Predicate, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Split a predicate name into its GReX base name and optional document
+/// suffix.
+fn split_pred(p: Predicate) -> (String, Option<String>) {
+    let name = p.name();
+    match name.split_once('#') {
+        Some((base, doc)) => (base.to_string(), Some(doc.to_string())),
+        None => (name, None),
+    }
+}
+
+fn pred_for(base: &str, doc: &Option<String>) -> Predicate {
+    match doc {
+        Some(d) => Predicate::new(&format!("{base}#{d}")),
+        None => Predicate::new(base),
+    }
+}
+
+/// The closure constraints of one document (or of the unsuffixed GReX
+/// predicates when `document` is `None`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClosureGroup {
+    /// Document the group's predicates refer to.
+    pub document: Option<String>,
+    /// Index of the `(base)` constraint (`child(x,y) → desc(x,y)`).
+    pub base: Option<usize>,
+    /// Index of the `(trans)` constraint.
+    pub trans: Option<usize>,
+    /// Index of the `(refl)` constraint (`el(x) → desc(x,x)`).
+    pub refl: Option<usize>,
+}
+
+/// All closure constraints detected in a dependency set, grouped by document.
+#[derive(Clone, Debug, Default)]
+pub struct ClosureConstraints {
+    /// Per-document groups.
+    pub groups: Vec<ClosureGroup>,
+}
+
+impl ClosureConstraints {
+    /// Indices of all detected closure constraints.
+    pub fn indices(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .flat_map(|g| [g.base, g.trans, g.refl])
+            .flatten()
+            .collect()
+    }
+
+    /// Were any closure constraints detected?
+    pub fn any(&self) -> bool {
+        !self.groups.is_empty()
+    }
+
+    fn group_mut(&mut self, doc: Option<String>) -> &mut ClosureGroup {
+        if let Some(pos) = self.groups.iter().position(|g| g.document == doc) {
+            &mut self.groups[pos]
+        } else {
+            self.groups.push(ClosureGroup { document: doc, ..Default::default() });
+            self.groups.last_mut().expect("just pushed")
+        }
+    }
+}
+
+fn is_binary_base(a: &Atom, base: &str) -> Option<Option<String>> {
+    let (b, doc) = split_pred(a.predicate);
+    if b == base && a.arity() == 2 && a.args.iter().all(Term::is_var) {
+        Some(doc)
+    } else {
+        None
+    }
+}
+
+fn is_unary_base(a: &Atom, base: &str) -> Option<Option<String>> {
+    let (b, doc) = split_pred(a.predicate);
+    if b == base && a.arity() == 1 && a.args.iter().all(Term::is_var) {
+        Some(doc)
+    } else {
+        None
+    }
+}
+
+/// `child(x,y) → desc(x,y)` (same document on both sides).
+fn match_base(d: &Ded) -> Option<Option<String>> {
+    if d.premise.len() != 1 || d.conclusions.len() != 1 {
+        return None;
+    }
+    let c = &d.conclusions[0];
+    if c.atoms.len() != 1 || !c.equalities.is_empty() {
+        return None;
+    }
+    let doc_p = is_binary_base(&d.premise[0], "child")?;
+    let doc_c = is_binary_base(&c.atoms[0], "desc")?;
+    if doc_p == doc_c && d.premise[0].args == c.atoms[0].args {
+        Some(doc_p)
+    } else {
+        None
+    }
+}
+
+/// `desc(x,y) ∧ desc(y,z) → desc(x,z)`.
+fn match_trans(d: &Ded) -> Option<Option<String>> {
+    if d.premise.len() != 2 || d.conclusions.len() != 1 {
+        return None;
+    }
+    let c = &d.conclusions[0];
+    if c.atoms.len() != 1 || !c.equalities.is_empty() {
+        return None;
+    }
+    let d1 = is_binary_base(&d.premise[0], "desc")?;
+    let d2 = is_binary_base(&d.premise[1], "desc")?;
+    let d3 = is_binary_base(&c.atoms[0], "desc")?;
+    if d1 != d2 || d2 != d3 {
+        return None;
+    }
+    let (p1, p2, q) = (&d.premise[0], &d.premise[1], &c.atoms[0]);
+    if p1.args[1] == p2.args[0] && q.args[0] == p1.args[0] && q.args[1] == p2.args[1] {
+        Some(d1)
+    } else {
+        None
+    }
+}
+
+/// `el(x) → desc(x,x)`.
+fn match_refl(d: &Ded) -> Option<Option<String>> {
+    if d.premise.len() != 1 || d.conclusions.len() != 1 {
+        return None;
+    }
+    let c = &d.conclusions[0];
+    if c.atoms.len() != 1 || !c.equalities.is_empty() {
+        return None;
+    }
+    let dp = is_unary_base(&d.premise[0], "el")?;
+    let dc = is_binary_base(&c.atoms[0], "desc")?;
+    if dp != dc {
+        return None;
+    }
+    let (p, q) = (&d.premise[0], &c.atoms[0]);
+    if q.args[0] == p.args[0] && q.args[1] == p.args[0] {
+        Some(dp)
+    } else {
+        None
+    }
+}
+
+/// Structurally detect the `(base)`, `(trans)` and `(refl)` constraints in a
+/// dependency set, grouped by document. Detection is purely syntactic, so
+/// user-supplied equivalents are recognized too.
+pub fn detect_closure_constraints(deds: &[Ded]) -> ClosureConstraints {
+    let mut out = ClosureConstraints::default();
+    for (i, d) in deds.iter().enumerate() {
+        if let Some(doc) = match_base(d) {
+            let g = out.group_mut(doc);
+            if g.base.is_none() {
+                g.base = Some(i);
+            }
+        } else if let Some(doc) = match_trans(d) {
+            let g = out.group_mut(doc);
+            if g.trans.is_none() {
+                g.trans = Some(i);
+            }
+        } else if let Some(doc) = match_refl(d) {
+            let g = out.group_mut(doc);
+            if g.refl.is_none() {
+                g.refl = Some(i);
+            }
+        }
+    }
+    out
+}
+
+/// Apply the closure shortcut for one group: add `desc` atoms for every pair
+/// of terms connected by a path of `child`/`desc` edges, and `desc(x,x)` for
+/// every `el(x)` when `(refl)` is present. Returns the number of atoms added.
+fn apply_group(inst: &mut SymbolicInstance, group: &ClosureGroup) -> usize {
+    let desc_pred = pred_for("desc", &group.document);
+    let child_pred = pred_for("child", &group.document);
+    let el_pred = pred_for("el", &group.document);
+
+    let mut adjacency: HashMap<Term, Vec<Term>> = HashMap::new();
+    let mut nodes: HashSet<Term> = HashSet::new();
+    if group.base.is_some() || group.trans.is_some() {
+        for tup in inst.relation(child_pred) {
+            adjacency.entry(tup[0]).or_default().push(tup[1]);
+            nodes.insert(tup[0]);
+            nodes.insert(tup[1]);
+        }
+    }
+    for tup in inst.relation(desc_pred) {
+        adjacency.entry(tup[0]).or_default().push(tup[1]);
+        nodes.insert(tup[0]);
+        nodes.insert(tup[1]);
+    }
+
+    let mut added = 0usize;
+    if group.trans.is_some() || group.base.is_some() {
+        for &start in &nodes {
+            let mut seen: HashSet<Term> = HashSet::new();
+            let mut stack: Vec<Term> = adjacency.get(&start).cloned().unwrap_or_default();
+            while let Some(next) = stack.pop() {
+                if !seen.insert(next) {
+                    continue;
+                }
+                if inst.insert_atom(&Atom::new(desc_pred, vec![start, next])) {
+                    added += 1;
+                }
+                if group.trans.is_some() {
+                    if let Some(succ) = adjacency.get(&next) {
+                        stack.extend(succ.iter().copied());
+                    }
+                }
+            }
+        }
+    }
+    if group.refl.is_some() {
+        let els: Vec<Term> = inst.relation(el_pred).iter().map(|t| t[0]).collect();
+        for e in els {
+            if inst.insert_atom(&Atom::new(desc_pred, vec![e, e])) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Apply the closure shortcut for every detected group. Returns the total
+/// number of `desc` atoms added.
+pub fn apply_closure(inst: &mut SymbolicInstance, closure: &ClosureConstraints) -> usize {
+    closure.groups.iter().map(|g| apply_group(inst, g)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::atom::builders::*;
+    use mars_cq::{Conjunct, ConjunctiveQuery};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn tix_core() -> Vec<Ded> {
+        vec![
+            Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]),
+            Ded::tgd(
+                "trans",
+                vec![desc(t("x"), t("y")), desc(t("y"), t("z"))],
+                vec![],
+                vec![desc(t("x"), t("z"))],
+            ),
+            Ded::tgd("refl", vec![el(t("x"))], vec![], vec![desc(t("x"), t("x"))]),
+        ]
+    }
+
+    fn doc_atom(base: &str, doc: &str, args: Vec<Term>) -> Atom {
+        Atom::named(&format!("{base}#{doc}"), args)
+    }
+
+    #[test]
+    fn detection_finds_all_three_unsuffixed() {
+        let c = detect_closure_constraints(&tix_core());
+        assert!(c.any());
+        assert_eq!(c.groups.len(), 1);
+        let g = &c.groups[0];
+        assert_eq!(g.document, None);
+        assert_eq!((g.base, g.trans, g.refl), (Some(0), Some(1), Some(2)));
+        assert_eq!(c.indices().len(), 3);
+    }
+
+    #[test]
+    fn detection_groups_by_document() {
+        let mut deds = Vec::new();
+        for doc in ["a.xml", "b.xml"] {
+            deds.push(Ded::tgd(
+                &format!("base#{doc}"),
+                vec![doc_atom("child", doc, vec![t("x"), t("y")])],
+                vec![],
+                vec![doc_atom("desc", doc, vec![t("x"), t("y")])],
+            ));
+            deds.push(Ded::tgd(
+                &format!("trans#{doc}"),
+                vec![
+                    doc_atom("desc", doc, vec![t("x"), t("y")]),
+                    doc_atom("desc", doc, vec![t("y"), t("z")]),
+                ],
+                vec![],
+                vec![doc_atom("desc", doc, vec![t("x"), t("z")])],
+            ));
+        }
+        let c = detect_closure_constraints(&deds);
+        assert_eq!(c.groups.len(), 2);
+        assert_eq!(c.indices().len(), 4);
+    }
+
+    #[test]
+    fn detection_rejects_lookalikes_and_cross_document_mixtures() {
+        let bogus = Ded::tgd(
+            "nottrans",
+            vec![desc(t("x"), t("y")), desc(t("y"), t("z"))],
+            vec![],
+            vec![desc(t("z"), t("x"))],
+        );
+        let disj = Ded::disjunctive(
+            "notbase",
+            vec![child(t("x"), t("y"))],
+            vec![
+                Conjunct::atoms(vec![desc(t("x"), t("y"))]),
+                Conjunct::atoms(vec![el(t("x"))]),
+            ],
+        );
+        // child of one document implying desc of another is NOT (base).
+        let cross = Ded::tgd(
+            "cross",
+            vec![doc_atom("child", "a.xml", vec![t("x"), t("y")])],
+            vec![],
+            vec![doc_atom("desc", "b.xml", vec![t("x"), t("y")])],
+        );
+        let c = detect_closure_constraints(&[bogus, disj, cross]);
+        assert!(!c.any());
+    }
+
+    #[test]
+    fn closure_on_chain_matches_expected_count() {
+        // chain of n child atoms ⇒ n(n+1)/2 desc atoms (paper, Section 3.2).
+        let n = 6;
+        let mut body = vec![root(t("x1"))];
+        for i in 1..=n {
+            body.push(child(t(&format!("x{i}")), t(&format!("x{}", i + 1))));
+        }
+        let q = ConjunctiveQuery::new("chain").with_body(body);
+        let mut inst = SymbolicInstance::from_query(&q);
+        let closure = detect_closure_constraints(&tix_core());
+        let added = apply_closure(&mut inst, &closure);
+        assert_eq!(added, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn closure_is_applied_per_document() {
+        let mut deds = Vec::new();
+        for doc in ["a.xml", "b.xml"] {
+            deds.push(Ded::tgd(
+                &format!("base#{doc}"),
+                vec![doc_atom("child", doc, vec![t("x"), t("y")])],
+                vec![],
+                vec![doc_atom("desc", doc, vec![t("x"), t("y")])],
+            ));
+            deds.push(Ded::tgd(
+                &format!("trans#{doc}"),
+                vec![
+                    doc_atom("desc", doc, vec![t("x"), t("y")]),
+                    doc_atom("desc", doc, vec![t("y"), t("z")]),
+                ],
+                vec![],
+                vec![doc_atom("desc", doc, vec![t("x"), t("z")])],
+            ));
+        }
+        let q = ConjunctiveQuery::new("two_docs").with_body(vec![
+            doc_atom("child", "a.xml", vec![t("p"), t("q")]),
+            doc_atom("child", "a.xml", vec![t("q"), t("r")]),
+            doc_atom("child", "b.xml", vec![t("u"), t("v")]),
+        ]);
+        let mut inst = SymbolicInstance::from_query(&q);
+        let closure = detect_closure_constraints(&deds);
+        let added = apply_closure(&mut inst, &closure);
+        // a.xml: pairs (p,q),(q,r),(p,r) = 3; b.xml: (u,v) = 1.
+        assert_eq!(added, 4);
+        assert!(inst.contains_atom(&doc_atom("desc", "a.xml", vec![t("p"), t("r")])));
+        assert!(!inst.contains_atom(&doc_atom("desc", "b.xml", vec![t("p"), t("r")])));
+    }
+
+    #[test]
+    fn refl_only_applies_to_el_nodes() {
+        let q = ConjunctiveQuery::new("els").with_body(vec![el(t("e")), child(t("e"), t("f"))]);
+        let mut inst = SymbolicInstance::from_query(&q);
+        let closure = detect_closure_constraints(&tix_core());
+        apply_closure(&mut inst, &closure);
+        assert!(inst.contains_atom(&desc(t("e"), t("e"))));
+        assert!(!inst.contains_atom(&desc(t("f"), t("f"))));
+    }
+
+    #[test]
+    fn no_closure_constraints_means_no_change() {
+        let q = ConjunctiveQuery::new("q").with_body(vec![child(t("a"), t("b"))]);
+        let mut inst = SymbolicInstance::from_query(&q);
+        let added = apply_closure(&mut inst, &ClosureConstraints::default());
+        assert_eq!(added, 0);
+        assert_eq!(inst.len(), 1);
+    }
+}

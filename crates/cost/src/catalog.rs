@@ -1,0 +1,104 @@
+//! Relation statistics used by cost estimation.
+
+use mars_cq::Predicate;
+use std::collections::HashMap;
+
+/// Statistics for a single relation (or virtual relation such as a GReX
+/// predicate or a materialized view).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelationStats {
+    /// Estimated number of tuples.
+    pub cardinality: f64,
+    /// Estimated number of distinct values per column (uniformity assumed).
+    pub distinct_per_column: f64,
+}
+
+impl RelationStats {
+    /// Stats with the given cardinality, assuming every column has
+    /// `cardinality.sqrt()` distinct values (a common default heuristic).
+    pub fn with_cardinality(cardinality: f64) -> RelationStats {
+        RelationStats { cardinality, distinct_per_column: cardinality.sqrt().max(1.0) }
+    }
+}
+
+/// Catalog: per-relation statistics plus defaults for unknown relations.
+///
+/// The MARS paper plugs in an external cost estimator; in this reproduction
+/// the catalog is populated either with synthetic statistics (by the workload
+/// generators) or from actual materialized storage (by `mars-storage`).
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    stats: HashMap<Predicate, RelationStats>,
+    default: RelationStats,
+}
+
+impl Catalog {
+    /// Catalog where unknown relations get the given default cardinality.
+    pub fn with_default_cardinality(cardinality: f64) -> Catalog {
+        Catalog { stats: HashMap::new(), default: RelationStats::with_cardinality(cardinality) }
+    }
+
+    /// Register statistics for a relation.
+    pub fn set(&mut self, relation: Predicate, stats: RelationStats) {
+        self.stats.insert(relation, stats);
+    }
+
+    /// Register a cardinality (distinct counts derived by default heuristic).
+    pub fn set_cardinality(&mut self, relation: &str, cardinality: f64) {
+        self.set(Predicate::new(relation), RelationStats::with_cardinality(cardinality));
+    }
+
+    /// Look up statistics for a relation.
+    pub fn get(&self, relation: Predicate) -> RelationStats {
+        self.stats.get(&relation).copied().unwrap_or(self.default)
+    }
+
+    /// Number of relations with explicit statistics.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Is the catalog empty (only defaults)?
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::with_default_cardinality(10_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_for_unknown_relations() {
+        let c = Catalog::with_default_cardinality(100.0);
+        let s = c.get(Predicate::new("unknown_rel"));
+        assert_eq!(s.cardinality, 100.0);
+        assert_eq!(s.distinct_per_column, 10.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn explicit_stats_override_default() {
+        let mut c = Catalog::default();
+        c.set_cardinality("drugPrice", 500.0);
+        assert_eq!(c.get(Predicate::new("drugPrice")).cardinality, 500.0);
+        assert_eq!(c.len(), 1);
+        c.set(
+            Predicate::new("patient"),
+            RelationStats { cardinality: 42.0, distinct_per_column: 7.0 },
+        );
+        assert_eq!(c.get(Predicate::new("patient")).distinct_per_column, 7.0);
+    }
+
+    #[test]
+    fn distinct_count_never_below_one() {
+        let s = RelationStats::with_cardinality(0.0);
+        assert_eq!(s.distinct_per_column, 1.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Join reordering with dynamic programming, used to cost backchase
+//! subqueries.
+//!
+//! The paper (Section 2.3, following Popa's thesis) notes that "a subquery is
+//! not yet an execution plan, it only specifies which relations are to be
+//! joined. To cost a subquery, the algorithm performs join reordering using
+//! dynamic programming." This module implements a System-R style left-deep
+//! enumeration over subsets for small queries and a greedy fallback for the
+//! universal plans with hundreds of atoms produced by the XML reduction.
+
+use crate::catalog::Catalog;
+use crate::estimator::CostEstimator;
+use mars_cq::{Atom, ConjunctiveQuery, Term, Variable};
+use std::collections::{HashMap, HashSet};
+
+/// Result of join ordering: estimated cost and the chosen atom order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinPlan {
+    /// Estimated total cost (sum of intermediate result cardinalities).
+    pub cost: f64,
+    /// Atom indices in join order (left-deep).
+    pub order: Vec<usize>,
+}
+
+/// The default MARS cost estimator: join reordering by dynamic programming
+/// when the query is small enough, greedy ordering otherwise.
+#[derive(Clone, Debug)]
+pub struct JoinOrderEstimator {
+    catalog: Catalog,
+    /// Maximum number of atoms for exhaustive subset DP; larger queries use
+    /// the greedy ordering.
+    pub dp_atom_limit: usize,
+    /// Selectivity applied per constant argument of an atom.
+    pub constant_selectivity: f64,
+}
+
+impl JoinOrderEstimator {
+    /// An estimator over the given catalog with default settings.
+    pub fn new(catalog: Catalog) -> JoinOrderEstimator {
+        JoinOrderEstimator { catalog, dp_atom_limit: 12, constant_selectivity: 0.1 }
+    }
+
+    /// Access the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (e.g. to register view statistics).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Base cardinality of a single atom: relation cardinality reduced by the
+    /// selectivity of each constant argument.
+    fn atom_cardinality(&self, atom: &Atom) -> f64 {
+        let stats = self.catalog.get(atom.predicate);
+        let consts = atom.args.iter().filter(|t| t.is_const()).count() as i32;
+        (stats.cardinality * self.constant_selectivity.powi(consts)).max(1.0)
+    }
+
+    /// Distinct-value estimate for a variable: the minimum distinct count over
+    /// the relations in which it occurs (within the given atoms).
+    fn var_distinct(&self, atoms: &[&Atom], v: Variable) -> f64 {
+        let mut best = f64::INFINITY;
+        for a in atoms {
+            if a.mentions(v) {
+                best = best.min(self.catalog.get(a.predicate).distinct_per_column);
+            }
+        }
+        if best.is_finite() {
+            best.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Order-independent cardinality estimate of joining a set of atoms:
+    /// product of base cardinalities divided, for every variable shared by
+    /// `k > 1` atoms, by `distinct(v)^(k-1)`.
+    fn subset_cardinality(&self, atoms: &[&Atom]) -> f64 {
+        if atoms.is_empty() {
+            return 0.0;
+        }
+        let mut card: f64 = atoms.iter().map(|a| self.atom_cardinality(a)).product();
+        let mut occurrences: HashMap<Variable, usize> = HashMap::new();
+        for a in atoms {
+            let vars: HashSet<Variable> = a.variables().collect();
+            for v in vars {
+                *occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+        for (v, k) in occurrences {
+            if k > 1 {
+                let d = self.var_distinct(atoms, v);
+                card /= d.powi((k - 1) as i32);
+            }
+        }
+        card.max(1.0)
+    }
+
+    /// Exhaustive left-deep DP over subsets; only called for small bodies.
+    fn dp_plan(&self, body: &[Atom]) -> JoinPlan {
+        let n = body.len();
+        let refs: Vec<&Atom> = body.iter().collect();
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        // best[mask] = (cost, last_atom, predecessor_mask)
+        let mut best: HashMap<u32, (f64, usize, u32)> = HashMap::new();
+        for i in 0..n {
+            let mask = 1u32 << i;
+            best.insert(mask, (self.atom_cardinality(&body[i]), i, 0));
+        }
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let subset: Vec<&Atom> =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| refs[i]).collect();
+            let card = self.subset_cardinality(&subset);
+            let mut entry: Option<(f64, usize, u32)> = None;
+            for i in 0..n {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                let prev = mask & !(1 << i);
+                if let Some(&(prev_cost, _, _)) = best.get(&prev) {
+                    let cost = prev_cost + card;
+                    if entry.map(|(c, _, _)| cost < c).unwrap_or(true) {
+                        entry = Some((cost, i, prev));
+                    }
+                }
+            }
+            if let Some(e) = entry {
+                best.insert(mask, e);
+            }
+        }
+        // Reconstruct order.
+        let mut order = Vec::with_capacity(n);
+        let mut mask = full;
+        let total_cost = best.get(&full).map(|(c, _, _)| *c).unwrap_or(0.0);
+        while mask != 0 {
+            let (_, last, prev) = best[&mask];
+            order.push(last);
+            mask = prev;
+        }
+        order.reverse();
+        JoinPlan { cost: total_cost, order }
+    }
+
+    /// Greedy ordering for large bodies: start from the cheapest atom, then
+    /// repeatedly add the atom minimizing the running intermediate
+    /// cardinality, preferring atoms connected to the current prefix.
+    fn greedy_plan(&self, body: &[Atom]) -> JoinPlan {
+        let n = body.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut chosen: Vec<&Atom> = Vec::with_capacity(n);
+        let mut cost = 0.0;
+        // Start with the cheapest single atom.
+        remaining.sort_by(|&a, &b| {
+            self.atom_cardinality(&body[a])
+                .partial_cmp(&self.atom_cardinality(&body[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        while !remaining.is_empty() {
+            let mut best_pos = 0;
+            let mut best_card = f64::INFINITY;
+            let prefix_vars: HashSet<Variable> =
+                chosen.iter().flat_map(|a| a.variables()).collect();
+            for (pos, &idx) in remaining.iter().enumerate() {
+                let connected = chosen.is_empty()
+                    || body[idx].variables().any(|v| prefix_vars.contains(&v));
+                let mut candidate = chosen.clone();
+                candidate.push(&body[idx]);
+                let mut card = self.subset_cardinality(&candidate);
+                if !connected {
+                    // Penalize Cartesian products so connected atoms are taken first.
+                    card *= 1e6;
+                }
+                if card < best_card {
+                    best_card = card;
+                    best_pos = pos;
+                }
+            }
+            let idx = remaining.remove(best_pos);
+            chosen.push(&body[idx]);
+            order.push(idx);
+            cost += self.subset_cardinality(&chosen);
+        }
+        JoinPlan { cost, order }
+    }
+
+    /// Produce a full join plan (cost + order) for the query body.
+    pub fn plan(&self, query: &ConjunctiveQuery) -> JoinPlan {
+        if query.body.is_empty() {
+            return JoinPlan { cost: 0.0, order: Vec::new() };
+        }
+        if query.body.len() <= self.dp_atom_limit && query.body.len() < 20 {
+            self.dp_plan(&query.body)
+        } else {
+            self.greedy_plan(&query.body)
+        }
+    }
+}
+
+impl CostEstimator for JoinOrderEstimator {
+    fn estimate(&self, query: &ConjunctiveQuery) -> f64 {
+        self.plan(query).cost
+    }
+
+    fn name(&self) -> &'static str {
+        "join-order-dp"
+    }
+}
+
+/// Helper used by tests and experiments: the estimated output cardinality of
+/// the whole query under the estimator's catalog.
+pub fn estimated_result_size(est: &JoinOrderEstimator, query: &ConjunctiveQuery) -> f64 {
+    let refs: Vec<&Atom> = query.body.iter().collect();
+    est.subset_cardinality(&refs)
+}
+
+/// Convenience: does the estimated plan avoid Cartesian products (every atom
+/// after the first shares a variable with the prefix)? Mirrors the sideways
+/// information passing remark in Section 3.2 of the paper.
+pub fn plan_is_connected(query: &ConjunctiveQuery, plan: &JoinPlan) -> bool {
+    let mut seen: HashSet<Variable> = HashSet::new();
+    for (i, &idx) in plan.order.iter().enumerate() {
+        let atom = &query.body[idx];
+        let vars: Vec<Variable> = atom.variables().collect();
+        if i > 0 && !vars.iter().any(|v| seen.contains(v)) && !vars.is_empty() {
+            return false;
+        }
+        seen.extend(vars);
+    }
+    true
+}
+
+#[allow(dead_code)]
+fn _silence_unused(_: Term) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::{Atom, Term};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn chain_query(n: usize) -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new("chain").with_head(vec![t("x0")]);
+        for i in 0..n {
+            q = q.with_atom(Atom::named(
+                &format!("R{i}"),
+                vec![t(&format!("x{i}")), t(&format!("x{}", i + 1))],
+            ));
+        }
+        q
+    }
+
+    #[test]
+    fn empty_query_costs_zero() {
+        let est = JoinOrderEstimator::new(Catalog::default());
+        let q = ConjunctiveQuery::new("empty");
+        assert_eq!(est.estimate(&q), 0.0);
+        assert!(est.plan(&q).order.is_empty());
+    }
+
+    #[test]
+    fn dp_plan_orders_all_atoms() {
+        let est = JoinOrderEstimator::new(Catalog::with_default_cardinality(100.0));
+        let q = chain_query(4);
+        let plan = est.plan(&q);
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert!(plan.cost > 0.0);
+    }
+
+    #[test]
+    fn selective_relations_are_joined_first() {
+        let mut catalog = Catalog::with_default_cardinality(10_000.0);
+        catalog.set_cardinality("Tiny", 2.0);
+        catalog.set_cardinality("Huge", 1_000_000.0);
+        let est = JoinOrderEstimator::new(catalog);
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![
+                Atom::named("Huge", vec![t("x"), t("y")]),
+                Atom::named("Tiny", vec![t("x")]),
+            ]);
+        let plan = est.plan(&q);
+        assert_eq!(plan.order[0], 1, "the tiny relation should lead the join");
+    }
+
+    #[test]
+    fn constants_increase_selectivity() {
+        let est = JoinOrderEstimator::new(Catalog::with_default_cardinality(1000.0));
+        let generic = ConjunctiveQuery::new("G")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("tag", vec![t("x"), t("name")])]);
+        let selective = ConjunctiveQuery::new("S")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("tag", vec![t("x"), Term::constant_str("author")])]);
+        assert!(est.estimate(&selective) < est.estimate(&generic));
+    }
+
+    #[test]
+    fn greedy_is_used_for_large_bodies_and_stays_finite() {
+        let est = JoinOrderEstimator::new(Catalog::with_default_cardinality(50.0));
+        let q = chain_query(40);
+        let plan = est.plan(&q);
+        assert_eq!(plan.order.len(), 40);
+        assert!(plan.cost.is_finite());
+        assert!(plan_is_connected(&q, &plan));
+    }
+
+    #[test]
+    fn dp_and_greedy_agree_on_ordering_quality_for_chains() {
+        let mut est = JoinOrderEstimator::new(Catalog::with_default_cardinality(100.0));
+        let q = chain_query(6);
+        let dp = est.plan(&q);
+        est.dp_atom_limit = 0; // force greedy
+        let greedy = est.plan(&q);
+        // Greedy is never better than DP by construction of DP optimality,
+        // and both must remain within a small factor for simple chains.
+        assert!(greedy.cost >= dp.cost * 0.99);
+        assert!(greedy.cost <= dp.cost * 10.0);
+    }
+
+    #[test]
+    fn estimated_result_size_shrinks_with_shared_variables() {
+        let est = JoinOrderEstimator::new(Catalog::with_default_cardinality(100.0));
+        let joined = ConjunctiveQuery::new("J")
+            .with_head(vec![t("x")])
+            .with_body(vec![
+                Atom::named("R", vec![t("x"), t("y")]),
+                Atom::named("S", vec![t("y"), t("z")]),
+            ]);
+        let cross = ConjunctiveQuery::new("X")
+            .with_head(vec![t("x")])
+            .with_body(vec![
+                Atom::named("R", vec![t("x"), t("y")]),
+                Atom::named("S", vec![t("u"), t("z")]),
+            ]);
+        assert!(estimated_result_size(&est, &joined) < estimated_result_size(&est, &cross));
+    }
+
+    #[test]
+    fn plan_connectivity_detector() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![
+                Atom::named("R", vec![t("x"), t("y")]),
+                Atom::named("S", vec![t("a"), t("b")]),
+                Atom::named("T", vec![t("y"), t("a")]),
+            ]);
+        let bad = JoinPlan { cost: 0.0, order: vec![0, 1, 2] };
+        let good = JoinPlan { cost: 0.0, order: vec![0, 2, 1] };
+        assert!(!plan_is_connected(&q, &bad));
+        assert!(plan_is_connected(&q, &good));
+    }
+}

@@ -1,0 +1,50 @@
+//! # mars-cost — plug-in cost estimation for the MARS backchase
+//!
+//! The backchase phase of the C&B algorithm compares candidate reformulations
+//! (subqueries of the universal plan) using a *plug-in* cost estimator
+//! (Section 2.3 of the paper). Assuming the cost model is **monotone** — a
+//! subquery never costs more than a superquery over the same data — the
+//! cost-based pruning of the backchase is guaranteed to return the optimal
+//! minimal reformulation.
+//!
+//! This crate provides:
+//!
+//! * the [`CostEstimator`] trait that MARS accepts as a plug-in,
+//! * a [`Catalog`] of per-relation statistics,
+//! * [`JoinOrderEstimator`], the default estimator, which reorders joins with
+//!   dynamic programming (as in the paper, following Popa's implementation)
+//!   and sums estimated intermediate-result cardinalities,
+//! * [`WeightedAtomEstimator`], a simple monotone model that charges a weight
+//!   per accessed atom (descendant navigation costlier than child navigation),
+//!   used by unit tests and by backchase pruning criterion 1.
+
+pub mod catalog;
+pub mod estimator;
+pub mod join_order;
+
+pub use catalog::{Catalog, RelationStats};
+pub use estimator::{CostEstimator, WeightedAtomEstimator};
+pub use join_order::{JoinOrderEstimator, JoinPlan};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_cq::{Atom, ConjunctiveQuery, Term};
+
+    #[test]
+    fn default_estimators_are_monotone_on_subqueries() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![
+                Atom::named("R", vec![Term::var("x"), Term::var("y")]),
+                Atom::named("S", vec![Term::var("y"), Term::var("z")]),
+                Atom::named("T", vec![Term::var("z"), Term::var("w")]),
+            ]);
+        let sub = q.subquery(&[0, 1]);
+        let catalog = Catalog::with_default_cardinality(1000.0);
+        let join = JoinOrderEstimator::new(catalog);
+        assert!(join.estimate(&sub) <= join.estimate(&q));
+        let weighted = WeightedAtomEstimator::default();
+        assert!(weighted.estimate(&sub) <= weighted.estimate(&q));
+    }
+}

@@ -1,0 +1,413 @@
+//! Homomorphism search.
+//!
+//! A chase step of a query `Q` with a constraint `c` applies if there is a
+//! homomorphism `h` from the premise of `c` into the body of `Q` that cannot
+//! be extended to the conclusion of `c` (Section 3.1). This module provides a
+//! direct backtracking implementation used by the naive chase and by the
+//! containment checks; the scalable join-tree evaluation lives in
+//! `mars-chase`.
+
+use crate::atom::{Atom, Predicate};
+use crate::ded::Conjunct;
+use crate::substitution::Substitution;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A per-predicate index over a set of target atoms, to avoid scanning the
+/// whole target body for every candidate source atom.
+#[derive(Clone, Debug, Default)]
+pub struct AtomIndex {
+    by_pred: HashMap<Predicate, Vec<usize>>,
+    atoms: Vec<Atom>,
+}
+
+impl AtomIndex {
+    /// Build an index over the given atoms.
+    pub fn new(atoms: &[Atom]) -> AtomIndex {
+        let mut idx = AtomIndex { by_pred: HashMap::new(), atoms: atoms.to_vec() };
+        for (i, a) in atoms.iter().enumerate() {
+            idx.by_pred.entry(a.predicate).or_default().push(i);
+        }
+        idx
+    }
+
+    /// All atoms in the index.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Candidate target atoms for a given predicate.
+    pub fn candidates(&self, p: Predicate) -> &[usize] {
+        self.by_pred.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Add an atom to the index (used when a chase step extends the target).
+    pub fn push(&mut self, atom: Atom) {
+        let i = self.atoms.len();
+        self.by_pred.entry(atom.predicate).or_default().push(i);
+        self.atoms.push(atom);
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Does the index contain the exact (ground or variable-identical) atom?
+    pub fn contains_exact(&self, atom: &Atom) -> bool {
+        self.candidates(atom.predicate).iter().any(|&i| &self.atoms[i] == atom)
+    }
+}
+
+/// Try to match `source` against `target_atom` extending `sub`.
+/// Source constants must equal target terms exactly; source variables bind to
+/// whatever target term occupies the same position.
+fn match_atom(source: &Atom, target_atom: &Atom, sub: &Substitution) -> Option<Substitution> {
+    if source.predicate != target_atom.predicate || source.arity() != target_atom.arity() {
+        return None;
+    }
+    let mut out = sub.clone();
+    for (s, t) in source.args.iter().zip(target_atom.args.iter()) {
+        match s {
+            Term::Const(_) => {
+                if s != t {
+                    return None;
+                }
+            }
+            Term::Var(v) => {
+                if !out.bind(*v, *t) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+fn search(
+    source: &[Atom],
+    pos: usize,
+    target: &AtomIndex,
+    sub: Substitution,
+    inequalities: &[(Term, Term)],
+    all: &mut Option<&mut Vec<Substitution>>,
+    found_one: &mut Option<Substitution>,
+    limit: Option<usize>,
+) -> bool {
+    if pos == source.len() {
+        // Check premise inequalities under the found mapping: both sides must
+        // be distinct terms after substitution (we treat distinct constants as
+        // unequal; distinct variables/labelled nulls are also treated as
+        // unequal, which is the standard semantics on canonical instances).
+        for (a, b) in inequalities {
+            let ia = sub.apply_term(*a);
+            let ib = sub.apply_term(*b);
+            if ia == ib {
+                return false;
+            }
+        }
+        match all {
+            Some(v) => {
+                v.push(sub);
+                if let Some(lim) = limit {
+                    return v.len() >= lim;
+                }
+                false
+            }
+            None => {
+                *found_one = Some(sub);
+                true
+            }
+        }
+    } else {
+        let atom = &source[pos];
+        let mut stop = false;
+        for &i in target.candidates(atom.predicate) {
+            if let Some(next) = match_atom(atom, &target.atoms()[i], &sub) {
+                stop = search(source, pos + 1, target, next, inequalities, all, found_one, limit);
+                if stop {
+                    break;
+                }
+            }
+        }
+        stop
+    }
+}
+
+/// Find one homomorphism from `source` atoms into the indexed `target`,
+/// extending the partial substitution `initial`.
+pub fn find_homomorphism(
+    source: &[Atom],
+    target: &AtomIndex,
+    initial: &Substitution,
+) -> Option<Substitution> {
+    let mut found = None;
+    search(source, 0, target, initial.clone(), &[], &mut None, &mut found, None);
+    found
+}
+
+/// Find one homomorphism respecting the given source inequalities.
+pub fn find_homomorphism_with_inequalities(
+    source: &[Atom],
+    inequalities: &[(Term, Term)],
+    target: &AtomIndex,
+    initial: &Substitution,
+) -> Option<Substitution> {
+    let mut found = None;
+    search(source, 0, target, initial.clone(), inequalities, &mut None, &mut found, None);
+    found
+}
+
+/// Find all homomorphisms from `source` into `target` extending `initial`.
+/// `limit` optionally caps the number of results.
+pub fn find_all_homomorphisms(
+    source: &[Atom],
+    target: &AtomIndex,
+    initial: &Substitution,
+    limit: Option<usize>,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    let mut none = None;
+    search(source, 0, target, initial.clone(), &[], &mut Some(&mut out), &mut none, limit);
+    out
+}
+
+/// Check whether the homomorphism `h` (from a DED premise into `target`)
+/// extends to the given conclusion conjunct: there must exist a mapping of the
+/// conjunct's existential variables into target terms such that all conclusion
+/// atoms (under `h` + that mapping) are in `target` and all conclusion
+/// equalities hold.
+pub fn extend_to_conclusion(conjunct: &Conjunct, h: &Substitution, target: &AtomIndex) -> bool {
+    // Work with the *unapplied* conclusion and carry `h` as the initial
+    // (partial) substitution: premise variables are rigidly bound to their
+    // images while genuinely existential conclusion variables stay free and
+    // may be matched against any target term. (Applying `h` first and then
+    // searching would wrongly treat target variables appearing in the image
+    // as re-bindable.)
+    let mut init = h.clone();
+
+    // Equalities either resolve immediately (both sides premise-bound), force
+    // a binding for a still-free existential variable, or fail the extension.
+    for (a, b) in &conjunct.equalities {
+        let ia = init.apply_term_deep(*a);
+        let ib = init.apply_term_deep(*b);
+        if ia == ib {
+            continue;
+        }
+        if let Term::Var(v) = ia {
+            if a.as_var() == Some(v) && !init.binds(v) {
+                init.set(v, ib);
+                continue;
+            }
+        }
+        if let Term::Var(v) = ib {
+            if b.as_var() == Some(v) && !init.binds(v) {
+                init.set(v, ia);
+                continue;
+            }
+        }
+        return false;
+    }
+
+    if conjunct.atoms.is_empty() {
+        return true;
+    }
+    find_homomorphism(&conjunct.atoms, target, &init).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::builders::*;
+    use crate::ded::Conjunct;
+    use crate::term::{Term, Variable};
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn v(n: &str) -> Variable {
+        Variable::named(n)
+    }
+
+    /// The running example of Section 3.1 (Example 3.1):
+    /// Q(a,g) :- R(a,b), R(b,c), R(c,d), S(d,e), S(e,f), S(f,g)
+    fn example_target() -> AtomIndex {
+        AtomIndex::new(&[
+            Atom::named("R", vec![t("a"), t("b")]),
+            Atom::named("R", vec![t("b"), t("c")]),
+            Atom::named("R", vec![t("c"), t("d")]),
+            Atom::named("S", vec![t("d"), t("e")]),
+            Atom::named("S", vec![t("e"), t("f")]),
+            Atom::named("S", vec![t("f"), t("g")]),
+        ])
+    }
+
+    #[test]
+    fn example_3_1_homomorphism_found() {
+        // premise of (c): R(x,y), R(y,z), S(z,u), S(u,v)
+        let premise = vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("y"), t("z")]),
+            Atom::named("S", vec![t("z"), t("u")]),
+            Atom::named("S", vec![t("u"), t("v")]),
+        ];
+        let target = example_target();
+        let h = find_homomorphism(&premise, &target, &Substitution::new()).unwrap();
+        // The only homomorphism is {x↦b, y↦c, z↦d, u↦e, v↦f}.
+        assert_eq!(h.get(v("x")), Some(t("b")));
+        assert_eq!(h.get(v("y")), Some(t("c")));
+        assert_eq!(h.get(v("z")), Some(t("d")));
+        assert_eq!(h.get(v("u")), Some(t("e")));
+        assert_eq!(h.get(v("v")), Some(t("f")));
+        let all = find_all_homomorphisms(&premise, &target, &Substitution::new(), None);
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn no_homomorphism_when_pattern_absent() {
+        let premise = vec![Atom::named("T", vec![t("x")])];
+        let target = example_target();
+        assert!(find_homomorphism(&premise, &target, &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let target = AtomIndex::new(&[tag(t("n"), "author"), tag(t("m"), "title")]);
+        let src_ok = vec![tag(t("x"), "author")];
+        let src_bad = vec![tag(t("x"), "publisher")];
+        assert!(find_homomorphism(&src_ok, &target, &Substitution::new()).is_some());
+        assert!(find_homomorphism(&src_bad, &target, &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn repeated_variables_force_equal_images() {
+        // source: R(x,x) — target has R(a,b) and R(c,c)
+        let target = AtomIndex::new(&[
+            Atom::named("R", vec![t("a"), t("b")]),
+            Atom::named("R", vec![t("c"), t("c")]),
+        ]);
+        let src = vec![Atom::named("R", vec![t("x"), t("x")])];
+        let all = find_all_homomorphisms(&src, &target, &Substitution::new(), None);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].get(v("x")), Some(t("c")));
+    }
+
+    #[test]
+    fn initial_bindings_are_respected() {
+        let target = example_target();
+        let src = vec![Atom::named("R", vec![t("x"), t("y")])];
+        let init = Substitution::from_pairs(vec![(v("x"), t("b"))]).unwrap();
+        let all = find_all_homomorphisms(&src, &target, &init, None);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].get(v("y")), Some(t("c")));
+    }
+
+    #[test]
+    fn all_homomorphisms_counted() {
+        // chain child(x1,x2), child(x2,x3) into a path of 4 nodes has 2 homs
+        let target = AtomIndex::new(&[
+            child(t("n1"), t("n2")),
+            child(t("n2"), t("n3")),
+            child(t("n3"), t("n4")),
+        ]);
+        let src = vec![child(t("x"), t("y")), child(t("y"), t("z"))];
+        let all = find_all_homomorphisms(&src, &target, &Substitution::new(), None);
+        assert_eq!(all.len(), 2);
+        let limited = find_all_homomorphisms(&src, &target, &Substitution::new(), Some(1));
+        assert_eq!(limited.len(), 1);
+    }
+
+    #[test]
+    fn inequalities_filter_homomorphisms() {
+        let target = AtomIndex::new(&[
+            Atom::named("R", vec![t("a"), t("a")]),
+            Atom::named("R", vec![t("a"), t("b")]),
+        ]);
+        let src = vec![Atom::named("R", vec![t("x"), t("y")])];
+        let h = find_homomorphism_with_inequalities(
+            &src,
+            &[(t("x"), t("y"))],
+            &target,
+            &Substitution::new(),
+        )
+        .unwrap();
+        assert_ne!(h.get(v("x")), h.get(v("y")));
+    }
+
+    #[test]
+    fn extension_check_blocks_applied_steps() {
+        // After adding T(b,f), the constraint premise still maps but now
+        // extends to the conclusion, so the step no longer applies.
+        let mut target = example_target();
+        let conclusion = Conjunct::atoms(vec![Atom::named("T", vec![t("x"), t("v")])]);
+        let premise = vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("y"), t("z")]),
+            Atom::named("S", vec![t("z"), t("u")]),
+            Atom::named("S", vec![t("u"), t("v")]),
+        ];
+        let h = find_homomorphism(&premise, &target, &Substitution::new()).unwrap();
+        assert!(!extend_to_conclusion(&conclusion, &h, &target));
+        target.push(Atom::named("T", vec![t("b"), t("f")]));
+        assert!(extend_to_conclusion(&conclusion, &h, &target));
+    }
+
+    #[test]
+    fn extension_with_existential_variable() {
+        // ind: A(x,y) → ∃z B(y,z); target has A(a,b) and B(b,c): extension holds.
+        let target = AtomIndex::new(&[
+            Atom::named("A", vec![t("a"), t("b")]),
+            Atom::named("B", vec![t("b"), t("c")]),
+        ]);
+        let premise = vec![Atom::named("A", vec![t("x"), t("y")])];
+        let conclusion =
+            Conjunct::atoms(vec![Atom::named("B", vec![t("y"), t("z")])]).with_exists(vec![v("z")]);
+        let h = find_homomorphism(&premise, &target, &Substitution::new()).unwrap();
+        assert!(extend_to_conclusion(&conclusion, &h, &target));
+
+        // Without any B fact, it does not extend.
+        let target2 = AtomIndex::new(&[Atom::named("A", vec![t("a"), t("b")])]);
+        let h2 = find_homomorphism(&premise, &target2, &Substitution::new()).unwrap();
+        assert!(!extend_to_conclusion(&conclusion, &h2, &target2));
+    }
+
+    #[test]
+    fn extension_with_equality_conclusion() {
+        // key EGD: R(k,a) ∧ R(k,b) → a = b
+        let target = AtomIndex::new(&[
+            Atom::named("R", vec![t("k"), t("x")]),
+            Atom::named("R", vec![t("k"), t("y")]),
+        ]);
+        let premise = vec![
+            Atom::named("R", vec![t("p"), t("q")]),
+            Atom::named("R", vec![t("p"), t("r")]),
+        ];
+        let conclusion = Conjunct::equalities(vec![(t("q"), t("r"))]);
+        // There is a homomorphism mapping q,r to distinct x,y: it does NOT
+        // satisfy the equality, so the EGD step applies for that mapping.
+        let all = find_all_homomorphisms(&premise, &target, &Substitution::new(), None);
+        assert!(all
+            .iter()
+            .any(|h| !extend_to_conclusion(&conclusion, h, &target)));
+        // And there are also homomorphisms mapping q=r (both to x), which do satisfy it.
+        assert!(all.iter().any(|h| extend_to_conclusion(&conclusion, h, &target)));
+    }
+
+    #[test]
+    fn atom_index_operations() {
+        let mut idx = AtomIndex::new(&[child(t("a"), t("b"))]);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+        assert!(idx.contains_exact(&child(t("a"), t("b"))));
+        assert!(!idx.contains_exact(&child(t("b"), t("a"))));
+        idx.push(desc(t("a"), t("b")));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.candidates(Predicate::new("desc")).len(), 1);
+        assert!(idx.candidates(Predicate::new("tag")).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Pretty-printing helpers: Datalog-style rendering of queries and
+//! dependencies, used by the examples, the experiment binaries and error
+//! messages.
+
+use crate::ded::Ded;
+use crate::query::{ConjunctiveQuery, UnionQuery};
+
+/// Render a conjunctive query in Datalog style over multiple lines.
+pub fn render_query(q: &ConjunctiveQuery) -> String {
+    let head: Vec<String> = q.head.iter().map(|t| format!("{t}")).collect();
+    let mut out = format!("{}({}) :-\n", q.name, head.join(", "));
+    for (i, a) in q.body.iter().enumerate() {
+        let sep = if i + 1 < q.body.len() || !q.inequalities.is_empty() { "," } else { "" };
+        out.push_str(&format!("    {a}{sep}\n"));
+    }
+    for (i, (a, b)) in q.inequalities.iter().enumerate() {
+        let sep = if i + 1 < q.inequalities.len() { "," } else { "" };
+        out.push_str(&format!("    {a} != {b}{sep}\n"));
+    }
+    out
+}
+
+/// Render a union query.
+pub fn render_union(u: &UnionQuery) -> String {
+    let mut out = String::new();
+    for (i, q) in u.disjuncts.iter().enumerate() {
+        if i > 0 {
+            out.push_str("UNION\n");
+        }
+        out.push_str(&render_query(q));
+    }
+    out
+}
+
+/// Render a set of dependencies, one per line.
+pub fn render_deds(deds: &[Ded]) -> String {
+    let mut out = String::new();
+    for d in deds {
+        out.push_str(&format!("{d}\n"));
+    }
+    out
+}
+
+/// A compact one-line summary of a query, used in experiment output:
+/// name, atom count, join count, head arity.
+pub fn summarize_query(q: &ConjunctiveQuery) -> String {
+    format!(
+        "{}: {} atoms, {} joins, arity {}",
+        q.name,
+        q.body.len(),
+        q.join_count(),
+        q.head.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::builders::*;
+    use crate::atom::Atom;
+    use crate::ded::Ded;
+    use crate::term::Term;
+
+    fn t(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn render_query_is_multiline_datalog() {
+        let q = ConjunctiveQuery::new("Bo")
+            .with_head(vec![t("a")])
+            .with_body(vec![root(t("r")), desc(t("r"), t("d"))])
+            .with_inequality(t("a"), Term::constant_str("x"));
+        let s = render_query(&q);
+        assert!(s.starts_with("Bo(a) :-"));
+        assert!(s.contains("root(r),"));
+        assert!(s.contains("desc(r, d),"));
+        assert!(s.contains("a != \"x\""));
+    }
+
+    #[test]
+    fn render_union_includes_separator() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("R", vec![t("x")])]);
+        let u = UnionQuery::new("U", vec![q.clone(), q]);
+        let s = render_union(&u);
+        assert_eq!(s.matches("UNION").count(), 1);
+    }
+
+    #[test]
+    fn render_deds_one_per_line() {
+        let d1 = Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
+        let d2 = Ded::denial("no_self", vec![child(t("x"), t("x"))]);
+        let s = render_deds(&[d1, d2]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("[base]"));
+        assert!(s.contains("⊥"));
+    }
+
+    #[test]
+    fn summarize_counts() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![root(t("x")), child(t("x"), t("y")), tag(t("y"), "a")]);
+        assert_eq!(summarize_query(&q), "Q: 3 atoms, 2 joins, arity 1");
+    }
+}

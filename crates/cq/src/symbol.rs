@@ -1,0 +1,165 @@
+//! Global string interner.
+//!
+//! Queries, constraints and the symbolic chase instances manipulate very large
+//! numbers of predicate names, tag names and string constants. Interning them
+//! as `u32` [`Symbol`]s makes atom comparison, hashing and homomorphism search
+//! cheap. The interner is global and append-only, guarded by an `RwLock`; the
+//! read path (resolving a symbol back to a string) is only used for display
+//! and debugging.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string. Cheap to copy, hash and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { names: Vec::new(), map: HashMap::new() }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        id
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+/// Intern `s`, returning its [`Symbol`].
+pub fn symbol(s: &str) -> Symbol {
+    // Fast path: check under a read lock first (most symbols repeat).
+    {
+        let guard = interner().read().expect("symbol interner poisoned");
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+    }
+    let mut guard = interner().write().expect("symbol interner poisoned");
+    Symbol(guard.intern(s))
+}
+
+/// Resolve a [`Symbol`] back to its string.
+pub fn symbol_name(sym: Symbol) -> String {
+    let guard = interner().read().expect("symbol interner poisoned");
+    guard
+        .names
+        .get(sym.0 as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("<sym:{}>", sym.0))
+}
+
+impl Symbol {
+    /// Intern a string (convenience constructor).
+    pub fn intern(s: &str) -> Symbol {
+        symbol(s)
+    }
+
+    /// The interned string.
+    pub fn as_str(&self) -> String {
+        symbol_name(*self)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", symbol_name(*self))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", symbol_name(*self))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        symbol(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        symbol(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = symbol("child");
+        let b = symbol("child");
+        assert_eq!(a, b);
+        assert_eq!(symbol_name(a), "child");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = symbol("alpha-test-symbol");
+        let b = symbol("beta-test-symbol");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_and_debug_show_name() {
+        let a = symbol("desc");
+        assert_eq!(format!("{a}"), "desc");
+        assert_eq!(format!("{a:?}"), "desc");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "tag".into();
+        let b: Symbol = String::from("tag").into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "tag");
+    }
+
+    #[test]
+    fn unknown_symbol_renders_placeholder() {
+        let bogus = Symbol(u32::MAX);
+        assert!(symbol_name(bogus).starts_with("<sym:"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for j in 0..100 {
+                        ids.push(symbol(&format!("conc-{}", (i * j) % 50)));
+                    }
+                    ids
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every name maps to exactly one id.
+        for j in 0..50 {
+            let s = format!("conc-{j}");
+            assert_eq!(symbol(&s), symbol(&s));
+        }
+    }
+}

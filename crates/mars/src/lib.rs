@@ -1,0 +1,22 @@
+//! # mars — the MARS system facade
+//!
+//! This crate wires the whole pipeline of Figures 2 and 3 together:
+//!
+//! 1. the **schema correspondence** (LAV + GAV views in XBind/XQuery form,
+//!    XML and relational integrity constraints, optional schema
+//!    specializations) is compiled once into a set of relational DEDs over
+//!    GReX plus the proprietary-schema predicate set;
+//! 2. a **client XQuery** against the public schema is split into its
+//!    navigation part (decorrelated XBind queries) and tagging template;
+//! 3. each XBind block is compiled to a relational conjunctive query and
+//!    reformulated by the **Chase & Backchase** engine, producing the initial
+//!    reformulation, all minimal reformulations and the cost-optimal one;
+//! 4. the chosen reformulation is rendered as an executable query (SQL for
+//!    relational storage, XBind for native XML storage) and can be executed
+//!    against the `mars-storage` substrates.
+
+pub mod result;
+pub mod system;
+
+pub use result::{BlockReformulation, MarsResult};
+pub use system::{Mars, MarsOptions, SchemaCorrespondence};

@@ -1,0 +1,89 @@
+//! Result types of the MARS pipeline.
+
+use mars_chase::ReformulationResult;
+use mars_cq::ConjunctiveQuery;
+use mars_xquery::DecorrelatedQuery;
+use std::time::Duration;
+
+/// The reformulation of one decorrelated navigation block.
+#[derive(Clone, Debug)]
+pub struct BlockReformulation {
+    /// Block (XBind query) name.
+    pub name: String,
+    /// The compiled relational query over GReX (or the specialized schema).
+    pub compiled: ConjunctiveQuery,
+    /// The C&B result: universal plan, initial, minimal and best reformulations.
+    pub result: ReformulationResult,
+    /// SQL rendering of the chosen reformulation, when one exists.
+    pub sql: Option<String>,
+    /// Wall-clock time spent reformulating this block.
+    pub duration: Duration,
+}
+
+impl BlockReformulation {
+    /// The number of minimal reformulations found for this block.
+    pub fn minimal_count(&self) -> usize {
+        self.result.minimal.len()
+    }
+}
+
+/// The result of reformulating a full client XQuery.
+#[derive(Clone, Debug)]
+pub struct MarsResult {
+    /// The decorrelated query (navigation blocks + tagging template).
+    pub decorrelated: DecorrelatedQuery,
+    /// One reformulation per navigation block.
+    pub blocks: Vec<BlockReformulation>,
+    /// Total reformulation time.
+    pub total: Duration,
+}
+
+impl MarsResult {
+    /// How many blocks obtained at least one reformulation.
+    pub fn reformulated_block_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.result.has_reformulation()).count()
+    }
+
+    /// Sum of the per-block best costs (when every block has one).
+    pub fn total_best_cost(&self) -> Option<f64> {
+        self.blocks.iter().map(|b| b.result.best.as_ref().map(|(_, c)| *c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_chase::{CbStatistics, ReformulationResult};
+
+    fn dummy_block(with_best: bool) -> BlockReformulation {
+        let q = ConjunctiveQuery::new("Q");
+        BlockReformulation {
+            name: "Q".to_string(),
+            compiled: q.clone(),
+            result: ReformulationResult {
+                universal_plan: q.clone(),
+                initial: None,
+                minimal: if with_best { vec![(q.clone(), 1.0)] } else { vec![] },
+                best: if with_best { Some((q, 1.0)) } else { None },
+                stats: CbStatistics::default(),
+            },
+            sql: None,
+            duration: Duration::default(),
+        }
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let result = MarsResult {
+            decorrelated: DecorrelatedQuery {
+                blocks: vec![],
+                template: mars_xquery::TaggingTemplate::default(),
+            },
+            blocks: vec![dummy_block(true), dummy_block(false)],
+            total: Duration::default(),
+        };
+        assert_eq!(result.reformulated_block_count(), 1);
+        assert_eq!(result.blocks[0].minimal_count(), 1);
+        assert_eq!(result.total_best_cost(), None);
+    }
+}

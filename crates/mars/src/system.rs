@@ -1,0 +1,370 @@
+//! The MARS system: schema correspondence compilation and query reformulation.
+
+use crate::result::{BlockReformulation, MarsResult};
+use mars_chase::{CbOptions, ChaseBackchase};
+use mars_cost::{CostEstimator, WeightedAtomEstimator};
+use mars_cq::{ConjunctiveQuery, Ded, Predicate};
+use mars_grex::{compile_view, compile_xbind, compile_xic, tix_constraints_core,
+    CompileContext, GrexSchema, ViewDef};
+use mars_specialize::{specialize_query, specialize_view, specialize_xic, SpecializationMapping};
+use mars_storage::sql_for_query;
+use mars_xquery::{decorrelate, parse_xquery, XBindAtom, XBindQuery, Xic};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The schema correspondence between the public and proprietary schemas
+/// (Section 2.1 "The schema correspondence").
+#[derive(Clone, Debug, Default)]
+pub struct SchemaCorrespondence {
+    /// Public (virtual) documents client queries may navigate.
+    pub public_documents: Vec<String>,
+    /// GAV views: proprietary → public (e.g. `CaseMap`, `IdMap`).
+    pub gav_views: Vec<ViewDef>,
+    /// LAV views: public/proprietary → redundant proprietary storage
+    /// (e.g. `DrugPriceMap`, the `cacheEntry.xml` cache).
+    pub lav_views: Vec<ViewDef>,
+    /// XML integrity constraints on public or proprietary documents.
+    pub xics: Vec<Xic>,
+    /// Relational integrity constraints (already in DED form).
+    pub relational_constraints: Vec<Ded>,
+    /// Proprietary base relations (tables reformulations may scan).
+    pub proprietary_relations: Vec<String>,
+    /// Proprietary native XML documents (reformulations may navigate them).
+    pub proprietary_documents: Vec<String>,
+    /// Schema specializations (Section 5), applied when
+    /// [`MarsOptions::use_specialization`] is set.
+    pub specializations: Vec<SpecializationMapping>,
+}
+
+impl SchemaCorrespondence {
+    /// Every document taking part in the correspondence (public, proprietary,
+    /// and XML view outputs) — each gets a copy of TIX.
+    pub fn all_documents(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |d: &str| {
+            if !out.iter().any(|x| x == d) {
+                out.push(d.to_string());
+            }
+        };
+        for d in &self.public_documents {
+            push(d);
+        }
+        for d in &self.proprietary_documents {
+            push(d);
+        }
+        for v in self.gav_views.iter().chain(self.lav_views.iter()) {
+            if let mars_grex::ViewOutput::XmlFlat { document, .. } = &v.output {
+                push(document);
+            }
+            for a in &v.body.atoms {
+                if let XBindAtom::AbsolutePath { document, .. } = a {
+                    push(document);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Options controlling the MARS pipeline.
+#[derive(Clone, Debug)]
+pub struct MarsOptions {
+    /// Apply schema specialization (Section 5) before compilation.
+    pub use_specialization: bool,
+    /// Add the TIX built-in constraints for every document.
+    pub include_tix: bool,
+    /// Chase & Backchase options.
+    pub cb: CbOptions,
+}
+
+impl Default for MarsOptions {
+    fn default() -> Self {
+        MarsOptions { use_specialization: false, include_tix: true, cb: CbOptions::default() }
+    }
+}
+
+impl MarsOptions {
+    /// Options with specialization enabled.
+    pub fn specialized() -> MarsOptions {
+        MarsOptions { use_specialization: true, ..Default::default() }
+    }
+
+    /// Options that enumerate all minimal reformulations.
+    pub fn exhaustive(mut self) -> MarsOptions {
+        self.cb = CbOptions::exhaustive();
+        self
+    }
+}
+
+/// The MARS system, ready to reformulate client queries.
+pub struct Mars {
+    correspondence: SchemaCorrespondence,
+    options: MarsOptions,
+    engine: ChaseBackchase,
+}
+
+impl Mars {
+    /// Build the system: compile the correspondence into DEDs and set up the
+    /// C&B engine with the default cost estimator.
+    pub fn new(correspondence: SchemaCorrespondence) -> Mars {
+        Mars::with_options(correspondence, MarsOptions::default())
+    }
+
+    /// Build the system with explicit options.
+    pub fn with_options(correspondence: SchemaCorrespondence, options: MarsOptions) -> Mars {
+        Mars::with_estimator(correspondence, options, Arc::new(WeightedAtomEstimator::default()))
+    }
+
+    /// Build the system with a plug-in cost estimator.
+    pub fn with_estimator(
+        correspondence: SchemaCorrespondence,
+        options: MarsOptions,
+        estimator: Arc<dyn CostEstimator>,
+    ) -> Mars {
+        let (deds, proprietary) = Self::compile(&correspondence, &options);
+        let engine = ChaseBackchase::new(deds, proprietary)
+            .with_estimator(estimator)
+            .with_options(options.cb.clone());
+        Mars { correspondence, options, engine }
+    }
+
+    /// The compiled dependency set (schema correspondence + XICs + TIX).
+    pub fn dependencies(&self) -> &[Ded] {
+        &self.engine.deds
+    }
+
+    /// The proprietary-schema predicates reformulations may mention.
+    pub fn proprietary_predicates(&self) -> &HashSet<Predicate> {
+        &self.engine.proprietary
+    }
+
+    /// The schema correspondence this system was built from.
+    pub fn correspondence(&self) -> &SchemaCorrespondence {
+        &self.correspondence
+    }
+
+    fn compile(
+        corr: &SchemaCorrespondence,
+        options: &MarsOptions,
+    ) -> (Vec<Ded>, HashSet<Predicate>) {
+        let mut ctx = CompileContext::new();
+        let mut deds: Vec<Ded> = Vec::new();
+        let mut proprietary: HashSet<Predicate> = HashSet::new();
+
+        let specialize_active = options.use_specialization && !corr.specializations.is_empty();
+        let maybe_spec_view = |v: &ViewDef| -> ViewDef {
+            if specialize_active {
+                specialize_view(v, &corr.specializations)
+            } else {
+                v.clone()
+            }
+        };
+
+        // Views (GAV and LAV are compiled identically — direction neutrality).
+        for view in corr.gav_views.iter().chain(corr.lav_views.iter()) {
+            let v = maybe_spec_view(view);
+            deds.extend(compile_view(&mut ctx, &v));
+        }
+        // LAV view outputs are redundant proprietary storage.
+        for view in &corr.lav_views {
+            proprietary.extend(view.output_predicates());
+        }
+
+        // XICs.
+        for xic in &corr.xics {
+            let x = if specialize_active {
+                specialize_xic(xic, &corr.specializations)
+            } else {
+                xic.clone()
+            };
+            deds.push(compile_xic(&mut ctx, &x));
+        }
+
+        // Relational constraints are passed through.
+        deds.extend(corr.relational_constraints.iter().cloned());
+
+        // Specialization relations: definitional constraints linking each
+        // relation to the navigation it abbreviates, and (when specialization
+        // is active and the document is proprietary) membership in the
+        // proprietary schema.
+        if specialize_active {
+            for m in &corr.specializations {
+                let mut body = XBindQuery::new(&format!("{}_def", m.relation))
+                    .with_atom(XBindAtom::AbsolutePath {
+                        document: m.document.clone(),
+                        path: m.entity_path.clone(),
+                        var: "id".to_string(),
+                    });
+                let mut head: Vec<String> = vec!["id".to_string()];
+                for (i, f) in m.fields.iter().enumerate() {
+                    let var = format!("f{i}");
+                    body = body.with_atom(XBindAtom::RelativePath {
+                        path: f.path.clone(),
+                        source: "id".to_string(),
+                        var: var.clone(),
+                    });
+                    head.push(var);
+                }
+                body.head = head;
+                let def_view = ViewDef::relational(&m.relation, body);
+                deds.extend(compile_view(&mut ctx, &def_view));
+                if corr.proprietary_documents.contains(&m.document) {
+                    proprietary.insert(Predicate::new(&m.relation));
+                }
+            }
+        }
+
+        // TIX for every document involved.
+        if options.include_tix {
+            for doc in corr.all_documents() {
+                deds.extend(tix_constraints_core(&GrexSchema::new(&doc)));
+            }
+        }
+
+        // Proprietary base relations and native documents.
+        for r in &corr.proprietary_relations {
+            proprietary.insert(Predicate::new(r));
+        }
+        for d in &corr.proprietary_documents {
+            proprietary.extend(GrexSchema::new(d).all_predicates());
+        }
+
+        (deds, proprietary)
+    }
+
+    /// Reformulate a single XBind query (one navigation block).
+    pub fn reformulate_xbind(&self, xbind: &XBindQuery) -> BlockReformulation {
+        let start = Instant::now();
+        let effective = if self.options.use_specialization && !self.correspondence.specializations.is_empty()
+        {
+            specialize_query(xbind, &self.correspondence.specializations)
+        } else {
+            xbind.clone()
+        };
+        let mut ctx = CompileContext::new();
+        let compiled: ConjunctiveQuery = compile_xbind(&mut ctx, &effective);
+        let result = self.engine.reformulate(&compiled);
+        let sql = result.best_or_initial().map(sql_for_query);
+        BlockReformulation {
+            name: xbind.name.clone(),
+            compiled,
+            result,
+            sql,
+            duration: start.elapsed(),
+        }
+    }
+
+    /// Reformulate a full client XQuery (text): parse, decorrelate, and
+    /// reformulate every navigation block.
+    pub fn reformulate_xquery(
+        &self,
+        xquery: &str,
+        default_document: &str,
+    ) -> Result<MarsResult, mars_xquery::XQueryParseError> {
+        let ast = parse_xquery(xquery)?;
+        let dec = decorrelate(&ast, default_document);
+        let start = Instant::now();
+        let blocks: Vec<BlockReformulation> =
+            dec.blocks.iter().map(|b| self.reformulate_xbind(b)).collect();
+        Ok(MarsResult { decorrelated: dec, blocks, total: start.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_xml::parse_path;
+
+    /// A miniature publishing scenario: a proprietary table `bookRel(title,
+    /// author)` is published as the public document `bib.xml` through a GAV
+    /// view, and additionally a LAV view caches the author list as a table.
+    fn mini_correspondence() -> SchemaCorrespondence {
+        let case_body = XBindQuery::new("PubMap")
+            .with_head(&["t", "a"])
+            .with_atom(XBindAtom::Relational {
+                relation: "bookRel".to_string(),
+                args: vec![
+                    mars_xquery::XBindTerm::var("t"),
+                    mars_xquery::XBindTerm::var("a"),
+                ],
+            });
+        let gav = ViewDef::xml_flat("PubMap", case_body, "bib.xml", "book", &["title", "author"]);
+
+        let lav_body = XBindQuery::new("AuthorsMap")
+            .with_head(&["a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let lav = ViewDef::relational("authorsCache", lav_body);
+
+        SchemaCorrespondence {
+            public_documents: vec!["bib.xml".to_string()],
+            gav_views: vec![gav],
+            lav_views: vec![lav],
+            proprietary_relations: vec!["bookRel".to_string()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn correspondence_compiles_to_deds_and_proprietary_predicates() {
+        let mars = Mars::new(mini_correspondence());
+        assert!(!mars.dependencies().is_empty());
+        assert!(mars.proprietary_predicates().contains(&Predicate::new("bookRel")));
+        assert!(mars.proprietary_predicates().contains(&Predicate::new("authorsCache")));
+        // TIX added for the published document.
+        assert!(mars.dependencies().iter().any(|d| d.name.contains("TIX") && d.name.contains("bib.xml")));
+        assert_eq!(mars.correspondence().public_documents, vec!["bib.xml"]);
+    }
+
+    #[test]
+    fn client_query_is_reformulated_against_the_proprietary_table() {
+        let mars = Mars::new(mini_correspondence());
+        // Client query over the public document: titles with their authors.
+        let client = XBindQuery::new("Client")
+            .with_head(&["t", "a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./title/text()").unwrap(),
+                source: "b".to_string(),
+                var: "t".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let block = mars.reformulate_xbind(&client);
+        assert!(block.result.has_reformulation(), "a reformulation over bookRel must exist");
+        let best = block.result.best_or_initial().unwrap();
+        assert!(best.body.iter().any(|a| a.predicate == Predicate::new("bookRel")));
+        let sql = block.sql.as_ref().unwrap();
+        assert!(sql.contains("bookRel"));
+    }
+
+    #[test]
+    fn full_xquery_pipeline_runs() {
+        let mars = Mars::new(mini_correspondence());
+        let result = mars
+            .reformulate_xquery(
+                "for $b in //book $a in $b/author/text() return <writer>$a</writer>",
+                "bib.xml",
+            )
+            .unwrap();
+        assert_eq!(result.blocks.len(), 1);
+        assert!(result.blocks[0].result.has_reformulation());
+        assert!(result.reformulated_block_count() >= 1);
+    }
+}

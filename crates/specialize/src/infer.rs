@@ -1,0 +1,143 @@
+//! Inference of specialization mappings from document shapes.
+//!
+//! "A more desirable alternative is to infer them automatically, by detecting
+//! the parts of the XML document which are highly structured, and associating
+//! a relation to them" (Section 5.1). This is hybrid inlining: an element
+//! type that repeats under its parent becomes an entity relation, and every
+//! descendant leaf reachable through single-occurrence elements is inlined as
+//! a column.
+
+use crate::mapping::{FieldMapping, SpecializationMapping};
+use mars_xml::{Multiplicity, Path, ShapeElement, Step, XmlShape};
+
+/// Collect the inlineable leaf fields of an entity shape: leaves reachable via
+/// chains of at-most-once children.
+fn collect_fields(shape: &ShapeElement, prefix: Vec<Step>, out: &mut Vec<FieldMapping>) {
+    for (tag, (child, mult)) in &shape.children {
+        if !mult.is_single() {
+            continue; // repeated children become their own entities, not columns
+        }
+        let mut steps = prefix.clone();
+        steps.push(Step::Child(tag.clone()));
+        if child.is_leaf() && child.has_text {
+            let mut value_steps = steps.clone();
+            value_steps.push(Step::Text);
+            out.push(FieldMapping {
+                column: column_name(&steps),
+                path: Path::relative(value_steps),
+            });
+        } else {
+            collect_fields(child, steps, out);
+        }
+    }
+}
+
+fn column_name(steps: &[Step]) -> String {
+    steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Child(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+fn walk(
+    document: &str,
+    shape: &ShapeElement,
+    parent_mult: Multiplicity,
+    out: &mut Vec<SpecializationMapping>,
+) {
+    // An element type becomes an entity if it repeats (like `author` under
+    // `authors`) — the hallmark of a relational dump — and has at least one
+    // inlineable field.
+    if parent_mult == Multiplicity::Many {
+        let mut fields = Vec::new();
+        collect_fields(shape, Vec::new(), &mut fields);
+        if !fields.is_empty() {
+            out.push(SpecializationMapping {
+                relation: capitalize(&shape.tag),
+                document: document.to_string(),
+                entity_path: Path::absolute(vec![Step::Descendant(shape.tag.clone())]),
+                fields,
+            });
+        }
+    }
+    for (_, (child, mult)) in &shape.children {
+        walk(document, child, *mult, out);
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Infer specialization mappings from a document shape (hybrid inlining).
+/// Every inferred mapping satisfies the Proposition 5.1 restriction by
+/// construction, so specialization runs in PTIME (Corollary 5.2).
+pub fn infer_specializations(shape: &XmlShape) -> Vec<SpecializationMapping> {
+    let mut out = Vec::new();
+    walk(&shape.document, &shape.root, Multiplicity::One, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_xml::parse_document;
+
+    #[test]
+    fn figure_6_author_entities_are_inferred() {
+        let doc = parse_document(
+            "pubs.xml",
+            r#"<pubs>
+                 <author><name><first>A</first><last>D</last></name>
+                   <address><street>s</street><city>SD</city><state>CA</state><zip>1</zip></address></author>
+                 <author><name><first>V</first><last>T</last></name>
+                   <address><street>t</street><city>PH</city><state>PA</state><zip>2</zip></address></author>
+                 <publisher><name2>X</name2></publisher>
+               </pubs>"#,
+        )
+        .unwrap();
+        let shape = mars_xml::XmlShape::infer(&doc).unwrap();
+        let mappings = infer_specializations(&shape);
+        let author = mappings.iter().find(|m| m.relation == "Author").expect("Author inferred");
+        assert_eq!(author.fields.len(), 6);
+        assert!(author.is_restricted());
+        assert_eq!(author.entity_path.to_string(), "//author");
+        let cols: Vec<&str> = author.fields.iter().map(|f| f.column.as_str()).collect();
+        assert!(cols.contains(&"name_last"));
+        assert!(cols.contains(&"address_city"));
+        // publisher appears only once ⇒ not an entity.
+        assert!(!mappings.iter().any(|m| m.relation == "Publisher"));
+    }
+
+    #[test]
+    fn repeated_subelements_are_not_inlined_as_columns() {
+        let doc = parse_document(
+            "catalog.xml",
+            r#"<catalog>
+                 <drug><name>a</name><note>n1</note><note>n2</note></drug>
+                 <drug><name>b</name><note>n3</note></drug>
+               </catalog>"#,
+        )
+        .unwrap();
+        let shape = mars_xml::XmlShape::infer(&doc).unwrap();
+        let mappings = infer_specializations(&shape);
+        let drug = mappings.iter().find(|m| m.relation == "Drug").unwrap();
+        let cols: Vec<&str> = drug.fields.iter().map(|f| f.column.as_str()).collect();
+        assert_eq!(cols, vec!["name"]);
+    }
+
+    #[test]
+    fn documents_without_regularity_yield_no_mappings() {
+        let doc = parse_document("one.xml", "<root><only><thing>x</thing></only></root>").unwrap();
+        let shape = mars_xml::XmlShape::infer(&doc).unwrap();
+        assert!(infer_specializations(&shape).is_empty());
+    }
+}

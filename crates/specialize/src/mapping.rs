@@ -1,0 +1,125 @@
+//! Specialization mappings: tree pattern → virtual relation.
+
+use mars_xml::Path;
+
+/// One inlined field of a specialization relation: a column name and the
+/// relative path (from the entity element) whose value fills it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldMapping {
+    /// Column name in the specialization relation.
+    pub column: String,
+    /// Relative path from the entity element to the field value (must end in
+    /// `text()` or an attribute step — Proposition 5.1's restriction).
+    pub path: Path,
+}
+
+/// A specialization mapping in the style of Figure 6/7: instances of an
+/// element type reached by `entity_path` become tuples
+/// `Relation(id, pid, field_1, …, field_n)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecializationMapping {
+    /// Name of the virtual relation (e.g. `Author`).
+    pub relation: String,
+    /// Document the entities live in.
+    pub document: String,
+    /// Absolute path reaching the entity elements (e.g. `//author`).
+    pub entity_path: Path,
+    /// Inlined fields.
+    pub fields: Vec<FieldMapping>,
+}
+
+impl SpecializationMapping {
+    /// Build a mapping; field paths are given as `(column, relative path)`
+    /// strings.
+    pub fn new(
+        relation: &str,
+        document: &str,
+        entity_path: &str,
+        fields: &[(&str, &str)],
+    ) -> SpecializationMapping {
+        SpecializationMapping {
+            relation: relation.to_string(),
+            document: document.to_string(),
+            entity_path: mars_xml::parse_path(entity_path).expect("valid entity path"),
+            fields: fields
+                .iter()
+                .map(|(c, p)| FieldMapping {
+                    column: c.to_string(),
+                    path: mars_xml::parse_path(p).expect("valid field path"),
+                })
+                .collect(),
+        }
+    }
+
+    /// The arity of the specialization relation: `id` + one column per field.
+    pub fn arity(&self) -> usize {
+        1 + self.fields.len()
+    }
+
+    /// Check the restriction of Proposition 5.1: every field path is a chain
+    /// of child steps ending in a value step (`text()` or attribute), so that
+    /// specializing a query never requires chasing — plain pattern matching
+    /// suffices and runs in PTIME.
+    pub fn is_restricted(&self) -> bool {
+        self.fields.iter().all(|f| {
+            f.path.returns_value()
+                && f.path.steps.iter().all(|s| {
+                    matches!(
+                        s,
+                        mars_xml::Step::Child(_)
+                            | mars_xml::Step::Text
+                            | mars_xml::Step::Attribute(_)
+                    )
+                })
+        })
+    }
+
+    /// Column index of a field reached by the given relative path, if any.
+    pub fn column_for_path(&self, path: &Path) -> Option<usize> {
+        self.fields.iter().position(|f| &f.path == path).map(|i| i + 1)
+    }
+}
+
+/// The Figure 6 `Author` mapping, used in tests and documentation.
+pub fn author_mapping() -> SpecializationMapping {
+    SpecializationMapping::new(
+        "Author",
+        "pubs.xml",
+        "//author",
+        &[
+            ("first", "./name/first/text()"),
+            ("last", "./name/last/text()"),
+            ("street", "./address/street/text()"),
+            ("city", "./address/city/text()"),
+            ("state", "./address/state/text()"),
+            ("zip", "./address/zip/text()"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_xml::parse_path;
+
+    #[test]
+    fn author_mapping_matches_figure_6() {
+        let m = author_mapping();
+        assert_eq!(m.relation, "Author");
+        assert_eq!(m.arity(), 7); // id + 6 fields
+        assert!(m.is_restricted());
+        assert_eq!(m.column_for_path(&parse_path("./address/city/text()").unwrap()), Some(4));
+        assert_eq!(m.column_for_path(&parse_path("./phone/text()").unwrap()), None);
+    }
+
+    #[test]
+    fn unrestricted_mappings_are_detected() {
+        let m = SpecializationMapping::new(
+            "Weird",
+            "d.xml",
+            "//entity",
+            &[("deep", ".//anywhere/text()"), ("node", "./sub")],
+        );
+        assert!(!m.is_restricted());
+    }
+}

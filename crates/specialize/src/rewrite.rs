@@ -1,0 +1,293 @@
+//! Specializing queries, views and XICs, and post-processing back.
+//!
+//! Specialization replaces a *group* of XBind atoms — the atom binding an
+//! entity element plus the relative atoms reading its inlined fields — by a
+//! single relational atom over the specialization relation, exactly as the
+//! verbose constraint (12) of the paper turns into the one-atom constraint
+//! (13). Navigation that does not match any mapping (e.g. the `publisher`
+//! part of the Section 5.1 example) is left untouched.
+
+use crate::mapping::SpecializationMapping;
+use mars_grex::ViewDef;
+use mars_xquery::{XBindAtom, XBindQuery, XBindTerm, Xic, XicConjunct};
+
+/// Specialize the atoms of one query body. Returns the rewritten atoms and
+/// the number of atoms eliminated.
+fn specialize_atoms(
+    atoms: &[XBindAtom],
+    mappings: &[SpecializationMapping],
+) -> (Vec<XBindAtom>, usize) {
+    let mut consumed = vec![false; atoms.len()];
+    let mut out: Vec<XBindAtom> = Vec::new();
+    let mut eliminated = 0usize;
+
+    for (i, atom) in atoms.iter().enumerate() {
+        if consumed[i] {
+            continue;
+        }
+        // Try to match an entity atom.
+        let matched = mappings.iter().find_map(|m| match atom {
+            XBindAtom::AbsolutePath { document, path, var }
+                if document == &m.document && path == &m.entity_path =>
+            {
+                Some((m, var.clone()))
+            }
+            _ => None,
+        });
+        let Some((mapping, entity_var)) = matched else {
+            out.push(atom.clone());
+            continue;
+        };
+        consumed[i] = true;
+
+        // Collect field reads hanging off the entity variable.
+        let mut columns: Vec<XBindTerm> = vec![XBindTerm::var(&entity_var)];
+        for field in &mapping.fields {
+            let mut bound: Option<String> = None;
+            for (j, other) in atoms.iter().enumerate() {
+                if consumed[j] {
+                    continue;
+                }
+                if let XBindAtom::RelativePath { path, source, var } = other {
+                    if source == &entity_var && path == &field.path {
+                        bound = Some(var.clone());
+                        consumed[j] = true;
+                        eliminated += 1;
+                        break;
+                    }
+                }
+            }
+            // Unread columns get a canonical don't-care variable so the
+            // specialized atom has the mapping's full arity.
+            columns.push(XBindTerm::var(
+                &bound.unwrap_or_else(|| format!("{entity_var}_{}", field.column)),
+            ));
+        }
+        out.push(XBindAtom::Relational { relation: mapping.relation.clone(), args: columns });
+    }
+    (out, eliminated)
+}
+
+/// Specialize an XBind query (Figure 7: `CQ → CQ'`).
+pub fn specialize_query(
+    query: &XBindQuery,
+    mappings: &[SpecializationMapping],
+) -> XBindQuery {
+    let (atoms, _) = specialize_atoms(&query.atoms, mappings);
+    XBindQuery {
+        name: format!("{}_spec", query.name),
+        head: query.head.clone(),
+        atoms,
+        distinct: query.distinct,
+    }
+}
+
+/// Specialize a view definition (Figure 7: `∆ → spec(∆)`).
+pub fn specialize_view(view: &ViewDef, mappings: &[SpecializationMapping]) -> ViewDef {
+    ViewDef {
+        name: view.name.clone(),
+        body: {
+            let mut b = specialize_query(&view.body, mappings);
+            b.name = view.body.name.clone();
+            b
+        },
+        output: view.output.clone(),
+    }
+}
+
+/// Specialize an XIC.
+pub fn specialize_xic(xic: &Xic, mappings: &[SpecializationMapping]) -> Xic {
+    let (premise, _) = specialize_atoms(&xic.premise, mappings);
+    let conclusions = xic
+        .conclusions
+        .iter()
+        .map(|c| XicConjunct {
+            exists: c.exists.clone(),
+            atoms: specialize_atoms(&c.atoms, mappings).0,
+            equalities: c.equalities.clone(),
+        })
+        .collect();
+    Xic { name: format!("{}_spec", xic.name), premise, conclusions }
+}
+
+/// Post-processing (Figure 7's final step): re-expand specialization-relation
+/// atoms of a reformulation back into XML navigation over the original
+/// proprietary schema.
+pub fn expand_query(query: &XBindQuery, mappings: &[SpecializationMapping]) -> XBindQuery {
+    let mut atoms = Vec::new();
+    for atom in &query.atoms {
+        match atom {
+            XBindAtom::Relational { relation, args } => {
+                if let Some(m) = mappings.iter().find(|m| &m.relation == relation) {
+                    let entity = args[0].as_var().unwrap_or("e").to_string();
+                    atoms.push(XBindAtom::AbsolutePath {
+                        document: m.document.clone(),
+                        path: m.entity_path.clone(),
+                        var: entity.clone(),
+                    });
+                    for (i, field) in m.fields.iter().enumerate() {
+                        if let Some(v) = args.get(i + 1).and_then(|t| t.as_var()) {
+                            atoms.push(XBindAtom::RelativePath {
+                                path: field.path.clone(),
+                                source: entity.clone(),
+                                var: v.to_string(),
+                            });
+                        }
+                    }
+                } else {
+                    atoms.push(atom.clone());
+                }
+            }
+            other => atoms.push(other.clone()),
+        }
+    }
+    XBindQuery {
+        name: format!("{}_expanded", query.name),
+        head: query.head.clone(),
+        atoms,
+        distinct: query.distinct,
+    }
+}
+
+/// The specialization relation predicates contributed by a set of mappings
+/// (they become part of the compilation target schema).
+pub fn specialization_predicates(
+    mappings: &[SpecializationMapping],
+) -> Vec<mars_cq::Predicate> {
+    mappings.iter().map(|m| mars_cq::Predicate::new(&m.relation)).collect()
+}
+
+/// Keep `ViewOutput` re-exported locally so downstream code can pattern-match
+/// without importing `mars-grex` directly.
+pub use mars_grex::ViewOutput as SpecializedViewOutput;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::author_mapping;
+    use mars_grex::{compile_xbind, CompileContext};
+    use mars_xml::parse_path;
+
+    /// The Section 5.1 query: authors living in a city where a publisher is
+    /// located.
+    fn section_5_1_query() -> XBindQuery {
+        XBindQuery::new("Xb")
+            .with_head(&["l"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "pubs.xml".to_string(),
+                path: parse_path("//author").unwrap(),
+                var: "id".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./name/last/text()").unwrap(),
+                source: "id".to_string(),
+                var: "l".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./address/city/text()").unwrap(),
+                source: "id".to_string(),
+                var: "c".to_string(),
+            })
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "pubs.xml".to_string(),
+                path: parse_path("//publisher").unwrap(),
+                var: "p".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./address/city/text()").unwrap(),
+                source: "p".to_string(),
+                var: "c".to_string(),
+            })
+    }
+
+    #[test]
+    fn section_5_1_query_specializes_only_the_author_part() {
+        let q = section_5_1_query();
+        let spec = specialize_query(&q, &[author_mapping()]);
+        // The author entity + 2 field reads collapse into one Author atom;
+        // the publisher navigation is untouched.
+        assert_eq!(spec.atoms.len(), 3);
+        assert!(matches!(&spec.atoms[0], XBindAtom::Relational { relation, args }
+            if relation == "Author" && args.len() == 7));
+        assert!(spec.atoms.iter().any(|a| matches!(a, XBindAtom::AbsolutePath { var, .. } if var == "p")));
+        // Field variables that were read keep their names.
+        if let XBindAtom::Relational { args, .. } = &spec.atoms[0] {
+            assert_eq!(args[2], XBindTerm::var("l")); // last
+            assert_eq!(args[4], XBindTerm::var("c")); // city
+        }
+    }
+
+    #[test]
+    fn specialization_reduces_compiled_atom_count() {
+        let q = section_5_1_query();
+        let spec = specialize_query(&q, &[author_mapping()]);
+        let mut ctx = CompileContext::new();
+        let compiled_plain = compile_xbind(&mut ctx, &q);
+        let compiled_spec = compile_xbind(&mut ctx, &spec);
+        assert!(
+            compiled_spec.body.len() + 8 <= compiled_plain.body.len(),
+            "specialization must save many atoms: {} vs {}",
+            compiled_spec.body.len(),
+            compiled_plain.body.len()
+        );
+    }
+
+    #[test]
+    fn expansion_round_trips_the_navigation() {
+        let q = section_5_1_query();
+        let m = [author_mapping()];
+        let spec = specialize_query(&q, &m);
+        let back = expand_query(&spec, &m);
+        // The re-expanded query mentions the author entity and its city field
+        // again (extra don't-care field reads are allowed).
+        assert!(back.atoms.iter().any(|a| matches!(a, XBindAtom::AbsolutePath { path, .. }
+            if path == &parse_path("//author").unwrap())));
+        assert!(back.atoms.iter().any(|a| matches!(a, XBindAtom::RelativePath { path, var, .. }
+            if path == &parse_path("./address/city/text()").unwrap() && var == "c")));
+        assert!(back.atoms.len() >= q.atoms.len());
+    }
+
+    #[test]
+    fn views_and_xics_are_specialized_consistently() {
+        // The V(l,c) view of Section 5.1.
+        let view_body = XBindQuery::new("Vbody")
+            .with_head(&["l", "c"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "pubs.xml".to_string(),
+                path: parse_path("//author").unwrap(),
+                var: "id".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./name/last/text()").unwrap(),
+                source: "id".to_string(),
+                var: "l".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./address/city/text()").unwrap(),
+                source: "id".to_string(),
+                var: "c".to_string(),
+            });
+        let view = ViewDef::relational("V", view_body);
+        let m = [author_mapping()];
+        let sview = specialize_view(&view, &m);
+        assert_eq!(sview.body.atoms.len(), 1);
+        assert!(matches!(sview.output, mars_grex::ViewOutput::Relation { .. }));
+
+        let xic = mars_xquery::Xic::exists_child("author_has_name", "pubs.xml", "//author", "./name");
+        let sxic = specialize_xic(&xic, &m);
+        // The premise //author(p) specializes to Author(p, ...).
+        assert!(matches!(&sxic.premise[0], XBindAtom::Relational { relation, .. } if relation == "Author"));
+    }
+
+    #[test]
+    fn queries_without_matching_entities_are_unchanged() {
+        let q = XBindQuery::new("Q").with_head(&["x"]).with_atom(XBindAtom::AbsolutePath {
+            document: "other.xml".to_string(),
+            path: parse_path("//thing").unwrap(),
+            var: "x".to_string(),
+        });
+        let spec = specialize_query(&q, &[author_mapping()]);
+        assert_eq!(spec.atoms, q.atoms);
+        assert_eq!(specialization_predicates(&[author_mapping()]).len(), 1);
+    }
+}

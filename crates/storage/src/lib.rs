@@ -1,0 +1,27 @@
+//! # mars-storage — storage substrates and query execution
+//!
+//! MARS itself is middleware: it reformulates queries and ships them to
+//! storage engines. This crate provides the engines the reproduction ships
+//! them to:
+//!
+//! * [`RelationalDatabase`] — an in-memory relational engine executing
+//!   conjunctive queries with hash joins (and emitting the equivalent SQL
+//!   text), standing in for the commercial RDBMS holding the proprietary
+//!   tables and materialized relational views;
+//! * [`XmlStore`] — a set of in-memory XML documents with a deliberately
+//!   naive, nested-loop XBind/XQuery evaluator. It plays the role of the
+//!   Galax / Enosys engines in the paper's experiments: executing the
+//!   *unreformulated* query against the published documents, so that the net
+//!   saving of reformulation can be measured;
+//! * view [`materialization`](materialize) — running GAV/LAV view bodies over
+//!   the stores to populate the redundant storage (tables, cached documents),
+//!   and result **tagging** (the sorted-outer-union assembly of the XML result
+//!   from decorrelated binding tables).
+
+pub mod materialize;
+pub mod relational;
+pub mod xml_engine;
+
+pub use materialize::{materialize_view, tag_results};
+pub use relational::{sql_for_query, RelationalDatabase, Row};
+pub use xml_engine::{Value, XmlStore};

@@ -1,0 +1,251 @@
+//! View materialization and result tagging.
+//!
+//! * [`materialize_view`] runs a view body over the stores and writes its
+//!   output — a stored relation or a flat XML document — into the proprietary
+//!   storage. This is the tuning step of the paper (materialized views,
+//!   caches of previously answered queries such as `cacheEntry.xml`).
+//! * [`tag_results`] assembles the XML result of a client query from the
+//!   binding tables of its decorrelated blocks, following the sorted
+//!   outer-union approach the paper adopts from XPeranto.
+
+use crate::relational::RelationalDatabase;
+use crate::xml_engine::{Value, XmlStore};
+use mars_grex::{ViewDef, ViewOutput};
+use mars_xml::Document;
+use mars_xquery::{DecorrelatedQuery, TemplateNode};
+use std::collections::HashMap;
+
+/// Materialize a view: evaluate its body over the XML store (its navigation
+/// part) and write the result either into the relational database or as a new
+/// document in the XML store. Returns the number of rows materialized.
+pub fn materialize_view(
+    view: &ViewDef,
+    xml: &mut XmlStore,
+    relational: &mut RelationalDatabase,
+) -> usize {
+    let bindings = xml.eval_xbind(&view.body, &HashMap::new());
+    let rows: Vec<Vec<String>> = bindings
+        .iter()
+        .map(|b| {
+            view.body
+                .head
+                .iter()
+                .map(|h| match b.get(h) {
+                    Some(Value::Str(s)) => s.clone(),
+                    Some(Value::Node { document, node }) => {
+                        // Element-valued columns are represented by their text
+                        // content (the common case for the paper's flat views).
+                        xml.document(document).map(|d| d.text_of(*node)).unwrap_or_default()
+                    }
+                    None => String::new(),
+                })
+                .collect()
+        })
+        .collect();
+    // Deduplicate (set semantics for materialized views).
+    let mut unique: Vec<Vec<String>> = Vec::new();
+    for r in rows {
+        if !unique.contains(&r) {
+            unique.push(r);
+        }
+    }
+
+    match &view.output {
+        ViewOutput::Relation { name } => {
+            for r in &unique {
+                let refs: Vec<&str> = r.iter().map(String::as_str).collect();
+                relational.insert_strs(name, &refs);
+            }
+        }
+        ViewOutput::XmlFlat { document, row_tag, field_tags } => {
+            let mut doc = Document::new(document);
+            let root = doc.create_root(&format!("{row_tag}s"));
+            for r in &unique {
+                let row_el = doc.add_element(root, row_tag);
+                for (tag, value) in field_tags.iter().zip(r.iter()) {
+                    doc.add_leaf(row_el, tag, value);
+                }
+            }
+            xml.add_document(doc);
+        }
+    }
+    unique.len()
+}
+
+/// Assemble the XML result of a decorrelated query from the bindings of its
+/// blocks (sorted outer union tagging).
+pub fn tag_results(
+    query: &DecorrelatedQuery,
+    blocks: &HashMap<String, Vec<HashMap<String, Value>>>,
+    xml: &XmlStore,
+    result_name: &str,
+) -> Document {
+    let mut doc = Document::new(result_name);
+    let root = doc.create_root("xquery-result");
+    for node in &query.template.roots {
+        instantiate(node, query, blocks, xml, &mut doc, root, &HashMap::new());
+    }
+    doc
+}
+
+fn value_text(v: &Value, xml: &XmlStore) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Node { document, node } => {
+            xml.document(document).map(|d| d.text_of(*node)).unwrap_or_default()
+        }
+    }
+}
+
+fn binding_matches(outer: &HashMap<String, Value>, inner: &HashMap<String, Value>) -> bool {
+    outer.iter().all(|(k, v)| inner.get(k).map(|iv| iv == v).unwrap_or(true))
+}
+
+fn instantiate(
+    node: &TemplateNode,
+    query: &DecorrelatedQuery,
+    blocks: &HashMap<String, Vec<HashMap<String, Value>>>,
+    xml: &XmlStore,
+    doc: &mut Document,
+    parent: mars_xml::NodeId,
+    context: &HashMap<String, Value>,
+) {
+    match node {
+        TemplateNode::Literal(s) => {
+            doc.add_text(parent, s);
+        }
+        TemplateNode::Element { tag, children } => {
+            let el = doc.add_element(parent, tag);
+            for c in children {
+                instantiate(c, query, blocks, xml, doc, el, context);
+            }
+        }
+        TemplateNode::VarText { var, .. } => {
+            if let Some(v) = context.get(var) {
+                doc.add_text(parent, &value_text(v, xml));
+            }
+        }
+        TemplateNode::ForEach { block, children } => {
+            let Some(block_query) = query.blocks.get(*block) else { return };
+            let rows = blocks.get(&block_query.name).map(Vec::as_slice).unwrap_or(&[]);
+            for row in rows {
+                if !binding_matches(context, row) {
+                    continue;
+                }
+                let mut merged = context.clone();
+                for (k, v) in row {
+                    merged.insert(k.clone(), v.clone());
+                }
+                for c in children {
+                    instantiate(c, query, blocks, xml, doc, parent, &merged);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_xml::parse_document;
+    use mars_xquery::{decorrelate, parse_xquery, XBindAtom, XBindQuery};
+
+    fn catalog_store() -> XmlStore {
+        let mut store = XmlStore::new();
+        store.add_document(
+            parse_document(
+                "catalog.xml",
+                r#"<catalog>
+                     <drug><name>aspirin</name><price>3</price><notes><note>generic ok</note></notes></drug>
+                     <drug><name>inhaler</name><price>25</price></drug>
+                   </catalog>"#,
+            )
+            .unwrap(),
+        );
+        store
+    }
+
+    fn drug_price_view() -> ViewDef {
+        let body = XBindQuery::new("DrugPriceMap")
+            .with_head(&["n", "p"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "catalog.xml".to_string(),
+                path: mars_xml::parse_path("//drug").unwrap(),
+                var: "d".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: mars_xml::parse_path("./name/text()").unwrap(),
+                source: "d".to_string(),
+                var: "n".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: mars_xml::parse_path("./price/text()").unwrap(),
+                source: "d".to_string(),
+                var: "p".to_string(),
+            });
+        ViewDef::relational("drugPrice", body)
+    }
+
+    #[test]
+    fn materialize_relational_view_from_xml() {
+        let mut xml = catalog_store();
+        let mut db = RelationalDatabase::new();
+        let rows = materialize_view(&drug_price_view(), &mut xml, &mut db);
+        assert_eq!(rows, 2);
+        assert_eq!(db.cardinality("drugPrice"), 2);
+    }
+
+    #[test]
+    fn materialize_xml_view_creates_a_document() {
+        let mut xml = catalog_store();
+        let mut db = RelationalDatabase::new();
+        let view = ViewDef::xml_flat(
+            "CacheEntry",
+            drug_price_view().body,
+            "cacheEntry.xml",
+            "entry",
+            &["name", "price"],
+        );
+        let rows = materialize_view(&view, &mut xml, &mut db);
+        assert_eq!(rows, 2);
+        let doc = xml.document("cacheEntry.xml").expect("document materialized");
+        assert_eq!(doc.children_with_tag(doc.root().unwrap(), "entry").count(), 2);
+        assert!(doc.to_xml().contains("<price>25</price>"));
+    }
+
+    #[test]
+    fn tagging_assembles_nested_results() {
+        let mut store = XmlStore::new();
+        store.add_document(
+            parse_document(
+                "books.xml",
+                r#"<bib>
+                     <book><title>TCP/IP</title><author>Stevens</author></book>
+                     <book><title>Advanced TCP/IP</title><author>Stevens</author></book>
+                     <book><title>Data on the Web</title><author>Abiteboul</author></book>
+                   </bib>"#,
+            )
+            .unwrap(),
+        );
+        let ast = parse_xquery(
+            r#"<result>
+                 for $a in distinct(//author/text())
+                 return <item><writer>$a</writer>
+                   {for $b in //book $a1 in $b/author/text() $t in $b/title
+                    where $a = $a1 return <title>$t</title>}
+                 </item>
+               </result>"#,
+        )
+        .unwrap();
+        let dec = decorrelate(&ast, "books.xml");
+        let blocks = store.eval_blocks(&dec.blocks);
+        let result = tag_results(&dec, &blocks, &store, "result.xml");
+        let xml_text = result.to_xml();
+        // Two writers, and Stevens' item groups both titles.
+        assert_eq!(xml_text.matches("<writer>").count(), 2);
+        assert_eq!(xml_text.matches("<title>").count(), 3);
+        let stevens_idx = xml_text.find("Stevens").unwrap();
+        let abiteboul_idx = xml_text.find("Abiteboul").unwrap();
+        assert_ne!(stevens_idx, abiteboul_idx);
+    }
+}

@@ -1,0 +1,238 @@
+//! In-memory relational engine.
+//!
+//! Tables are stored as ground facts in a symbolic instance (the same
+//! representation the chase uses, so the hash-join evaluator is shared), and
+//! conjunctive queries — in particular, the relational parts of MARS
+//! reformulations — execute directly against it. [`sql_for_query`] renders
+//! the SQL text MARS would ship to an external RDBMS.
+
+use mars_chase::{evaluate_bindings, SymbolicInstance};
+use mars_cq::{Atom, ConjunctiveQuery, Predicate, Substitution, Term};
+use std::collections::BTreeSet;
+
+/// A result row: one value per head term.
+pub type Row = Vec<Term>;
+
+/// An in-memory relational database of ground facts.
+#[derive(Clone, Debug, Default)]
+pub struct RelationalDatabase {
+    inst: SymbolicInstance,
+}
+
+impl RelationalDatabase {
+    /// An empty database.
+    pub fn new() -> RelationalDatabase {
+        RelationalDatabase::default()
+    }
+
+    /// Insert a row of string values into a relation.
+    pub fn insert_strs(&mut self, relation: &str, values: &[&str]) {
+        let atom = Atom::named(relation, values.iter().map(|v| Term::constant_str(v)).collect());
+        self.inst.insert_atom(&atom);
+    }
+
+    /// Insert a ground fact.
+    pub fn insert_fact(&mut self, fact: &Atom) {
+        debug_assert!(fact.is_ground(), "facts must be ground: {fact}");
+        self.inst.insert_atom(fact);
+    }
+
+    /// Bulk-load ground facts (e.g. a GReX document encoding).
+    pub fn load_facts(&mut self, facts: &[Atom]) {
+        for f in facts {
+            self.insert_fact(f);
+        }
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.inst.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.inst.is_empty()
+    }
+
+    /// Cardinality of one relation.
+    pub fn cardinality(&self, relation: &str) -> usize {
+        self.inst.relation(Predicate::new(relation)).len()
+    }
+
+    /// Execute a conjunctive query, returning the (deduplicated) head rows.
+    pub fn query(&self, q: &ConjunctiveQuery) -> Vec<Row> {
+        let bindings =
+            evaluate_bindings(&q.body, &q.inequalities, &self.inst, &Substitution::new());
+        let mut seen: BTreeSet<Row> = BTreeSet::new();
+        let mut out = Vec::new();
+        for b in bindings {
+            let row: Row = q.head.iter().map(|t| b.apply_term(*t)).collect();
+            if seen.insert(row.clone()) {
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    /// Execute and render the rows as strings (for tests and examples).
+    pub fn query_strings(&self, q: &ConjunctiveQuery) -> Vec<Vec<String>> {
+        self.query(q)
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|t| match t {
+                        Term::Const(c) => c.render(),
+                        Term::Var(v) => format!("?{v}"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Render a conjunctive query as the SQL text MARS would send to an RDBMS
+/// (one alias per atom, equi-join predicates from repeated variables,
+/// constant selections from constant arguments).
+pub fn sql_for_query(q: &ConjunctiveQuery) -> String {
+    let mut from = Vec::new();
+    let mut wheres = Vec::new();
+    let mut first_occurrence: Vec<(mars_cq::Variable, String)> = Vec::new();
+
+    for (i, atom) in q.body.iter().enumerate() {
+        let alias = format!("t{i}");
+        from.push(format!("{} AS {alias}", atom.predicate.name().replace('#', "_")));
+        for (j, arg) in atom.args.iter().enumerate() {
+            let col = format!("{alias}.c{j}");
+            match arg {
+                Term::Const(c) => wheres.push(format!("{col} = '{}'", c.render())),
+                Term::Var(v) => {
+                    if let Some((_, prev)) = first_occurrence.iter().find(|(pv, _)| pv == v) {
+                        wheres.push(format!("{col} = {prev}"));
+                    } else {
+                        first_occurrence.push((*v, col));
+                    }
+                }
+            }
+        }
+    }
+    for (a, b) in &q.inequalities {
+        let render = |t: &Term| match t {
+            Term::Const(c) => format!("'{}'", c.render()),
+            Term::Var(v) => first_occurrence
+                .iter()
+                .find(|(pv, _)| pv == v)
+                .map(|(_, c)| c.clone())
+                .unwrap_or_else(|| "NULL".to_string()),
+        };
+        wheres.push(format!("{} <> {}", render(a), render(b)));
+    }
+    let select: Vec<String> = q
+        .head
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => format!("'{}'", c.render()),
+            Term::Var(v) => first_occurrence
+                .iter()
+                .find(|(pv, _)| pv == v)
+                .map(|(_, c)| c.clone())
+                .unwrap_or_else(|| "NULL".to_string()),
+        })
+        .collect();
+    let mut sql = format!("SELECT DISTINCT {}\nFROM {}", select.join(", "), from.join(", "));
+    if !wheres.is_empty() {
+        sql.push_str(&format!("\nWHERE {}", wheres.join("\n  AND ")));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patient_db() -> RelationalDatabase {
+        // Example 1.1's proprietary tables.
+        let mut db = RelationalDatabase::new();
+        for (name, diag) in [("ann", "flu"), ("bob", "asthma")] {
+            db.insert_strs("patientDiag", &[name, diag]);
+        }
+        for (name, drug, usage) in
+            [("ann", "aspirin", "daily"), ("bob", "inhaler", "as-needed"), ("ann", "vitaminC", "daily")]
+        {
+            db.insert_strs("patientDrug", &[name, drug, usage]);
+        }
+        db
+    }
+
+    #[test]
+    fn join_query_over_tables() {
+        let db = patient_db();
+        // CaseMap's navigation: join the two tables on the patient name and
+        // project the name away.
+        let q = ConjunctiveQuery::new("Case")
+            .with_head(vec![Term::var("diag"), Term::var("drug")])
+            .with_body(vec![
+                Atom::named("patientDiag", vec![Term::var("n"), Term::var("diag")]),
+                Atom::named("patientDrug", vec![Term::var("n"), Term::var("drug"), Term::var("u")]),
+            ]);
+        let rows = db.query_strings(&q);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&vec!["flu".to_string(), "aspirin".to_string()]));
+        assert!(rows.contains(&vec!["asthma".to_string(), "inhaler".to_string()]));
+    }
+
+    #[test]
+    fn constants_and_inequalities_filter_rows() {
+        let db = patient_db();
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("drug")])
+            .with_body(vec![Atom::named(
+                "patientDrug",
+                vec![Term::var("n"), Term::var("drug"), Term::constant_str("daily")],
+            )])
+            .with_inequality(Term::var("drug"), Term::constant_str("aspirin"));
+        let rows = db.query_strings(&q);
+        assert_eq!(rows, vec![vec!["vitaminC".to_string()]]);
+    }
+
+    #[test]
+    fn duplicate_rows_are_eliminated() {
+        let db = patient_db();
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("n")])
+            .with_body(vec![Atom::named(
+                "patientDrug",
+                vec![Term::var("n"), Term::var("d"), Term::var("u")],
+            )]);
+        assert_eq!(db.query(&q).len(), 2);
+        assert_eq!(db.cardinality("patientDrug"), 3);
+        assert_eq!(db.len(), 5);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("diag"), Term::var("price")])
+            .with_body(vec![
+                Atom::named("patientDiag", vec![Term::var("n"), Term::var("diag")]),
+                Atom::named("patientDrug", vec![Term::var("n"), Term::var("drug"), Term::var("u")]),
+                Atom::named("drugPrice", vec![Term::var("drug"), Term::var("price")]),
+            ])
+            .with_inequality(Term::var("price"), Term::constant_str("0"));
+        let sql = sql_for_query(&q);
+        assert!(sql.starts_with("SELECT DISTINCT t0.c1, t2.c1"));
+        assert!(sql.contains("FROM patientDiag AS t0, patientDrug AS t1, drugPrice AS t2"));
+        assert!(sql.contains("t1.c0 = t0.c0"));
+        assert!(sql.contains("t2.c0 = t1.c1"));
+        assert!(sql.contains("<> '0'"));
+    }
+
+    #[test]
+    fn grex_predicates_render_with_sanitized_names() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![Atom::named("child#case.xml", vec![Term::var("p"), Term::var("x")])]);
+        let sql = sql_for_query(&q);
+        assert!(sql.contains("child_case.xml AS t0"));
+    }
+}

@@ -1,0 +1,288 @@
+//! The XML store and the naive XBind evaluator.
+//!
+//! The evaluator executes XBind queries directly over the XML documents by
+//! nested-loop enumeration of the path atoms — deliberately unsophisticated,
+//! because it plays the role of the general-purpose XQuery engines (Galax,
+//! Enosys) that the paper measures unreformulated queries on. Reformulated
+//! queries instead run over the materialized views (tables via
+//! [`RelationalDatabase`](crate::RelationalDatabase), documents via this
+//! store), which is where the paper's net saving comes from.
+
+use mars_xml::{eval_path, Document, NodeId, PathValue};
+use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
+use std::collections::HashMap;
+
+/// A value bound by XBind evaluation: an element node of a named document, or
+/// a string.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An element node.
+    Node {
+        /// Owning document name.
+        document: String,
+        /// Node handle.
+        node: NodeId,
+    },
+    /// A string value (text content, attribute value, constant).
+    Str(String),
+}
+
+impl Value {
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Node { .. } => None,
+        }
+    }
+}
+
+/// A set of named in-memory XML documents.
+#[derive(Clone, Debug, Default)]
+pub struct XmlStore {
+    documents: HashMap<String, Document>,
+}
+
+impl XmlStore {
+    /// An empty store.
+    pub fn new() -> XmlStore {
+        XmlStore::default()
+    }
+
+    /// Add (or replace) a document; its `name` field is the lookup key.
+    pub fn add_document(&mut self, doc: Document) {
+        self.documents.insert(doc.name.clone(), doc);
+    }
+
+    /// Look up a document.
+    pub fn document(&self, name: &str) -> Option<&Document> {
+        self.documents.get(name)
+    }
+
+    /// Names of all stored documents.
+    pub fn document_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.documents.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total number of element nodes across documents.
+    pub fn total_elements(&self) -> usize {
+        self.documents.values().map(Document::element_count).sum()
+    }
+
+    fn path_values(&self, value: &PathValue, document: &str) -> Value {
+        match value {
+            PathValue::Node(n) => Value::Node { document: document.to_string(), node: *n },
+            PathValue::Text(s) => Value::Str(s.clone()),
+        }
+    }
+
+    /// Evaluate an XBind query by nested loops over its atoms, optionally
+    /// using previously computed results for `QueryRef` atoms (keyed by query
+    /// name). Returns one binding map per result (deduplicated when the query
+    /// is `distinct`).
+    pub fn eval_xbind(
+        &self,
+        query: &XBindQuery,
+        prior: &HashMap<String, Vec<HashMap<String, Value>>>,
+    ) -> Vec<HashMap<String, Value>> {
+        let mut rows: Vec<HashMap<String, Value>> = vec![HashMap::new()];
+        for atom in &query.atoms {
+            let mut next = Vec::new();
+            for row in &rows {
+                match atom {
+                    XBindAtom::AbsolutePath { document, path, var } => {
+                        if let Some(doc) = self.document(document) {
+                            for v in eval_path(doc, path, None) {
+                                let val = self.path_values(&v, document);
+                                if let Some(existing) = row.get(var) {
+                                    if existing == &val {
+                                        next.push(row.clone());
+                                    }
+                                    continue;
+                                }
+                                let mut r = row.clone();
+                                r.insert(var.clone(), val);
+                                next.push(r);
+                            }
+                        }
+                    }
+                    XBindAtom::RelativePath { path, source, var } => {
+                        let Some(Value::Node { document, node }) = row.get(source) else {
+                            continue;
+                        };
+                        let Some(doc) = self.document(document) else { continue };
+                        for v in eval_path(doc, path, Some(*node)) {
+                            let val = self.path_values(&v, document);
+                            if let Some(existing) = row.get(var) {
+                                if existing == &val {
+                                    next.push(row.clone());
+                                }
+                                continue;
+                            }
+                            let mut r = row.clone();
+                            r.insert(var.clone(), val);
+                            next.push(r);
+                        }
+                    }
+                    XBindAtom::QueryRef { name, vars } => {
+                        for outer in prior.get(name).map(Vec::as_slice).unwrap_or(&[]) {
+                            let mut r = row.clone();
+                            let mut ok = true;
+                            for v in vars {
+                                let Some(val) = outer.get(v) else {
+                                    ok = false;
+                                    break;
+                                };
+                                match r.get(v) {
+                                    Some(existing) if existing != val => {
+                                        ok = false;
+                                        break;
+                                    }
+                                    _ => {
+                                        r.insert(v.clone(), val.clone());
+                                    }
+                                }
+                            }
+                            if ok {
+                                next.push(r);
+                            }
+                        }
+                    }
+                    XBindAtom::Relational { .. } => {
+                        // Relational atoms are executed by the relational
+                        // engine; the naive XML engine ignores them (the
+                        // workloads never mix them in unreformulated queries).
+                        next.push(row.clone());
+                    }
+                    XBindAtom::Eq(a, b) => {
+                        if self.compare(row, a, b) == Some(true) {
+                            next.push(row.clone());
+                        }
+                    }
+                    XBindAtom::Neq(a, b) => {
+                        if self.compare(row, a, b) == Some(false) {
+                            next.push(row.clone());
+                        }
+                    }
+                }
+            }
+            rows = next;
+        }
+        if query.distinct {
+            let mut seen: Vec<HashMap<String, Value>> = Vec::new();
+            for r in rows {
+                let projected: HashMap<String, Value> = query
+                    .head
+                    .iter()
+                    .filter_map(|h| r.get(h).map(|v| (h.clone(), v.clone())))
+                    .collect();
+                if !seen.contains(&projected) {
+                    seen.push(projected);
+                }
+            }
+            seen
+        } else {
+            rows
+        }
+    }
+
+    fn compare(&self, row: &HashMap<String, Value>, a: &XBindTerm, b: &XBindTerm) -> Option<bool> {
+        let resolve = |t: &XBindTerm| -> Option<Value> {
+            match t {
+                XBindTerm::Var(v) => row.get(v).cloned(),
+                XBindTerm::Str(s) => Some(Value::Str(s.clone())),
+            }
+        };
+        Some(resolve(a)? == resolve(b)?)
+    }
+
+    /// Evaluate a chain of decorrelated blocks (outermost first), feeding each
+    /// block the results of the previous ones. Returns the bindings of every
+    /// block, keyed by block name.
+    pub fn eval_blocks(&self, blocks: &[XBindQuery]) -> HashMap<String, Vec<HashMap<String, Value>>> {
+        let mut results: HashMap<String, Vec<HashMap<String, Value>>> = HashMap::new();
+        for block in blocks {
+            let rows = self.eval_xbind(block, &results);
+            results.insert(block.name.clone(), rows);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_xml::parse_document;
+    use mars_xquery::xbind::example_2_1;
+
+    fn books_store() -> XmlStore {
+        let mut store = XmlStore::new();
+        store.add_document(
+            parse_document(
+                "books.xml",
+                r#"<bib>
+                     <book><title>TCP/IP</title><author>Stevens</author></book>
+                     <book><title>Data on the Web</title><author>Abiteboul</author><author>Suciu</author></book>
+                     <book><title>Advanced TCP/IP</title><author>Stevens</author></book>
+                   </bib>"#,
+            )
+            .unwrap(),
+        );
+        store
+    }
+
+    #[test]
+    fn example_2_1_blocks_evaluate_with_correlation() {
+        let store = books_store();
+        let (xbo, xbi) = example_2_1();
+        // The example names the blocks Xbo/Xbi; the inner references "Xbo".
+        let results = store.eval_blocks(&[xbo.clone(), xbi.clone()]);
+        // Distinct authors: Stevens, Abiteboul, Suciu.
+        assert_eq!(results["Xbo"].len(), 3);
+        // Correlated inner bindings: one per (author, book-with-that-author) pair
+        // with title: Stevens×2 + Abiteboul×1 + Suciu×1 = 4.
+        assert_eq!(results["Xbi"].len(), 4);
+        for row in &results["Xbi"] {
+            assert_eq!(row["a"], row["a1"]);
+        }
+    }
+
+    #[test]
+    fn distinct_eliminates_duplicate_head_bindings() {
+        let store = books_store();
+        let (xbo, _) = example_2_1();
+        let mut non_distinct = xbo.clone();
+        non_distinct.distinct = false;
+        let with = store.eval_xbind(&xbo, &HashMap::new());
+        let without = store.eval_xbind(&non_distinct, &HashMap::new());
+        assert_eq!(with.len(), 3);
+        assert_eq!(without.len(), 4); // Stevens appears twice
+    }
+
+    #[test]
+    fn missing_documents_give_empty_results() {
+        let store = XmlStore::new();
+        let (xbo, _) = example_2_1();
+        assert!(store.eval_xbind(&xbo, &HashMap::new()).is_empty());
+        assert_eq!(store.total_elements(), 0);
+        assert!(store.document_names().is_empty());
+    }
+
+    #[test]
+    fn inequalities_and_constants() {
+        let store = books_store();
+        let q = XBindQuery::new("Q")
+            .with_head(&["a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "books.xml".to_string(),
+                path: mars_xml::parse_path("//author/text()").unwrap(),
+                var: "a".to_string(),
+            })
+            .with_atom(XBindAtom::Neq(XBindTerm::var("a"), XBindTerm::str("Stevens")));
+        let rows = store.eval_xbind(&q, &HashMap::new());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r["a"].as_str() != Some("Stevens")));
+    }
+}

@@ -1,0 +1,325 @@
+//! The XML star configuration of Section 4.1.
+//!
+//! Public schema: `R` elements (children of the root) with subelements `K`,
+//! `A1 … A_NC`; for each `1 ≤ i ≤ NC`, `S_i` elements with subelements `A` and
+//! `B`. `R.A_i` is a foreign key into `S_i.A`, and `K` is a key for `R`.
+//!
+//! Proprietary schema: the public document itself plus `NV` redundantly
+//! materialized star views `V_l` joining the hub with corners `S_l` and
+//! `S_{l+1}` along the foreign keys and projecting `K`, `B_l`, `B_{l+1}`.
+//! In the absence of constraints no view rewriting exists, but with the key
+//! constraint on `R` the star join can be rewritten using any subset of the
+//! views — `2^NV` reformulations, all found by the C&B.
+//!
+//! The views are materialized as relations (the paper materializes them as
+//! XML; the substitution is recorded in DESIGN.md — it preserves the search
+//! space shape while keeping the backchase pool explicit).
+
+use mars::{Mars, MarsOptions, SchemaCorrespondence};
+use mars_grex::ViewDef;
+use mars_specialize::SpecializationMapping;
+use mars_storage::{materialize_view, RelationalDatabase, XmlStore};
+use mars_xml::{parse_path, Document};
+use mars_xquery::{XBindAtom, XBindQuery, Xic};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a star configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StarConfig {
+    /// Number of corners (NC).
+    pub nc: usize,
+    /// Number of materialized star views (NV ≤ NC − 1).
+    pub nv: usize,
+    /// Whether the proprietary schema also contains the public document
+    /// itself (Figure 5 uses `true`, the Figure 8 specialization experiment
+    /// uses `false` — "the proprietary schema contains only the views now").
+    pub proprietary_includes_document: bool,
+}
+
+impl StarConfig {
+    /// The Figure 5 configuration for a given NC (NV = NC − 1).
+    pub fn figure5(nc: usize) -> StarConfig {
+        StarConfig { nc, nv: nc.saturating_sub(1), proprietary_includes_document: true }
+    }
+
+    /// The Figure 8 configuration (views-only proprietary schema).
+    pub fn figure8(nc: usize) -> StarConfig {
+        StarConfig { nc, nv: nc.saturating_sub(1), proprietary_includes_document: false }
+    }
+
+    /// Name of the public star document.
+    pub fn document(&self) -> String {
+        "star.xml".to_string()
+    }
+
+    fn view_name(l: usize) -> String {
+        format!("V{l}")
+    }
+
+    /// The client XBind query: join `R` with all NC corners, returning `K`
+    /// and every corner's `B`.
+    pub fn client_query(&self) -> XBindQuery {
+        let doc = self.document();
+        let mut head: Vec<String> = vec!["k".to_string()];
+        let mut q = XBindQuery::new("StarQ")
+            .with_atom(XBindAtom::AbsolutePath {
+                document: doc.clone(),
+                path: parse_path("//R").unwrap(),
+                var: "r".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./K/text()").unwrap(),
+                source: "r".to_string(),
+                var: "k".to_string(),
+            });
+        for i in 1..=self.nc {
+            q = q
+                .with_atom(XBindAtom::RelativePath {
+                    path: parse_path(&format!("./A{i}/text()")).unwrap(),
+                    source: "r".to_string(),
+                    var: format!("a{i}"),
+                })
+                .with_atom(XBindAtom::AbsolutePath {
+                    document: doc.clone(),
+                    path: parse_path(&format!("//S{i}")).unwrap(),
+                    var: format!("s{i}"),
+                })
+                .with_atom(XBindAtom::RelativePath {
+                    path: parse_path("./A/text()").unwrap(),
+                    source: format!("s{i}"),
+                    var: format!("sa{i}"),
+                })
+                .with_atom(XBindAtom::RelativePath {
+                    path: parse_path("./B/text()").unwrap(),
+                    source: format!("s{i}"),
+                    var: format!("b{i}"),
+                })
+                .with_atom(XBindAtom::Eq(
+                    mars_xquery::XBindTerm::var(&format!("a{i}")),
+                    mars_xquery::XBindTerm::var(&format!("sa{i}")),
+                ));
+            head.push(format!("b{i}"));
+        }
+        q.head = head;
+        q
+    }
+
+    /// The view `V_l` (joins the hub with corners `l` and `l+1`).
+    pub fn view(&self, l: usize) -> ViewDef {
+        let doc = self.document();
+        let mut body = XBindQuery::new(&format!("{}body", Self::view_name(l)))
+            .with_atom(XBindAtom::AbsolutePath {
+                document: doc.clone(),
+                path: parse_path("//R").unwrap(),
+                var: "r".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./K/text()").unwrap(),
+                source: "r".to_string(),
+                var: "k".to_string(),
+            });
+        for i in [l, l + 1] {
+            body = body
+                .with_atom(XBindAtom::RelativePath {
+                    path: parse_path(&format!("./A{i}/text()")).unwrap(),
+                    source: "r".to_string(),
+                    var: format!("a{i}"),
+                })
+                .with_atom(XBindAtom::AbsolutePath {
+                    document: doc.clone(),
+                    path: parse_path(&format!("//S{i}")).unwrap(),
+                    var: format!("s{i}"),
+                })
+                .with_atom(XBindAtom::RelativePath {
+                    path: parse_path("./A/text()").unwrap(),
+                    source: format!("s{i}"),
+                    var: format!("sa{i}"),
+                })
+                .with_atom(XBindAtom::RelativePath {
+                    path: parse_path("./B/text()").unwrap(),
+                    source: format!("s{i}"),
+                    var: format!("b{i}"),
+                })
+                .with_atom(XBindAtom::Eq(
+                    mars_xquery::XBindTerm::var(&format!("a{i}")),
+                    mars_xquery::XBindTerm::var(&format!("sa{i}")),
+                ));
+        }
+        body.head = vec!["k".to_string(), format!("b{l}"), format!("b{}", l + 1)];
+        ViewDef::relational(&Self::view_name(l), body)
+    }
+
+    /// The key XIC on `R.K` (the constraint that makes view rewritings valid).
+    pub fn key_constraint(&self) -> Xic {
+        Xic::key("R_key", &self.document(), "//R", "./K/text()")
+    }
+
+    /// Foreign-key XICs `R.A_i ⊆ S_i.A`.
+    pub fn foreign_keys(&self) -> Vec<Xic> {
+        (1..=self.nc)
+            .map(|i| {
+                Xic::inclusion(
+                    &format!("fk_A{i}"),
+                    &self.document(),
+                    "//R",
+                    &format!("./A{i}/text()"),
+                    &format!("//S{i}"),
+                    "./A/text()",
+                )
+            })
+            .collect()
+    }
+
+    /// Specialization mappings for the star document (hub and corners are
+    /// perfectly regular — the best case for Section 5).
+    pub fn specializations(&self) -> Vec<SpecializationMapping> {
+        let doc = self.document();
+        let mut out = Vec::new();
+        let mut r_fields: Vec<(String, String)> = vec![("K".to_string(), "./K/text()".to_string())];
+        for i in 1..=self.nc {
+            r_fields.push((format!("A{i}"), format!("./A{i}/text()")));
+        }
+        let refs: Vec<(&str, &str)> =
+            r_fields.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        out.push(SpecializationMapping::new("Rspec", &doc, "//R", &refs));
+        for i in 1..=self.nc {
+            out.push(SpecializationMapping::new(
+                &format!("S{i}spec"),
+                &doc,
+                &format!("//S{i}"),
+                &[("A", "./A/text()"), ("B", "./B/text()")],
+            ));
+        }
+        out
+    }
+
+    /// The schema correspondence of this configuration.
+    pub fn correspondence(&self) -> SchemaCorrespondence {
+        let mut xics = vec![self.key_constraint()];
+        xics.extend(self.foreign_keys());
+        SchemaCorrespondence {
+            public_documents: vec![self.document()],
+            gav_views: Vec::new(),
+            lav_views: (1..=self.nv).map(|l| self.view(l)).collect(),
+            xics,
+            relational_constraints: Vec::new(),
+            proprietary_relations: Vec::new(),
+            proprietary_documents: if self.proprietary_includes_document {
+                vec![self.document()]
+            } else {
+                Vec::new()
+            },
+            specializations: self.specializations(),
+        }
+    }
+
+    /// Build the MARS system for this configuration.
+    pub fn mars(&self, options: MarsOptions) -> Mars {
+        Mars::with_options(self.correspondence(), options)
+    }
+
+    /// Generate a concrete star document with `hubs` R-elements and
+    /// `corner_size` elements per corner relation (≈ `hubs + nc*corner_size`
+    /// elements plus leaves; the paper's "toy document of 60 elements"
+    /// corresponds to roughly `generate_document(5, 5)` at NC = 3).
+    pub fn generate_document(&self, hubs: usize, corner_size: usize, seed: u64) -> Document {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut doc = Document::new(&self.document());
+        let root = doc.create_root("star");
+        for h in 0..hubs {
+            let r = doc.add_element(root, "R");
+            doc.add_leaf(r, "K", &format!("k{h}"));
+            for i in 1..=self.nc {
+                let a = rng.gen_range(0..corner_size);
+                doc.add_leaf(r, &format!("A{i}"), &format!("a{i}_{a}"));
+            }
+        }
+        for i in 1..=self.nc {
+            for j in 0..corner_size {
+                let s = doc.add_element(root, &format!("S{i}"));
+                doc.add_leaf(s, "A", &format!("a{i}_{j}"));
+                doc.add_leaf(s, "B", &format!("b{i}_{j}"));
+            }
+        }
+        doc
+    }
+
+    /// Populate storage: the document goes into the XML store and every view
+    /// is materialized into the relational database. Returns the stores.
+    pub fn populate(
+        &self,
+        hubs: usize,
+        corner_size: usize,
+        seed: u64,
+    ) -> (XmlStore, RelationalDatabase) {
+        let mut xml = XmlStore::new();
+        xml.add_document(self.generate_document(hubs, corner_size, seed));
+        let mut db = RelationalDatabase::new();
+        for l in 1..=self.nv {
+            materialize_view(&self.view(l), &mut xml, &mut db);
+        }
+        (xml, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn query_and_view_shapes() {
+        let cfg = StarConfig::figure5(3);
+        let q = cfg.client_query();
+        assert_eq!(q.head.len(), 4); // k + 3 B's
+        assert_eq!(q.atoms.len(), 2 + 3 * 5);
+        let v = cfg.view(1);
+        assert_eq!(v.body.head, vec!["k", "b1", "b2"]);
+        assert_eq!(cfg.foreign_keys().len(), 3);
+        assert_eq!(cfg.specializations().len(), 4);
+    }
+
+    #[test]
+    fn document_generation_and_materialization() {
+        let cfg = StarConfig::figure5(3);
+        let (xml, db) = cfg.populate(4, 3, 7);
+        let doc = xml.document("star.xml").unwrap();
+        // 1 root + 4 R (each with 1+3 leaves) + 3*3 S (each with 2 leaves)
+        assert_eq!(doc.element_count(), 1 + 4 * 5 + 9 * 3);
+        // Every hub joins some corner row in each view.
+        assert_eq!(db.cardinality("V1"), 4);
+        assert_eq!(db.cardinality("V2"), 4);
+    }
+
+    /// The headline property of the configuration: with the key constraint,
+    /// the star query has 2^NV minimal reformulations over document+views.
+    #[test]
+    fn exponentially_many_minimal_reformulations_nc3() {
+        let cfg = StarConfig::figure5(3);
+        let mars = cfg.mars(MarsOptions::specialized().exhaustive());
+        let block = mars.reformulate_xbind(&cfg.client_query());
+        assert!(block.result.has_reformulation());
+        assert_eq!(
+            block.result.minimal.len(),
+            1 << cfg.nv,
+            "expected 2^NV = {} minimal reformulations, got {}",
+            1 << cfg.nv,
+            block.result.minimal.len()
+        );
+        // The best reformulation uses at least one view (cheaper than raw navigation).
+        let best = &block.result.best.as_ref().unwrap().0;
+        assert!(best
+            .body
+            .iter()
+            .any(|a| a.predicate.name().starts_with('V') || a.predicate.name().contains("spec")));
+    }
+
+    #[test]
+    fn unreformulated_query_executes_on_the_naive_engine() {
+        let cfg = StarConfig::figure5(3);
+        let (xml, _) = cfg.populate(3, 3, 1);
+        let rows = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
+        assert_eq!(rows.len(), 3, "each hub matches exactly one row per corner");
+    }
+}

@@ -1,0 +1,313 @@
+//! A scaled-down XMark-like publishing scenario (Section 4.2).
+//!
+//! The public document `auction.xml` describes an auction site (people,
+//! open auctions with bids, items). The proprietary storage adds redundant
+//! relational views (people's names, item/category pairs, bid summaries) in
+//! the spirit of the paper's XMark-based configuration. A small suite of
+//! queries exercising different XQuery features (descendant navigation,
+//! joins across entities, value predicates) is reformulated by MARS; the
+//! experiment reports the average reformulation time (≈350 ms in the paper).
+
+use mars::{Mars, MarsOptions, SchemaCorrespondence};
+use mars_grex::ViewDef;
+use mars_specialize::SpecializationMapping;
+use mars_storage::{materialize_view, RelationalDatabase, XmlStore};
+use mars_xml::{parse_path, Document};
+use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Name of the published auction document.
+pub const AUCTION: &str = "auction.xml";
+
+/// Generate an XMark-like auction document with the given number of people,
+/// items and open auctions.
+pub fn generate_document(people: usize, items: usize, auctions: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = Document::new(AUCTION);
+    let root = doc.create_root("site");
+    let people_el = doc.add_element(root, "people");
+    for p in 0..people {
+        let person = doc.add_element(people_el, "person");
+        doc.set_attribute(person, "id", &format!("person{p}"));
+        doc.add_leaf(person, "name", &format!("Name{p}"));
+        doc.add_leaf(person, "city", &format!("City{}", p % 7));
+    }
+    let items_el = doc.add_element(root, "items");
+    for i in 0..items {
+        let item = doc.add_element(items_el, "item");
+        doc.set_attribute(item, "id", &format!("item{i}"));
+        doc.add_leaf(item, "name", &format!("Item{i}"));
+        doc.add_leaf(item, "category", &format!("cat{}", i % 5));
+    }
+    let auctions_el = doc.add_element(root, "open_auctions");
+    for a in 0..auctions {
+        let auction = doc.add_element(auctions_el, "open_auction");
+        doc.add_leaf(auction, "itemref", &format!("item{}", a % items.max(1)));
+        doc.add_leaf(auction, "seller", &format!("person{}", rng.gen_range(0..people.max(1))));
+        doc.add_leaf(auction, "current", &format!("{}", 10 + rng.gen_range(0..90)));
+    }
+    doc
+}
+
+fn person_view() -> ViewDef {
+    let body = XBindQuery::new("PersonCityBody")
+        .with_head(&["pid", "name", "city"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//person").unwrap(),
+            var: "p".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./@id").unwrap(),
+            source: "p".to_string(),
+            var: "pid".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./name/text()").unwrap(),
+            source: "p".to_string(),
+            var: "name".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./city/text()").unwrap(),
+            source: "p".to_string(),
+            var: "city".to_string(),
+        });
+    ViewDef::relational("personCity", body)
+}
+
+fn item_view() -> ViewDef {
+    let body = XBindQuery::new("ItemCategoryBody")
+        .with_head(&["iid", "iname", "cat"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//item").unwrap(),
+            var: "i".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./@id").unwrap(),
+            source: "i".to_string(),
+            var: "iid".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./name/text()").unwrap(),
+            source: "i".to_string(),
+            var: "iname".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./category/text()").unwrap(),
+            source: "i".to_string(),
+            var: "cat".to_string(),
+        });
+    ViewDef::relational("itemCategory", body)
+}
+
+fn auction_view() -> ViewDef {
+    let body = XBindQuery::new("AuctionBody")
+        .with_head(&["itemref", "seller", "current"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//open_auction").unwrap(),
+            var: "a".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./itemref/text()").unwrap(),
+            source: "a".to_string(),
+            var: "itemref".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./seller/text()").unwrap(),
+            source: "a".to_string(),
+            var: "seller".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./current/text()").unwrap(),
+            source: "a".to_string(),
+            var: "current".to_string(),
+        });
+    ViewDef::relational("auctionSummary", body)
+}
+
+/// Specialization mappings for the regular parts of the document.
+pub fn specializations() -> Vec<SpecializationMapping> {
+    vec![
+        SpecializationMapping::new(
+            "Person",
+            AUCTION,
+            "//person",
+            &[("name", "./name/text()"), ("city", "./city/text()")],
+        ),
+        SpecializationMapping::new(
+            "Item",
+            AUCTION,
+            "//item",
+            &[("name", "./name/text()"), ("category", "./category/text()")],
+        ),
+        SpecializationMapping::new(
+            "OpenAuction",
+            AUCTION,
+            "//open_auction",
+            &[
+                ("itemref", "./itemref/text()"),
+                ("seller", "./seller/text()"),
+                ("current", "./current/text()"),
+            ],
+        ),
+    ]
+}
+
+/// The schema correspondence: the auction document is published as-is (it is
+/// proprietary and public at the same time), with three redundant relational
+/// views for tuning.
+pub fn correspondence() -> SchemaCorrespondence {
+    SchemaCorrespondence {
+        public_documents: vec![AUCTION.to_string()],
+        gav_views: Vec::new(),
+        lav_views: vec![person_view(), item_view(), auction_view()],
+        xics: Vec::new(),
+        relational_constraints: Vec::new(),
+        proprietary_relations: Vec::new(),
+        proprietary_documents: vec![AUCTION.to_string()],
+        specializations: specializations(),
+    }
+}
+
+/// The query suite (each query is one decorrelated navigation block).
+pub fn query_suite() -> Vec<XBindQuery> {
+    let person_names = XBindQuery::new("Q1_person_names")
+        .with_head(&["n"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//person").unwrap(),
+            var: "p".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./name/text()").unwrap(),
+            source: "p".to_string(),
+            var: "n".to_string(),
+        });
+
+    let sellers_by_city = XBindQuery::new("Q2_sellers_with_city")
+        .with_head(&["n", "cur"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//person").unwrap(),
+            var: "p".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./@id").unwrap(),
+            source: "p".to_string(),
+            var: "pid".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./name/text()").unwrap(),
+            source: "p".to_string(),
+            var: "n".to_string(),
+        })
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//open_auction").unwrap(),
+            var: "a".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./seller/text()").unwrap(),
+            source: "a".to_string(),
+            var: "s".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./current/text()").unwrap(),
+            source: "a".to_string(),
+            var: "cur".to_string(),
+        })
+        .with_atom(XBindAtom::Eq(XBindTerm::var("pid"), XBindTerm::var("s")));
+
+    let auctioned_items = XBindQuery::new("Q3_auctioned_item_categories")
+        .with_head(&["iname", "cat"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//open_auction").unwrap(),
+            var: "a".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./itemref/text()").unwrap(),
+            source: "a".to_string(),
+            var: "ir".to_string(),
+        })
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//item").unwrap(),
+            var: "i".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./@id").unwrap(),
+            source: "i".to_string(),
+            var: "iid".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./name/text()").unwrap(),
+            source: "i".to_string(),
+            var: "iname".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./category/text()").unwrap(),
+            source: "i".to_string(),
+            var: "cat".to_string(),
+        })
+        .with_atom(XBindAtom::Eq(XBindTerm::var("ir"), XBindTerm::var("iid")));
+
+    let item_names = XBindQuery::new("Q4_item_names")
+        .with_head(&["iname"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: AUCTION.to_string(),
+            path: parse_path("//item/name/text()").unwrap(),
+            var: "iname".to_string(),
+        });
+
+    vec![person_names, sellers_by_city, auctioned_items, item_names]
+}
+
+/// Build MARS for the scenario (specialization on by default, as the document
+/// is highly regular).
+pub fn mars(use_specialization: bool) -> Mars {
+    let options = if use_specialization {
+        MarsOptions::specialized()
+    } else {
+        MarsOptions::default()
+    };
+    Mars::with_options(correspondence(), options)
+}
+
+/// Populate the stores with a generated document and the materialized views.
+pub fn populate(people: usize, items: usize, auctions: usize) -> (XmlStore, RelationalDatabase) {
+    let mut xml = XmlStore::new();
+    xml.add_document(generate_document(people, items, auctions, 42));
+    let mut db = RelationalDatabase::new();
+    for v in [person_view(), item_view(), auction_view()] {
+        materialize_view(&v, &mut xml, &mut db);
+    }
+    (xml, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_generation_and_views() {
+        let (xml, db) = populate(10, 6, 8);
+        let doc = xml.document(AUCTION).unwrap();
+        assert!(doc.element_count() > 10 + 6 + 8);
+        assert_eq!(db.cardinality("personCity"), 10);
+        assert_eq!(db.cardinality("itemCategory"), 6);
+        assert_eq!(db.cardinality("auctionSummary"), 8);
+    }
+
+    #[test]
+    fn every_suite_query_gets_a_reformulation() {
+        let system = mars(true);
+        for q in query_suite() {
+            let block = system.reformulate_xbind(&q);
+            assert!(block.result.has_reformulation(), "query {} must be reformulable", q.name);
+        }
+    }
+}

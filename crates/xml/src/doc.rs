@@ -1,0 +1,413 @@
+//! Arena-based XML document model.
+//!
+//! Nodes live in a flat arena owned by the [`Document`]; tree edges are stored
+//! as index vectors. This keeps node handles (`NodeId`) `Copy`, makes
+//! descendant traversal cheap, and maps directly onto the GReX relational
+//! encoding (`el`, `child`, `desc`, `tag`, `attr`, `id`, `text`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a node in a [`Document`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Kind of a node.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An element node with a tag name.
+    Element { tag: String },
+    /// A text node.
+    Text { value: String },
+}
+
+/// A node in the arena.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's kind (element or text).
+    pub kind: NodeKind,
+    /// Parent node (`None` for the document root element).
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Attributes (name → value), in insertion order.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl Node {
+    fn element(tag: &str, parent: Option<NodeId>) -> Node {
+        Node {
+            kind: NodeKind::Element { tag: tag.to_string() },
+            parent,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+
+    fn text(value: &str, parent: Option<NodeId>) -> Node {
+        Node {
+            kind: NodeKind::Text { value: value.to_string() },
+            parent,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// The tag name, if this is an element.
+    pub fn tag(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { tag } => Some(tag),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// The text value, if this is a text node.
+    pub fn text_value(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Text { value } => Some(value),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Is this an element node?
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+}
+
+/// An XML document: an arena of nodes with a distinguished root element.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Logical name of the document, e.g. `catalog.xml`.
+    pub name: String,
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Document {
+    /// An empty document with the given name.
+    pub fn new(name: &str) -> Document {
+        Document { name: name.to_string(), nodes: Vec::new(), root: None }
+    }
+
+    /// Create the root element; panics if a root already exists.
+    pub fn create_root(&mut self, tag: &str) -> NodeId {
+        assert!(self.root.is_none(), "document already has a root");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::element(tag, None));
+        self.root = Some(id);
+        id
+    }
+
+    /// The root element.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Append a child element under `parent`.
+    pub fn add_element(&mut self, parent: NodeId, tag: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::element(tag, Some(parent)));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Append a text child under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, value: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::text(value, Some(parent)));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Append an element with a single text child (`<tag>value</tag>`),
+    /// returning the element's id. This is the most common shape in the
+    /// paper's examples (leaf fields like `<price>12</price>`).
+    pub fn add_leaf(&mut self, parent: NodeId, tag: &str, value: &str) -> NodeId {
+        let el = self.add_element(parent, tag);
+        self.add_text(el, value);
+        el
+    }
+
+    /// Set an attribute on an element.
+    pub fn set_attribute(&mut self, node: NodeId, name: &str, value: &str) {
+        let attrs = &mut self.nodes[node.index()].attributes;
+        if let Some(entry) = attrs.iter_mut().find(|(n, _)| n == name) {
+            entry.1 = value.to_string();
+        } else {
+            attrs.push((name.to_string(), value.to_string()));
+        }
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes (elements + text nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the document empty (no root)?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_element()).count()
+    }
+
+    /// All node ids in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Child elements of a node.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id).children.iter().copied().filter(|c| self.node(*c).is_element())
+    }
+
+    /// Child elements with the given tag.
+    pub fn children_with_tag<'a>(
+        &'a self,
+        id: NodeId,
+        tag: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(id).filter(move |c| self.node(*c).tag() == Some(tag))
+    }
+
+    /// All descendant elements of a node (excluding the node itself), in
+    /// document order.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.node(id).children.iter().rev().copied().collect();
+        while let Some(next) = stack.pop() {
+            if self.node(next).is_element() {
+                out.push(next);
+            }
+            stack.extend(self.node(next).children.iter().rev().copied());
+        }
+        out
+    }
+
+    /// Descendant-or-self element set.
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = vec![id];
+        out.extend(self.descendants(id));
+        out
+    }
+
+    /// Concatenated text content of the node's direct text children.
+    pub fn text_of(&self, id: NodeId) -> String {
+        self.node(id)
+            .children
+            .iter()
+            .filter_map(|c| self.node(*c).text_value())
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Attribute value lookup.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.node(id)
+            .attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Deep-copy the subtree rooted at `source` (from `other`) under
+    /// `parent` in this document. Returns the id of the copy. Used when
+    /// materializing XQuery views that return deep copies of input elements.
+    pub fn deep_copy_from(&mut self, other: &Document, source: NodeId, parent: NodeId) -> NodeId {
+        let src = other.node(source);
+        let new_id = match &src.kind {
+            NodeKind::Element { tag } => {
+                let id = self.add_element(parent, tag);
+                for (n, v) in &src.attributes {
+                    self.set_attribute(id, n, v);
+                }
+                id
+            }
+            NodeKind::Text { value } => self.add_text(parent, value),
+        };
+        for child in &src.children {
+            self.deep_copy_from(other, *child, new_id);
+        }
+        new_id
+    }
+
+    /// Serialize to XML text (no declaration, two-space indentation).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root {
+            self.write_node(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn write_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let node = self.node(id);
+        match &node.kind {
+            NodeKind::Text { value } => {
+                out.push_str(&indent);
+                out.push_str(&escape(value));
+                out.push('\n');
+            }
+            NodeKind::Element { tag } => {
+                out.push_str(&indent);
+                out.push('<');
+                out.push_str(tag);
+                for (n, v) in &node.attributes {
+                    out.push_str(&format!(" {n}=\"{}\"", escape(v)));
+                }
+                if node.children.is_empty() {
+                    out.push_str("/>\n");
+                    return;
+                }
+                // Compact form for leaf elements with a single text child.
+                if node.children.len() == 1 {
+                    if let Some(text) = self.node(node.children[0]).text_value() {
+                        out.push('>');
+                        out.push_str(&escape(text));
+                        out.push_str(&format!("</{tag}>\n"));
+                        return;
+                    }
+                }
+                out.push_str(">\n");
+                for c in &node.children {
+                    self.write_node(*c, depth + 1, out);
+                }
+                out.push_str(&indent);
+                out.push_str(&format!("</{tag}>\n"));
+            }
+        }
+    }
+}
+
+/// Escape XML special characters.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Unescape XML entities produced by [`escape`].
+pub fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&quot;", "\"").replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Document {
+        // <catalog><drug><name>aspirin</name><price>3</price></drug>
+        //          <drug><name>ibuprofen</name><price>5</price></drug></catalog>
+        let mut d = Document::new("catalog.xml");
+        let root = d.create_root("catalog");
+        for (name, price) in [("aspirin", "3"), ("ibuprofen", "5")] {
+            let drug = d.add_element(root, "drug");
+            d.add_leaf(drug, "name", name);
+            d.add_leaf(drug, "price", price);
+        }
+        d
+    }
+
+    #[test]
+    fn building_and_counting() {
+        let d = catalog();
+        assert_eq!(d.element_count(), 7);
+        assert_eq!(d.len(), 11); // 7 elements + 4 text nodes
+        assert!(!d.is_empty());
+        let root = d.root().unwrap();
+        assert_eq!(d.node(root).tag(), Some("catalog"));
+        assert_eq!(d.child_elements(root).count(), 2);
+    }
+
+    #[test]
+    fn text_and_attributes() {
+        let mut d = catalog();
+        let root = d.root().unwrap();
+        let first_drug = d.child_elements(root).next().unwrap();
+        let name = d.children_with_tag(first_drug, "name").next().unwrap();
+        assert_eq!(d.text_of(name), "aspirin");
+        d.set_attribute(first_drug, "id", "d1");
+        assert_eq!(d.attribute(first_drug, "id"), Some("d1"));
+        d.set_attribute(first_drug, "id", "d2");
+        assert_eq!(d.attribute(first_drug, "id"), Some("d2"));
+        assert_eq!(d.attribute(first_drug, "absent"), None);
+    }
+
+    #[test]
+    fn descendants_are_in_document_order() {
+        let d = catalog();
+        let root = d.root().unwrap();
+        let desc = d.descendants(root);
+        assert_eq!(desc.len(), 6);
+        let tags: Vec<&str> = desc.iter().filter_map(|n| d.node(*n).tag()).collect();
+        assert_eq!(tags, vec!["drug", "name", "price", "drug", "name", "price"]);
+        assert_eq!(d.descendants_or_self(root).len(), 7);
+    }
+
+    #[test]
+    fn parents_are_tracked() {
+        let d = catalog();
+        let root = d.root().unwrap();
+        for c in d.child_elements(root) {
+            assert_eq!(d.node(c).parent, Some(root));
+        }
+        assert_eq!(d.node(root).parent, None);
+    }
+
+    #[test]
+    fn serialization_round_trips_structure() {
+        let d = catalog();
+        let xml = d.to_xml();
+        assert!(xml.contains("<catalog>"));
+        assert!(xml.contains("<name>aspirin</name>"));
+        assert!(xml.contains("</catalog>"));
+    }
+
+    #[test]
+    fn deep_copy_between_documents() {
+        let src = catalog();
+        let mut dst = Document::new("copy.xml");
+        let root = dst.create_root("result");
+        let first_drug = src.child_elements(src.root().unwrap()).next().unwrap();
+        dst.deep_copy_from(&src, first_drug, root);
+        assert_eq!(dst.element_count(), 4); // result + drug + name + price
+        let drug = dst.child_elements(root).next().unwrap();
+        assert_eq!(dst.node(drug).tag(), Some("drug"));
+        let name = dst.children_with_tag(drug, "name").next().unwrap();
+        assert_eq!(dst.text_of(name), "aspirin");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b&c>\"d\""), "a&lt;b&amp;c&gt;&quot;d&quot;");
+        assert_eq!(unescape(&escape("a<b&c>\"d\"")), "a<b&c>\"d\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a root")]
+    fn double_root_panics() {
+        let mut d = Document::new("x");
+        d.create_root("a");
+        d.create_root("b");
+    }
+}

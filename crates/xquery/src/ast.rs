@@ -1,0 +1,209 @@
+//! Abstract syntax of the XQuery fragment handled by the reproduction.
+//!
+//! The fragment covers what the paper's examples and the XMark-style workload
+//! exercise: FLWR expressions with multiple `for` bindings, `where`
+//! conjunctions of (in)equalities, element constructors with nested
+//! (correlated) subqueries, `distinct(...)`, variable references and paths
+//! rooted either at a document or at a variable.
+
+use mars_xml::Path;
+use serde::{Deserialize, Serialize};
+
+/// The source of a `for` binding.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SourceExpr {
+    /// An absolute path, optionally naming the document it navigates
+    /// (`document("catalog.xml")//drug` or plain `//book`, which navigates
+    /// the default document of the query).
+    AbsolutePath {
+        /// Explicit document, if `document("…")` was written.
+        document: Option<String>,
+        /// The path.
+        path: Path,
+    },
+    /// A path starting from a previously bound variable (`$b/author/text()`).
+    VarPath {
+        /// The context variable (without `$`).
+        var: String,
+        /// The relative path.
+        path: Path,
+    },
+    /// A bare variable reference (`$a`).
+    Var(String),
+}
+
+/// One `for $v in source` binding. `distinct` is true when the source was
+/// wrapped in `distinct(...)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForBinding {
+    /// Bound variable (without `$`).
+    pub var: String,
+    /// Source expression.
+    pub source: SourceExpr,
+    /// Whether duplicates are eliminated.
+    pub distinct: bool,
+}
+
+/// An operand of a `where` comparison.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A variable.
+    Var(String),
+    /// A string literal.
+    Str(String),
+}
+
+/// A `where` condition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `a = b`
+    Eq(Operand, Operand),
+    /// `a != b`
+    Neq(Operand, Operand),
+}
+
+/// An XQuery expression.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum XQueryExpr {
+    /// An element constructor `<tag> children </tag>`.
+    Element {
+        /// Tag of the constructed element.
+        tag: String,
+        /// Content, in order.
+        children: Vec<XQueryExpr>,
+    },
+    /// A FLWR block.
+    Flwr {
+        /// `for` bindings, in order.
+        bindings: Vec<ForBinding>,
+        /// Conjunction of `where` conditions.
+        conditions: Vec<Condition>,
+        /// The `return` expression.
+        ret: Box<XQueryExpr>,
+    },
+    /// A variable reference in content position (`$a`).
+    VarRef(String),
+    /// Literal text content.
+    Literal(String),
+    /// A sequence of expressions (element content with several items).
+    Sequence(Vec<XQueryExpr>),
+}
+
+impl XQueryExpr {
+    /// Count the FLWR blocks in the expression (used to check decorrelation:
+    /// one XBind query per block).
+    pub fn flwr_count(&self) -> usize {
+        match self {
+            XQueryExpr::Flwr { ret, .. } => 1 + ret.flwr_count(),
+            XQueryExpr::Element { children, .. } | XQueryExpr::Sequence(children) => {
+                children.iter().map(XQueryExpr::flwr_count).sum()
+            }
+            XQueryExpr::VarRef(_) | XQueryExpr::Literal(_) => 0,
+        }
+    }
+
+    /// All variables bound by `for` clauses anywhere in the expression.
+    pub fn bound_variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_bound(&mut out);
+        out
+    }
+
+    fn collect_bound(&self, out: &mut Vec<String>) {
+        match self {
+            XQueryExpr::Flwr { bindings, ret, .. } => {
+                for b in bindings {
+                    out.push(b.var.clone());
+                }
+                ret.collect_bound(out);
+            }
+            XQueryExpr::Element { children, .. } | XQueryExpr::Sequence(children) => {
+                for c in children {
+                    c.collect_bound(out);
+                }
+            }
+            XQueryExpr::VarRef(_) | XQueryExpr::Literal(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_xml::parse_path;
+
+    /// Hand-build the Example 2.1 query AST.
+    pub(crate) fn example_2_1_ast() -> XQueryExpr {
+        let inner = XQueryExpr::Flwr {
+            bindings: vec![
+                ForBinding {
+                    var: "b".into(),
+                    source: SourceExpr::AbsolutePath {
+                        document: None,
+                        path: parse_path("//book").unwrap(),
+                    },
+                    distinct: false,
+                },
+                ForBinding {
+                    var: "a1".into(),
+                    source: SourceExpr::VarPath {
+                        var: "b".into(),
+                        path: parse_path("./author/text()").unwrap(),
+                    },
+                    distinct: false,
+                },
+                ForBinding {
+                    var: "t".into(),
+                    source: SourceExpr::VarPath {
+                        var: "b".into(),
+                        path: parse_path("./title").unwrap(),
+                    },
+                    distinct: false,
+                },
+            ],
+            conditions: vec![Condition::Eq(Operand::Var("a".into()), Operand::Var("a1".into()))],
+            ret: Box::new(XQueryExpr::VarRef("t".into())),
+        };
+        XQueryExpr::Element {
+            tag: "result".into(),
+            children: vec![XQueryExpr::Flwr {
+                bindings: vec![ForBinding {
+                    var: "a".into(),
+                    source: SourceExpr::AbsolutePath {
+                        document: None,
+                        path: parse_path("//author/text()").unwrap(),
+                    },
+                    distinct: true,
+                }],
+                conditions: vec![],
+                ret: Box::new(XQueryExpr::Element {
+                    tag: "item".into(),
+                    children: vec![
+                        XQueryExpr::Element {
+                            tag: "writer".into(),
+                            children: vec![XQueryExpr::VarRef("a".into())],
+                        },
+                        inner,
+                    ],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn flwr_counting_and_bound_variables() {
+        let q = example_2_1_ast();
+        assert_eq!(q.flwr_count(), 2);
+        assert_eq!(q.bound_variables(), vec!["a", "b", "a1", "t"]);
+    }
+
+    #[test]
+    fn literals_and_sequences() {
+        let e = XQueryExpr::Sequence(vec![
+            XQueryExpr::Literal("hello".into()),
+            XQueryExpr::VarRef("x".into()),
+        ]);
+        assert_eq!(e.flwr_count(), 0);
+        assert!(e.bound_variables().is_empty());
+    }
+}

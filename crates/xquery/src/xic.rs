@@ -1,0 +1,196 @@
+//! XML Integrity Constraints (XICs).
+//!
+//! XICs "have the same general form as DEDs, in which relational atoms are
+//! replaced by predicates defined by XPath expressions" (Section 2.1). They
+//! express keys, inclusion constraints (as in XML Schema) and more general
+//! integrity constraints; `mars-grex` compiles them to relational DEDs over
+//! the GReX schema.
+
+use crate::xbind::{XBindAtom, XBindTerm};
+use mars_xml::parse_path;
+use serde::{Deserialize, Serialize};
+
+/// One disjunct of an XIC conclusion.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct XicConjunct {
+    /// Existentially quantified variables.
+    pub exists: Vec<String>,
+    /// Conclusion atoms (path or relational).
+    pub atoms: Vec<XBindAtom>,
+    /// Conclusion equalities.
+    pub equalities: Vec<(XBindTerm, XBindTerm)>,
+}
+
+impl XicConjunct {
+    /// A conjunct of atoms only.
+    pub fn atoms(atoms: Vec<XBindAtom>) -> XicConjunct {
+        XicConjunct { exists: Vec::new(), atoms, equalities: Vec::new() }
+    }
+
+    /// A conjunct of equalities only.
+    pub fn equalities(equalities: Vec<(XBindTerm, XBindTerm)>) -> XicConjunct {
+        XicConjunct { exists: Vec::new(), atoms: Vec::new(), equalities }
+    }
+
+    /// Builder: set the existential variables.
+    pub fn with_exists(mut self, exists: &[&str]) -> XicConjunct {
+        self.exists = exists.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// An XML integrity constraint: `∀ vars. premise → ⋁ conclusions`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Xic {
+    /// Constraint name.
+    pub name: String,
+    /// Premise atoms.
+    pub premise: Vec<XBindAtom>,
+    /// Disjunction of conclusions (empty = denial).
+    pub conclusions: Vec<XicConjunct>,
+}
+
+impl Xic {
+    /// A general XIC.
+    pub fn new(name: &str, premise: Vec<XBindAtom>, conclusions: Vec<XicConjunct>) -> Xic {
+        Xic { name: name.to_string(), premise, conclusions }
+    }
+
+    /// Paper constraint (2): every element reached by `element_path` has a
+    /// child reached by `child_path`. E.g. every `//person` has a `./ssn`.
+    pub fn exists_child(name: &str, document: &str, element_path: &str, child_path: &str) -> Xic {
+        let premise = vec![XBindAtom::AbsolutePath {
+            document: document.to_string(),
+            path: parse_path(element_path).expect("valid element path"),
+            var: "p".to_string(),
+        }];
+        let conclusion = XicConjunct::atoms(vec![XBindAtom::RelativePath {
+            path: parse_path(child_path).expect("valid child path"),
+            source: "p".to_string(),
+            var: "s".to_string(),
+        }])
+        .with_exists(&["s"]);
+        Xic::new(name, premise, vec![conclusion])
+    }
+
+    /// Paper constraint (1): the value reached by `key_path` is a key for the
+    /// elements reached by `element_path` — two elements sharing the key value
+    /// are equal.
+    pub fn key(name: &str, document: &str, element_path: &str, key_path: &str) -> Xic {
+        let epath = parse_path(element_path).expect("valid element path");
+        let kpath = parse_path(key_path).expect("valid key path");
+        let premise = vec![
+            XBindAtom::AbsolutePath {
+                document: document.to_string(),
+                path: epath.clone(),
+                var: "p".to_string(),
+            },
+            XBindAtom::RelativePath { path: kpath.clone(), source: "p".to_string(), var: "s".to_string() },
+            XBindAtom::AbsolutePath {
+                document: document.to_string(),
+                path: epath,
+                var: "q".to_string(),
+            },
+            XBindAtom::RelativePath { path: kpath, source: "q".to_string(), var: "s".to_string() },
+        ];
+        let conclusion =
+            XicConjunct::equalities(vec![(XBindTerm::var("p"), XBindTerm::var("q"))]);
+        Xic::new(name, premise, vec![conclusion])
+    }
+
+    /// A foreign-key style inclusion: every value reached by `from_path`
+    /// (under elements of `from_elements`) also appears under `to_path`
+    /// (under elements of `to_elements`).
+    pub fn inclusion(
+        name: &str,
+        document: &str,
+        from_elements: &str,
+        from_path: &str,
+        to_elements: &str,
+        to_path: &str,
+    ) -> Xic {
+        let premise = vec![
+            XBindAtom::AbsolutePath {
+                document: document.to_string(),
+                path: parse_path(from_elements).expect("valid path"),
+                var: "e".to_string(),
+            },
+            XBindAtom::RelativePath {
+                path: parse_path(from_path).expect("valid path"),
+                source: "e".to_string(),
+                var: "v".to_string(),
+            },
+        ];
+        let conclusion = XicConjunct::atoms(vec![
+            XBindAtom::AbsolutePath {
+                document: document.to_string(),
+                path: parse_path(to_elements).expect("valid path"),
+                var: "f".to_string(),
+            },
+            XBindAtom::RelativePath {
+                path: parse_path(to_path).expect("valid path"),
+                source: "f".to_string(),
+                var: "v".to_string(),
+            },
+        ])
+        .with_exists(&["f"]);
+        Xic::new(name, premise, vec![conclusion])
+    }
+
+    /// Is this a denial constraint?
+    pub fn is_denial(&self) -> bool {
+        self.conclusions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_child_matches_paper_constraint_2() {
+        let xic = Xic::exists_child("person_has_ssn", "people.xml", "//person", "./ssn");
+        assert_eq!(xic.premise.len(), 1);
+        assert_eq!(xic.conclusions.len(), 1);
+        assert_eq!(xic.conclusions[0].exists, vec!["s"]);
+        assert_eq!(xic.conclusions[0].atoms.len(), 1);
+        assert!(!xic.is_denial());
+    }
+
+    #[test]
+    fn key_matches_paper_constraint_1() {
+        let xic = Xic::key("ssn_key", "people.xml", "//person", "./ssn");
+        assert_eq!(xic.premise.len(), 4);
+        assert_eq!(xic.conclusions[0].equalities.len(), 1);
+        assert!(xic.conclusions[0].atoms.is_empty());
+    }
+
+    #[test]
+    fn inclusion_constraint_shape() {
+        let xic = Xic::inclusion(
+            "fk_a1",
+            "star.xml",
+            "//R",
+            "./A1/text()",
+            "//S1",
+            "./A/text()",
+        );
+        assert_eq!(xic.premise.len(), 2);
+        assert_eq!(xic.conclusions[0].atoms.len(), 2);
+        assert_eq!(xic.conclusions[0].exists, vec!["f"]);
+    }
+
+    #[test]
+    fn denial_constraints_have_no_conclusions() {
+        let d = Xic::new(
+            "forbidden",
+            vec![XBindAtom::AbsolutePath {
+                document: "d.xml".to_string(),
+                path: parse_path("//secret").unwrap(),
+                var: "x".to_string(),
+            }],
+            vec![],
+        );
+        assert!(d.is_denial());
+    }
+}

@@ -1,0 +1,28 @@
+//! The XMark-like publishing scenario (Section 4.2): realistic queries over
+//! an auction site document with redundant relational views.
+//!
+//! Run with `cargo run --release --example xmark_publishing`.
+
+use mars_workloads::xmark;
+use std::time::Instant;
+
+fn main() {
+    let system = xmark::mars(true);
+    let (_, db) = xmark::populate(50, 20, 40);
+
+    for q in xmark::query_suite() {
+        let start = Instant::now();
+        let block = system.reformulate_xbind(&q);
+        let elapsed = start.elapsed();
+        println!("{}", q.name);
+        println!("  reformulation time: {elapsed:?}");
+        match block.result.best_or_initial() {
+            Some(best) => {
+                let answers = db.query(best).len();
+                println!("  best reformulation: {} atoms, {} answers over the views",
+                    best.body.len(), answers);
+            }
+            None => println!("  no reformulation"),
+        }
+    }
+}

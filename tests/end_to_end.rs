@@ -1,0 +1,57 @@
+//! Cross-crate integration tests: the full MARS pipeline on the paper's
+//! scenarios, checked for *semantic correctness* — the reformulated query
+//! returns the same answers over the proprietary storage as the original
+//! query over the published data.
+
+use mars::MarsOptions;
+use mars_workloads::{example11, star::StarConfig, xmark};
+use std::collections::HashMap;
+
+#[test]
+fn star_reformulation_preserves_answers() {
+    let cfg = StarConfig::figure5(3);
+    let (xml, db) = cfg.populate(5, 4, 11);
+    let mars = cfg.mars(MarsOptions::specialized());
+    let block = mars.reformulate_xbind(&cfg.client_query());
+    assert!(block.result.has_reformulation());
+
+    let unreformulated = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
+    let best = block.result.best_or_initial().unwrap();
+    let reformulated = db.query(best);
+    assert_eq!(
+        unreformulated.len(),
+        reformulated.len(),
+        "reformulated query must return the same number of answers"
+    );
+}
+
+#[test]
+fn example_1_1_reformulates_and_executes() {
+    let system = example11::mars();
+    let (xml, mut db) = example11::populate(6);
+    let block = system.reformulate_xbind(&example11::client_query());
+    assert!(block.result.has_reformulation());
+    // Mixed storage: reformulations may navigate the proprietary XML documents.
+    // Load their GReX encodings so the relational engine can execute those atoms.
+    for doc in xml.document_names() {
+        db.load_facts(&mars_system::grex::encode_document(xml.document(&doc).unwrap()));
+    }
+    let best = block.result.best_or_initial().unwrap();
+    let rows = db.query(best);
+    assert!(!rows.is_empty(), "diagnosis-price associations must be returned: {best}");
+}
+
+#[test]
+fn xmark_suite_reformulates_within_budget() {
+    let system = xmark::mars(true);
+    for q in xmark::query_suite() {
+        let block = system.reformulate_xbind(&q);
+        assert!(block.result.has_reformulation(), "{} must be reformulable", q.name);
+        assert!(
+            block.duration.as_secs() < 30,
+            "{} took unreasonably long: {:?}",
+            q.name,
+            block.duration
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use mars_system::chase::{chase_to_universal_plan, ChaseOptions, SymbolicInstance};
+use mars_system::cq::{
+    contained_in, find_all_homomorphisms, naive_chase, Atom, ChaseBudget, ConjunctiveQuery,
+    ContainmentOptions, Ded, Substitution, Term,
+};
+use proptest::prelude::*;
+
+/// Generate a random chain query R0(x0,x1), R1(x1,x2), ... (bounded length).
+fn chain_query(len: usize, shared_relation: bool) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new("chain").with_head(vec![Term::var("x0")]);
+    for i in 0..len {
+        let rel = if shared_relation { "R".to_string() } else { format!("R{i}") };
+        q = q.with_atom(Atom::named(
+            &rel,
+            vec![Term::var(&format!("x{i}")), Term::var(&format!("x{}", i + 1))],
+        ));
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every query is contained in itself (reflexivity of containment).
+    #[test]
+    fn containment_is_reflexive(len in 1usize..6, shared in proptest::bool::ANY) {
+        let q = chain_query(len, shared);
+        prop_assert!(contained_in(&q, &q, &[], &ContainmentOptions::small()));
+    }
+
+    /// A chain query is contained in every prefix of itself (projection).
+    #[test]
+    fn chains_are_contained_in_prefixes(len in 2usize..6) {
+        let q = chain_query(len, false);
+        let prefix = q.subquery(&(0..len - 1).collect::<Vec<_>>());
+        prop_assert!(contained_in(&q, &prefix, &[], &ContainmentOptions::small()));
+        prop_assert!(!contained_in(&prefix, &q, &[], &ContainmentOptions::small()));
+    }
+
+    /// The set-oriented premise evaluation finds exactly as many homomorphisms
+    /// as the backtracking search.
+    #[test]
+    fn bulk_and_backtracking_homomorphisms_agree(
+        n_atoms in 1usize..12,
+        pattern_len in 1usize..3,
+    ) {
+        let mut target_atoms = Vec::new();
+        for i in 0..n_atoms {
+            target_atoms.push(Atom::named(
+                "R",
+                vec![Term::var(&format!("a{}", i % 4)), Term::var(&format!("a{}", (i + 1) % 5))],
+            ));
+        }
+        let target_q = ConjunctiveQuery::new("T").with_body(target_atoms.clone());
+        let inst = SymbolicInstance::from_query(&target_q);
+        let pattern = chain_query(pattern_len, true).body;
+
+        let bulk = mars_system::chase::evaluate_bindings(&pattern, &[], &inst, &Substitution::new());
+        let index = mars_system::cq::AtomIndex::new(&target_q.body);
+        let slow = find_all_homomorphisms(&pattern, &index, &Substitution::new(), None);
+        prop_assert_eq!(bulk.len(), slow.len());
+    }
+
+    /// The naive chase and the set-oriented chase produce universal plans of
+    /// the same size for transitive-closure style constraints.
+    #[test]
+    fn naive_and_fast_chase_agree_on_closure(len in 1usize..5) {
+        let q = chain_query(len, true);
+        let deds = vec![
+            Ded::tgd(
+                "copy",
+                vec![Atom::named("R", vec![Term::var("x"), Term::var("y")])],
+                vec![],
+                vec![Atom::named("S", vec![Term::var("x"), Term::var("y")])],
+            ),
+            Ded::tgd(
+                "strans",
+                vec![
+                    Atom::named("S", vec![Term::var("x"), Term::var("y")]),
+                    Atom::named("S", vec![Term::var("y"), Term::var("z")]),
+                ],
+                vec![],
+                vec![Atom::named("S", vec![Term::var("x"), Term::var("z")])],
+            ),
+        ];
+        let naive = naive_chase(&q, &deds, &ChaseBudget::small());
+        let fast = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        prop_assert!(naive.terminated());
+        prop_assert!(fast.stats.completed);
+        prop_assert_eq!(naive.single().unwrap().body.len(), fast.primary().body.len());
+    }
+}

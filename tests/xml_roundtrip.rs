@@ -1,0 +1,56 @@
+//! Property tests of the XML substrate: parse/serialize round trips and
+//! GReX encodings.
+
+use mars_system::grex::encode_document;
+use mars_system::xml::{parse_document, Document};
+use proptest::prelude::*;
+
+fn arbitrary_document(depth: u32, width: usize) -> Document {
+    // Deterministic "arbitrary-ish" builder driven by the parameters.
+    let mut doc = Document::new("gen.xml");
+    let root = doc.create_root("root");
+    let mut frontier = vec![root];
+    for d in 0..depth {
+        let mut next = Vec::new();
+        for (i, &parent) in frontier.iter().enumerate() {
+            for w in 0..width {
+                let el = doc.add_element(parent, &format!("e{d}_{w}"));
+                if (i + w) % 2 == 0 {
+                    doc.add_text(el, &format!("text {d} {w}"));
+                }
+                if w == 0 {
+                    doc.set_attribute(el, "k", &format!("{d}-{i}-{w}"));
+                }
+                next.push(el);
+            }
+        }
+        frontier = next;
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn serialize_parse_round_trip(depth in 0u32..4, width in 1usize..4) {
+        let doc = arbitrary_document(depth, width);
+        let text = doc.to_xml();
+        let parsed = parse_document("gen.xml", &text).unwrap();
+        prop_assert_eq!(parsed.element_count(), doc.element_count());
+    }
+
+    #[test]
+    fn grex_encoding_counts_are_consistent(depth in 0u32..4, width in 1usize..4) {
+        let doc = arbitrary_document(depth, width);
+        let facts = encode_document(&doc);
+        let schema = mars_system::grex::GrexSchema::new("gen.xml");
+        let els = facts.iter().filter(|a| a.predicate == schema.el()).count();
+        let tags = facts.iter().filter(|a| a.predicate == schema.tag()).count();
+        let childs = facts.iter().filter(|a| a.predicate == schema.child()).count();
+        prop_assert_eq!(els, doc.element_count());
+        prop_assert_eq!(tags, doc.element_count());
+        prop_assert_eq!(childs, doc.element_count() - 1);
+        prop_assert!(facts.iter().all(|a| a.is_ground()));
+    }
+}
