@@ -88,13 +88,7 @@ fn fig8(max_nc: usize, results: &mut HashMap<String, serde_json::Value>) {
     let mut rows = Vec::new();
     for nc in 3..=max_nc {
         let p = measure_fig8(nc);
-        println!(
-            "{:>4} {:>16.2} {:>14.2} {:>10.1}",
-            p.nc,
-            ms(p.without),
-            ms(p.with),
-            p.ratio()
-        );
+        println!("{:>4} {:>16.2} {:>14.2} {:>10.1}", p.nc, ms(p.without), ms(p.with), p.ratio());
         rows.push(serde_json::json!({
             "nc": p.nc,
             "without_ms": ms(p.without),
@@ -117,8 +111,11 @@ fn stress_experiment(results: &mut HashMap<String, serde_json::Value>) {
     let start = Instant::now();
     let naive = naive_chase(&q, &tix, &ChaseBudget::default().with_timeout(cap));
     let naive_time = start.elapsed();
-    let naive_label =
-        if naive.terminated() { format!("{:.0} ms", ms(naive_time)) } else { format!(">{:.0} ms (timed out)", ms(cap)) };
+    let naive_label = if naive.terminated() {
+        format!("{:.0} ms", ms(naive_time))
+    } else {
+        format!(">{:.0} ms (timed out)", ms(cap))
+    };
 
     let start = Instant::now();
     let no_shortcut = chase_to_universal_plan(&q, &tix, &ChaseOptions::without_shortcut());
@@ -131,14 +128,8 @@ fn stress_experiment(results: &mut HashMap<String, serde_json::Value>) {
     println!("input atoms:                 {}", q.body.len());
     println!("universal plan atoms:        {}", with_shortcut.primary().body.len());
     println!("old (naive) implementation:  {naive_label}   (paper: >12 h)");
-    println!(
-        "new join-tree implementation: {:.1} ms   (paper: 2.6 s)",
-        ms(no_shortcut_time)
-    );
-    println!(
-        "new + closure shortcut:       {:.1} ms   (paper: 640 ms)",
-        ms(with_shortcut_time)
-    );
+    println!("new join-tree implementation: {:.1} ms   (paper: 2.6 s)", ms(no_shortcut_time));
+    println!("new + closure shortcut:       {:.1} ms   (paper: 640 ms)", ms(with_shortcut_time));
     results.insert(
         "stress".to_string(),
         serde_json::json!({
@@ -265,10 +256,8 @@ fn xmark_feasibility(results: &mut HashMap<String, serde_json::Value>) {
     }
     let avg = total / xmark::query_suite().len() as u32;
     println!("average reformulation time: {:.2} ms   (paper: ~350 ms)", ms(avg));
-    results.insert(
-        "xmark".to_string(),
-        serde_json::json!({"queries": rows, "average_ms": ms(avg)}),
-    );
+    results
+        .insert("xmark".to_string(), serde_json::json!({"queries": rows, "average_ms": ms(avg)}));
 
     // Example 1.1 sanity row (qualitative — which storage the best plan uses).
     let system = example11::mars();

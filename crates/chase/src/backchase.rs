@@ -161,12 +161,8 @@ pub fn backchase(
         if options.prune_parallel_desc { prune_parallel_desc(primary) } else { primary.clone() };
 
     // Pool of candidate atoms: proprietary atoms of the (pruned) plan.
-    let pool: Vec<_> = pruned_plan
-        .body
-        .iter()
-        .filter(|a| proprietary.contains(&a.predicate))
-        .cloned()
-        .collect();
+    let pool: Vec<_> =
+        pruned_plan.body.iter().filter(|a| proprietary.contains(&a.predicate)).cloned().collect();
     if pool.is_empty() || pool.len() > 128 {
         // Either nothing to enumerate, or the pool is too large for subset
         // enumeration: fall back to greedy minimization of the initial
@@ -224,6 +220,9 @@ pub fn backchase(
             break;
         }
         // Minimality pruning: supersets of a found reformulation are not minimal.
+        // (Subset test on bitmasks, not membership — clippy's `contains`
+        // suggestion would change the semantics.)
+        #[allow(clippy::manual_contains)]
         if found_masks.iter().any(|&f| f & mask == f) {
             continue;
         }
@@ -342,12 +341,10 @@ mod tests {
             vec![Variable::named("z")],
             vec![Atom::named("B", vec![t("y"), t("z")])],
         );
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         let deds = vec![ind, c_v, b_v];
         let proprietary: HashSet<Predicate> = [Predicate::new("V")].into_iter().collect();
@@ -359,8 +356,7 @@ mod tests {
         let (q, deds, proprietary) = section_2_3_setup();
         let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
         let est = WeightedAtomEstimator::default();
-        let out =
-            backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
         assert_eq!(out.minimal.len(), 1);
         let (best, _) = out.best.as_ref().unwrap();
         assert_eq!(best.body.len(), 1);
@@ -409,14 +405,8 @@ mod tests {
         let deds_no_ind: Vec<Ded> = deds.iter().skip(1).cloned().collect();
         let up = chase_to_universal_plan(&q, &deds_no_ind, &ChaseOptions::default());
         let est = WeightedAtomEstimator::default();
-        let out = backchase(
-            &q,
-            &up,
-            &proprietary,
-            &deds_no_ind,
-            &est,
-            &BackchaseOptions::default(),
-        );
+        let out =
+            backchase(&q, &up, &proprietary, &deds_no_ind, &est, &BackchaseOptions::default());
         assert!(out.minimal.is_empty());
         assert!(out.best.is_none());
     }

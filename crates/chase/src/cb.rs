@@ -184,18 +184,15 @@ impl ChaseBackchase {
             candidates_inspected: bc.candidates_inspected,
             equivalence_checks: bc.equivalence_checks,
         };
-        ReformulationResult {
-            universal_plan,
-            initial,
-            minimal: bc.minimal,
-            best: bc.best,
-            stats,
-        }
+        ReformulationResult { universal_plan, initial, minimal: bc.minimal, best: bc.best, stats }
     }
 
     /// Chase only ("switch off the backchase"): return the initial
     /// reformulation and the chase statistics.
-    pub fn initial_only(&self, query: &ConjunctiveQuery) -> (Option<ConjunctiveQuery>, CbStatistics) {
+    pub fn initial_only(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> (Option<ConjunctiveQuery>, CbStatistics) {
         let start = Instant::now();
         let up = chase_to_universal_plan(query, &self.deds, &self.options.chase);
         let time_to_universal_plan = start.elapsed();
@@ -235,12 +232,10 @@ mod tests {
             vec![Variable::named("z")],
             vec![Atom::named("B", vec![t("y"), t("z")])],
         );
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         let proprietary: HashSet<Predicate> = [Predicate::new("V")].into_iter().collect();
         (ChaseBackchase::new(vec![ind, c_v, b_v], proprietary), q)
@@ -297,10 +292,7 @@ mod tests {
 
     #[test]
     fn unsatisfiable_query_produces_empty_plan() {
-        let denial = Ded::denial(
-            "no_a",
-            vec![Atom::named("A", vec![t("x"), t("y")])],
-        );
+        let denial = Ded::denial("no_a", vec![Atom::named("A", vec![t("x"), t("y")])]);
         let cb = ChaseBackchase::new(vec![denial], HashSet::new());
         let q = ConjunctiveQuery::new("Q")
             .with_head(vec![t("x")])

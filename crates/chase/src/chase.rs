@@ -354,12 +354,10 @@ mod tests {
             vec![v("z")],
             vec![Atom::named("B", vec![t("y"), t("z")])],
         );
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         let deds = vec![ind, c_v, b_v];
         let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
@@ -395,18 +393,13 @@ mod tests {
     #[test]
     fn egd_unification_rewrites_head() {
         // key: R(k,a) ∧ R(k,b) → a = b; head exposes both a and b.
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x"), t("y")])
-            .with_body(vec![
-                Atom::named("R", vec![t("k"), t("x")]),
-                Atom::named("R", vec![t("k"), t("y")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x"), t("y")]).with_body(vec![
+            Atom::named("R", vec![t("k"), t("x")]),
+            Atom::named("R", vec![t("k"), t("y")]),
+        ]);
         let key = Ded::egd(
             "key",
-            vec![
-                Atom::named("R", vec![t("u"), t("p")]),
-                Atom::named("R", vec![t("u"), t("q")]),
-            ],
+            vec![Atom::named("R", vec![t("u"), t("p")]), Atom::named("R", vec![t("u"), t("q")])],
             t("p"),
             t("q"),
         );
@@ -468,12 +461,10 @@ mod tests {
         let q = ConjunctiveQuery::new("Q")
             .with_head(vec![t("x")])
             .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         let up = chase_to_universal_plan(&q, &[c_v, b_v], &ChaseOptions::default());
         let plan = up.primary();
@@ -484,12 +475,10 @@ mod tests {
     fn fresh_variables_do_not_collide() {
         // Two independent A-facts each trigger (ind): the two invented B
         // targets must be distinct variables.
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x1"), t("x2")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x1"), t("y1")]),
-                Atom::named("A", vec![t("x2"), t("y2")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x1"), t("x2")]).with_body(vec![
+            Atom::named("A", vec![t("x1"), t("y1")]),
+            Atom::named("A", vec![t("x2"), t("y2")]),
+        ]);
         let ind = Ded::tgd(
             "ind",
             vec![Atom::named("A", vec![t("x"), t("y")])],
@@ -498,8 +487,7 @@ mod tests {
         );
         let up = chase_to_universal_plan(&q, &[ind], &ChaseOptions::default());
         let plan = up.primary();
-        let b_atoms: Vec<&Atom> =
-            plan.body.iter().filter(|a| a.predicate.name() == "B").collect();
+        let b_atoms: Vec<&Atom> = plan.body.iter().filter(|a| a.predicate.name() == "B").collect();
         assert_eq!(b_atoms.len(), 2);
         assert_ne!(b_atoms[0].args[1], b_atoms[1].args[1]);
     }

@@ -121,7 +121,8 @@ mod tests {
     #[test]
     fn tgd_blocking_detection() {
         // base: child(x,y) → desc(x,y)
-        let base = Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
+        let base =
+            Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
         let c = CompiledDed::compile(&base);
         let inst_without = instance_of(vec![child(t("a"), t("b"))]);
         let inst_with = instance_of(vec![child(t("a"), t("b")), desc(t("a"), t("b"))]);
@@ -136,10 +137,7 @@ mod tests {
         // key: R(k,a) ∧ R(k,b) → a=b
         let key = Ded::egd(
             "key",
-            vec![
-                Atom::named("R", vec![t("k"), t("a")]),
-                Atom::named("R", vec![t("k"), t("b")]),
-            ],
+            vec![Atom::named("R", vec![t("k"), t("a")]), Atom::named("R", vec![t("k"), t("b")])],
             t("a"),
             t("b"),
         );

@@ -38,8 +38,7 @@ fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
     let mut used = vec![false; n];
     let mut bound: Vec<Variable> = initially_bound.to_vec();
 
-    let const_count =
-        |a: &Atom| a.args.iter().filter(|t| t.is_const()).count();
+    let const_count = |a: &Atom| a.args.iter().filter(|t| t.is_const()).count();
 
     for _ in 0..n {
         let mut best: Option<usize> = None;
@@ -48,9 +47,9 @@ fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
             if used[i] {
                 continue;
             }
-            let connected =
-                order.is_empty() || a.variables().any(|v| bound.contains(&v));
-            let key = (connected, const_count(a) + a.variables().filter(|v| bound.contains(v)).count());
+            let connected = order.is_empty() || a.variables().any(|v| bound.contains(&v));
+            let key =
+                (connected, const_count(a) + a.variables().filter(|v| bound.contains(v)).count());
             if best.is_none() || key > best_key {
                 best = Some(i);
                 best_key = key;
@@ -74,9 +73,7 @@ pub fn evaluate_bindings(
 ) -> Vec<Binding> {
     if atoms.is_empty() {
         // Only the initial binding, provided it satisfies the inequalities.
-        let ok = inequalities
-            .iter()
-            .all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
+        let ok = inequalities.iter().all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
         return if ok { vec![initial.clone()] } else { Vec::new() };
     }
 
@@ -143,10 +140,8 @@ pub fn evaluate_bindings(
         // Probe.
         let mut next_rows: Vec<Substitution> = Vec::new();
         for row in &rows {
-            let key: Vec<Term> = join_positions
-                .iter()
-                .map(|&i| row.apply_term(atom.args[i]))
-                .collect();
+            let key: Vec<Term> =
+                join_positions.iter().map(|&i| row.apply_term(atom.args[i])).collect();
             if let Some(matches) = index.get(&key) {
                 for tuple in matches {
                     let mut extended = row.clone();
@@ -171,9 +166,7 @@ pub fn evaluate_bindings(
     }
 
     if !inequalities.is_empty() {
-        rows.retain(|r| {
-            inequalities.iter().all(|(a, b)| r.apply_term(*a) != r.apply_term(*b))
-        });
+        rows.retain(|r| inequalities.iter().all(|(a, b)| r.apply_term(*a) != r.apply_term(*b)));
     }
     rows
 }
@@ -207,16 +200,14 @@ mod tests {
 
     fn example_instance() -> SymbolicInstance {
         // Q(a,g) :- R(a,b), R(b,c), R(c,d), S(d,e), S(e,f), S(f,g)
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("a"), t("g")])
-            .with_body(vec![
-                Atom::named("R", vec![t("a"), t("b")]),
-                Atom::named("R", vec![t("b"), t("c")]),
-                Atom::named("R", vec![t("c"), t("d")]),
-                Atom::named("S", vec![t("d"), t("e")]),
-                Atom::named("S", vec![t("e"), t("f")]),
-                Atom::named("S", vec![t("f"), t("g")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("a"), t("g")]).with_body(vec![
+            Atom::named("R", vec![t("a"), t("b")]),
+            Atom::named("R", vec![t("b"), t("c")]),
+            Atom::named("R", vec![t("c"), t("d")]),
+            Atom::named("S", vec![t("d"), t("e")]),
+            Atom::named("S", vec![t("e"), t("f")]),
+            Atom::named("S", vec![t("f"), t("g")]),
+        ]);
         SymbolicInstance::from_query(&q)
     }
 
@@ -243,12 +234,7 @@ mod tests {
         inst.insert_atom(&tag(t("n1"), "author"));
         inst.insert_atom(&tag(t("n2"), "title"));
         inst.insert_atom(&tag(t("n3"), "author"));
-        let res = evaluate_bindings(
-            &[tag(t("x"), "author")],
-            &[],
-            &inst,
-            &Substitution::new(),
-        );
+        let res = evaluate_bindings(&[tag(t("x"), "author")], &[], &inst, &Substitution::new());
         assert_eq!(res.len(), 2);
     }
 
@@ -271,8 +257,7 @@ mod tests {
     fn initial_bindings_restrict_results() {
         let inst = example_instance();
         let init = Substitution::from_pairs(vec![(v("x"), t("b"))]).unwrap();
-        let res =
-            evaluate_bindings(&[Atom::named("R", vec![t("x"), t("y")])], &[], &inst, &init);
+        let res = evaluate_bindings(&[Atom::named("R", vec![t("x"), t("y")])], &[], &inst, &init);
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].get(v("y")), Some(t("c")));
     }
@@ -363,8 +348,7 @@ mod tests {
         let pattern = vec![child(t("x"), t("y")), child(t("x"), t("z"))];
         let fast = evaluate_bindings(&pattern, &[], &inst, &Substitution::new());
         let index = mars_cq::AtomIndex::new(&atoms_in_instance);
-        let slow =
-            mars_cq::find_all_homomorphisms(&pattern, &index, &Substitution::new(), None);
+        let slow = mars_cq::find_all_homomorphisms(&pattern, &index, &Substitution::new(), None);
         assert_eq!(fast.len(), slow.len());
         assert_eq!(fast.len(), 6 * 3 * 3);
     }

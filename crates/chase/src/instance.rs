@@ -82,10 +82,7 @@ impl SymbolicInstance {
 
     /// Does the instance contain the atom (exactly)?
     pub fn contains_atom(&self, atom: &Atom) -> bool {
-        self.relations
-            .get(&atom.predicate)
-            .map(|r| r.contains(&atom.args))
-            .unwrap_or(false)
+        self.relations.get(&atom.predicate).map(|r| r.contains(&atom.args)).unwrap_or(false)
     }
 
     /// The relation for a predicate (empty slice if absent).
@@ -146,9 +143,7 @@ impl SymbolicInstance {
         inequalities: Vec<(Term, Term)>,
     ) -> ConjunctiveQuery {
         let mut atoms = self.atoms();
-        atoms.sort_by(|a, b| {
-            (a.predicate.name(), &a.args).cmp(&(b.predicate.name(), &b.args))
-        });
+        atoms.sort_by(|a, b| (a.predicate.name(), &a.args).cmp(&(b.predicate.name(), &b.args)));
         ConjunctiveQuery { name: name.to_string(), head, body: atoms, inequalities }
     }
 
@@ -188,15 +183,13 @@ mod tests {
     }
 
     fn sample_query() -> ConjunctiveQuery {
-        ConjunctiveQuery::new("Q")
-            .with_head(vec![t("a")])
-            .with_body(vec![
-                root(t("r")),
-                desc(t("r"), t("d")),
-                child(t("d"), t("c")),
-                tag(t("c"), "author"),
-                text(t("c"), t("a")),
-            ])
+        ConjunctiveQuery::new("Q").with_head(vec![t("a")]).with_body(vec![
+            root(t("r")),
+            desc(t("r"), t("d")),
+            child(t("d"), t("c")),
+            tag(t("c"), "author"),
+            text(t("c"), t("a")),
+        ])
     }
 
     #[test]

@@ -112,13 +112,8 @@ pub fn prune_parallel_desc(plan: &ConjunctiveQuery) -> ConjunctiveQuery {
         }
     }
     let _ = (desc_p, child_p);
-    let body: Vec<Atom> = plan
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| keep[*i])
-        .map(|(_, a)| a.clone())
-        .collect();
+    let body: Vec<Atom> =
+        plan.body.iter().enumerate().filter(|(i, _)| keep[*i]).map(|(_, a)| a.clone()).collect();
     ConjunctiveQuery {
         name: plan.name.clone(),
         head: plan.head.clone(),
@@ -156,11 +151,11 @@ impl ReachabilityGraph {
         let roots: Vec<usize> = (0..n).filter(|&i| requires[i].is_empty()).collect();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         for i in 0..n {
-            for j in 0..n {
+            for (j, required) in requires.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                if requires[j].iter().any(|v| produces[i].contains(v)) {
+                if required.iter().any(|v| produces[i].contains(v)) {
                     successors[i].push(j);
                 }
             }
@@ -241,9 +236,11 @@ mod tests {
     fn criterion_1_keeps_essential_desc() {
         // //a/b : root(r), desc(r,a), child(a,b) — the desc atom is the only
         // way to reach `a`, it must be kept.
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("b")])
-            .with_body(vec![root(t("r")), desc(t("r"), t("a")), child(t("a"), t("b"))]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("b")]).with_body(vec![
+            root(t("r")),
+            desc(t("r"), t("a")),
+            child(t("a"), t("b")),
+        ]);
         let pruned = prune_parallel_desc(&q);
         assert_eq!(pruned.body.len(), 3);
     }
@@ -251,14 +248,12 @@ mod tests {
     #[test]
     fn criterion_1_uses_multi_edge_chains() {
         // desc(x,z) parallel to desc(x,y), child(y,z) is removed.
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("z")])
-            .with_body(vec![
-                root(t("x")),
-                desc(t("x"), t("y")),
-                child(t("y"), t("z")),
-                desc(t("x"), t("z")),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("z")]).with_body(vec![
+            root(t("x")),
+            desc(t("x"), t("y")),
+            child(t("y"), t("z")),
+            desc(t("x"), t("z")),
+        ]);
         let pruned = prune_parallel_desc(&q);
         assert_eq!(pruned.body.len(), 3);
         assert!(pruned.body.contains(&desc(t("x"), t("y"))));
@@ -314,14 +309,12 @@ mod tests {
 
     #[test]
     fn views_are_their_own_entry_points_in_the_graph() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("k")])
-            .with_body(vec![
-                Atom::named("V1", vec![t("k"), t("b1"), t("b2")]),
-                Atom::named("V2", vec![t("k"), t("b2"), t("b3")]),
-                root(t("r")),
-                child(t("r"), t("e")),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("k")]).with_body(vec![
+            Atom::named("V1", vec![t("k"), t("b1"), t("b2")]),
+            Atom::named("V2", vec![t("k"), t("b2"), t("b3")]),
+            root(t("r")),
+            child(t("r"), t("e")),
+        ]);
         let g = ReachabilityGraph::new(&q);
         assert!(g.roots.contains(&0) && g.roots.contains(&1) && g.roots.contains(&2));
         assert!(g.is_legal_subset(&[0]));

@@ -56,11 +56,7 @@ pub struct ClosureConstraints {
 impl ClosureConstraints {
     /// Indices of all detected closure constraints.
     pub fn indices(&self) -> Vec<usize> {
-        self.groups
-            .iter()
-            .flat_map(|g| [g.base, g.trans, g.refl])
-            .flatten()
-            .collect()
+        self.groups.iter().flat_map(|g| [g.base, g.trans, g.refl]).flatten().collect()
     }
 
     /// Were any closure constraints detected?
@@ -319,10 +315,7 @@ mod tests {
         let disj = Ded::disjunctive(
             "notbase",
             vec![child(t("x"), t("y"))],
-            vec![
-                Conjunct::atoms(vec![desc(t("x"), t("y"))]),
-                Conjunct::atoms(vec![el(t("x"))]),
-            ],
+            vec![Conjunct::atoms(vec![desc(t("x"), t("y"))]), Conjunct::atoms(vec![el(t("x"))])],
         );
         // child of one document implying desc of another is NOT (base).
         let cross = Ded::tgd(

@@ -88,13 +88,11 @@ mod tests {
     #[test]
     fn monotone_in_number_of_atoms() {
         let est = WeightedAtomEstimator::default();
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("S", vec![t("y"), t("z")]),
-                desc(t("x"), t("z")),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("S", vec![t("y"), t("z")]),
+            desc(t("x"), t("z")),
+        ]);
         for k in 1..=q.body.len() {
             let idx: Vec<usize> = (0..k).collect();
             let sub = q.subquery(&idx);

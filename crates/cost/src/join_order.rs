@@ -105,9 +105,9 @@ impl JoinOrderEstimator {
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
         // best[mask] = (cost, last_atom, predecessor_mask)
         let mut best: HashMap<u32, (f64, usize, u32)> = HashMap::new();
-        for i in 0..n {
+        for (i, atom) in body.iter().enumerate() {
             let mask = 1u32 << i;
-            best.insert(mask, (self.atom_cardinality(&body[i]), i, 0));
+            best.insert(mask, (self.atom_cardinality(atom), i, 0));
         }
         for mask in 1..=full {
             if mask.count_ones() < 2 {
@@ -167,8 +167,8 @@ impl JoinOrderEstimator {
             let prefix_vars: HashSet<Variable> =
                 chosen.iter().flat_map(|a| a.variables()).collect();
             for (pos, &idx) in remaining.iter().enumerate() {
-                let connected = chosen.is_empty()
-                    || body[idx].variables().any(|v| prefix_vars.contains(&v));
+                let connected =
+                    chosen.is_empty() || body[idx].variables().any(|v| prefix_vars.contains(&v));
                 let mut candidate = chosen.clone();
                 candidate.push(&body[idx]);
                 let mut card = self.subset_cardinality(&candidate);
@@ -283,12 +283,10 @@ mod tests {
         catalog.set_cardinality("Tiny", 2.0);
         catalog.set_cardinality("Huge", 1_000_000.0);
         let est = JoinOrderEstimator::new(catalog);
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("Huge", vec![t("x"), t("y")]),
-                Atom::named("Tiny", vec![t("x")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("Huge", vec![t("x"), t("y")]),
+            Atom::named("Tiny", vec![t("x")]),
+        ]);
         let plan = est.plan(&q);
         assert_eq!(plan.order[0], 1, "the tiny relation should lead the join");
     }
@@ -331,30 +329,24 @@ mod tests {
     #[test]
     fn estimated_result_size_shrinks_with_shared_variables() {
         let est = JoinOrderEstimator::new(Catalog::with_default_cardinality(100.0));
-        let joined = ConjunctiveQuery::new("J")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("S", vec![t("y"), t("z")]),
-            ]);
-        let cross = ConjunctiveQuery::new("X")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("S", vec![t("u"), t("z")]),
-            ]);
+        let joined = ConjunctiveQuery::new("J").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("S", vec![t("y"), t("z")]),
+        ]);
+        let cross = ConjunctiveQuery::new("X").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("S", vec![t("u"), t("z")]),
+        ]);
         assert!(estimated_result_size(&est, &joined) < estimated_result_size(&est, &cross));
     }
 
     #[test]
     fn plan_connectivity_detector() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("S", vec![t("a"), t("b")]),
-                Atom::named("T", vec![t("y"), t("a")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("S", vec![t("a"), t("b")]),
+            Atom::named("T", vec![t("y"), t("a")]),
+        ]);
         let bad = JoinPlan { cost: 0.0, order: vec![0, 1, 2] };
         let good = JoinPlan { cost: 0.0, order: vec![0, 2, 1] };
         assert!(!plan_is_connected(&q, &bad));

@@ -33,13 +33,11 @@ mod tests {
 
     #[test]
     fn default_estimators_are_monotone_on_subqueries() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![Term::var("x")])
-            .with_body(vec![
-                Atom::named("R", vec![Term::var("x"), Term::var("y")]),
-                Atom::named("S", vec![Term::var("y"), Term::var("z")]),
-                Atom::named("T", vec![Term::var("z"), Term::var("w")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![Term::var("x")]).with_body(vec![
+            Atom::named("R", vec![Term::var("x"), Term::var("y")]),
+            Atom::named("S", vec![Term::var("y"), Term::var("z")]),
+            Atom::named("T", vec![Term::var("z"), Term::var("w")]),
+        ]);
         let sub = q.subquery(&[0, 1]);
         let catalog = Catalog::with_default_cardinality(1000.0);
         let join = JoinOrderEstimator::new(catalog);

@@ -15,9 +15,7 @@
 
 use crate::atom::Atom;
 use crate::ded::{Conjunct, Ded};
-use crate::homomorphism::{
-    extend_to_conclusion, find_all_homomorphisms, AtomIndex,
-};
+use crate::homomorphism::{extend_to_conclusion, find_all_homomorphisms, AtomIndex};
 use crate::query::ConjunctiveQuery;
 use crate::substitution::Substitution;
 use crate::term::{Term, VarGen};
@@ -233,10 +231,8 @@ pub fn naive_chase(query: &ConjunctiveQuery, deds: &[Ded], budget: &ChaseBudget)
                         continue;
                     }
                     // Step applies iff no disjunct already extends.
-                    let satisfied = ded
-                        .conclusions
-                        .iter()
-                        .any(|c| extend_to_conclusion(c, &h, &index));
+                    let satisfied =
+                        ded.conclusions.iter().any(|c| extend_to_conclusion(c, &h, &index));
                     if satisfied {
                         continue;
                     }
@@ -319,12 +315,10 @@ mod tests {
             vec![v("z")],
             vec![Atom::named("B", vec![t("y"), t("z")])],
         );
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         let tree = naive_chase(&q, &[ind, c_v, b_v], &ChaseBudget::small());
         assert!(tree.terminated());
@@ -341,16 +335,14 @@ mod tests {
     /// Example 3.1: one applicable step, and re-chasing does not reapply it.
     #[test]
     fn example_3_1_single_step() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("a"), t("g")])
-            .with_body(vec![
-                Atom::named("R", vec![t("a"), t("b")]),
-                Atom::named("R", vec![t("b"), t("c")]),
-                Atom::named("R", vec![t("c"), t("d")]),
-                Atom::named("S", vec![t("d"), t("e")]),
-                Atom::named("S", vec![t("e"), t("f")]),
-                Atom::named("S", vec![t("f"), t("g")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("a"), t("g")]).with_body(vec![
+            Atom::named("R", vec![t("a"), t("b")]),
+            Atom::named("R", vec![t("b"), t("c")]),
+            Atom::named("R", vec![t("c"), t("d")]),
+            Atom::named("S", vec![t("d"), t("e")]),
+            Atom::named("S", vec![t("e"), t("f")]),
+            Atom::named("S", vec![t("f"), t("g")]),
+        ]);
         let c = Ded::tgd(
             "c",
             vec![
@@ -374,13 +366,11 @@ mod tests {
     fn transitive_closure_chase_on_chain() {
         // chain of 4 child atoms + (base),(trans),(refl over els) produces the
         // full reflexive-transitive closure in desc.
-        let q = ConjunctiveQuery::new("chain")
-            .with_head(vec![t("x1")])
-            .with_body(vec![
-                child(t("x1"), t("x2")),
-                child(t("x2"), t("x3")),
-                child(t("x3"), t("x4")),
-            ]);
+        let q = ConjunctiveQuery::new("chain").with_head(vec![t("x1")]).with_body(vec![
+            child(t("x1"), t("x2")),
+            child(t("x2"), t("x3")),
+            child(t("x3"), t("x4")),
+        ]);
         let base =
             Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
         let trans = Ded::tgd(
@@ -392,11 +382,7 @@ mod tests {
         let tree = naive_chase(&q, &[base, trans], &ChaseBudget::small());
         assert!(tree.terminated());
         let up = tree.single().unwrap();
-        let desc_count = up
-            .body
-            .iter()
-            .filter(|a| a.predicate.name() == "desc")
-            .count();
+        let desc_count = up.body.iter().filter(|a| a.predicate.name() == "desc").count();
         // pairs (i,j) with i<j over 4 nodes: 6
         assert_eq!(desc_count, 6);
     }
@@ -404,20 +390,15 @@ mod tests {
     #[test]
     fn egd_unifies_variables() {
         // key: R(k,a) ∧ R(k,b) → a=b ; query has R(k,x), R(k,y), S(x), T(y)
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("k")])
-            .with_body(vec![
-                Atom::named("R", vec![t("k"), t("x")]),
-                Atom::named("R", vec![t("k"), t("y")]),
-                Atom::named("S", vec![t("x")]),
-                Atom::named("T", vec![t("y")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("k")]).with_body(vec![
+            Atom::named("R", vec![t("k"), t("x")]),
+            Atom::named("R", vec![t("k"), t("y")]),
+            Atom::named("S", vec![t("x")]),
+            Atom::named("T", vec![t("y")]),
+        ]);
         let key = Ded::egd(
             "key",
-            vec![
-                Atom::named("R", vec![t("u"), t("p")]),
-                Atom::named("R", vec![t("u"), t("q")]),
-            ],
+            vec![Atom::named("R", vec![t("u"), t("p")]), Atom::named("R", vec![t("u"), t("q")])],
             t("p"),
             t("q"),
         );
@@ -440,10 +421,7 @@ mod tests {
         ]);
         let key = Ded::egd(
             "key",
-            vec![
-                Atom::named("R", vec![t("u"), t("p")]),
-                Atom::named("R", vec![t("u"), t("q")]),
-            ],
+            vec![Atom::named("R", vec![t("u"), t("p")]), Atom::named("R", vec![t("u"), t("q")])],
             t("p"),
             t("q"),
         );
@@ -455,9 +433,7 @@ mod tests {
 
     #[test]
     fn denial_constraint_fails_branch() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![])
-            .with_body(vec![child(t("x"), t("x"))]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![]).with_body(vec![child(t("x"), t("x"))]);
         let d = Ded::denial("no_self", vec![child(t("u"), t("u"))]);
         let tree = naive_chase(&q, &[d], &ChaseBudget::small());
         assert!(tree.terminated());
@@ -535,7 +511,7 @@ mod tests {
         let q = ConjunctiveQuery::new("Q")
             .with_head(vec![])
             .with_body(vec![Atom::named("R", vec![t("a"), t("a")])]);
-        let tree = naive_chase(&q, &[d.clone()], &ChaseBudget::small());
+        let tree = naive_chase(&q, std::slice::from_ref(&d), &ChaseBudget::small());
         assert!(tree.terminated());
         assert_eq!(tree.steps, 0);
 

@@ -144,12 +144,10 @@ mod tests {
     #[test]
     fn classic_containment_without_constraints() {
         // Q1(x) :- R(x,y), R(y,z)   ⊆   Q2(x) :- R(x,y)
-        let q1 = ConjunctiveQuery::new("Q1")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("R", vec![t("y"), t("z")]),
-            ]);
+        let q1 = ConjunctiveQuery::new("Q1").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("y"), t("z")]),
+        ]);
         let q2 = ConjunctiveQuery::new("Q2")
             .with_head(vec![t("x")])
             .with_body(vec![Atom::named("R", vec![t("x"), t("y")])]);
@@ -195,12 +193,10 @@ mod tests {
             vec![Variable::named("z")],
             vec![Atom::named("B", vec![t("y"), t("z")])],
         );
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         let deds = vec![ind, c_v, b_v];
         let opts = ContainmentOptions::small();
@@ -214,12 +210,10 @@ mod tests {
     #[test]
     fn minimization_removes_redundant_atoms() {
         // Q(x) :- R(x,y), R(x,y') minimizes to a single R atom.
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("R", vec![t("x"), t("y2")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("x"), t("y2")]),
+        ]);
         let m = minimize(&q, &[], &ContainmentOptions::small());
         assert_eq!(m.body.len(), 1);
         assert!(equivalent(&m, &q, &[], &ContainmentOptions::small()));
@@ -227,12 +221,10 @@ mod tests {
 
     #[test]
     fn minimization_keeps_necessary_atoms() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("R", vec![t("x"), t("y")]),
-                Atom::named("S", vec![t("y"), t("z")]),
-            ]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("S", vec![t("y"), t("z")]),
+        ]);
         let m = minimize(&q, &[], &ContainmentOptions::small());
         assert_eq!(m.body.len(), 2);
     }

@@ -63,8 +63,7 @@ impl Conjunct {
 
     /// All variables mentioned in this conjunct.
     pub fn variables(&self) -> BTreeSet<Variable> {
-        let mut out: BTreeSet<Variable> =
-            self.atoms.iter().flat_map(|a| a.variables()).collect();
+        let mut out: BTreeSet<Variable> = self.atoms.iter().flat_map(|a| a.variables()).collect();
         for (a, b) in &self.equalities {
             if let Some(v) = a.as_var() {
                 out.insert(v);
@@ -161,12 +160,7 @@ impl Ded {
 
     /// A general DED with several disjuncts.
     pub fn disjunctive(name: &str, premise: Vec<Atom>, conclusions: Vec<Conjunct>) -> Ded {
-        Ded {
-            name: name.to_string(),
-            premise,
-            premise_inequalities: Vec::new(),
-            conclusions,
-        }
+        Ded { name: name.to_string(), premise, premise_inequalities: Vec::new(), conclusions }
     }
 
     /// A denial constraint (`premise → false`).
@@ -187,8 +181,7 @@ impl Ded {
 
     /// The universally quantified variables (those of the premise).
     pub fn universal_variables(&self) -> BTreeSet<Variable> {
-        let mut out: BTreeSet<Variable> =
-            self.premise.iter().flat_map(|a| a.variables()).collect();
+        let mut out: BTreeSet<Variable> = self.premise.iter().flat_map(|a| a.variables()).collect();
         for (a, b) in &self.premise_inequalities {
             if let Some(v) = a.as_var() {
                 out.insert(v);
@@ -207,11 +200,8 @@ impl Ded {
         let universal = self.universal_variables();
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        let declared: HashSet<Variable> = conjunct.exists.iter().copied().collect();
         for v in conjunct.variables() {
             if !universal.contains(&v) && seen.insert(v) {
-                out.push(v);
-            } else if declared.contains(&v) && !universal.contains(&v) && seen.insert(v) {
                 out.push(v);
             }
         }
@@ -248,10 +238,7 @@ impl Ded {
 
     /// Predicates mentioned in any conclusion.
     pub fn conclusion_predicates(&self) -> BTreeSet<Predicate> {
-        self.conclusions
-            .iter()
-            .flat_map(|c| c.atoms.iter().map(|a| a.predicate))
-            .collect()
+        self.conclusions.iter().flat_map(|c| c.atoms.iter().map(|a| a.predicate)).collect()
     }
 
     /// Maximum number of premise atoms; the paper notes that TIX constraints
@@ -325,12 +312,8 @@ pub fn view_dependencies(
         }
         out
     };
-    let b_v = Ded::tgd(
-        &format!("b{view_name}"),
-        vec![head_atom],
-        exists,
-        defining_query.body.clone(),
-    );
+    let b_v =
+        Ded::tgd(&format!("b{view_name}"), vec![head_atom], exists, defining_query.body.clone());
     (c_v, b_v)
 }
 
@@ -349,12 +332,8 @@ mod tests {
 
     #[test]
     fn tgd_and_egd_classification() {
-        let base = Ded::tgd(
-            "base",
-            vec![child(t("x"), t("y"))],
-            vec![],
-            vec![desc(t("x"), t("y"))],
-        );
+        let base =
+            Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
         assert!(base.is_tgd());
         assert!(!base.is_egd());
         assert!(!base.is_disjunctive());
@@ -363,10 +342,7 @@ mod tests {
 
         let key = Ded::egd(
             "key",
-            vec![
-                Atom::named("R", vec![t("k"), t("a")]),
-                Atom::named("R", vec![t("k"), t("b")]),
-            ],
+            vec![Atom::named("R", vec![t("k"), t("a")]), Atom::named("R", vec![t("k"), t("b")])],
             t("a"),
             t("b"),
         );
@@ -416,12 +392,10 @@ mod tests {
     #[test]
     fn view_dependency_pair_matches_paper_example() {
         // V(x,z) :- A(x,y), B(y,z)
-        let defq = ConjunctiveQuery::new("V")
-            .with_head(vec![t("x"), t("z")])
-            .with_body(vec![
-                Atom::named("A", vec![t("x"), t("y")]),
-                Atom::named("B", vec![t("y"), t("z")]),
-            ]);
+        let defq = ConjunctiveQuery::new("V").with_head(vec![t("x"), t("z")]).with_body(vec![
+            Atom::named("A", vec![t("x"), t("y")]),
+            Atom::named("B", vec![t("y"), t("z")]),
+        ]);
         let (c_v, b_v) = view_dependencies("V", &defq);
         // cV: A(x,y) ∧ B(y,z) → V(x,z)
         assert_eq!(c_v.premise.len(), 2);
@@ -435,20 +409,15 @@ mod tests {
 
     #[test]
     fn predicate_sets() {
-        let base = Ded::tgd(
-            "base",
-            vec![child(t("x"), t("y"))],
-            vec![],
-            vec![desc(t("x"), t("y"))],
-        );
+        let base =
+            Ded::tgd("base", vec![child(t("x"), t("y"))], vec![], vec![desc(t("x"), t("y"))]);
         assert!(base.premise_predicates().contains(&Predicate::new("child")));
         assert!(base.conclusion_predicates().contains(&Predicate::new("desc")));
     }
 
     #[test]
     fn conjunct_apply_substitution() {
-        let c = Conjunct::atoms(vec![desc(t("x"), t("y"))])
-            .with_equalities(vec![(t("x"), t("y"))]);
+        let c = Conjunct::atoms(vec![desc(t("x"), t("y"))]).with_equalities(vec![(t("x"), t("y"))]);
         let s = Substitution::from_pairs(vec![(v("x"), Term::constant_str("n1"))]).unwrap();
         let c2 = c.apply(&s);
         assert_eq!(c2.atoms[0].args[0], Term::constant_str("n1"));

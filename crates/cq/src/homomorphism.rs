@@ -89,6 +89,7 @@ fn match_atom(source: &Atom, target_atom: &Atom, sub: &Substitution) -> Option<S
     Some(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search(
     source: &[Atom],
     pos: usize,
@@ -383,17 +384,13 @@ mod tests {
             Atom::named("R", vec![t("k"), t("x")]),
             Atom::named("R", vec![t("k"), t("y")]),
         ]);
-        let premise = vec![
-            Atom::named("R", vec![t("p"), t("q")]),
-            Atom::named("R", vec![t("p"), t("r")]),
-        ];
+        let premise =
+            vec![Atom::named("R", vec![t("p"), t("q")]), Atom::named("R", vec![t("p"), t("r")])];
         let conclusion = Conjunct::equalities(vec![(t("q"), t("r"))]);
         // There is a homomorphism mapping q,r to distinct x,y: it does NOT
         // satisfy the equality, so the EGD step applies for that mapping.
         let all = find_all_homomorphisms(&premise, &target, &Substitution::new(), None);
-        assert!(all
-            .iter()
-            .any(|h| !extend_to_conclusion(&conclusion, h, &target)));
+        assert!(all.iter().any(|h| !extend_to_conclusion(&conclusion, h, &target)));
         // And there are also homomorphisms mapping q=r (both to x), which do satisfy it.
         assert!(all.iter().any(|h| extend_to_conclusion(&conclusion, h, &target)));
     }

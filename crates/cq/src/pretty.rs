@@ -44,13 +44,7 @@ pub fn render_deds(deds: &[Ded]) -> String {
 /// A compact one-line summary of a query, used in experiment output:
 /// name, atom count, join count, head arity.
 pub fn summarize_query(q: &ConjunctiveQuery) -> String {
-    format!(
-        "{}: {} atoms, {} joins, arity {}",
-        q.name,
-        q.body.len(),
-        q.join_count(),
-        q.head.len()
-    )
+    format!("{}: {} atoms, {} joins, arity {}", q.name, q.body.len(), q.join_count(), q.head.len())
 }
 
 #[cfg(test)]
@@ -100,9 +94,11 @@ mod tests {
 
     #[test]
     fn summarize_counts() {
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![t("x")])
-            .with_body(vec![root(t("x")), child(t("x"), t("y")), tag(t("y"), "a")]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x")]).with_body(vec![
+            root(t("x")),
+            child(t("x"), t("y")),
+            tag(t("y"), "a"),
+        ]);
         assert_eq!(summarize_query(&q), "Q: 3 atoms, 2 joins, arity 1");
     }
 }

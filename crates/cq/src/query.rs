@@ -115,8 +115,7 @@ impl ConjunctiveQuery {
 
     /// A *safe* query binds every head variable in the body.
     pub fn is_safe(&self) -> bool {
-        let body_vars: HashSet<Variable> =
-            self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: HashSet<Variable> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head_variables().iter().all(|v| body_vars.contains(v))
     }
 
@@ -131,8 +130,7 @@ impl ConjunctiveQuery {
     /// This is exactly the notion of *subquery of the universal plan* from the
     /// backchase phase (Section 2.3 of the paper).
     pub fn subquery(&self, atom_indices: &[usize]) -> ConjunctiveQuery {
-        let body: Vec<Atom> =
-            atom_indices.iter().map(|&i| self.body[i].clone()).collect();
+        let body: Vec<Atom> = atom_indices.iter().map(|&i| self.body[i].clone()).collect();
         let vars: HashSet<Variable> = body.iter().flat_map(|a| a.variables()).collect();
         let inequalities = self
             .inequalities
@@ -249,15 +247,13 @@ mod tests {
 
     fn sample() -> ConjunctiveQuery {
         // Bo(a) :- root(r), desc(r,d), child(d,c), tag(c,"author"), text(c,a)
-        ConjunctiveQuery::new("Bo")
-            .with_head(vec![Term::var("a")])
-            .with_body(vec![
-                root(Term::var("r")),
-                desc(Term::var("r"), Term::var("d")),
-                child(Term::var("d"), Term::var("c")),
-                tag(Term::var("c"), "author"),
-                text(Term::var("c"), Term::var("a")),
-            ])
+        ConjunctiveQuery::new("Bo").with_head(vec![Term::var("a")]).with_body(vec![
+            root(Term::var("r")),
+            desc(Term::var("r"), Term::var("d")),
+            child(Term::var("d"), Term::var("c")),
+            tag(Term::var("c"), "author"),
+            text(Term::var("c"), Term::var("a")),
+        ])
     }
 
     #[test]
@@ -311,11 +307,8 @@ mod tests {
     #[test]
     fn apply_substitution_to_query() {
         let q = sample();
-        let s = Substitution::from_pairs(vec![(
-            Variable::named("a"),
-            Term::constant_str("Knuth"),
-        )])
-        .unwrap();
+        let s = Substitution::from_pairs(vec![(Variable::named("a"), Term::constant_str("Knuth"))])
+            .unwrap();
         let q2 = q.apply(&s);
         assert_eq!(q2.head[0], Term::constant_str("Knuth"));
         assert!(q2.body[4].args.contains(&Term::constant_str("Knuth")));

@@ -216,8 +216,7 @@ mod tests {
 
     #[test]
     fn from_pairs_detects_conflicts() {
-        let conflicting =
-            vec![(v("x"), Term::constant_int(1)), (v("x"), Term::constant_int(2))];
+        let conflicting = vec![(v("x"), Term::constant_int(1)), (v("x"), Term::constant_int(2))];
         assert!(Substitution::from_pairs(conflicting).is_none());
     }
 

@@ -57,11 +57,7 @@ pub fn symbol(s: &str) -> Symbol {
 /// Resolve a [`Symbol`] back to its string.
 pub fn symbol_name(sym: Symbol) -> String {
     let guard = interner().read().expect("symbol interner poisoned");
-    guard
-        .names
-        .get(sym.0 as usize)
-        .cloned()
-        .unwrap_or_else(|| format!("<sym:{}>", sym.0))
+    guard.names.get(sym.0 as usize).cloned().unwrap_or_else(|| format!("<sym:{}>", sym.0))
 }
 
 impl Symbol {

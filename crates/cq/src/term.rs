@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn vargen_avoiding_skips_used_indices() {
-        let terms = vec![
+        let terms = [
             Term::Var(Variable::with_index("x", 5)),
             Term::Var(Variable::named("y")),
             Term::constant_str("c"),

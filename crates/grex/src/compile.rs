@@ -234,7 +234,9 @@ fn compile_conjunct(
     let mut equalities: Vec<(Term, Term)> = conj
         .equalities
         .iter()
-        .map(|(a, b)| (premise_sub.apply_term_deep(xterm(a)), premise_sub.apply_term_deep(xterm(b))))
+        .map(|(a, b)| {
+            (premise_sub.apply_term_deep(xterm(a)), premise_sub.apply_term_deep(xterm(b)))
+        })
         .collect();
     equalities.extend(
         compiled
@@ -321,13 +323,11 @@ mod tests {
 
     #[test]
     fn attribute_and_wildcard_steps() {
-        let xb = XBindQuery::new("Q")
-            .with_head(&["y"])
-            .with_atom(XBindAtom::AbsolutePath {
-                document: "bib.xml".to_string(),
-                path: parse_path("//book/@year").unwrap(),
-                var: "y".to_string(),
-            });
+        let xb = XBindQuery::new("Q").with_head(&["y"]).with_atom(XBindAtom::AbsolutePath {
+            document: "bib.xml".to_string(),
+            path: parse_path("//book/@year").unwrap(),
+            var: "y".to_string(),
+        });
         let mut ctx = CompileContext::new();
         let q = compile_xbind(&mut ctx, &xb);
         let s = GrexSchema::new("bib.xml");

@@ -15,8 +15,7 @@ use mars_xml::Document;
 pub fn encode_document(doc: &Document) -> Vec<Atom> {
     let schema = GrexSchema::new(&doc.name);
     let mut out = Vec::new();
-    let node_const =
-        |id: mars_xml::NodeId| Term::constant_str(&format!("{}/n{}", doc.name, id.0));
+    let node_const = |id: mars_xml::NodeId| Term::constant_str(&format!("{}/n{}", doc.name, id.0));
 
     let Some(root) = doc.root() else {
         return out;

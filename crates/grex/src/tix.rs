@@ -119,7 +119,6 @@ pub fn tix_constraints(schema: &GrexSchema) -> Vec<Ded> {
     ]
 }
 
-
 /// TIX without the disjunctive `(line)` constraint. `(line)` never fires on
 /// the tree-shaped canonical instances produced by compiling path queries
 /// (one of its disjuncts is always already satisfied), but evaluating its
@@ -127,10 +126,7 @@ pub fn tix_constraints(schema: &GrexSchema) -> Vec<Ded> {
 /// chases with this core set by default and keeps the full set available for
 /// callers that need it.
 pub fn tix_constraints_core(schema: &GrexSchema) -> Vec<Ded> {
-    tix_constraints(schema)
-        .into_iter()
-        .filter(|d| !d.name.starts_with("TIX.line"))
-        .collect()
+    tix_constraints(schema).into_iter().filter(|d| !d.name.starts_with("TIX.line")).collect()
 }
 
 impl GrexSchema {
@@ -173,15 +169,13 @@ mod tests {
     fn chasing_a_path_query_with_tix_terminates() {
         // //a/b : root(r), desc(r,n1), tag(n1,a), child(n1,n2), tag(n2,b)
         let s = GrexSchema::new("doc.xml");
-        let q = ConjunctiveQuery::new("path")
-            .with_head(vec![Term::var("n2")])
-            .with_body(vec![
-                s.root_atom(Term::var("r")),
-                s.desc_atom(Term::var("r"), Term::var("n1")),
-                s.tag_atom(Term::var("n1"), "a"),
-                s.child_atom(Term::var("n1"), Term::var("n2")),
-                s.tag_atom(Term::var("n2"), "b"),
-            ]);
+        let q = ConjunctiveQuery::new("path").with_head(vec![Term::var("n2")]).with_body(vec![
+            s.root_atom(Term::var("r")),
+            s.desc_atom(Term::var("r"), Term::var("n1")),
+            s.tag_atom(Term::var("n1"), "a"),
+            s.child_atom(Term::var("n1"), Term::var("n2")),
+            s.tag_atom(Term::var("n2"), "b"),
+        ]);
         let up = chase_to_universal_plan(&q, &tix_constraints(&s), &ChaseOptions::default());
         assert!(up.stats.completed, "TIX chase must terminate");
         assert!(!up.branches.is_empty());

@@ -51,11 +51,21 @@ pub struct ViewDef {
 impl ViewDef {
     /// A view materializing a relation with the same name as the view.
     pub fn relational(name: &str, body: XBindQuery) -> ViewDef {
-        ViewDef { name: name.to_string(), body, output: ViewOutput::Relation { name: name.to_string() } }
+        ViewDef {
+            name: name.to_string(),
+            body,
+            output: ViewOutput::Relation { name: name.to_string() },
+        }
     }
 
     /// A view materializing a flat XML document.
-    pub fn xml_flat(name: &str, body: XBindQuery, document: &str, row_tag: &str, field_tags: &[&str]) -> ViewDef {
+    pub fn xml_flat(
+        name: &str,
+        body: XBindQuery,
+        document: &str,
+        row_tag: &str,
+        field_tags: &[&str],
+    ) -> ViewDef {
         ViewDef {
             name: name.to_string(),
             body,
@@ -192,7 +202,10 @@ pub fn compile_view(ctx: &mut CompileContext, view: &ViewDef) -> Vec<Ded> {
                     other_head.push(row);
                     deds.push(Ded::egd(
                         &format!("{}_injective_{i}", view.name),
-                        vec![Atom::new(skolem, skolem_args.clone()), Atom::new(skolem, other_head.clone())],
+                        vec![
+                            Atom::new(skolem, skolem_args.clone()),
+                            Atom::new(skolem, other_head.clone()),
+                        ],
                         Term::Var(v),
                         other_head[i],
                     ));
@@ -275,15 +288,15 @@ mod tests {
 
     #[test]
     fn xml_flat_view_generates_skolem_constraints() {
-        let body = XBindQuery::new("CacheMap")
-            .with_head(&["diag", "drug"])
-            .with_atom(XBindAtom::Relational {
+        let body = XBindQuery::new("CacheMap").with_head(&["diag", "drug"]).with_atom(
+            XBindAtom::Relational {
                 relation: "caseAssoc".to_string(),
                 args: vec![
                     mars_xquery::XBindTerm::var("diag"),
                     mars_xquery::XBindTerm::var("drug"),
                 ],
-            });
+            },
+        );
         let view = ViewDef::xml_flat(
             "CacheEntry",
             body,

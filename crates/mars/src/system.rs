@@ -4,8 +4,10 @@ use crate::result::{BlockReformulation, MarsResult};
 use mars_chase::{CbOptions, ChaseBackchase};
 use mars_cost::{CostEstimator, WeightedAtomEstimator};
 use mars_cq::{ConjunctiveQuery, Ded, Predicate};
-use mars_grex::{compile_view, compile_xbind, compile_xic, tix_constraints_core,
-    CompileContext, GrexSchema, ViewDef};
+use mars_grex::{
+    compile_view, compile_xbind, compile_xic, tix_constraints_core, CompileContext, GrexSchema,
+    ViewDef,
+};
 use mars_specialize::{specialize_query, specialize_view, specialize_xic, SpecializationMapping};
 use mars_storage::sql_for_query;
 use mars_xquery::{decorrelate, parse_xquery, XBindAtom, XBindQuery, Xic};
@@ -190,12 +192,13 @@ impl Mars {
         // proprietary schema.
         if specialize_active {
             for m in &corr.specializations {
-                let mut body = XBindQuery::new(&format!("{}_def", m.relation))
-                    .with_atom(XBindAtom::AbsolutePath {
+                let mut body = XBindQuery::new(&format!("{}_def", m.relation)).with_atom(
+                    XBindAtom::AbsolutePath {
                         document: m.document.clone(),
                         path: m.entity_path.clone(),
                         var: "id".to_string(),
-                    });
+                    },
+                );
                 let mut head: Vec<String> = vec!["id".to_string()];
                 for (i, f) in m.fields.iter().enumerate() {
                     let var = format!("f{i}");
@@ -236,12 +239,12 @@ impl Mars {
     /// Reformulate a single XBind query (one navigation block).
     pub fn reformulate_xbind(&self, xbind: &XBindQuery) -> BlockReformulation {
         let start = Instant::now();
-        let effective = if self.options.use_specialization && !self.correspondence.specializations.is_empty()
-        {
-            specialize_query(xbind, &self.correspondence.specializations)
-        } else {
-            xbind.clone()
-        };
+        let effective =
+            if self.options.use_specialization && !self.correspondence.specializations.is_empty() {
+                specialize_query(xbind, &self.correspondence.specializations)
+            } else {
+                xbind.clone()
+            };
         let mut ctx = CompileContext::new();
         let compiled: ConjunctiveQuery = compile_xbind(&mut ctx, &effective);
         let result = self.engine.reformulate(&compiled);
@@ -280,14 +283,10 @@ mod tests {
     /// author)` is published as the public document `bib.xml` through a GAV
     /// view, and additionally a LAV view caches the author list as a table.
     fn mini_correspondence() -> SchemaCorrespondence {
-        let case_body = XBindQuery::new("PubMap")
-            .with_head(&["t", "a"])
-            .with_atom(XBindAtom::Relational {
+        let case_body =
+            XBindQuery::new("PubMap").with_head(&["t", "a"]).with_atom(XBindAtom::Relational {
                 relation: "bookRel".to_string(),
-                args: vec![
-                    mars_xquery::XBindTerm::var("t"),
-                    mars_xquery::XBindTerm::var("a"),
-                ],
+                args: vec![mars_xquery::XBindTerm::var("t"), mars_xquery::XBindTerm::var("a")],
             });
         let gav = ViewDef::xml_flat("PubMap", case_body, "bib.xml", "book", &["title", "author"]);
 
@@ -321,7 +320,10 @@ mod tests {
         assert!(mars.proprietary_predicates().contains(&Predicate::new("bookRel")));
         assert!(mars.proprietary_predicates().contains(&Predicate::new("authorsCache")));
         // TIX added for the published document.
-        assert!(mars.dependencies().iter().any(|d| d.name.contains("TIX") && d.name.contains("bib.xml")));
+        assert!(mars
+            .dependencies()
+            .iter()
+            .any(|d| d.name.contains("TIX") && d.name.contains("bib.xml")));
         assert_eq!(mars.correspondence().public_documents, vec!["bib.xml"]);
     }
 

@@ -1,0 +1,173 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) expanding each property into a `#[test]` that samples its
+//!   strategies `cases` times,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * integer-range strategies (`1usize..6`) and [`bool::ANY`].
+//!
+//! Sampling is deterministic (a fixed-seed xorshift generator, advanced per
+//! case) so failures are reproducible across runs. There is no shrinking:
+//! a failing case panics with the sampled inputs in the message instead.
+
+pub mod strategy {
+    /// Minimal deterministic RNG (xorshift64*), one per test function.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            // Only the all-zero state is degenerate; remap it alone instead
+            // of masking bits (which would collapse adjacent seeds).
+            TestRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// A source of random values of one type. The associated value must be
+    /// `Debug` so failing cases can be reported.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            })*
+        };
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, i32, i64);
+}
+
+pub mod bool {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy producing `true` / `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical `proptest::bool::ANY` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-property configuration. Only `cases` is consulted by the shim.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Strategy, TestRng};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Expand properties into `#[test]` functions that sample each strategy
+/// `cases` times. On failure the sampled inputs are printed via the panic
+/// message of an outer assertion.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                // Seed differs per property so distinct tests explore
+                // different parts of the space, but is fixed across runs.
+                let seed = {
+                    let name = stringify!($name);
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    h
+                };
+                let mut rng = $crate::strategy::TestRng::new(seed);
+                for case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {case} failed with inputs: {:?}",
+                            ($(&$pat,)*)
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile without crates.io access.
+//! Marker traits of the same names live alongside the macros (macros and
+//! traits occupy different namespaces, exactly as in real serde).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! no-op `Serialize` / `Deserialize` derives. The workspace only uses the
+//! derives as annotations (nothing serializes the core types through serde),
+//! so expanding to nothing is sufficient and keeps every `#[derive(...)]`
+//! in the source compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

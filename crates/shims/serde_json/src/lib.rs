@@ -1,0 +1,237 @@
+//! Offline shim for `serde_json`.
+//!
+//! Implements exactly the surface the workspace uses: the [`Value`] tree, the
+//! [`json!`] macro for object/array literals with expression values, and
+//! [`to_string_pretty`] over values and string-keyed maps.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Error type matching the real crate's `serde_json::Error` position in
+/// signatures. Serialization of in-memory values cannot fail here.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+macro_rules! impl_from_number {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(v as f64)
+            }
+        })*
+    };
+}
+
+impl_from_number!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Build a [`Value`] from a JSON-shaped literal. Object values and array
+/// elements are arbitrary expressions convertible into [`Value`] via `From`
+/// (nest further `json!` calls explicitly for deeper literals).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Types this shim can pretty-print at the top level.
+pub trait JsonSerialize {
+    fn to_value(&self) -> Value;
+}
+
+impl JsonSerialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl JsonSerialize for HashMap<String, Value> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+    }
+}
+
+impl JsonSerialize for BTreeMap<String, Value> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+/// Pretty-print with two-space indentation, keys sorted (objects are ordered
+/// maps), matching the real crate's output shape closely enough for files
+/// meant for human inspection.
+pub fn to_string_pretty<T: JsonSerialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if !n.is_finite() {
+                // JSON has no NaN/Infinity; real serde_json cannot represent
+                // non-finite f64 either and emits null.
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let rows = vec![json!({"a": 1, "b": true})];
+        let v = json!({"rows": rows, "label": "x"});
+        match &v {
+            Value::Object(map) => {
+                assert!(matches!(map["label"], Value::String(_)));
+                assert!(matches!(map["rows"], Value::Array(_)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        let v = json!({"inf": f64::INFINITY, "nan": f64::NAN, "neg": f64::NEG_INFINITY});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"inf\": null"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"neg\": null"));
+    }
+
+    #[test]
+    fn pretty_printer_round_trips_simple_shapes() {
+        let v = json!({"n": 2.5, "i": 3, "s": "he\"llo", "e": json!([]), "l": json!([1, 2])});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"n\": 2.5"));
+        assert!(s.contains("\"i\": 3"));
+        assert!(s.contains("\\\"llo"));
+        assert!(s.contains("\"e\": []"));
+    }
+}

@@ -64,7 +64,7 @@ fn walk(
             });
         }
     }
-    for (_, (child, mult)) in &shape.children {
+    for (child, mult) in shape.children.values() {
         walk(document, child, *mult, out);
     }
 }

@@ -69,10 +69,7 @@ fn specialize_atoms(
 }
 
 /// Specialize an XBind query (Figure 7: `CQ → CQ'`).
-pub fn specialize_query(
-    query: &XBindQuery,
-    mappings: &[SpecializationMapping],
-) -> XBindQuery {
+pub fn specialize_query(query: &XBindQuery, mappings: &[SpecializationMapping]) -> XBindQuery {
     let (atoms, _) = specialize_atoms(&query.atoms, mappings);
     XBindQuery {
         name: format!("{}_spec", query.name),
@@ -151,9 +148,7 @@ pub fn expand_query(query: &XBindQuery, mappings: &[SpecializationMapping]) -> X
 
 /// The specialization relation predicates contributed by a set of mappings
 /// (they become part of the compilation target schema).
-pub fn specialization_predicates(
-    mappings: &[SpecializationMapping],
-) -> Vec<mars_cq::Predicate> {
+pub fn specialization_predicates(mappings: &[SpecializationMapping]) -> Vec<mars_cq::Predicate> {
     mappings.iter().map(|m| mars_cq::Predicate::new(&m.relation)).collect()
 }
 
@@ -209,7 +204,10 @@ mod tests {
         assert_eq!(spec.atoms.len(), 3);
         assert!(matches!(&spec.atoms[0], XBindAtom::Relational { relation, args }
             if relation == "Author" && args.len() == 7));
-        assert!(spec.atoms.iter().any(|a| matches!(a, XBindAtom::AbsolutePath { var, .. } if var == "p")));
+        assert!(spec
+            .atoms
+            .iter()
+            .any(|a| matches!(a, XBindAtom::AbsolutePath { var, .. } if var == "p")));
         // Field variables that were read keep their names.
         if let XBindAtom::Relational { args, .. } = &spec.atoms[0] {
             assert_eq!(args[2], XBindTerm::var("l")); // last
@@ -273,10 +271,13 @@ mod tests {
         assert_eq!(sview.body.atoms.len(), 1);
         assert!(matches!(sview.output, mars_grex::ViewOutput::Relation { .. }));
 
-        let xic = mars_xquery::Xic::exists_child("author_has_name", "pubs.xml", "//author", "./name");
+        let xic =
+            mars_xquery::Xic::exists_child("author_has_name", "pubs.xml", "//author", "./name");
         let sxic = specialize_xic(&xic, &m);
         // The premise //author(p) specializes to Author(p, ...).
-        assert!(matches!(&sxic.premise[0], XBindAtom::Relational { relation, .. } if relation == "Author"));
+        assert!(
+            matches!(&sxic.premise[0], XBindAtom::Relational { relation, .. } if relation == "Author")
+        );
     }
 
     #[test]

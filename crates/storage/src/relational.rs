@@ -155,9 +155,11 @@ mod tests {
         for (name, diag) in [("ann", "flu"), ("bob", "asthma")] {
             db.insert_strs("patientDiag", &[name, diag]);
         }
-        for (name, drug, usage) in
-            [("ann", "aspirin", "daily"), ("bob", "inhaler", "as-needed"), ("ann", "vitaminC", "daily")]
-        {
+        for (name, drug, usage) in [
+            ("ann", "aspirin", "daily"),
+            ("bob", "inhaler", "as-needed"),
+            ("ann", "vitaminC", "daily"),
+        ] {
             db.insert_strs("patientDrug", &[name, drug, usage]);
         }
         db
@@ -197,12 +199,9 @@ mod tests {
     #[test]
     fn duplicate_rows_are_eliminated() {
         let db = patient_db();
-        let q = ConjunctiveQuery::new("Q")
-            .with_head(vec![Term::var("n")])
-            .with_body(vec![Atom::named(
-                "patientDrug",
-                vec![Term::var("n"), Term::var("d"), Term::var("u")],
-            )]);
+        let q = ConjunctiveQuery::new("Q").with_head(vec![Term::var("n")]).with_body(vec![
+            Atom::named("patientDrug", vec![Term::var("n"), Term::var("d"), Term::var("u")]),
+        ]);
         assert_eq!(db.query(&q).len(), 2);
         assert_eq!(db.cardinality("patientDrug"), 3);
         assert_eq!(db.len(), 5);

@@ -201,7 +201,10 @@ impl XmlStore {
     /// Evaluate a chain of decorrelated blocks (outermost first), feeding each
     /// block the results of the previous ones. Returns the bindings of every
     /// block, keyed by block name.
-    pub fn eval_blocks(&self, blocks: &[XBindQuery]) -> HashMap<String, Vec<HashMap<String, Value>>> {
+    pub fn eval_blocks(
+        &self,
+        blocks: &[XBindQuery],
+    ) -> HashMap<String, Vec<HashMap<String, Value>>> {
         let mut results: HashMap<String, Vec<HashMap<String, Value>>> = HashMap::new();
         for block in blocks {
             let rows = self.eval_xbind(block, &results);

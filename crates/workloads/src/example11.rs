@@ -192,7 +192,11 @@ pub fn populate(patients: usize) -> (XmlStore, RelationalDatabase) {
             ),
             mars_cq::Atom::named(
                 names::PATIENT_DRUG,
-                vec![mars_cq::Term::var("n"), mars_cq::Term::var("drug"), mars_cq::Term::var("usage")],
+                vec![
+                    mars_cq::Term::var("n"),
+                    mars_cq::Term::var("drug"),
+                    mars_cq::Term::var("usage"),
+                ],
             ),
         ]);
     for row in db.query_strings(&q) {
@@ -252,10 +256,7 @@ mod tests {
 
     #[test]
     fn multiple_reformulations_exist_due_to_redundancy() {
-        let system = Mars::with_options(
-            correspondence(),
-            MarsOptions::default().exhaustive(),
-        );
+        let system = Mars::with_options(correspondence(), MarsOptions::default().exhaustive());
         let block = system.reformulate_xbind(&client_query());
         // Redundant storage admits several alternatives (catalog.xml vs the
         // drugPrice table vs the cacheEntry cache); the exhaustive backchase

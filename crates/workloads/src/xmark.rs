@@ -255,9 +255,8 @@ pub fn query_suite() -> Vec<XBindQuery> {
         })
         .with_atom(XBindAtom::Eq(XBindTerm::var("ir"), XBindTerm::var("iid")));
 
-    let item_names = XBindQuery::new("Q4_item_names")
-        .with_head(&["iname"])
-        .with_atom(XBindAtom::AbsolutePath {
+    let item_names =
+        XBindQuery::new("Q4_item_names").with_head(&["iname"]).with_atom(XBindAtom::AbsolutePath {
             document: AUCTION.to_string(),
             path: parse_path("//item/name/text()").unwrap(),
             var: "iname".to_string(),
@@ -269,11 +268,8 @@ pub fn query_suite() -> Vec<XBindQuery> {
 /// Build MARS for the scenario (specialization on by default, as the document
 /// is highly regular).
 pub fn mars(use_specialization: bool) -> Mars {
-    let options = if use_specialization {
-        MarsOptions::specialized()
-    } else {
-        MarsOptions::default()
-    };
+    let options =
+        if use_specialization { MarsOptions::specialized() } else { MarsOptions::default() };
     Mars::with_options(correspondence(), options)
 }
 

@@ -224,11 +224,7 @@ impl Document {
 
     /// Attribute value lookup.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
-        self.node(id)
-            .attributes
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.node(id).attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// Deep-copy the subtree rooted at `source` (from `other`) under

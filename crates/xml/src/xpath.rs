@@ -362,8 +362,7 @@ mod tests {
         let doc = books();
         let all = eval_path(&doc, &parse_path("//*").unwrap(), None);
         assert_eq!(all.len(), doc.element_count()); // descendant-or-self of root
-        let book_children =
-            eval_path(&doc, &parse_path("/bib/book/*").unwrap(), None);
+        let book_children = eval_path(&doc, &parse_path("/bib/book/*").unwrap(), None);
         assert_eq!(book_children.len(), 6);
     }
 

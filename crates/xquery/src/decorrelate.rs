@@ -119,9 +119,7 @@ fn translate_flwr(
                 source: var.clone(),
                 var: b.var.clone(),
             },
-            SourceExpr::Var(v) => {
-                XBindAtom::Eq(XBindTerm::var(&b.var), XBindTerm::var(v))
-            }
+            SourceExpr::Var(v) => XBindAtom::Eq(XBindTerm::var(&b.var), XBindTerm::var(v)),
         };
         q = q.with_atom(atom);
         head.push(b.var.clone());
@@ -232,8 +230,13 @@ mod tests {
                         match &children[0] {
                             TemplateNode::Element { tag, children } => {
                                 assert_eq!(tag, "item");
-                                assert!(matches!(&children[0], TemplateNode::Element { tag, .. } if tag == "writer"));
-                                assert!(matches!(&children[1], TemplateNode::ForEach { block: 1, .. }));
+                                assert!(
+                                    matches!(&children[0], TemplateNode::Element { tag, .. } if tag == "writer")
+                                );
+                                assert!(matches!(
+                                    &children[1],
+                                    TemplateNode::ForEach { block: 1, .. }
+                                ));
                             }
                             other => panic!("unexpected template {other:?}"),
                         }
@@ -257,10 +260,8 @@ mod tests {
 
     #[test]
     fn document_qualified_paths_keep_their_document() {
-        let ast = parse_xquery(
-            "for $d in document(\"catalog.xml\")//drug return <r>$d</r>",
-        )
-        .unwrap();
+        let ast =
+            parse_xquery("for $d in document(\"catalog.xml\")//drug return <r>$d</r>").unwrap();
         let dec = decorrelate(&ast, "public.xml");
         match &dec.blocks[0].atoms[0] {
             XBindAtom::AbsolutePath { document, .. } => assert_eq!(document, "catalog.xml"),
@@ -286,6 +287,8 @@ mod tests {
         let dec = decorrelate(&ast, "d.xml");
         assert_eq!(dec.blocks.len(), 3);
         assert_eq!(dec.blocks[2].head, vec!["a", "b", "c"]);
-        assert!(matches!(&dec.blocks[2].atoms[0], XBindAtom::QueryRef { name, .. } if name == "Xb1"));
+        assert!(
+            matches!(&dec.blocks[2].atoms[0], XBindAtom::QueryRef { name, .. } if name == "Xb1")
+        );
     }
 }

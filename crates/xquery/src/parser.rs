@@ -299,8 +299,7 @@ impl<'a> P<'a> {
                         }
                         self.pos += 1;
                     }
-                    let text =
-                        String::from_utf8_lossy(&self.s[start..self.pos]).trim().to_string();
+                    let text = String::from_utf8_lossy(&self.s[start..self.pos]).trim().to_string();
                     if !text.is_empty() {
                         children.push(XQueryExpr::Literal(text));
                     }
@@ -426,10 +425,9 @@ mod tests {
 
     #[test]
     fn multiple_where_conditions() {
-        let q = parse_xquery(
-            "for $x in //a $y in //b where $x = $y and $x != \"z\" return <r>$x</r>",
-        )
-        .unwrap();
+        let q =
+            parse_xquery("for $x in //a $y in //b where $x = $y and $x != \"z\" return <r>$x</r>")
+                .unwrap();
         if let XQueryExpr::Flwr { conditions, .. } = q {
             assert_eq!(conditions.len(), 2);
         } else {

@@ -100,9 +100,7 @@ impl XBindAtom {
             XBindAtom::AbsolutePath { var, .. } => vec![var],
             XBindAtom::RelativePath { var, .. } => vec![var],
             XBindAtom::QueryRef { vars, .. } => vars.iter().map(String::as_str).collect(),
-            XBindAtom::Relational { args, .. } => {
-                args.iter().filter_map(|t| t.as_var()).collect()
-            }
+            XBindAtom::Relational { args, .. } => args.iter().filter_map(|t| t.as_var()).collect(),
             XBindAtom::Eq(..) | XBindAtom::Neq(..) => Vec::new(),
         }
     }
@@ -113,9 +111,7 @@ impl XBindAtom {
             XBindAtom::AbsolutePath { var, .. } => vec![var],
             XBindAtom::RelativePath { source, var, .. } => vec![source, var],
             XBindAtom::QueryRef { vars, .. } => vars.iter().map(String::as_str).collect(),
-            XBindAtom::Relational { args, .. } => {
-                args.iter().filter_map(|t| t.as_var()).collect()
-            }
+            XBindAtom::Relational { args, .. } => args.iter().filter_map(|t| t.as_var()).collect(),
             XBindAtom::Eq(a, b) | XBindAtom::Neq(a, b) => {
                 [a, b].into_iter().filter_map(|t| t.as_var()).collect()
             }
@@ -203,9 +199,7 @@ impl XBindQuery {
 
     /// Is the query safe (every head variable bound by some atom)?
     pub fn is_safe(&self) -> bool {
-        self.head.iter().all(|h| {
-            self.atoms.iter().any(|a| a.bound_vars().contains(&h.as_str()))
-        })
+        self.head.iter().all(|h| self.atoms.iter().any(|a| a.bound_vars().contains(&h.as_str())))
     }
 
     /// Number of navigation atoms.
@@ -231,14 +225,13 @@ impl fmt::Display for XBindQuery {
 /// the workspace.
 pub fn example_2_1() -> (XBindQuery, XBindQuery) {
     use mars_xml::parse_path;
-    let xbo = XBindQuery::new("Xbo")
-        .with_head(&["a"])
-        .with_distinct()
-        .with_atom(XBindAtom::AbsolutePath {
+    let xbo = XBindQuery::new("Xbo").with_head(&["a"]).with_distinct().with_atom(
+        XBindAtom::AbsolutePath {
             document: "books.xml".to_string(),
             path: parse_path("//author/text()").unwrap(),
             var: "a".to_string(),
-        });
+        },
+    );
     let xbi = XBindQuery::new("Xbi")
         .with_head(&["a", "b", "a1", "t"])
         .with_atom(XBindAtom::QueryRef { name: "Xbo".to_string(), vars: vec!["a".to_string()] })
@@ -282,10 +275,9 @@ mod tests {
 
     #[test]
     fn safety_detects_unbound_head_variables() {
-        let q = XBindQuery::new("Bad").with_head(&["x"]).with_atom(XBindAtom::Eq(
-            XBindTerm::var("x"),
-            XBindTerm::str("c"),
-        ));
+        let q = XBindQuery::new("Bad")
+            .with_head(&["x"])
+            .with_atom(XBindAtom::Eq(XBindTerm::var("x"), XBindTerm::str("c")));
         assert!(!q.is_safe());
     }
 

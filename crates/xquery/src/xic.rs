@@ -85,7 +85,11 @@ impl Xic {
                 path: epath.clone(),
                 var: "p".to_string(),
             },
-            XBindAtom::RelativePath { path: kpath.clone(), source: "p".to_string(), var: "s".to_string() },
+            XBindAtom::RelativePath {
+                path: kpath.clone(),
+                source: "p".to_string(),
+                var: "s".to_string(),
+            },
             XBindAtom::AbsolutePath {
                 document: document.to_string(),
                 path: epath,
@@ -93,8 +97,7 @@ impl Xic {
             },
             XBindAtom::RelativePath { path: kpath, source: "q".to_string(), var: "s".to_string() },
         ];
-        let conclusion =
-            XicConjunct::equalities(vec![(XBindTerm::var("p"), XBindTerm::var("q"))]);
+        let conclusion = XicConjunct::equalities(vec![(XBindTerm::var("p"), XBindTerm::var("q"))]);
         Xic::new(name, premise, vec![conclusion])
     }
 
@@ -167,14 +170,7 @@ mod tests {
 
     #[test]
     fn inclusion_constraint_shape() {
-        let xic = Xic::inclusion(
-            "fk_a1",
-            "star.xml",
-            "//R",
-            "./A1/text()",
-            "//S1",
-            "./A/text()",
-        );
+        let xic = Xic::inclusion("fk_a1", "star.xml", "//R", "./A1/text()", "//S1", "./A/text()");
         assert_eq!(xic.premise.len(), 2);
         assert_eq!(xic.conclusions[0].atoms.len(), 2);
         assert_eq!(xic.conclusions[0].exists, vec!["f"]);

@@ -10,9 +10,8 @@ use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
 fn main() {
     // Proprietary storage: a relational table bookRel(title, author).
     // Published schema: bib.xml with one <book><title/><author/></book> per row.
-    let publish_body = XBindQuery::new("PubMap")
-        .with_head(&["t", "a"])
-        .with_atom(XBindAtom::Relational {
+    let publish_body =
+        XBindQuery::new("PubMap").with_head(&["t", "a"]).with_atom(XBindAtom::Relational {
             relation: "bookRel".to_string(),
             args: vec![XBindTerm::var("t"), XBindTerm::var("a")],
         });

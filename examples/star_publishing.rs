@@ -17,8 +17,11 @@ fn main() {
     let block = mars.reformulate_xbind(&cfg.client_query());
 
     println!("universal plan: {} atoms", block.result.stats.universal_plan_atoms);
-    println!("minimal reformulations found: {} (expected 2^NV = {})",
-        block.result.minimal.len(), 1usize << cfg.nv);
+    println!(
+        "minimal reformulations found: {} (expected 2^NV = {})",
+        block.result.minimal.len(),
+        1usize << cfg.nv
+    );
     if let Some((best, cost)) = &block.result.best {
         println!("best reformulation (cost {cost:.1}): {best}");
     }

@@ -19,8 +19,11 @@ fn main() {
         match block.result.best_or_initial() {
             Some(best) => {
                 let answers = db.query(best).len();
-                println!("  best reformulation: {} atoms, {} answers over the views",
-                    best.body.len(), answers);
+                println!(
+                    "  best reformulation: {} atoms, {} answers over the views",
+                    best.body.len(),
+                    answers
+                );
             }
             None => println!("  no reformulation"),
         }

@@ -1,0 +1,4 @@
+SELECT DISTINCT t0.c0, t0.c1, t0.c2, t1.c2
+FROM V1 AS t0, V2 AS t1
+WHERE t1.c0 = t0.c0
+  AND t1.c1 = t0.c2

@@ -1,0 +1,63 @@
+//! Golden-file tests for SQL generation.
+//!
+//! Snapshots the SQL emitted for the chosen reformulation of the paper's
+//! scenarios, so later cost-model or join-order changes cannot silently alter
+//! the emitted SQL. Regenerate with `UPDATE_GOLDEN=1 cargo test --test
+//! golden_sql` and review the diff like any other code change.
+
+use mars::MarsOptions;
+use mars_system::storage::sql_for_query;
+use mars_workloads::{example11, star::StarConfig};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim(),
+        actual.trim(),
+        "emitted SQL for {name} diverged from the golden snapshot; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn example_1_1_best_reformulation_sql_is_stable() {
+    let system = example11::mars();
+    let block = system.reformulate_xbind(&example11::client_query());
+    let best = block.result.best_or_initial().expect("example 1.1 must reformulate");
+    assert_matches_golden("example11_best.sql", &sql_for_query(best));
+}
+
+#[test]
+fn star_best_reformulation_sql_is_stable() {
+    let cfg = StarConfig::figure5(3);
+    let mars = cfg.mars(MarsOptions::specialized());
+    let block = mars.reformulate_xbind(&cfg.client_query());
+    let best = block.result.best_or_initial().expect("star query must reformulate");
+    assert_matches_golden("star_nc3_best.sql", &sql_for_query(best));
+}
+
+#[test]
+fn star_initial_reformulation_sql_is_stable() {
+    let cfg = StarConfig::figure5(3);
+    let mars = cfg.mars(MarsOptions::specialized());
+    let block = mars.reformulate_xbind(&cfg.client_query());
+    let initial =
+        block.result.initial.as_ref().expect("star query must have an initial reformulation");
+    assert_matches_golden("star_nc3_initial.sql", &sql_for_query(initial));
+}
