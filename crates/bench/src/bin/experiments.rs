@@ -15,16 +15,51 @@ use mars_workloads::{example11, star::StarConfig, stress, xmark};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
+[--xmark] [--all] [--max-nc N]
+
+Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
+experiment flags, --all is assumed. --max-nc N (default 6) bounds the star
+size of the fig5/fig8 sweeps.";
+
+/// Parse the command line strictly: unknown flags and malformed values are
+/// errors, not silently ignored (a typo must not produce an empty results
+/// file with exit code 0).
+fn parse_args(args: &[String]) -> Result<(Vec<String>, usize), String> {
+    const FLAGS: [&str; 7] =
+        ["--fig5", "--fig8", "--stress", "--oldnew", "--savings", "--xmark", "--all"];
+    let mut selected = Vec::new();
+    let mut max_nc = 6usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-nc" {
+            let value = it.next().ok_or("--max-nc requires a value".to_string())?;
+            max_nc = value
+                .parse()
+                .map_err(|_| format!("invalid --max-nc value: {value:?} (expected a number)"))?;
+            if max_nc < 3 {
+                return Err(format!("--max-nc must be at least 3, got {max_nc}"));
+            }
+        } else if FLAGS.contains(&arg.as_str()) {
+            selected.push(arg.clone());
+        } else {
+            return Err(format!("unknown argument: {arg:?}"));
+        }
+    }
+    Ok((selected, max_nc))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, max_nc) = match parse_args(&raw) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let has = |flag: &str| args.iter().any(|a| a == flag);
     let all = args.is_empty() || has("--all");
-    let max_nc: usize = args
-        .iter()
-        .position(|a| a == "--max-nc")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6);
 
     let mut results: HashMap<String, serde_json::Value> = HashMap::new();
 
@@ -65,17 +100,25 @@ fn fig5(max_nc: usize, results: &mut HashMap<String, serde_json::Value>) {
     for nc in 3..=max_nc {
         let p = measure_fig5(nc);
         println!(
-            "{:>4} {:>18.2} {:>22.2} {:>10}",
+            "{:>4} {:>18.2} {:>22.2} {:>10}{}",
             p.nc,
             ms(p.initial),
             ms(p.delta_to_best),
-            p.minimal_count
+            p.minimal_count,
+            if p.truncated { "  (TRUNCATED)" } else { "" }
         );
+        if p.truncated {
+            eprintln!(
+                "WARNING: NC={nc} backchase truncated at max_candidates — \
+                 the minimal count is a lower bound, not the enumeration"
+            );
+        }
         rows.push(serde_json::json!({
             "nc": p.nc,
             "initial_ms": ms(p.initial),
             "delta_to_best_ms": ms(p.delta_to_best),
             "minimal": p.minimal_count,
+            "truncated": p.truncated,
         }));
     }
     results.insert("fig5".to_string(), serde_json::Value::Array(rows));

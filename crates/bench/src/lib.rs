@@ -22,6 +22,9 @@ pub struct Fig5Point {
     pub delta_to_best: Duration,
     /// Number of minimal reformulations discovered.
     pub minimal_count: usize,
+    /// Whether the backchase hit its candidate budget (the minimal count is
+    /// then a lower bound, not the exact enumeration).
+    pub truncated: bool,
 }
 
 /// Run one Figure 5 measurement (specialized compilation, cost-pruned
@@ -32,7 +35,13 @@ pub fn measure_fig5(nc: usize) -> Fig5Point {
     let block = mars.reformulate_xbind(&cfg.client_query());
     let initial = block.result.stats.time_to_initial;
     let delta = block.result.stats.backchase_duration;
-    Fig5Point { nc, initial, delta_to_best: delta, minimal_count: block.result.minimal.len() }
+    Fig5Point {
+        nc,
+        initial,
+        delta_to_best: delta,
+        minimal_count: block.result.minimal.len(),
+        truncated: block.result.stats.backchase_truncated,
+    }
 }
 
 /// Measurement of one Figure 8 point: total reformulation time without and

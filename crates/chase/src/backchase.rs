@@ -9,13 +9,36 @@
 //! increasing size; when one is found equivalent to the original query it is a
 //! *minimal* reformulation (no smaller subquery was equivalent), the best cost
 //! is updated, and supersets are pruned.
+//!
+//! # Hot-path structure
+//!
+//! The expensive step per candidate is the "back" chase (the `candidate ⊆
+//! original` half of the equivalence check). Three optimizations keep it off
+//! the critical path:
+//!
+//! * **Chase memoization**: completed back-chases are cached keyed on the
+//!   candidate's atom bitmask. A candidate grown from an already-chased
+//!   subset resumes from the cached chase result plus the one new atom
+//!   ([`chase_branches_with_atoms`]) instead of re-chasing from scratch —
+//!   the seed is already at fixpoint, so only consequences of the new atom
+//!   fire. Because the BFS visits subsets level by level, only the previous
+//!   and current size levels are retained.
+//! * **O(1) subset costs**: for additive cost models
+//!   ([`CostEstimator::atom_costs`]) the per-atom costs of the pool are
+//!   computed once and a candidate's cost is a bitmask fold.
+//! * **Prepared containment targets**: the `original ⊆ candidate` half checks
+//!   the candidate against every universal-plan branch; the branches' atom
+//!   indexes are built once ([`ContainmentTarget`]), and subqueries of a
+//!   branch hit the identity fast path.
 
-use crate::chase::{chase_to_universal_plan, ChaseOptions, UniversalPlan};
+use crate::chase::{
+    chase_branches_with_atoms, chase_to_universal_plan, ChaseOptions, UniversalPlan,
+};
 use crate::reach::{prune_parallel_desc, ReachabilityGraph};
 use mars_cost::CostEstimator;
-use mars_cq::containment::containment_mapping;
-use mars_cq::{ConjunctiveQuery, Ded, Predicate};
-use std::collections::{HashSet, VecDeque};
+use mars_cq::containment::{containment_mapping, ContainmentTarget};
+use mars_cq::{ConjunctiveQuery, Ded, Predicate, Substitution, Variable};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Options controlling the backchase.
@@ -30,8 +53,12 @@ pub struct BackchaseOptions {
     pub prune_parallel_desc: bool,
     /// Apply criteria 2–3 (navigation contiguity + entry-point anchoring).
     pub navigation_pruning: bool,
-    /// Upper bound on the number of candidate subqueries inspected.
+    /// Upper bound on the number of candidate subqueries inspected. When the
+    /// bound stops the enumeration, [`BackchaseOutcome::truncated`] is set.
     pub max_candidates: usize,
+    /// Upper bound on the number of memoized back-chase results retained per
+    /// BFS size level (memory guard for very wide pools).
+    pub chase_cache_per_level: usize,
     /// Chase options used for the "back" chases (equivalence checks).
     pub chase: ChaseOptions,
 }
@@ -43,6 +70,7 @@ impl Default for BackchaseOptions {
             prune_parallel_desc: true,
             navigation_pruning: true,
             max_candidates: 200_000,
+            chase_cache_per_level: 8_192,
             chase: ChaseOptions::default(),
         }
     }
@@ -56,7 +84,7 @@ impl BackchaseOptions {
 }
 
 /// Result of the backchase.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BackchaseOutcome {
     /// All minimal reformulations found (query + estimated cost), in the
     /// order they were discovered (increasing subquery size).
@@ -67,23 +95,20 @@ pub struct BackchaseOutcome {
     pub candidates_inspected: usize,
     /// Number of (chase-based) equivalence checks performed.
     pub equivalence_checks: usize,
+    /// Number of back-chases resumed from a memoized subset chase instead of
+    /// run from scratch.
+    pub chase_cache_hits: usize,
     /// Number of candidates discarded by cost-based pruning.
     pub pruned_by_cost: usize,
+    /// `true` when the enumeration did not cover the full search space:
+    /// either [`BackchaseOptions::max_candidates`] stopped the breadth-first
+    /// enumeration early, or the candidate pool exceeded the enumerable
+    /// width (> 128 atoms) and only greedy minimization ran. The reported
+    /// `minimal` set may then be incomplete and (in exhaustive mode) `best`
+    /// may not be the optimum. A complete enumeration leaves this `false`.
+    pub truncated: bool,
     /// Wall-clock duration of the backchase.
     pub duration: Duration,
-}
-
-impl BackchaseOutcome {
-    fn empty() -> BackchaseOutcome {
-        BackchaseOutcome {
-            minimal: Vec::new(),
-            best: None,
-            candidates_inspected: 0,
-            equivalence_checks: 0,
-            pruned_by_cost: 0,
-            duration: Duration::default(),
-        }
-    }
 }
 
 /// The *initial reformulation*: the largest subquery of the universal plan
@@ -131,11 +156,23 @@ fn is_reformulation(
     }
     // candidate ⊆ original
     let back: UniversalPlan = chase_to_universal_plan(candidate, deds, chase_opts);
-    if !back.stats.completed || back.branches.is_empty() {
-        return false;
-    }
-    back.branches.iter().all(|b| containment_mapping(original, b).is_some())
+    back_chase_confirms(original, &back)
 }
+
+/// The `candidate ⊆ original` half of the equivalence test, over a back
+/// chase that has already been computed (from scratch or resumed from a
+/// memoized subset): the chase must have completed with at least one
+/// surviving branch, and the original must map into every branch preserving
+/// the head. Shared by [`is_reformulation`] (greedy fallback) and the
+/// enumerating BFS so the two paths cannot drift.
+fn back_chase_confirms(original: &ConjunctiveQuery, back: &UniversalPlan) -> bool {
+    back.stats.completed
+        && !back.branches.is_empty()
+        && back.branches.iter().all(|b| containment_mapping(original, b).is_some())
+}
+
+/// Chased branches of a candidate, cached for reuse by its supersets.
+type ChasedBranches = Vec<(ConjunctiveQuery, Substitution)>;
 
 /// Run the backchase.
 ///
@@ -151,7 +188,7 @@ pub fn backchase(
     options: &BackchaseOptions,
 ) -> BackchaseOutcome {
     let start = Instant::now();
-    let mut outcome = BackchaseOutcome::empty();
+    let mut outcome = BackchaseOutcome::default();
     if universal_plan.branches.is_empty() {
         outcome.duration = start.elapsed();
         return outcome;
@@ -167,8 +204,10 @@ pub fn backchase(
         // Either nothing to enumerate, or the pool is too large for subset
         // enumeration: fall back to greedy minimization of the initial
         // reformulation (documented limitation; the paper relies on schema
-        // specialization to keep pools small).
+        // specialization to keep pools small). Greedy minimization yields at
+        // most one reformulation, never the full minimal set.
         if !pool.is_empty() {
+            outcome.truncated = true;
             let initial = ConjunctiveQuery {
                 name: format!("{}_initial", primary.name),
                 head: primary.head.clone(),
@@ -200,11 +239,61 @@ pub fn backchase(
     };
     let graph = ReachabilityGraph::new(&pool_query);
 
+    // Precomputed per-candidate machinery (see the module docs).
+    //
+    // Back-chases invent variables strictly above every pool variable index,
+    // so a cached chase can later absorb any further pool atom without an
+    // invented variable colliding with a pool variable of the same base name.
+    let max_pool_index = pool_query
+        .variables()
+        .iter()
+        .map(|v| v.index)
+        .chain(original.variables().iter().map(|v| v.index))
+        .max()
+        .unwrap_or(0);
+    let back_chase_opts = ChaseOptions {
+        min_fresh_index: options.chase.min_fresh_index.max(max_pool_index + 1),
+        ..options.chase.clone()
+    };
+    let branch_targets: Vec<ContainmentTarget> =
+        universal_plan.branches.iter().map(ContainmentTarget::new).collect();
+    let atom_costs = estimator.atom_costs(&pool_query);
+    let mask_cost = |mask: u128| -> Option<f64> {
+        atom_costs
+            .as_ref()
+            .map(|w| (0..pool.len()).filter(|i| mask & (1 << i) != 0).map(|i| w[i]).sum::<f64>())
+    };
+    // Safety as a bitset fold over the head variables — exactly the
+    // `is_safe()` condition (inequality variables are NOT required:
+    // `subquery` projects away inequalities its atoms do not cover).
+    let safety_vars: Vec<Variable> = pool_query.head_variables().into_iter().collect();
+    // More than 63 safety variables do not fit the u64 prefilter: disable it
+    // (every candidate passes) and let `candidate.is_safe()` do the gating.
+    let safety_prefilter_active = safety_vars.len() < 64;
+    let full_safety: u64 =
+        if safety_prefilter_active { (1u64 << safety_vars.len()) - 1 } else { 0 };
+    let atom_safety: Vec<u64> = pool
+        .iter()
+        .map(|a| {
+            safety_vars
+                .iter()
+                .take(63)
+                .enumerate()
+                .filter(|(_, v)| a.mentions(**v))
+                .fold(0u64, |acc, (j, _)| acc | (1 << j))
+        })
+        .collect();
+
     // Breadth-first enumeration by subset size, represented as u128 bitsets.
     let mut visited: HashSet<u128> = HashSet::new();
     let mut frontier: VecDeque<u128> = VecDeque::new();
     let mut found_masks: Vec<u128> = Vec::new();
     let mut best_cost = f64::INFINITY;
+
+    // Memoized back-chases of the previous / current BFS size level.
+    let mut prev_level: HashMap<u128, ChasedBranches> = HashMap::new();
+    let mut cur_level: HashMap<u128, ChasedBranches> = HashMap::new();
+    let mut level: u32 = 1;
 
     let seeds: Vec<usize> =
         if options.navigation_pruning { graph.roots.clone() } else { (0..pool.len()).collect() };
@@ -217,6 +306,7 @@ pub fn backchase(
 
     while let Some(mask) = frontier.pop_front() {
         if outcome.candidates_inspected >= options.max_candidates {
+            outcome.truncated = true;
             break;
         }
         // Minimality pruning: supersets of a found reformulation are not minimal.
@@ -226,15 +316,20 @@ pub fn backchase(
         if found_masks.iter().any(|&f| f & mask == f) {
             continue;
         }
+        let size = mask.count_ones();
+        if size > level {
+            // The BFS moved one size level up: caches of level - 1 can no
+            // longer be parents of anything still in the frontier.
+            prev_level = std::mem::take(&mut cur_level);
+            level = size;
+        }
         let subset: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
         outcome.candidates_inspected += 1;
 
-        let candidate = {
-            let mut q = pool_query.subquery(&subset);
-            q.name = format!("{}_candidate{}", original.name, outcome.candidates_inspected);
-            q
+        let cost = match mask_cost(mask) {
+            Some(c) => c,
+            None => estimator.estimate(&pool_query.subquery(&subset)),
         };
-        let cost = estimator.estimate(&candidate);
 
         // Cost-based pruning: a subquery costing more than the best found so
         // far cannot lead to the optimum (monotone cost model), so neither it
@@ -245,22 +340,60 @@ pub fn backchase(
         }
 
         let legal = !options.navigation_pruning || graph.is_legal_subset(&subset);
-        if legal && candidate.is_safe() {
-            outcome.equivalence_checks += 1;
-            if is_reformulation(
-                &candidate,
-                original,
-                &universal_plan.branches,
-                deds,
-                &options.chase,
-            ) {
-                found_masks.push(mask);
-                if cost < best_cost {
-                    best_cost = cost;
-                    outcome.best = Some((candidate.clone(), cost));
+        let safe = !safety_prefilter_active
+            || subset.iter().fold(0u64, |acc, &i| acc | atom_safety[i]) == full_safety;
+        if legal && safe {
+            let candidate = {
+                let mut q = pool_query.subquery(&subset);
+                q.name = format!("{}_candidate{}", original.name, outcome.candidates_inspected);
+                q
+            };
+            if candidate.is_safe() {
+                outcome.equivalence_checks += 1;
+                // original ⊆ candidate: the candidate must map into every
+                // universal-plan branch (identity fast path on the primary).
+                let maps_into_plan =
+                    branch_targets.iter().all(|t| t.mapping_from(&candidate).is_some());
+                if maps_into_plan {
+                    // candidate ⊆ original: back-chase (memoized) and map the
+                    // original into every surviving branch.
+                    let seed = subset.iter().find_map(|&i| {
+                        let parent = mask & !(1 << i);
+                        prev_level.get(&parent).map(|s| (s, i))
+                    });
+                    let back = match seed {
+                        Some((seed_branches, added)) => {
+                            outcome.chase_cache_hits += 1;
+                            chase_branches_with_atoms(
+                                seed_branches,
+                                std::slice::from_ref(&pool[added]),
+                                &candidate.name,
+                                deds,
+                                &back_chase_opts,
+                            )
+                        }
+                        None => chase_to_universal_plan(&candidate, deds, &back_chase_opts),
+                    };
+                    if back_chase_confirms(original, &back) {
+                        found_masks.push(mask);
+                        if cost < best_cost {
+                            best_cost = cost;
+                            outcome.best = Some((candidate.clone(), cost));
+                        }
+                        outcome.minimal.push((candidate, cost));
+                        continue; // supersets are not minimal
+                    }
+                    // Not (yet) a reformulation: its supersets will be
+                    // chased next level — memoize this chase as their seed.
+                    if back.stats.completed
+                        && !back.branches.is_empty()
+                        && cur_level.len() < options.chase_cache_per_level
+                    {
+                        let cached: ChasedBranches =
+                            back.branches.into_iter().zip(back.renamings).collect();
+                        cur_level.insert(mask, cached);
+                    }
                 }
-                outcome.minimal.push((candidate, cost));
-                continue; // supersets are not minimal
             }
         }
 
@@ -351,6 +484,20 @@ mod tests {
         (q, deds, proprietary)
     }
 
+    /// Section 2.3 setup with a second, redundant proprietary copy of A.
+    fn redundant_setup() -> (ConjunctiveQuery, Vec<Ded>, HashSet<Predicate>) {
+        let (q, mut deds, _) = section_2_3_setup();
+        let defa = ConjunctiveQuery::new("Astored")
+            .with_head(vec![t("x"), t("y")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let (c_a, b_a) = view_dependencies("Astored", &defa);
+        deds.push(c_a);
+        deds.push(b_a);
+        let proprietary: HashSet<Predicate> =
+            [Predicate::new("V"), Predicate::new("Astored")].into_iter().collect();
+        (q, deds, proprietary)
+    }
+
     #[test]
     fn section_2_3_backchase_finds_view_rewriting() {
         let (q, deds, proprietary) = section_2_3_setup();
@@ -358,6 +505,7 @@ mod tests {
         let est = WeightedAtomEstimator::default();
         let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
         assert_eq!(out.minimal.len(), 1);
+        assert!(!out.truncated);
         let (best, _) = out.best.as_ref().unwrap();
         assert_eq!(best.body.len(), 1);
         assert_eq!(best.body[0].predicate.name(), "V");
@@ -377,16 +525,7 @@ mod tests {
     /// rewritings are minimal reformulations; the best one is chosen by cost.
     #[test]
     fn redundant_storage_yields_multiple_minimal_reformulations() {
-        let (q, mut deds, _) = section_2_3_setup();
-        // Proprietary copy of A, described by a GAV-style identity view.
-        let defa = ConjunctiveQuery::new("Astored")
-            .with_head(vec![t("x"), t("y")])
-            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
-        let (c_a, b_a) = view_dependencies("Astored", &defa);
-        deds.push(c_a);
-        deds.push(b_a);
-        let proprietary: HashSet<Predicate> =
-            [Predicate::new("V"), Predicate::new("Astored")].into_iter().collect();
+        let (q, deds, proprietary) = redundant_setup();
         let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
         let est = WeightedAtomEstimator::default();
         let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
@@ -425,15 +564,7 @@ mod tests {
 
     #[test]
     fn cost_pruning_reduces_inspected_candidates() {
-        let (q, mut deds, _) = section_2_3_setup();
-        let defa = ConjunctiveQuery::new("Astored")
-            .with_head(vec![t("x"), t("y")])
-            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
-        let (c_a, b_a) = view_dependencies("Astored", &defa);
-        deds.push(c_a);
-        deds.push(b_a);
-        let proprietary: HashSet<Predicate> =
-            [Predicate::new("V"), Predicate::new("Astored")].into_iter().collect();
+        let (q, deds, proprietary) = redundant_setup();
         let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
         let est = WeightedAtomEstimator::default();
         let exhaustive =
@@ -445,5 +576,36 @@ mod tests {
             exhaustive.best.as_ref().map(|(_, c)| *c),
             "pruning must not change the optimum under a monotone cost model"
         );
+    }
+
+    /// Regression: a truncated enumeration must be distinguishable from a
+    /// complete one.
+    #[test]
+    fn truncation_is_reported() {
+        let (q, deds, proprietary) = redundant_setup();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let opts = BackchaseOptions { max_candidates: 1, ..BackchaseOptions::exhaustive() };
+        let out = backchase(&q, &up, &proprietary, &deds, &est, &opts);
+        assert!(out.truncated, "hitting max_candidates must set the flag");
+        assert!(out.minimal.len() < 2);
+        let complete =
+            backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        assert!(!complete.truncated);
+    }
+
+    /// Regression for the memoized back-chase: resuming from a cached subset
+    /// chase must find exactly the reformulations a from-scratch chase finds.
+    #[test]
+    fn memoized_and_scratch_backchase_agree() {
+        let (q, deds, proprietary) = redundant_setup();
+        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let memo = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        let opts = BackchaseOptions { chase_cache_per_level: 0, ..BackchaseOptions::exhaustive() };
+        let scratch = backchase(&q, &up, &proprietary, &deds, &est, &opts);
+        assert_eq!(scratch.chase_cache_hits, 0);
+        assert_eq!(memo.minimal.len(), scratch.minimal.len());
+        assert_eq!(memo.best.as_ref().map(|(_, c)| *c), scratch.best.as_ref().map(|(_, c)| *c));
     }
 }

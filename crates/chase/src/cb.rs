@@ -57,6 +57,12 @@ pub struct CbStatistics {
     pub candidates_inspected: usize,
     /// Equivalence (chase) checks performed by the backchase.
     pub equivalence_checks: usize,
+    /// Back-chases resumed from a memoized subset chase.
+    pub chase_cache_hits: usize,
+    /// `true` when the backchase hit its candidate budget before exhausting
+    /// the search space (see [`BackchaseOutcome::truncated`]): the minimal
+    /// reformulation set is possibly incomplete.
+    pub backchase_truncated: bool,
 }
 
 /// The result of reformulating one query.
@@ -155,14 +161,7 @@ impl ChaseBackchase {
         let time_to_initial = start.elapsed();
 
         let bc: BackchaseOutcome = if up.branches.is_empty() {
-            BackchaseOutcome {
-                minimal: Vec::new(),
-                best: None,
-                candidates_inspected: 0,
-                equivalence_checks: 0,
-                pruned_by_cost: 0,
-                duration: Duration::default(),
-            }
+            BackchaseOutcome::default()
         } else {
             backchase(
                 query,
@@ -183,6 +182,8 @@ impl ChaseBackchase {
             universal_plan_atoms: universal_plan.body.len(),
             candidates_inspected: bc.candidates_inspected,
             equivalence_checks: bc.equivalence_checks,
+            chase_cache_hits: bc.chase_cache_hits,
+            backchase_truncated: bc.truncated,
         };
         ReformulationResult { universal_plan, initial, minimal: bc.minimal, best: bc.best, stats }
     }
@@ -205,8 +206,7 @@ impl ChaseBackchase {
             time_to_initial: start.elapsed(),
             backchase_duration: Duration::default(),
             total: start.elapsed(),
-            candidates_inspected: 0,
-            equivalence_checks: 0,
+            ..Default::default()
         };
         (initial, stats)
     }

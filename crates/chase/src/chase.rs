@@ -10,7 +10,7 @@
 use crate::compiled::CompiledDed;
 use crate::instance::SymbolicInstance;
 use crate::shortcut::{apply_closure, detect_closure_constraints, ClosureConstraints};
-use mars_cq::{Conjunct, ConjunctiveQuery, Ded, Substitution, Term, Variable};
+use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Substitution, Term, Variable};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -20,7 +20,11 @@ pub struct ChaseOptions {
     /// Short-cut the `(refl)/(base)/(trans)` constraints by computing the
     /// transitive closure directly (Section 3.2).
     pub use_shortcut: bool,
-    /// Maximum number of chase rounds.
+    /// Maximum number of chase rounds. A round ends at the first dependency
+    /// that applies any step (EGD-priority restart), so this effectively
+    /// bounds the number of *dependency applications*, not full sweeps — the
+    /// default is sized accordingly (divergent chases are additionally
+    /// stopped by `max_atoms` and `timeout`).
     pub max_rounds: usize,
     /// Maximum number of atoms in any branch instance.
     pub max_atoms: usize,
@@ -28,16 +32,23 @@ pub struct ChaseOptions {
     pub max_branches: usize,
     /// Wall-clock timeout.
     pub timeout: Option<Duration>,
+    /// Lower bound for the disambiguator indices of invented (fresh)
+    /// variables. The backchase raises this above every variable index of the
+    /// candidate pool so that a chase of one candidate can later be extended
+    /// with further pool atoms ([`chase_branches_with_atoms`]) without an
+    /// invented variable colliding with a pool variable of the same name.
+    pub min_fresh_index: u32,
 }
 
 impl Default for ChaseOptions {
     fn default() -> Self {
         ChaseOptions {
             use_shortcut: true,
-            max_rounds: 10_000,
+            max_rounds: 500_000,
             max_atoms: 200_000,
             max_branches: 32,
             timeout: None,
+            min_fresh_index: 0,
         }
     }
 }
@@ -77,6 +88,12 @@ pub struct ChaseStats {
 pub struct UniversalPlan {
     /// Surviving branches (exactly one for non-disjunctive dependency sets).
     pub branches: Vec<ConjunctiveQuery>,
+    /// For each branch, the substitution accumulated by EGD unifications
+    /// during the chase: it maps variables of the *input* query to the terms
+    /// that replaced them. Needed to resume a chase from a previously chased
+    /// branch (see [`chase_branches_with_atoms`]) — atoms phrased over the
+    /// input query's variables must be renamed before insertion.
+    pub renamings: Vec<Substitution>,
     /// Chase statistics.
     pub stats: ChaseStats,
 }
@@ -109,6 +126,9 @@ struct Branch {
     inst: SymbolicInstance,
     head: Vec<Term>,
     inequalities: Vec<(Term, Term)>,
+    /// Composition of every unification applied to this branch, relative to
+    /// the variables of the query the chase started from.
+    renaming: Substitution,
 }
 
 impl Branch {
@@ -117,6 +137,7 @@ impl Branch {
             inst: SymbolicInstance::from_query(q),
             head: q.head.clone(),
             inequalities: q.inequalities.clone(),
+            renaming: Substitution::new(),
         }
     }
 
@@ -128,6 +149,7 @@ impl Branch {
             .iter()
             .map(|(a, b)| (s.apply_term_deep(*a), s.apply_term_deep(*b)))
             .collect();
+        self.renaming = self.renaming.then(s);
     }
 
     fn to_query(&self, name: &str) -> ConjunctiveQuery {
@@ -230,17 +252,65 @@ fn run_round(
                 return RoundResult::Changed;
             }
         }
+        // Restart after the first dependency that applied any step, so the
+        // EGDs (sorted to the front of `compiled`) re-run before further
+        // TGDs fire. Letting a later TGD see atoms a pending unification is
+        // about to merge makes it invent existential structure for both
+        // duplicates — growth that is sound but multiplies the instance and
+        // every subsequent premise evaluation.
+        if changed {
+            return RoundResult::Changed;
+        }
     }
-    if changed {
-        RoundResult::Changed
-    } else {
-        RoundResult::NoChange
-    }
+    RoundResult::NoChange
 }
 
 /// Chase `query` with `deds` to the universal plan.
 pub fn chase_to_universal_plan(
     query: &ConjunctiveQuery,
+    deds: &[Ded],
+    options: &ChaseOptions,
+) -> UniversalPlan {
+    run_chase(vec![Branch::from_query(query)], &query.name, deds, options)
+}
+
+/// Resume a chase from already-chased branches, each extended with extra
+/// atoms.
+///
+/// `seeds` are `(branch, renaming)` pairs as returned by a previous chase of
+/// a *subquery* (its `branches` zipped with its `renamings`); `extra` is
+/// phrased over the variables of that original subquery and is renamed per
+/// branch before insertion. Because the chase is monotone, chasing
+/// `chase(Q) ∪ θ(extra)` reaches a universal plan homomorphically equivalent
+/// to chasing `Q ∪ extra` from scratch — but the seed branches are already at
+/// fixpoint, so only consequences of the new atoms fire. This is the
+/// memoization hook the backchase uses to grow candidates one atom at a time.
+pub fn chase_branches_with_atoms(
+    seeds: &[(ConjunctiveQuery, Substitution)],
+    extra: &[Atom],
+    name: &str,
+    deds: &[Ded],
+    options: &ChaseOptions,
+) -> UniversalPlan {
+    let initial: Vec<Branch> = seeds
+        .iter()
+        .map(|(q, renaming)| {
+            let mut b = Branch::from_query(q);
+            b.renaming = renaming.clone();
+            for a in extra {
+                b.inst.insert_atom(&renaming.apply_atom_deep(a));
+            }
+            b
+        })
+        .collect();
+    run_chase(initial, name, deds, options)
+}
+
+/// The chase driver shared by [`chase_to_universal_plan`] and
+/// [`chase_branches_with_atoms`].
+fn run_chase(
+    initial: Vec<Branch>,
+    name: &str,
     deds: &[Ded],
     options: &ChaseOptions,
 ) -> UniversalPlan {
@@ -251,17 +321,35 @@ pub fn chase_to_universal_plan(
         ClosureConstraints::default()
     };
     let skip: HashSet<usize> = closure.indices().into_iter().collect();
-    let compiled: Vec<CompiledDed> = deds
+    let mut compiled: Vec<CompiledDed> = deds
         .iter()
         .enumerate()
         .filter(|(i, _)| !skip.contains(i))
         .map(|(_, d)| CompiledDed::compile(d))
         .collect();
+    // EGD-priority order: denials first (fail fast), then pure
+    // equality-generating dependencies, then tuple-generating ones. Since
+    // `run_round` restarts whenever an equality is applied, this runs every
+    // unification to fixpoint *before* any TGD invents new atoms — otherwise
+    // a TGD can fire on two pre-unification duplicates and create spurious
+    // existential structure that no later equality removes (the instances
+    // stay homomorphically equivalent, but grow multiplicatively with each
+    // duplicated pattern).
+    compiled.sort_by_key(|d| {
+        if d.conclusions.is_empty() {
+            0
+        } else if d.conclusions.iter().all(|c| c.conjunct.atoms.is_empty()) {
+            1
+        } else {
+            2
+        }
+    });
 
     let mut stats = ChaseStats { completed: true, ..Default::default() };
-    let initial = Branch::from_query(query);
-    let mut fresh = initial.inst.max_variable_index() + 1;
-    let mut worklist = vec![initial];
+    let mut fresh = (initial.iter().map(|b| b.inst.max_variable_index()).max().unwrap_or_default()
+        + 1)
+    .max(options.min_fresh_index);
+    let mut worklist = initial;
     let mut done: Vec<Branch> = Vec::new();
 
     while let Some(mut branch) = worklist.pop() {
@@ -309,12 +397,10 @@ pub fn chase_to_universal_plan(
     }
 
     stats.duration = start.elapsed();
-    let branches = done
-        .iter()
-        .enumerate()
-        .map(|(i, b)| b.to_query(&format!("{}_up{}", query.name, i)))
-        .collect();
-    UniversalPlan { branches, stats }
+    let branches =
+        done.iter().enumerate().map(|(i, b)| b.to_query(&format!("{name}_up{i}"))).collect();
+    let renamings = done.iter().map(|b| b.renaming.clone()).collect();
+    UniversalPlan { branches, renamings, stats }
 }
 
 #[cfg(test)]
@@ -407,6 +493,74 @@ mod tests {
         let plan = up.primary();
         assert_eq!(plan.head[0], plan.head[1], "head variables must be unified");
         assert_eq!(plan.body.len(), 1);
+    }
+
+    /// Resuming a chase from a previously chased subquery plus one atom must
+    /// reach the same universal plan as chasing the extended query from
+    /// scratch (the memoization contract of the backchase).
+    #[test]
+    fn seeded_chase_matches_scratch_chase() {
+        let q_sub = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let opts = ChaseOptions::default();
+        let up_sub = chase_to_universal_plan(&q_sub, std::slice::from_ref(&ind), &opts);
+        let seeds: Vec<(ConjunctiveQuery, Substitution)> =
+            up_sub.branches.iter().cloned().zip(up_sub.renamings.iter().cloned()).collect();
+
+        let extra = Atom::named("A", vec![t("y"), t("w")]);
+        let seeded = chase_branches_with_atoms(
+            &seeds,
+            std::slice::from_ref(&extra),
+            "S",
+            std::slice::from_ref(&ind),
+            &opts,
+        );
+        let scratch = chase_to_universal_plan(&q_sub.clone().with_atom(extra), &[ind], &opts);
+        assert!(seeded.stats.completed && scratch.stats.completed);
+        assert_eq!(seeded.primary().body.len(), scratch.primary().body.len());
+        // Homomorphically equivalent (head-preserving both ways).
+        use mars_cq::containment::containment_mapping;
+        assert!(containment_mapping(seeded.primary(), scratch.primary()).is_some());
+        assert!(containment_mapping(scratch.primary(), seeded.primary()).is_some());
+    }
+
+    /// The per-branch renaming records EGD unifications, so atoms phrased
+    /// over the original variables land on the surviving representatives.
+    #[test]
+    fn seeded_chase_applies_recorded_renaming() {
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x"), t("y")]).with_body(vec![
+            Atom::named("R", vec![t("k"), t("x")]),
+            Atom::named("R", vec![t("k"), t("y")]),
+        ]);
+        let key = Ded::egd(
+            "key",
+            vec![Atom::named("R", vec![t("u"), t("p")]), Atom::named("R", vec![t("u"), t("q")])],
+            t("p"),
+            t("q"),
+        );
+        let up = chase_to_universal_plan(&q, std::slice::from_ref(&key), &ChaseOptions::default());
+        assert_eq!(up.renamings.len(), 1);
+        let seeds: Vec<(ConjunctiveQuery, Substitution)> =
+            up.branches.iter().cloned().zip(up.renamings.iter().cloned()).collect();
+        // `S(y)` references the unified-away variable; the renaming must map
+        // it onto the representative that survived in the branch.
+        let seeded = chase_branches_with_atoms(
+            &seeds,
+            &[Atom::named("S", vec![t("y")])],
+            "S",
+            &[key],
+            &ChaseOptions::default(),
+        );
+        let plan = seeded.primary();
+        let s_atom = plan.body.iter().find(|a| a.predicate.name() == "S").unwrap();
+        assert_eq!(s_atom.args[0], plan.head[0], "S must mention the surviving head variable");
     }
 
     #[test]

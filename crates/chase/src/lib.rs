@@ -35,7 +35,9 @@ pub mod shortcut;
 
 pub use backchase::{BackchaseOptions, BackchaseOutcome};
 pub use cb::{CbOptions, CbStatistics, ChaseBackchase, ReformulationResult};
-pub use chase::{chase_to_universal_plan, ChaseOptions, ChaseStats, UniversalPlan};
+pub use chase::{
+    chase_branches_with_atoms, chase_to_universal_plan, ChaseOptions, ChaseStats, UniversalPlan,
+};
 pub use compiled::{CompiledConclusion, CompiledDed};
 pub use evaluate::{evaluate_bindings, Binding};
 pub use instance::SymbolicInstance;

@@ -59,30 +59,28 @@ pub fn is_entry_point(atom: &Atom) -> bool {
 /// Remove `desc` atoms that are parallel to a chain of `child`/`desc` atoms
 /// (criterion 1). Reflexive `desc(x,x)` atoms are parallel to the empty chain
 /// and are removed as well.
+///
+/// Removal is *iterative*: one atom is dropped at a time and reachability is
+/// recomputed over the surviving edges. Judging every `desc` atom against the
+/// full edge set and removing them in bulk is unsound — two `desc` atoms that
+/// are each other's only alternative path would both be justified and both
+/// removed, disconnecting navigation that some reformulation still needs (a
+/// completeness loss, not just a missed optimization).
 pub fn prune_parallel_desc(plan: &ConjunctiveQuery) -> ConjunctiveQuery {
-    let desc_p = Predicate::new("desc");
-    let child_p = Predicate::new("child");
     let is_nav = |a: &Atom| {
         let base = grex_base_name(a.predicate);
         (base == "desc" || base == "child") && a.arity() == 2
     };
-    // Edge list over terms, remembering which atom contributed each edge.
-    let edges: Vec<(Term, Term, usize)> = plan
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| is_nav(a))
-        .map(|(i, a)| (a.args[0], a.args[1], i))
-        .collect();
+    let mut keep = vec![true; plan.body.len()];
 
-    let reachable_without = |from: Term, to: Term, skip: usize| -> bool {
+    let reachable_without = |from: Term, to: Term, skip: usize, keep: &[bool]| -> bool {
         if from == to {
             return true;
         }
         let mut adj: HashMap<Term, Vec<Term>> = HashMap::new();
-        for (f, t, i) in &edges {
-            if *i != skip {
-                adj.entry(*f).or_default().push(*t);
+        for (i, a) in plan.body.iter().enumerate() {
+            if keep[i] && i != skip && is_nav(a) {
+                adj.entry(a.args[0]).or_default().push(a.args[1]);
             }
         }
         let mut seen = HashSet::new();
@@ -101,17 +99,19 @@ pub fn prune_parallel_desc(plan: &ConjunctiveQuery) -> ConjunctiveQuery {
         false
     };
 
-    let mut keep = vec![true; plan.body.len()];
-    for (i, a) in plan.body.iter().enumerate() {
-        let base = grex_base_name(a.predicate);
-        if base != "desc" || a.arity() != 2 {
-            continue;
-        }
-        if reachable_without(a.args[0], a.args[1], i) {
-            keep[i] = false;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, a) in plan.body.iter().enumerate() {
+            if !keep[i] || grex_base_name(a.predicate) != "desc" || a.arity() != 2 {
+                continue;
+            }
+            if reachable_without(a.args[0], a.args[1], i, &keep) {
+                keep[i] = false;
+                changed = true;
+            }
         }
     }
-    let _ = (desc_p, child_p);
     let body: Vec<Atom> =
         plan.body.iter().enumerate().filter(|(i, _)| keep[*i]).map(|(_, a)| a.clone()).collect();
     ConjunctiveQuery {
@@ -174,16 +174,35 @@ impl ReachabilityGraph {
     }
 
     /// Is the subset of atom indices a *legal* subquery body according to
-    /// criteria 2–3? Every atom's required variables must be produced by some
-    /// atom of the subset (contiguous navigation anchored at entry points).
+    /// criteria 2–3? The subset must be *constructible*: starting from its
+    /// entry points, every atom must become enabled (all required variables
+    /// produced) by atoms added before it. This is strictly stronger than
+    /// checking that requirements are produced *somewhere* in the subset —
+    /// that weaker test accepts navigation cycles detached from any entry
+    /// point, which no XQuery navigation can express and which the
+    /// [`ReachabilityGraph::enabled`]-driven enumeration can never reach
+    /// (the two must agree, or the backchase's seed/grow strategy and its
+    /// legality filter would disagree about the search space).
     pub fn is_legal_subset(&self, subset: &[usize]) -> bool {
         if subset.is_empty() {
             return false;
         }
-        let produced: HashSet<Variable> =
-            subset.iter().flat_map(|&i| self.produces[i].iter().copied()).collect();
-        subset.iter().all(|&i| self.requires[i].iter().all(|v| produced.contains(v)))
-            && subset.iter().any(|&i| self.requires[i].is_empty())
+        let mut produced: HashSet<Variable> = HashSet::new();
+        let mut added = vec![false; subset.len()];
+        let mut remaining = subset.len();
+        let mut progress = true;
+        while progress && remaining > 0 {
+            progress = false;
+            for (k, &i) in subset.iter().enumerate() {
+                if !added[k] && self.requires[i].iter().all(|v| produced.contains(v)) {
+                    produced.extend(self.produces[i].iter().copied());
+                    added[k] = true;
+                    remaining -= 1;
+                    progress = true;
+                }
+            }
+        }
+        remaining == 0
     }
 
     /// The atoms that become *enabled* (all required variables produced) by
@@ -258,6 +277,61 @@ mod tests {
         assert_eq!(pruned.body.len(), 3);
         assert!(pruned.body.contains(&desc(t("x"), t("y"))));
         assert!(!pruned.body.contains(&desc(t("x"), t("z"))));
+    }
+
+    /// Regression (criterion 1): two `desc` atoms that are each other's only
+    /// alternative path must not *both* be removed. Judged against the full
+    /// edge set, `desc(x,y)` is parallel to `desc(x,z), child(z,y)` and
+    /// `desc(x,z)` is parallel to `desc(x,y), child(y,z)` — bulk removal
+    /// would disconnect both `y` and `z` from `x` and lose every
+    /// reformulation that navigates through them.
+    #[test]
+    fn criterion_1_mutual_parallelism_keeps_connectivity() {
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("y"), t("z")]).with_body(vec![
+            root(t("x")),
+            desc(t("x"), t("y")),
+            desc(t("x"), t("z")),
+            child(t("y"), t("z")),
+            child(t("z"), t("y")),
+        ]);
+        let pruned = prune_parallel_desc(&q);
+        // y and z must still be reachable from x.
+        let reaches = |target: Term| -> bool {
+            let mut seen = vec![t("x")];
+            let mut frontier = vec![t("x")];
+            while let Some(cur) = frontier.pop() {
+                for a in &pruned.body {
+                    if (a.predicate.name() == "desc" || a.predicate.name() == "child")
+                        && a.args[0] == cur
+                        && !seen.contains(&a.args[1])
+                    {
+                        seen.push(a.args[1]);
+                        frontier.push(a.args[1]);
+                    }
+                }
+            }
+            seen.contains(&target)
+        };
+        assert!(reaches(t("y")), "y disconnected: {pruned}");
+        assert!(reaches(t("z")), "z disconnected: {pruned}");
+    }
+
+    /// Regression (criteria 2–3): a navigation cycle detached from the entry
+    /// point satisfies the naive "requirements produced somewhere" test but
+    /// is not constructible and must be rejected — `is_legal_subset` and the
+    /// `enabled`-driven enumeration must agree on the search space.
+    #[test]
+    fn criteria_2_3_reject_detached_cycles() {
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("b")]).with_body(vec![
+            root(t("r")),
+            child(t("r"), t("a")),
+            child(t("x"), t("y")),
+            child(t("y"), t("x")),
+        ]);
+        let g = ReachabilityGraph::new(&q);
+        assert!(g.is_legal_subset(&[0, 1]));
+        assert!(!g.is_legal_subset(&[0, 1, 2, 3]), "detached cycle must be illegal");
+        assert!(!g.is_legal_subset(&[2, 3]));
     }
 
     #[test]

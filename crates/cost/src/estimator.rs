@@ -13,6 +13,16 @@ pub trait CostEstimator: Send + Sync {
     /// Estimated cost of evaluating the query.
     fn estimate(&self, query: &ConjunctiveQuery) -> f64;
 
+    /// For *additive* models, the per-atom cost contributions of `query`'s
+    /// body: any subquery's cost is then the sum over its atoms, which lets
+    /// the backchase fold a subset bitmask over precomputed weights instead
+    /// of calling [`CostEstimator::estimate`] per candidate. Models whose
+    /// cost is not a per-atom sum return `None` (the default) and the
+    /// backchase falls back to a full estimate per candidate.
+    fn atom_costs(&self, _query: &ConjunctiveQuery) -> Option<Vec<f64>> {
+        None
+    }
+
     /// A short human-readable name, used in experiment output.
     fn name(&self) -> &'static str {
         "cost-estimator"
@@ -40,22 +50,26 @@ impl Default for WeightedAtomEstimator {
     }
 }
 
+impl WeightedAtomEstimator {
+    fn atom_cost(&self, a: &mars_cq::Atom) -> f64 {
+        let name = a.predicate.name();
+        // GReX predicates carry a `#document` suffix.
+        let base = name.split_once('#').map(|(b, _)| b).unwrap_or(name.as_str());
+        match base {
+            "child" => self.child_weight,
+            "desc" => self.desc_weight,
+            _ => self.default_weight,
+        }
+    }
+}
+
 impl CostEstimator for WeightedAtomEstimator {
     fn estimate(&self, query: &ConjunctiveQuery) -> f64 {
-        query
-            .body
-            .iter()
-            .map(|a| {
-                let name = a.predicate.name();
-                // GReX predicates carry a `#document` suffix.
-                let base = name.split_once('#').map(|(b, _)| b).unwrap_or(name.as_str());
-                match base {
-                    "child" => self.child_weight,
-                    "desc" => self.desc_weight,
-                    _ => self.default_weight,
-                }
-            })
-            .sum()
+        query.body.iter().map(|a| self.atom_cost(a)).sum()
+    }
+
+    fn atom_costs(&self, query: &ConjunctiveQuery) -> Option<Vec<f64>> {
+        Some(query.body.iter().map(|a| self.atom_cost(a)).collect())
     }
 
     fn name(&self) -> &'static str {
@@ -103,5 +117,24 @@ mod tests {
     #[test]
     fn name_reported() {
         assert_eq!(WeightedAtomEstimator::default().name(), "weighted-atom");
+    }
+
+    /// The additivity contract of `atom_costs`: the per-atom costs of any
+    /// query sum to its estimate, so a bitmask fold over them equals a full
+    /// estimate of the corresponding subquery.
+    #[test]
+    fn atom_costs_sum_to_estimate() {
+        let est = WeightedAtomEstimator::default();
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x")]).with_body(vec![
+            child(t("x"), t("y")),
+            desc(t("y"), t("z")),
+            Atom::named("V", vec![t("z")]),
+        ]);
+        let costs = est.atom_costs(&q).expect("weighted-atom model is additive");
+        assert_eq!(costs.len(), q.body.len());
+        assert_eq!(costs.iter().sum::<f64>(), est.estimate(&q));
+        // Per-subquery agreement.
+        let sub = q.subquery(&[0, 2]);
+        assert_eq!(costs[0] + costs[2], est.estimate(&sub));
     }
 }

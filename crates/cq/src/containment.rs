@@ -28,15 +28,15 @@ impl ContainmentOptions {
     }
 }
 
-/// Build the initial substitution pairing `sub_query`'s head with `target`'s
+/// Build the initial substitution pairing `sub_query`'s head with the target
 /// head positionally. Returns `None` if heads are incompatible (different
 /// arity or mismatched constants).
-fn head_alignment(sub_query: &ConjunctiveQuery, target: &ConjunctiveQuery) -> Option<Substitution> {
-    if sub_query.head.len() != target.head.len() {
+fn head_alignment(sub_query: &ConjunctiveQuery, target_head: &[Term]) -> Option<Substitution> {
+    if sub_query.head.len() != target_head.len() {
         return None;
     }
     let mut s = Substitution::new();
-    for (a, b) in sub_query.head.iter().zip(target.head.iter()) {
+    for (a, b) in sub_query.head.iter().zip(target_head.iter()) {
         match a {
             Term::Var(v) => {
                 if !s.bind(*v, *b) {
@@ -59,9 +59,47 @@ pub fn containment_mapping(
     from: &ConjunctiveQuery,
     into: &ConjunctiveQuery,
 ) -> Option<Substitution> {
-    let init = head_alignment(from, into)?;
-    let index = AtomIndex::new(&into.body);
-    find_homomorphism(&from.body, &index, &init)
+    ContainmentTarget::new(into).mapping_from(from)
+}
+
+/// A query prepared as the *target* of repeated containment tests: the atom
+/// index (and an exact atom set for the identity fast path) are built once
+/// instead of per call. The backchase checks every candidate against the same
+/// universal-plan branches, so this hoists the per-candidate index
+/// construction out of the hot loop.
+pub struct ContainmentTarget {
+    head: Vec<Term>,
+    index: AtomIndex,
+    atoms: std::collections::HashSet<crate::atom::Atom>,
+}
+
+impl ContainmentTarget {
+    /// Prepare `into` as a containment target.
+    pub fn new(into: &ConjunctiveQuery) -> ContainmentTarget {
+        ContainmentTarget {
+            head: into.head.clone(),
+            index: AtomIndex::new(&into.body),
+            atoms: into.body.iter().cloned().collect(),
+        }
+    }
+
+    /// Containment mapping from `from` into this target (head-preserving).
+    ///
+    /// When `from`'s head equals the target's head and every `from` atom
+    /// occurs verbatim in the target body, the identity is such a mapping and
+    /// the homomorphism search is skipped — the common case for subqueries of
+    /// a universal-plan branch checked against that same branch.
+    pub fn mapping_from(&self, from: &ConjunctiveQuery) -> Option<Substitution> {
+        if from.head == self.head && from.body.iter().all(|a| self.atoms.contains(a)) {
+            let mut identity = Substitution::new();
+            for v in from.variables() {
+                identity.set(v, Term::Var(v));
+            }
+            return Some(identity);
+        }
+        let init = head_alignment(from, &self.head)?;
+        find_homomorphism(&from.body, &self.index, &init)
+    }
 }
 
 /// `q1 ⊆ q2` under the dependencies `deds`.

@@ -89,9 +89,48 @@ fn match_atom(source: &Atom, target_atom: &Atom, sub: &Substitution) -> Option<S
     Some(out)
 }
 
+/// Order the source atoms for the backtracking search: greedily pick, at each
+/// step, the atom with the fewest *unbound* variable arguments (its constants
+/// and already-bound variables prune candidate matches), breaking ties by the
+/// number of candidate target atoms for its predicate. The set of
+/// homomorphisms is independent of the order, but a join-aware order avoids
+/// the exponential backtracking that body order can hit on universal plans
+/// (dozens of same-predicate navigation atoms).
+fn plan_order(source: &[Atom], target: &AtomIndex, initial: &Substitution) -> Vec<usize> {
+    let n = source.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let mut bound: std::collections::HashSet<crate::term::Variable> =
+        initial.iter().map(|(v, _)| v).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<(usize, usize, usize)> = None; // (unbound, candidates, idx)
+        for (i, a) in source.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let unbound =
+                a.args.iter().filter(|t| matches!(t, Term::Var(v) if !bound.contains(v))).count();
+            let cands = target.candidates(a.predicate).len();
+            let key = (unbound, cands, i);
+            if best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        let (_, _, i) = best.expect("unused atom remains");
+        used[i] = true;
+        bound.extend(source[i].variables());
+        order.push(i);
+    }
+    order
+}
+
 #[allow(clippy::too_many_arguments)]
 fn search(
     source: &[Atom],
+    order: &[usize],
     pos: usize,
     target: &AtomIndex,
     sub: Substitution,
@@ -126,11 +165,21 @@ fn search(
             }
         }
     } else {
-        let atom = &source[pos];
+        let atom = &source[order[pos]];
         let mut stop = false;
         for &i in target.candidates(atom.predicate) {
             if let Some(next) = match_atom(atom, &target.atoms()[i], &sub) {
-                stop = search(source, pos + 1, target, next, inequalities, all, found_one, limit);
+                stop = search(
+                    source,
+                    order,
+                    pos + 1,
+                    target,
+                    next,
+                    inequalities,
+                    all,
+                    found_one,
+                    limit,
+                );
                 if stop {
                     break;
                 }
@@ -147,8 +196,9 @@ pub fn find_homomorphism(
     target: &AtomIndex,
     initial: &Substitution,
 ) -> Option<Substitution> {
+    let order = plan_order(source, target, initial);
     let mut found = None;
-    search(source, 0, target, initial.clone(), &[], &mut None, &mut found, None);
+    search(source, &order, 0, target, initial.clone(), &[], &mut None, &mut found, None);
     found
 }
 
@@ -159,8 +209,9 @@ pub fn find_homomorphism_with_inequalities(
     target: &AtomIndex,
     initial: &Substitution,
 ) -> Option<Substitution> {
+    let order = plan_order(source, target, initial);
     let mut found = None;
-    search(source, 0, target, initial.clone(), inequalities, &mut None, &mut found, None);
+    search(source, &order, 0, target, initial.clone(), inequalities, &mut None, &mut found, None);
     found
 }
 
@@ -172,9 +223,10 @@ pub fn find_all_homomorphisms(
     initial: &Substitution,
     limit: Option<usize>,
 ) -> Vec<Substitution> {
+    let order = plan_order(source, target, initial);
     let mut out = Vec::new();
     let mut none = None;
-    search(source, 0, target, initial.clone(), &[], &mut Some(&mut out), &mut none, limit);
+    search(source, &order, 0, target, initial.clone(), &[], &mut Some(&mut out), &mut none, limit);
     out
 }
 

@@ -31,7 +31,7 @@ pub mod term;
 
 pub use atom::{Atom, Predicate};
 pub use chase::{naive_chase, ChaseBudget, ChaseOutcome, ChaseTree};
-pub use containment::{contained_in, equivalent, minimize, ContainmentOptions};
+pub use containment::{contained_in, equivalent, minimize, ContainmentOptions, ContainmentTarget};
 pub use ded::{Conjunct, Ded};
 pub use homomorphism::{
     extend_to_conclusion, find_all_homomorphisms, find_homomorphism, AtomIndex,

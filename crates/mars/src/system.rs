@@ -74,6 +74,16 @@ impl SchemaCorrespondence {
 pub struct MarsOptions {
     /// Apply schema specialization (Section 5) before compilation.
     pub use_specialization: bool,
+    /// When specialization is active, access specialized proprietary
+    /// documents *exclusively* through their specialization relations: the
+    /// raw GReX navigation predicates of a proprietary document covered by at
+    /// least one specialization mapping are withheld from the proprietary
+    /// schema. Reformulations (and the backchase candidate pool) then mention
+    /// only specialization relations, materialized views and unspecialized
+    /// documents — the Section 5 search-space reduction. Leave `false` for
+    /// mixed storage whose queries navigate parts of a document no
+    /// specialization covers (e.g. attributes outside the mapped fields).
+    pub spec_replaces_navigation: bool,
     /// Add the TIX built-in constraints for every document.
     pub include_tix: bool,
     /// Chase & Backchase options.
@@ -82,7 +92,12 @@ pub struct MarsOptions {
 
 impl Default for MarsOptions {
     fn default() -> Self {
-        MarsOptions { use_specialization: false, include_tix: true, cb: CbOptions::default() }
+        MarsOptions {
+            use_specialization: false,
+            spec_replaces_navigation: false,
+            include_tix: true,
+            cb: CbOptions::default(),
+        }
     }
 }
 
@@ -95,6 +110,13 @@ impl MarsOptions {
     /// Options that enumerate all minimal reformulations.
     pub fn exhaustive(mut self) -> MarsOptions {
         self.cb = CbOptions::exhaustive();
+        self
+    }
+
+    /// Builder: specialized proprietary documents are reachable only through
+    /// their specialization relations (see [`MarsOptions::spec_replaces_navigation`]).
+    pub fn with_spec_replacing_navigation(mut self) -> MarsOptions {
+        self.spec_replaces_navigation = true;
         self
     }
 }
@@ -192,26 +214,8 @@ impl Mars {
         // proprietary schema.
         if specialize_active {
             for m in &corr.specializations {
-                let mut body = XBindQuery::new(&format!("{}_def", m.relation)).with_atom(
-                    XBindAtom::AbsolutePath {
-                        document: m.document.clone(),
-                        path: m.entity_path.clone(),
-                        var: "id".to_string(),
-                    },
-                );
-                let mut head: Vec<String> = vec!["id".to_string()];
-                for (i, f) in m.fields.iter().enumerate() {
-                    let var = format!("f{i}");
-                    body = body.with_atom(XBindAtom::RelativePath {
-                        path: f.path.clone(),
-                        source: "id".to_string(),
-                        var: var.clone(),
-                    });
-                    head.push(var);
-                }
-                body.head = head;
-                let def_view = ViewDef::relational(&m.relation, body);
-                deds.extend(compile_view(&mut ctx, &def_view));
+                deds.extend(compile_view(&mut ctx, &m.definition_view()));
+                deds.extend(m.functional_dependency());
                 if corr.proprietary_documents.contains(&m.document) {
                     proprietary.insert(Predicate::new(&m.relation));
                 }
@@ -225,12 +229,20 @@ impl Mars {
             }
         }
 
-        // Proprietary base relations and native documents.
+        // Proprietary base relations and native documents. When specialization
+        // is active and replaces navigation, a specialized proprietary
+        // document contributes only its specialization relations (added
+        // above), not its raw GReX predicates.
         for r in &corr.proprietary_relations {
             proprietary.insert(Predicate::new(r));
         }
         for d in &corr.proprietary_documents {
-            proprietary.extend(GrexSchema::new(d).all_predicates());
+            let specialized = specialize_active
+                && options.spec_replaces_navigation
+                && corr.specializations.iter().any(|m| &m.document == d);
+            if !specialized {
+                proprietary.extend(GrexSchema::new(d).all_predicates());
+            }
         }
 
         (deds, proprietary)

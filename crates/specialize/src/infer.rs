@@ -61,6 +61,9 @@ fn walk(
                 document: document.to_string(),
                 entity_path: Path::absolute(vec![Step::Descendant(shape.tag.clone())]),
                 fields,
+                // Inlined fields are reached through at-most-once child
+                // chains (see `collect_fields`), so they are single-valued.
+                single_valued: true,
             });
         }
     }

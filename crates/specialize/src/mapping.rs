@@ -26,6 +26,15 @@ pub struct SpecializationMapping {
     pub entity_path: Path,
     /// Inlined fields.
     pub fields: Vec<FieldMapping>,
+    /// Declares every field path single-valued per entity (each entity
+    /// element has at most one value under each field path — the common case
+    /// for DTD-style `<!ELEMENT R (K, A1, …)>` schemas). When set, the
+    /// compiled correspondence carries the functional dependency
+    /// `Rel(id, f…) ∧ Rel(id, g…) → f = g`, without which a chase that
+    /// re-creates an entity from several sources (e.g. two materialized
+    /// views over the same hub) cannot unify the duplicated field values and
+    /// derives a cross-product of partially-equal tuples.
+    pub single_valued: bool,
 }
 
 impl SpecializationMapping {
@@ -48,7 +57,15 @@ impl SpecializationMapping {
                     path: mars_xml::parse_path(p).expect("valid field path"),
                 })
                 .collect(),
+            single_valued: false,
         }
+    }
+
+    /// Builder: declare every field single-valued per entity (see
+    /// [`SpecializationMapping::single_valued`]).
+    pub fn with_single_valued_fields(mut self) -> SpecializationMapping {
+        self.single_valued = true;
+        self
     }
 
     /// The arity of the specialization relation: `id` + one column per field.
@@ -77,6 +94,66 @@ impl SpecializationMapping {
     /// Column index of a field reached by the given relative path, if any.
     pub fn column_for_path(&self, path: &Path) -> Option<usize> {
         self.fields.iter().position(|f| &f.path == path).map(|i| i + 1)
+    }
+
+    /// The defining XBind body of the specialization relation:
+    /// `Relation(id, f_0, …, f_n) :- entity_path ⇒ id, field paths ⇒ f_i`.
+    /// Used both to compile the definitional constraints linking the relation
+    /// to the navigation it abbreviates and to materialize the relation for
+    /// execution.
+    pub fn definition_body(&self) -> mars_xquery::XBindQuery {
+        let mut body = mars_xquery::XBindQuery::new(&format!("{}_def", self.relation)).with_atom(
+            mars_xquery::XBindAtom::AbsolutePath {
+                document: self.document.clone(),
+                path: self.entity_path.clone(),
+                var: "id".to_string(),
+            },
+        );
+        let mut head: Vec<String> = vec!["id".to_string()];
+        for (i, f) in self.fields.iter().enumerate() {
+            let var = format!("f{i}");
+            body = body.with_atom(mars_xquery::XBindAtom::RelativePath {
+                path: f.path.clone(),
+                source: "id".to_string(),
+                var: var.clone(),
+            });
+            head.push(var);
+        }
+        body.head = head;
+        body
+    }
+
+    /// The specialization relation as a relational view over its document,
+    /// ready for compilation or materialization.
+    pub fn definition_view(&self) -> mars_grex::ViewDef {
+        mars_grex::ViewDef::relational(&self.relation, self.definition_body())
+    }
+
+    /// The functional dependency `Rel(id, f…) ∧ Rel(id, g…) → f = g` for
+    /// single-valued mappings, `None` otherwise.
+    pub fn functional_dependency(&self) -> Option<mars_cq::Ded> {
+        if !self.single_valued || self.fields.is_empty() {
+            return None;
+        }
+        let id = mars_cq::Term::var("id");
+        let fs: Vec<mars_cq::Term> =
+            (0..self.fields.len()).map(|i| mars_cq::Term::var(&format!("f{i}"))).collect();
+        let gs: Vec<mars_cq::Term> =
+            (0..self.fields.len()).map(|i| mars_cq::Term::var(&format!("g{i}"))).collect();
+        let mut left = vec![id];
+        left.extend(fs.iter().copied());
+        let mut right = vec![id];
+        right.extend(gs.iter().copied());
+        Some(mars_cq::Ded::disjunctive(
+            &format!("{}_fd", self.relation),
+            vec![
+                mars_cq::Atom::named(&self.relation, left),
+                mars_cq::Atom::named(&self.relation, right),
+            ],
+            vec![mars_cq::ded::Conjunct::equalities(
+                fs.iter().copied().zip(gs.iter().copied()).collect(),
+            )],
+        ))
     }
 }
 
@@ -110,6 +187,34 @@ mod tests {
         assert!(m.is_restricted());
         assert_eq!(m.column_for_path(&parse_path("./address/city/text()").unwrap()), Some(4));
         assert_eq!(m.column_for_path(&parse_path("./phone/text()").unwrap()), None);
+    }
+
+    #[test]
+    fn definition_body_reads_every_field() {
+        let m = author_mapping();
+        let body = m.definition_body();
+        assert_eq!(body.head.len(), m.arity());
+        assert_eq!(body.head[0], "id");
+        assert_eq!(body.atoms.len(), 1 + m.fields.len());
+        let view = m.definition_view();
+        assert_eq!(view.name, "Author");
+    }
+
+    #[test]
+    fn functional_dependency_requires_single_valued() {
+        let m = author_mapping();
+        assert!(m.functional_dependency().is_none(), "not declared single-valued");
+        let m = m.with_single_valued_fields();
+        let fd = m.functional_dependency().expect("single-valued mapping has an FD");
+        assert_eq!(fd.premise.len(), 2);
+        assert_eq!(fd.conclusions.len(), 1);
+        assert_eq!(fd.conclusions[0].equalities.len(), m.fields.len());
+        assert!(fd.conclusions[0].atoms.is_empty());
+        // Both premise atoms share the id but differ in every field variable.
+        assert_eq!(fd.premise[0].args[0], fd.premise[1].args[0]);
+        for i in 1..=m.fields.len() {
+            assert_ne!(fd.premise[0].args[i], fd.premise[1].args[i]);
+        }
     }
 
     #[test]

@@ -63,6 +63,19 @@ fn specialize_atoms(
                 &bound.unwrap_or_else(|| format!("{entity_var}_{}", field.column)),
             ));
         }
+        // Navigation the mapping does not cover (an attribute read, an
+        // element-valued step) may still hang off the entity variable. The
+        // entity's own navigation atom must then survive next to the
+        // specialized atom: it both carries the constraint that the entity
+        // lies on `entity_path` and anchors the document that the leftover
+        // relative paths compile against.
+        let leftover = atoms.iter().enumerate().any(|(j, other)| {
+            !consumed[j]
+                && matches!(other, XBindAtom::RelativePath { source, .. } if source == &entity_var)
+        });
+        if leftover {
+            out.push(atom.clone());
+        }
         out.push(XBindAtom::Relational { relation: mapping.relation.clone(), args: columns });
     }
     (out, eliminated)
@@ -278,6 +291,46 @@ mod tests {
         assert!(
             matches!(&sxic.premise[0], XBindAtom::Relational { relation, .. } if relation == "Author")
         );
+    }
+
+    /// Regression: navigation the mapping does not cover (here an attribute
+    /// read) must keep the entity's own navigation atom next to the
+    /// specialized atom — dropping it leaves the leftover relative path with
+    /// no document anchor (it then compiles against a default document and
+    /// never matches the instance).
+    #[test]
+    fn uncovered_navigation_keeps_the_entity_atom() {
+        let q = XBindQuery::new("Q")
+            .with_head(&["l", "ssn"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "pubs.xml".to_string(),
+                path: parse_path("//author").unwrap(),
+                var: "id".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./name/last/text()").unwrap(),
+                source: "id".to_string(),
+                var: "l".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./@ssn").unwrap(),
+                source: "id".to_string(),
+                var: "ssn".to_string(),
+            });
+        let spec = specialize_query(&q, &[author_mapping()]);
+        // Entity nav atom + Author atom + the uncovered attribute read.
+        assert_eq!(spec.atoms.len(), 3);
+        assert!(spec.atoms.iter().any(
+            |a| matches!(a, XBindAtom::AbsolutePath { var, document, .. } if var == "id" && document == "pubs.xml")
+        ));
+        assert!(spec
+            .atoms
+            .iter()
+            .any(|a| matches!(a, XBindAtom::Relational { relation, .. } if relation == "Author")));
+        assert!(spec
+            .atoms
+            .iter()
+            .any(|a| matches!(a, XBindAtom::RelativePath { var, .. } if var == "ssn")));
     }
 
     #[test]

@@ -5,15 +5,24 @@
 //! `B`. `R.A_i` is a foreign key into `S_i.A`, and `K` is a key for `R`.
 //!
 //! Proprietary schema: the public document itself plus `NV` redundantly
-//! materialized star views `V_l` joining the hub with corners `S_l` and
-//! `S_{l+1}` along the foreign keys and projecting `K`, `B_l`, `B_{l+1}`.
-//! In the absence of constraints no view rewriting exists, but with the key
-//! constraint on `R` the star join can be rewritten using any subset of the
-//! views — `2^NV` reformulations, all found by the C&B.
+//! materialized star views `V_l`, each joining the hub with the single corner
+//! `S_l` along the foreign key and projecting `K`, `B_l`. In the absence of
+//! constraints no view rewriting exists, but with the key constraint on `R`
+//! the star join can be rewritten using any subset of the views — each corner
+//! `l ≤ NV` is answered either by `V_l` or by navigating to `S_l`, and the
+//! choices are independent, so there are exactly `2^NV` minimal
+//! reformulations, all found by the C&B.
+//!
+//! (An earlier revision had each view join *two consecutive* corners; that
+//! breaks the `2^NV` count for NC ≥ 4 because a pair of non-adjacent views
+//! can cover every corner, making the all-views candidate a strict superset
+//! of a smaller reformulation and hence non-minimal. Single-corner views keep
+//! the view choices independent, which is the search-space shape the paper's
+//! Section 4.1 count relies on.)
 //!
 //! The views are materialized as relations (the paper materializes them as
-//! XML; the substitution is recorded in DESIGN.md — it preserves the search
-//! space shape while keeping the backchase pool explicit).
+//! XML; the substitution is recorded in EXPERIMENTS.md — it preserves the
+//! search space shape while keeping the backchase pool explicit).
 
 use mars::{Mars, MarsOptions, SchemaCorrespondence};
 use mars_grex::ViewDef;
@@ -105,7 +114,7 @@ impl StarConfig {
         q
     }
 
-    /// The view `V_l` (joins the hub with corners `l` and `l+1`).
+    /// The view `V_l` (joins the hub with the single corner `l`).
     pub fn view(&self, l: usize) -> ViewDef {
         let doc = self.document();
         let mut body = XBindQuery::new(&format!("{}body", Self::view_name(l)))
@@ -119,40 +128,55 @@ impl StarConfig {
                 source: "r".to_string(),
                 var: "k".to_string(),
             });
-        for i in [l, l + 1] {
-            body = body
-                .with_atom(XBindAtom::RelativePath {
-                    path: parse_path(&format!("./A{i}/text()")).unwrap(),
-                    source: "r".to_string(),
-                    var: format!("a{i}"),
-                })
-                .with_atom(XBindAtom::AbsolutePath {
-                    document: doc.clone(),
-                    path: parse_path(&format!("//S{i}")).unwrap(),
-                    var: format!("s{i}"),
-                })
-                .with_atom(XBindAtom::RelativePath {
-                    path: parse_path("./A/text()").unwrap(),
-                    source: format!("s{i}"),
-                    var: format!("sa{i}"),
-                })
-                .with_atom(XBindAtom::RelativePath {
-                    path: parse_path("./B/text()").unwrap(),
-                    source: format!("s{i}"),
-                    var: format!("b{i}"),
-                })
-                .with_atom(XBindAtom::Eq(
-                    mars_xquery::XBindTerm::var(&format!("a{i}")),
-                    mars_xquery::XBindTerm::var(&format!("sa{i}")),
-                ));
-        }
-        body.head = vec!["k".to_string(), format!("b{l}"), format!("b{}", l + 1)];
+        body = body
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path(&format!("./A{l}/text()")).unwrap(),
+                source: "r".to_string(),
+                var: format!("a{l}"),
+            })
+            .with_atom(XBindAtom::AbsolutePath {
+                document: doc.clone(),
+                path: parse_path(&format!("//S{l}")).unwrap(),
+                var: format!("s{l}"),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./A/text()").unwrap(),
+                source: format!("s{l}"),
+                var: format!("sa{l}"),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./B/text()").unwrap(),
+                source: format!("s{l}"),
+                var: format!("b{l}"),
+            })
+            .with_atom(XBindAtom::Eq(
+                mars_xquery::XBindTerm::var(&format!("a{l}")),
+                mars_xquery::XBindTerm::var(&format!("sa{l}")),
+            ));
+        body.head = vec!["k".to_string(), format!("b{l}")];
         ViewDef::relational(&Self::view_name(l), body)
     }
 
     /// The key XIC on `R.K` (the constraint that makes view rewritings valid).
     pub fn key_constraint(&self) -> Xic {
         Xic::key("R_key", &self.document(), "//R", "./K/text()")
+    }
+
+    /// DTD single-occurrence constraints of the star document: each hub has
+    /// exactly one `K` and one `A_i` subelement, each corner one `A` and one
+    /// `B` (`<!ELEMENT R (K, A1, …)>`). Declaring them lets the backchase's
+    /// equivalence chases unify the duplicated navigation that arises when a
+    /// hub is reconstructed from several views, instead of accumulating a
+    /// cross-product of equivalent patterns.
+    pub fn dtd_constraints(&self) -> Vec<Xic> {
+        let doc = self.document();
+        let mut out = vec![Xic::unique_child("R_one_K", &doc, "//R", "./K")];
+        for i in 1..=self.nc {
+            out.push(Xic::unique_child(&format!("R_one_A{i}"), &doc, "//R", &format!("./A{i}")));
+            out.push(Xic::unique_child(&format!("S{i}_one_A"), &doc, &format!("//S{i}"), "./A"));
+            out.push(Xic::unique_child(&format!("S{i}_one_B"), &doc, &format!("//S{i}"), "./B"));
+        }
+        out
     }
 
     /// Foreign-key XICs `R.A_i ⊆ S_i.A`.
@@ -182,14 +206,19 @@ impl StarConfig {
         }
         let refs: Vec<(&str, &str)> =
             r_fields.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-        out.push(SpecializationMapping::new("Rspec", &doc, "//R", &refs));
+        out.push(
+            SpecializationMapping::new("Rspec", &doc, "//R", &refs).with_single_valued_fields(),
+        );
         for i in 1..=self.nc {
-            out.push(SpecializationMapping::new(
-                &format!("S{i}spec"),
-                &doc,
-                &format!("//S{i}"),
-                &[("A", "./A/text()"), ("B", "./B/text()")],
-            ));
+            out.push(
+                SpecializationMapping::new(
+                    &format!("S{i}spec"),
+                    &doc,
+                    &format!("//S{i}"),
+                    &[("A", "./A/text()"), ("B", "./B/text()")],
+                )
+                .with_single_valued_fields(),
+            );
         }
         out
     }
@@ -198,6 +227,7 @@ impl StarConfig {
     pub fn correspondence(&self) -> SchemaCorrespondence {
         let mut xics = vec![self.key_constraint()];
         xics.extend(self.foreign_keys());
+        xics.extend(self.dtd_constraints());
         SchemaCorrespondence {
             public_documents: vec![self.document()],
             gav_views: Vec::new(),
@@ -215,7 +245,16 @@ impl StarConfig {
     }
 
     /// Build the MARS system for this configuration.
-    pub fn mars(&self, options: MarsOptions) -> Mars {
+    ///
+    /// The star document is perfectly regular and fully covered by its
+    /// specialization mappings, so when specialization is requested the
+    /// document is accessed exclusively through the specialization relations
+    /// (`spec_replaces_navigation`). This keeps the backchase candidate pool
+    /// at `NC + NV + 1` atoms — the vocabulary over which the `2^NV`
+    /// completeness count is stated — instead of the hundreds of raw
+    /// navigation atoms of the universal plan.
+    pub fn mars(&self, mut options: MarsOptions) -> Mars {
+        options.spec_replaces_navigation = true;
         Mars::with_options(self.correspondence(), options)
     }
 
@@ -245,8 +284,10 @@ impl StarConfig {
         doc
     }
 
-    /// Populate storage: the document goes into the XML store and every view
-    /// is materialized into the relational database. Returns the stores.
+    /// Populate storage: the document goes into the XML store, every view is
+    /// materialized into the relational database, and so is every
+    /// specialization relation (so reformulations mixing views with `Rspec` /
+    /// `S_ispec` atoms can execute relationally). Returns the stores.
     pub fn populate(
         &self,
         hubs: usize,
@@ -258,6 +299,9 @@ impl StarConfig {
         let mut db = RelationalDatabase::new();
         for l in 1..=self.nv {
             materialize_view(&self.view(l), &mut xml, &mut db);
+        }
+        for m in self.specializations() {
+            materialize_view(&m.definition_view(), &mut xml, &mut db);
         }
         (xml, db)
     }
@@ -275,7 +319,9 @@ mod tests {
         assert_eq!(q.head.len(), 4); // k + 3 B's
         assert_eq!(q.atoms.len(), 2 + 3 * 5);
         let v = cfg.view(1);
-        assert_eq!(v.body.head, vec!["k", "b1", "b2"]);
+        assert_eq!(v.body.head, vec!["k", "b1"]);
+        let v2 = cfg.view(2);
+        assert_eq!(v2.body.head, vec!["k", "b2"]);
         assert_eq!(cfg.foreign_keys().len(), 3);
         assert_eq!(cfg.specializations().len(), 4);
     }
@@ -313,6 +359,41 @@ mod tests {
             .body
             .iter()
             .any(|a| a.predicate.name().starts_with('V') || a.predicate.name().contains("spec")));
+    }
+
+    /// Regression for the lost-reformulation bug: the exhaustive backchase
+    /// must return *exactly* `2^NV` minimal reformulations — one per subset
+    /// of the views — at every NC, not just the sizes where the old pairwise
+    /// view definition happened to keep subsets incomparable. The seed
+    /// reported 7 of 8 at NC = 4 (see EXPERIMENTS.md for the root cause).
+    #[test]
+    fn exhaustive_backchase_counts_exactly_two_to_the_nv() {
+        for nc in [2usize, 3, 4] {
+            let cfg = StarConfig::figure5(nc);
+            let mars = cfg.mars(MarsOptions::specialized().exhaustive());
+            let block = mars.reformulate_xbind(&cfg.client_query());
+            assert!(
+                !block.result.stats.backchase_truncated,
+                "NC={nc}: enumeration must complete, not hit max_candidates"
+            );
+            assert_eq!(
+                block.result.minimal.len(),
+                1 << cfg.nv,
+                "NC={nc}: expected 2^NV = {} minimal reformulations, got {}",
+                1 << cfg.nv,
+                block.result.minimal.len()
+            );
+            // The minimal reformulations form an antichain: none is a
+            // subquery of another.
+            for (i, (a, _)) in block.result.minimal.iter().enumerate() {
+                for (j, (b, _)) in block.result.minimal.iter().enumerate() {
+                    if i != j {
+                        let subset = a.body.iter().all(|atom| b.body.contains(atom));
+                        assert!(!subset, "NC={nc}: {} is a subquery of {}", a.name, b.name);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

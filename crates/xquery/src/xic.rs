@@ -101,6 +101,32 @@ impl Xic {
         Xic::new(name, premise, vec![conclusion])
     }
 
+    /// DTD-style single-occurrence constraint: every element reached by
+    /// `element_path` has at most one child reached by `child_path` — two
+    /// such children are the same node. (`<!ELEMENT R (K, A1)>`-style content
+    /// models.) Without it, a chase that re-creates an entity's children from
+    /// several sources (e.g. two view unfoldings over the same element)
+    /// cannot unify the duplicated nodes and the instance grows with a
+    /// cross-product of equivalent navigation patterns.
+    pub fn unique_child(name: &str, document: &str, element_path: &str, child_path: &str) -> Xic {
+        let cpath = parse_path(child_path).expect("valid child path");
+        let premise = vec![
+            XBindAtom::AbsolutePath {
+                document: document.to_string(),
+                path: parse_path(element_path).expect("valid element path"),
+                var: "p".to_string(),
+            },
+            XBindAtom::RelativePath {
+                path: cpath.clone(),
+                source: "p".to_string(),
+                var: "n".to_string(),
+            },
+            XBindAtom::RelativePath { path: cpath, source: "p".to_string(), var: "m".to_string() },
+        ];
+        let conclusion = XicConjunct::equalities(vec![(XBindTerm::var("n"), XBindTerm::var("m"))]);
+        Xic::new(name, premise, vec![conclusion])
+    }
+
     /// A foreign-key style inclusion: every value reached by `from_path`
     /// (under elements of `from_elements`) also appears under `to_path`
     /// (under elements of `to_elements`).
@@ -166,6 +192,15 @@ mod tests {
         assert_eq!(xic.premise.len(), 4);
         assert_eq!(xic.conclusions[0].equalities.len(), 1);
         assert!(xic.conclusions[0].atoms.is_empty());
+    }
+
+    #[test]
+    fn unique_child_is_an_equality_constraint() {
+        let xic = Xic::unique_child("R_one_K", "star.xml", "//R", "./K");
+        assert_eq!(xic.premise.len(), 3);
+        assert_eq!(xic.conclusions.len(), 1);
+        assert!(xic.conclusions[0].atoms.is_empty());
+        assert_eq!(xic.conclusions[0].equalities, vec![(XBindTerm::var("n"), XBindTerm::var("m"))]);
     }
 
     #[test]

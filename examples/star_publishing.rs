@@ -9,7 +9,7 @@ use mars_workloads::star::StarConfig;
 use std::collections::HashMap;
 
 fn main() {
-    let nc = 4;
+    let nc = 5;
     let cfg = StarConfig::figure5(nc);
     println!("star configuration: NC = {nc}, NV = {}", cfg.nv);
 
@@ -22,12 +22,19 @@ fn main() {
         block.result.minimal.len(),
         1usize << cfg.nv
     );
+    if block.result.stats.backchase_truncated {
+        eprintln!(
+            "WARNING: backchase truncated at max_candidates — the enumeration \
+             is incomplete and the count above cannot be trusted"
+        );
+    }
     if let Some((best, cost)) = &block.result.best {
         println!("best reformulation (cost {cost:.1}): {best}");
     }
 
     // Execute both the unreformulated query (naive XML engine) and the best
-    // reformulation (relational engine over the materialized views).
+    // reformulation (relational engine over the materialized views and
+    // specialization relations).
     let (xml, db) = cfg.populate(5, 4, 1);
     let unreformulated = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
     let reformulated = block.result.best_or_initial().map(|q| db.query(q)).unwrap_or_default();

@@ -1,4 +1,5 @@
-SELECT DISTINCT t0.c0, t0.c1, t0.c2, t1.c2
-FROM V1 AS t0, V2 AS t1
-WHERE t1.c0 = t0.c0
-  AND t1.c1 = t0.c2
+SELECT DISTINCT t0.c1, t1.c2, t2.c2, t3.c2
+FROM Rspec AS t0, S1spec AS t1, S2spec AS t2, S3spec AS t3
+WHERE t1.c1 = t0.c2
+  AND t2.c1 = t0.c3
+  AND t3.c1 = t0.c4

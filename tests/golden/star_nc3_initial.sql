@@ -1,173 +1,9 @@
 SELECT DISTINCT t0.c1, t1.c2, t2.c2, t3.c2
-FROM Rspec AS t0, S1spec AS t1, S2spec AS t2, S3spec AS t3, V1 AS t4, V2 AS t5, child_star.xml AS t6, child_star.xml AS t7, child_star.xml AS t8, child_star.xml AS t9, child_star.xml AS t10, child_star.xml AS t11, child_star.xml AS t12, child_star.xml AS t13, child_star.xml AS t14, child_star.xml AS t15, desc_star.xml AS t16, desc_star.xml AS t17, desc_star.xml AS t18, desc_star.xml AS t19, desc_star.xml AS t20, desc_star.xml AS t21, desc_star.xml AS t22, desc_star.xml AS t23, desc_star.xml AS t24, desc_star.xml AS t25, desc_star.xml AS t26, desc_star.xml AS t27, desc_star.xml AS t28, desc_star.xml AS t29, desc_star.xml AS t30, desc_star.xml AS t31, desc_star.xml AS t32, desc_star.xml AS t33, desc_star.xml AS t34, desc_star.xml AS t35, desc_star.xml AS t36, desc_star.xml AS t37, desc_star.xml AS t38, desc_star.xml AS t39, desc_star.xml AS t40, desc_star.xml AS t41, desc_star.xml AS t42, desc_star.xml AS t43, desc_star.xml AS t44, desc_star.xml AS t45, desc_star.xml AS t46, desc_star.xml AS t47, desc_star.xml AS t48, desc_star.xml AS t49, desc_star.xml AS t50, desc_star.xml AS t51, desc_star.xml AS t52, desc_star.xml AS t53, el_star.xml AS t54, el_star.xml AS t55, el_star.xml AS t56, el_star.xml AS t57, el_star.xml AS t58, el_star.xml AS t59, el_star.xml AS t60, el_star.xml AS t61, el_star.xml AS t62, el_star.xml AS t63, el_star.xml AS t64, el_star.xml AS t65, el_star.xml AS t66, el_star.xml AS t67, id_star.xml AS t68, id_star.xml AS t69, id_star.xml AS t70, id_star.xml AS t71, id_star.xml AS t72, id_star.xml AS t73, id_star.xml AS t74, id_star.xml AS t75, id_star.xml AS t76, id_star.xml AS t77, id_star.xml AS t78, id_star.xml AS t79, id_star.xml AS t80, id_star.xml AS t81, root_star.xml AS t82, tag_star.xml AS t83, tag_star.xml AS t84, tag_star.xml AS t85, tag_star.xml AS t86, tag_star.xml AS t87, tag_star.xml AS t88, tag_star.xml AS t89, tag_star.xml AS t90, tag_star.xml AS t91, tag_star.xml AS t92, tag_star.xml AS t93, tag_star.xml AS t94, tag_star.xml AS t95, tag_star.xml AS t96, text_star.xml AS t97, text_star.xml AS t98, text_star.xml AS t99, text_star.xml AS t100, text_star.xml AS t101, text_star.xml AS t102, text_star.xml AS t103, text_star.xml AS t104, text_star.xml AS t105, text_star.xml AS t106
+FROM Rspec AS t0, S1spec AS t1, S2spec AS t2, S3spec AS t3, V1 AS t4, V2 AS t5
 WHERE t1.c1 = t0.c2
   AND t2.c1 = t0.c3
   AND t3.c1 = t0.c4
   AND t4.c0 = t0.c1
   AND t4.c1 = t1.c2
-  AND t4.c2 = t2.c2
   AND t5.c0 = t0.c1
   AND t5.c1 = t2.c2
-  AND t5.c2 = t3.c2
-  AND t6.c0 = t0.c0
-  AND t7.c0 = t0.c0
-  AND t8.c0 = t0.c0
-  AND t9.c0 = t0.c0
-  AND t10.c0 = t1.c0
-  AND t11.c0 = t1.c0
-  AND t12.c0 = t2.c0
-  AND t13.c0 = t2.c0
-  AND t14.c0 = t3.c0
-  AND t15.c0 = t3.c0
-  AND t16.c1 = t6.c1
-  AND t17.c0 = t16.c0
-  AND t17.c1 = t7.c1
-  AND t18.c0 = t16.c0
-  AND t18.c1 = t8.c1
-  AND t19.c0 = t16.c0
-  AND t19.c1 = t9.c1
-  AND t20.c0 = t16.c0
-  AND t20.c1 = t10.c1
-  AND t21.c0 = t16.c0
-  AND t21.c1 = t11.c1
-  AND t22.c0 = t16.c0
-  AND t22.c1 = t12.c1
-  AND t23.c0 = t16.c0
-  AND t23.c1 = t13.c1
-  AND t24.c0 = t16.c0
-  AND t24.c1 = t14.c1
-  AND t25.c0 = t16.c0
-  AND t25.c1 = t15.c1
-  AND t26.c0 = t16.c0
-  AND t26.c1 = t0.c0
-  AND t27.c0 = t16.c0
-  AND t27.c1 = t1.c0
-  AND t28.c0 = t16.c0
-  AND t28.c1 = t2.c0
-  AND t29.c0 = t16.c0
-  AND t29.c1 = t3.c0
-  AND t30.c0 = t6.c1
-  AND t30.c1 = t6.c1
-  AND t31.c0 = t7.c1
-  AND t31.c1 = t7.c1
-  AND t32.c0 = t8.c1
-  AND t32.c1 = t8.c1
-  AND t33.c0 = t9.c1
-  AND t33.c1 = t9.c1
-  AND t34.c0 = t10.c1
-  AND t34.c1 = t10.c1
-  AND t35.c0 = t11.c1
-  AND t35.c1 = t11.c1
-  AND t36.c0 = t12.c1
-  AND t36.c1 = t12.c1
-  AND t37.c0 = t13.c1
-  AND t37.c1 = t13.c1
-  AND t38.c0 = t14.c1
-  AND t38.c1 = t14.c1
-  AND t39.c0 = t15.c1
-  AND t39.c1 = t15.c1
-  AND t40.c0 = t0.c0
-  AND t40.c1 = t6.c1
-  AND t41.c0 = t0.c0
-  AND t41.c1 = t7.c1
-  AND t42.c0 = t0.c0
-  AND t42.c1 = t8.c1
-  AND t43.c0 = t0.c0
-  AND t43.c1 = t9.c1
-  AND t44.c0 = t0.c0
-  AND t44.c1 = t0.c0
-  AND t45.c0 = t1.c0
-  AND t45.c1 = t10.c1
-  AND t46.c0 = t1.c0
-  AND t46.c1 = t11.c1
-  AND t47.c0 = t1.c0
-  AND t47.c1 = t1.c0
-  AND t48.c0 = t2.c0
-  AND t48.c1 = t12.c1
-  AND t49.c0 = t2.c0
-  AND t49.c1 = t13.c1
-  AND t50.c0 = t2.c0
-  AND t50.c1 = t2.c0
-  AND t51.c0 = t3.c0
-  AND t51.c1 = t14.c1
-  AND t52.c0 = t3.c0
-  AND t52.c1 = t15.c1
-  AND t53.c0 = t3.c0
-  AND t53.c1 = t3.c0
-  AND t54.c0 = t6.c1
-  AND t55.c0 = t7.c1
-  AND t56.c0 = t8.c1
-  AND t57.c0 = t9.c1
-  AND t58.c0 = t10.c1
-  AND t59.c0 = t11.c1
-  AND t60.c0 = t12.c1
-  AND t61.c0 = t13.c1
-  AND t62.c0 = t14.c1
-  AND t63.c0 = t15.c1
-  AND t64.c0 = t0.c0
-  AND t65.c0 = t1.c0
-  AND t66.c0 = t2.c0
-  AND t67.c0 = t3.c0
-  AND t68.c0 = t6.c1
-  AND t69.c0 = t7.c1
-  AND t70.c0 = t8.c1
-  AND t71.c0 = t9.c1
-  AND t72.c0 = t10.c1
-  AND t73.c0 = t11.c1
-  AND t74.c0 = t12.c1
-  AND t75.c0 = t13.c1
-  AND t76.c0 = t14.c1
-  AND t77.c0 = t15.c1
-  AND t78.c0 = t0.c0
-  AND t79.c0 = t1.c0
-  AND t80.c0 = t2.c0
-  AND t81.c0 = t3.c0
-  AND t82.c0 = t16.c0
-  AND t83.c0 = t6.c1
-  AND t83.c1 = 'K'
-  AND t84.c0 = t7.c1
-  AND t84.c1 = 'A1'
-  AND t85.c0 = t8.c1
-  AND t85.c1 = 'A2'
-  AND t86.c0 = t9.c1
-  AND t86.c1 = 'A3'
-  AND t87.c0 = t10.c1
-  AND t87.c1 = 'A'
-  AND t88.c0 = t11.c1
-  AND t88.c1 = 'B'
-  AND t89.c0 = t12.c1
-  AND t89.c1 = 'A'
-  AND t90.c0 = t13.c1
-  AND t90.c1 = 'B'
-  AND t91.c0 = t14.c1
-  AND t91.c1 = 'A'
-  AND t92.c0 = t15.c1
-  AND t92.c1 = 'B'
-  AND t93.c0 = t0.c0
-  AND t93.c1 = 'R'
-  AND t94.c0 = t1.c0
-  AND t94.c1 = 'S1'
-  AND t95.c0 = t2.c0
-  AND t95.c1 = 'S2'
-  AND t96.c0 = t3.c0
-  AND t96.c1 = 'S3'
-  AND t97.c0 = t6.c1
-  AND t97.c1 = t0.c1
-  AND t98.c0 = t7.c1
-  AND t98.c1 = t0.c2
-  AND t99.c0 = t8.c1
-  AND t99.c1 = t0.c3
-  AND t100.c0 = t9.c1
-  AND t100.c1 = t0.c4
-  AND t101.c0 = t10.c1
-  AND t101.c1 = t0.c2
-  AND t102.c0 = t11.c1
-  AND t102.c1 = t1.c2
-  AND t103.c0 = t12.c1
-  AND t103.c1 = t0.c3
-  AND t104.c0 = t13.c1
-  AND t104.c1 = t2.c2
-  AND t105.c0 = t14.c1
-  AND t105.c1 = t0.c4
-  AND t106.c0 = t15.c1
-  AND t106.c1 = t3.c2

@@ -92,3 +92,98 @@ proptest! {
         prop_assert_eq!(naive.single().unwrap().body.len(), fast.primary().body.len());
     }
 }
+
+/// Build a redundant-storage C&B engine over a length-`len` chain query:
+/// every relation gets a stored proprietary copy when the corresponding bit
+/// of `copy_mask` is set, and adjacent pairs additionally get a stored join
+/// view when the bit of `join_mask` is set. Returns the engine and the
+/// client query.
+fn redundant_chain_engine(
+    len: usize,
+    copy_mask: u8,
+    join_mask: u8,
+) -> (mars_system::chase::ChaseBackchase, ConjunctiveQuery) {
+    use mars_system::cq::ded::view_dependencies;
+    use mars_system::cq::Predicate;
+    use std::collections::HashSet;
+
+    let q = chain_query(len, false);
+    let mut deds = Vec::new();
+    let mut proprietary: HashSet<Predicate> = HashSet::new();
+    for i in 0..len {
+        if copy_mask & (1 << i) != 0 {
+            let name = format!("C{i}");
+            let def = ConjunctiveQuery::new(&name)
+                .with_head(vec![Term::var("a"), Term::var("b")])
+                .with_body(vec![Atom::named(
+                    &format!("R{i}"),
+                    vec![Term::var("a"), Term::var("b")],
+                )]);
+            let (c, b) = view_dependencies(&name, &def);
+            deds.push(c);
+            deds.push(b);
+            proprietary.insert(Predicate::new(&name));
+        }
+    }
+    for i in 0..len.saturating_sub(1) {
+        if join_mask & (1 << i) != 0 {
+            let name = format!("J{i}");
+            let def = ConjunctiveQuery::new(&name)
+                .with_head(vec![Term::var("a"), Term::var("c")])
+                .with_body(vec![
+                    Atom::named(&format!("R{i}"), vec![Term::var("a"), Term::var("b")]),
+                    Atom::named(&format!("R{}", i + 1), vec![Term::var("b"), Term::var("c")]),
+                ]);
+            let (c, b) = view_dependencies(&name, &def);
+            deds.push(c);
+            deds.push(b);
+            proprietary.insert(Predicate::new(&name));
+        }
+    }
+    (mars_system::chase::ChaseBackchase::new(deds, proprietary), q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exhaustive and cost-pruned backchase agree on the cost of the best
+    /// reformulation across randomized redundant-storage setups, and the
+    /// exhaustive minimal set is an antichain (no reformulation is a
+    /// subquery of another) — the completeness contract of Section 2.3.
+    #[test]
+    fn exhaustive_and_pruned_backchase_agree(
+        len in 2usize..4,
+        copy_mask in 0u8..16,
+        join_mask in 0u8..8,
+    ) {
+        use mars_system::chase::CbOptions;
+
+        let (engine, q) = redundant_chain_engine(len, copy_mask, join_mask);
+        let exhaustive = engine.clone().with_options(CbOptions::exhaustive()).reformulate(&q);
+        let pruned = engine.with_options(CbOptions::default()).reformulate(&q);
+
+        prop_assert!(!exhaustive.stats.backchase_truncated);
+        prop_assert_eq!(
+            pruned.best.as_ref().map(|(_, c)| *c),
+            exhaustive.best.as_ref().map(|(_, c)| *c),
+            "cost pruning must preserve the optimum (copies {:b}, joins {:b})",
+            copy_mask,
+            join_mask
+        );
+        // Every pruned-run reformulation also appears in the exhaustive run.
+        prop_assert!(pruned.minimal.len() <= exhaustive.minimal.len());
+        // Antichain: no minimal reformulation is a subquery of another.
+        for (i, (a, _)) in exhaustive.minimal.iter().enumerate() {
+            for (j, (b, _)) in exhaustive.minimal.iter().enumerate() {
+                if i != j {
+                    let subquery = a.body.iter().all(|atom| b.body.contains(atom));
+                    prop_assert!(
+                        !subquery,
+                        "{} is a subquery of {} (copies {:b}, joins {:b})",
+                        a.name, b.name, copy_mask, join_mask
+                    );
+                }
+            }
+        }
+    }
+}
