@@ -8,7 +8,7 @@
 //! should match; see EXPERIMENTS.md).
 
 use mars::MarsOptions;
-use mars_bench::{measure_fig5, measure_fig8};
+use mars_bench::{measure_fig5_threads, measure_fig8_threads};
 use mars_chase::{chase_to_universal_plan, ChaseOptions};
 use mars_cq::{naive_chase, ChaseBudget};
 use mars_workloads::{example11, star::StarConfig, stress, xmark};
@@ -16,20 +16,22 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
-[--xmark] [--all] [--max-nc N]
+[--xmark] [--all] [--max-nc N] [--threads N]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
 experiment flags, --all is assumed. --max-nc N (default 6) bounds the star
-size of the fig5/fig8 sweeps.";
+size of the fig5/fig8 sweeps; --threads N (default 1) sets the backchase
+worker-thread count (results are byte-identical for any thread count).";
 
 /// Parse the command line strictly: unknown flags and malformed values are
 /// errors, not silently ignored (a typo must not produce an empty results
 /// file with exit code 0).
-fn parse_args(args: &[String]) -> Result<(Vec<String>, usize), String> {
+fn parse_args(args: &[String]) -> Result<(Vec<String>, usize, usize), String> {
     const FLAGS: [&str; 7] =
         ["--fig5", "--fig8", "--stress", "--oldnew", "--savings", "--xmark", "--all"];
     let mut selected = Vec::new();
     let mut max_nc = 6usize;
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--max-nc" {
@@ -40,18 +42,26 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, usize), String> {
             if max_nc < 3 {
                 return Err(format!("--max-nc must be at least 3, got {max_nc}"));
             }
+        } else if arg == "--threads" {
+            let value = it.next().ok_or("--threads requires a value".to_string())?;
+            threads = value
+                .parse()
+                .map_err(|_| format!("invalid --threads value: {value:?} (expected a number)"))?;
+            if threads < 1 {
+                return Err(format!("--threads must be at least 1, got {threads}"));
+            }
         } else if FLAGS.contains(&arg.as_str()) {
             selected.push(arg.clone());
         } else {
             return Err(format!("unknown argument: {arg:?}"));
         }
     }
-    Ok((selected, max_nc))
+    Ok((selected, max_nc, threads))
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, max_nc) = match parse_args(&raw) {
+    let (args, max_nc, threads) = match parse_args(&raw) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
@@ -62,25 +72,49 @@ fn main() {
     let all = args.is_empty() || has("--all");
 
     let mut results: HashMap<String, serde_json::Value> = HashMap::new();
+    // Per-phase wall-clock times, recorded alongside the thread count so a
+    // results file is self-describing about how it was produced.
+    let mut phase_wall_ms: Vec<(&str, f64)> = Vec::new();
+    let mut timed =
+        |name: &'static str,
+         results: &mut HashMap<String, serde_json::Value>,
+         f: &mut dyn FnMut(&mut HashMap<String, serde_json::Value>)| {
+            let start = Instant::now();
+            f(results);
+            phase_wall_ms.push((name, ms(start.elapsed())));
+        };
 
     if all || has("--fig5") {
-        fig5(max_nc, &mut results);
+        timed("fig5", &mut results, &mut |r| fig5(max_nc, threads, r));
     }
     if all || has("--fig8") {
-        fig8(max_nc, &mut results);
+        timed("fig8", &mut results, &mut |r| fig8(max_nc, threads, r));
     }
     if all || has("--stress") {
-        stress_experiment(&mut results);
+        timed("stress", &mut results, &mut stress_experiment);
     }
     if all || has("--oldnew") {
-        old_vs_new(&mut results);
+        timed("old_vs_new", &mut results, &mut old_vs_new);
     }
     if all || has("--savings") {
-        net_savings(&mut results);
+        timed("net_savings", &mut results, &mut net_savings);
     }
     if all || has("--xmark") {
-        xmark_feasibility(&mut results);
+        timed("xmark", &mut results, &mut xmark_feasibility);
     }
+
+    let phases: std::collections::BTreeMap<String, serde_json::Value> = phase_wall_ms
+        .iter()
+        .map(|(name, t)| (name.to_string(), serde_json::Value::from(*t)))
+        .collect();
+    results.insert(
+        "run".to_string(),
+        serde_json::json!({
+            "threads": threads,
+            "max_nc": max_nc,
+            "phase_wall_ms": serde_json::Value::Object(phases),
+        }),
+    );
 
     if let Ok(json) = serde_json::to_string_pretty(&results) {
         let _ = std::fs::write("experiments_results.json", json);
@@ -93,12 +127,14 @@ fn ms(d: Duration) -> f64 {
 }
 
 /// Figure 5: scalability of reformulation.
-fn fig5(max_nc: usize, results: &mut HashMap<String, serde_json::Value>) {
-    println!("== Figure 5: scalability of reformulation (XML star, NV = NC-1) ==");
+fn fig5(max_nc: usize, threads: usize, results: &mut HashMap<String, serde_json::Value>) {
+    println!(
+        "== Figure 5: scalability of reformulation (XML star, NV = NC-1, {threads} thread(s)) =="
+    );
     println!("{:>4} {:>18} {:>22} {:>10}", "NC", "initial (ms)", "delta to best (ms)", "#minimal");
     let mut rows = Vec::new();
     for nc in 3..=max_nc {
-        let p = measure_fig5(nc);
+        let p = measure_fig5_threads(nc, threads);
         println!(
             "{:>4} {:>18.2} {:>22.2} {:>10}{}",
             p.nc,
@@ -125,12 +161,12 @@ fn fig5(max_nc: usize, results: &mut HashMap<String, serde_json::Value>) {
 }
 
 /// Figure 8: effect of schema specialization (ratio without/with).
-fn fig8(max_nc: usize, results: &mut HashMap<String, serde_json::Value>) {
+fn fig8(max_nc: usize, threads: usize, results: &mut HashMap<String, serde_json::Value>) {
     println!("\n== Figure 8: effect of schema specialization (views-only storage) ==");
     println!("{:>4} {:>16} {:>14} {:>10}", "NC", "without (ms)", "with (ms)", "ratio");
     let mut rows = Vec::new();
     for nc in 3..=max_nc {
-        let p = measure_fig8(nc);
+        let p = measure_fig8_threads(nc, threads);
         println!("{:>4} {:>16.2} {:>14.2} {:>10.1}", p.nc, ms(p.without), ms(p.with), p.ratio());
         rows.push(serde_json::json!({
             "nc": p.nc,

@@ -10,35 +10,53 @@
 //! *minimal* reformulation (no smaller subquery was equivalent), the best cost
 //! is updated, and supersets are pruned.
 //!
-//! # Hot-path structure
+//! # Engine structure
+//!
+//! The enumeration is a **level-synchronous** BFS over candidate atom sets
+//! ([`AtomSet`] — growable bitsets, so pools wider than 128 atoms enumerate
+//! exhaustively; the old `u128` ceiling and its silent greedy fallback are
+//! gone). Each level holds every candidate of one subquery size, and a
+//! candidate's evaluation reads only state frozen at the start of its level:
+//! the memoized chases of the *previous* level, the best cost and the minimal
+//! reformulations found on previous levels. Evaluations are therefore
+//! independent and run on a [`std::thread::scope`] worker pool
+//! ([`BackchaseOptions::threads`]); results are merged back **in level
+//! order**, so the outcome is byte-identical for any thread count — parallel
+//! and sequential runs agree on every reformulation, statistic and flag.
 //!
 //! The expensive step per candidate is the "back" chase (the `candidate ⊆
-//! original` half of the equivalence check). Three optimizations keep it off
+//! original` half of the equivalence check). Four optimizations keep it off
 //! the critical path:
 //!
+//! * **Shared compilation**: the dependency set arrives as a
+//!   [`CompiledDeps`] built once per engine; no chase anywhere in the
+//!   enumeration recompiles it.
 //! * **Chase memoization**: completed back-chases are cached keyed on the
-//!   candidate's atom bitmask. A candidate grown from an already-chased
+//!   candidate's [`AtomSet`]. A candidate grown from an already-chased
 //!   subset resumes from the cached chase result plus the one new atom
-//!   ([`chase_branches_with_atoms`]) instead of re-chasing from scratch —
-//!   the seed is already at fixpoint, so only consequences of the new atom
-//!   fire. Because the BFS visits subsets level by level, only the previous
-//!   and current size levels are retained.
+//!   ([`chase_branches_with_atoms_compiled`]) instead of re-chasing from
+//!   scratch — the seed is already at fixpoint, so only consequences of the
+//!   new atom fire. Because the BFS visits subsets level by level, only the
+//!   previous and current size levels are retained.
 //! * **O(1) subset costs**: for additive cost models
 //!   ([`CostEstimator::atom_costs`]) the per-atom costs of the pool are
-//!   computed once and a candidate's cost is a bitmask fold.
+//!   computed once and a candidate's cost is a bitset fold
+//!   ([`fold_atom_costs`]).
 //! * **Prepared containment targets**: the `original ⊆ candidate` half checks
 //!   the candidate against every universal-plan branch; the branches' atom
 //!   indexes are built once ([`ContainmentTarget`]), and subqueries of a
 //!   branch hit the identity fast path.
 
 use crate::chase::{
-    chase_branches_with_atoms, chase_to_universal_plan, ChaseOptions, UniversalPlan,
+    chase_branches_with_atoms_compiled, chase_to_universal_plan_compiled, ChaseOptions,
+    UniversalPlan,
 };
+use crate::compiled::CompiledDeps;
 use crate::reach::{prune_parallel_desc, ReachabilityGraph};
-use mars_cost::CostEstimator;
+use mars_cost::{fold_atom_costs, CostEstimator};
 use mars_cq::containment::{containment_mapping, ContainmentTarget};
-use mars_cq::{ConjunctiveQuery, Ded, Predicate, Substitution, Variable};
-use std::collections::{HashMap, HashSet, VecDeque};
+use mars_cq::{Atom, AtomSet, ConjunctiveQuery, Predicate, Substitution, Variable};
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Options controlling the backchase.
@@ -59,6 +77,19 @@ pub struct BackchaseOptions {
     /// Upper bound on the number of memoized back-chase results retained per
     /// BFS size level (memory guard for very wide pools).
     pub chase_cache_per_level: usize,
+    /// Number of worker threads evaluating the candidates of a BFS level.
+    /// `1` (the default) runs sequentially; any value produces byte-identical
+    /// outcomes (deterministic in-order merge of per-level results).
+    pub threads: usize,
+    /// Replace subset enumeration with greedy minimization of the initial
+    /// reformulation: repeatedly drop atoms while the query stays a
+    /// reformulation. Yields **at most one** reformulation, never the full
+    /// minimal set, and it need not be the optimum — an explicit trade of
+    /// completeness for speed on very wide pools (opt in through
+    /// `MarsOptions::with_greedy_minimization`). This is never applied
+    /// silently: without the opt-in every pool, however wide, is enumerated
+    /// exhaustively.
+    pub greedy: bool,
     /// Chase options used for the "back" chases (equivalence checks).
     pub chase: ChaseOptions,
 }
@@ -71,6 +102,8 @@ impl Default for BackchaseOptions {
             navigation_pruning: true,
             max_candidates: 200_000,
             chase_cache_per_level: 8_192,
+            threads: 1,
+            greedy: false,
             chase: ChaseOptions::default(),
         }
     }
@@ -80,6 +113,12 @@ impl BackchaseOptions {
     /// Options that enumerate every minimal reformulation.
     pub fn exhaustive() -> BackchaseOptions {
         BackchaseOptions { exhaustive: true, ..Default::default() }
+    }
+
+    /// Builder: evaluate each BFS level on `n` worker threads.
+    pub fn with_threads(mut self, n: usize) -> BackchaseOptions {
+        self.threads = n.max(1);
+        self
     }
 }
 
@@ -100,12 +139,14 @@ pub struct BackchaseOutcome {
     pub chase_cache_hits: usize,
     /// Number of candidates discarded by cost-based pruning.
     pub pruned_by_cost: usize,
-    /// `true` when the enumeration did not cover the full search space:
-    /// either [`BackchaseOptions::max_candidates`] stopped the breadth-first
-    /// enumeration early, or the candidate pool exceeded the enumerable
-    /// width (> 128 atoms) and only greedy minimization ran. The reported
-    /// `minimal` set may then be incomplete and (in exhaustive mode) `best`
-    /// may not be the optimum. A complete enumeration leaves this `false`.
+    /// `true` when [`BackchaseOptions::max_candidates`] stopped the
+    /// breadth-first enumeration before it exhausted the search space: the
+    /// reported `minimal` set may then be incomplete and (in exhaustive
+    /// mode) `best` may not be the optimum. A complete enumeration leaves
+    /// this `false`. This is the only truncation the engine performs — pool
+    /// width no longer truncates anything (the former 128-atom ceiling), and
+    /// the explicitly requested [`BackchaseOptions::greedy`] mode documents
+    /// its own incompleteness rather than reporting it here.
     pub truncated: bool,
     /// Wall-clock duration of the backchase.
     pub duration: Duration,
@@ -144,7 +185,7 @@ fn is_reformulation(
     candidate: &ConjunctiveQuery,
     original: &ConjunctiveQuery,
     universal_plan_branches: &[ConjunctiveQuery],
-    deds: &[Ded],
+    deds: &CompiledDeps,
     chase_opts: &ChaseOptions,
 ) -> bool {
     if !candidate.is_safe() {
@@ -155,7 +196,7 @@ fn is_reformulation(
         return false;
     }
     // candidate ⊆ original
-    let back: UniversalPlan = chase_to_universal_plan(candidate, deds, chase_opts);
+    let back: UniversalPlan = chase_to_universal_plan_compiled(candidate, deds, chase_opts);
     back_chase_confirms(original, &back)
 }
 
@@ -163,7 +204,7 @@ fn is_reformulation(
 /// chase that has already been computed (from scratch or resumed from a
 /// memoized subset): the chase must have completed with at least one
 /// surviving branch, and the original must map into every branch preserving
-/// the head. Shared by [`is_reformulation`] (greedy fallback) and the
+/// the head. Shared by [`is_reformulation`] (greedy opt-in) and the
 /// enumerating BFS so the two paths cannot drift.
 fn back_chase_confirms(original: &ConjunctiveQuery, back: &UniversalPlan) -> bool {
     back.stats.completed
@@ -174,16 +215,220 @@ fn back_chase_confirms(original: &ConjunctiveQuery, back: &UniversalPlan) -> boo
 /// Chased branches of a candidate, cached for reuse by its supersets.
 type ChasedBranches = Vec<(ConjunctiveQuery, Substitution)>;
 
+/// Head-variable coverage prefilter: safety as a bitset fold over the head
+/// variables — exactly the `is_safe()` condition (inequality variables are
+/// NOT required: `subquery` projects away inequalities its atoms do not
+/// cover). More than 63 head variables disable the prefilter (every
+/// candidate passes) and `candidate.is_safe()` does the gating.
+struct SafetyPrefilter {
+    active: bool,
+    full: u64,
+    per_atom: Vec<u64>,
+}
+
+impl SafetyPrefilter {
+    fn new(pool_query: &ConjunctiveQuery, pool: &[Atom]) -> SafetyPrefilter {
+        let safety_vars: Vec<Variable> = pool_query.head_variables().into_iter().collect();
+        let active = safety_vars.len() < 64;
+        let full = if active { (1u64 << safety_vars.len()) - 1 } else { 0 };
+        let per_atom: Vec<u64> = pool
+            .iter()
+            .map(|a| {
+                safety_vars
+                    .iter()
+                    .take(63)
+                    .enumerate()
+                    .filter(|(_, v)| a.mentions(**v))
+                    .fold(0u64, |acc, (j, _)| acc | (1 << j))
+            })
+            .collect();
+        SafetyPrefilter { active, full, per_atom }
+    }
+
+    fn passes(&self, subset: &[usize]) -> bool {
+        !self.active || subset.iter().fold(0u64, |acc, &i| acc | self.per_atom[i]) == self.full
+    }
+}
+
+/// Everything a candidate evaluation reads — all of it frozen for the
+/// duration of one BFS level, which is what makes the per-level parallelism
+/// deterministic (workers share this by reference; nothing is written until
+/// the in-order merge).
+struct LevelContext<'a> {
+    original: &'a ConjunctiveQuery,
+    pool: &'a [Atom],
+    pool_query: &'a ConjunctiveQuery,
+    graph: &'a ReachabilityGraph,
+    branch_targets: &'a [ContainmentTarget],
+    atom_costs: Option<&'a [f64]>,
+    estimator: &'a dyn CostEstimator,
+    deds: &'a CompiledDeps,
+    back_chase_opts: &'a ChaseOptions,
+    safety: &'a SafetyPrefilter,
+    /// Memoized back-chases of the previous BFS level (read-only).
+    prev_level: &'a HashMap<AtomSet, ChasedBranches>,
+    navigation_pruning: bool,
+    exhaustive: bool,
+    /// Best reformulation cost as of the end of the previous level. Frozen
+    /// for the whole level — the price of thread-count-independent results:
+    /// a reformulation discovered mid-level cannot cost-prune its own level,
+    /// only the next one. Sound (monotone cost model) and bounded: at most
+    /// one level of same-size candidates is evaluated without the tighter
+    /// bound.
+    best_cost: f64,
+    /// Cache budget ([`BackchaseOptions::chase_cache_per_level`]). Only the
+    /// first `cache_budget` candidates of a level may return a chase for
+    /// memoization, which bounds the memory held between evaluation and
+    /// merge by the budget instead of by the level width.
+    cache_budget: usize,
+}
+
+/// What evaluating one candidate produced; merged in level order.
+#[derive(Default)]
+struct CandidateEval {
+    cost: f64,
+    pruned_by_cost: bool,
+    /// An equivalence check (the chase-based test) ran.
+    checked: bool,
+    /// The back-chase resumed from a memoized subset chase.
+    cache_hit: bool,
+    /// The candidate is a minimal reformulation.
+    found: Option<ConjunctiveQuery>,
+    /// Completed (non-reformulation) chase to memoize for the next level.
+    cache_entry: Option<ChasedBranches>,
+    /// Pool indices the BFS may grow this candidate by.
+    grow: Vec<usize>,
+}
+
+/// Evaluate one candidate against the frozen level context. Pure: reads only
+/// `ctx`, writes nothing shared.
+fn evaluate_candidate(
+    ctx: &LevelContext<'_>,
+    index: usize,
+    position: usize,
+    mask: &AtomSet,
+) -> CandidateEval {
+    let subset: Vec<usize> = mask.iter().collect();
+    let cost = match ctx.atom_costs {
+        Some(w) => fold_atom_costs(w, mask),
+        None => ctx.estimator.estimate(&ctx.pool_query.subquery(&subset)),
+    };
+    let mut eval = CandidateEval { cost, ..Default::default() };
+
+    // Cost-based pruning: a subquery costing more than the best found so far
+    // cannot lead to the optimum (monotone cost model), so neither it nor its
+    // supersets are considered further (no growth).
+    if !ctx.exhaustive && cost > ctx.best_cost {
+        eval.pruned_by_cost = true;
+        return eval;
+    }
+
+    let legal = !ctx.navigation_pruning || ctx.graph.is_legal_subset(&subset);
+    if legal && ctx.safety.passes(&subset) {
+        let candidate = {
+            let mut q = ctx.pool_query.subquery(&subset);
+            q.name = format!("{}_candidate{}", ctx.original.name, index);
+            q
+        };
+        if candidate.is_safe() {
+            eval.checked = true;
+            // original ⊆ candidate: the candidate must map into every
+            // universal-plan branch (identity fast path on the primary).
+            let maps_into_plan =
+                ctx.branch_targets.iter().all(|t| t.mapping_from(&candidate).is_some());
+            if maps_into_plan {
+                // candidate ⊆ original: back-chase (memoized) and map the
+                // original into every surviving branch.
+                let seed = subset
+                    .iter()
+                    .find_map(|&i| ctx.prev_level.get(&mask.without(i)).map(|s| (s, i)));
+                let back = match seed {
+                    Some((seed_branches, added)) => {
+                        eval.cache_hit = true;
+                        chase_branches_with_atoms_compiled(
+                            seed_branches,
+                            std::slice::from_ref(&ctx.pool[added]),
+                            &candidate.name,
+                            ctx.deds,
+                            ctx.back_chase_opts,
+                        )
+                    }
+                    None => {
+                        chase_to_universal_plan_compiled(&candidate, ctx.deds, ctx.back_chase_opts)
+                    }
+                };
+                if back_chase_confirms(ctx.original, &back) {
+                    eval.found = Some(candidate);
+                    return eval; // supersets are not minimal: no growth
+                }
+                // Not (yet) a reformulation: its supersets are chased next
+                // level — hand this chase back as their memoization seed
+                // (position-gated so a wide level cannot hold more chases
+                // than the cache budget between evaluation and merge).
+                if position < ctx.cache_budget && back.stats.completed && !back.branches.is_empty()
+                {
+                    eval.cache_entry =
+                        Some(back.branches.into_iter().zip(back.renamings).collect());
+                }
+            }
+        }
+    }
+
+    eval.grow = if ctx.navigation_pruning {
+        ctx.graph.enabled(&subset)
+    } else {
+        (0..ctx.pool.len()).filter(|&i| !mask.contains(i)).collect()
+    };
+    eval
+}
+
+/// Evaluate every candidate of one BFS level, on `threads` workers when that
+/// pays off. Results come back in level order regardless of thread count —
+/// each worker writes into its own disjoint slice of the result vector.
+/// `base` is the number of candidates inspected before this level (candidate
+/// indices, used for naming, continue from it).
+fn evaluate_level(
+    level: &[AtomSet],
+    ctx: &LevelContext<'_>,
+    threads: usize,
+    base: usize,
+) -> Vec<CandidateEval> {
+    let threads = threads.max(1).min(level.len());
+    if threads <= 1 {
+        return level
+            .iter()
+            .enumerate()
+            .map(|(j, mask)| evaluate_candidate(ctx, base + j + 1, j, mask))
+            .collect();
+    }
+    let chunk = level.len().div_ceil(threads);
+    let mut evals: Vec<Option<CandidateEval>> = Vec::new();
+    evals.resize_with(level.len(), || None);
+    std::thread::scope(|scope| {
+        for (ci, (masks, out)) in level.chunks(chunk).zip(evals.chunks_mut(chunk)).enumerate() {
+            let offset = ci * chunk;
+            scope.spawn(move || {
+                for (j, mask) in masks.iter().enumerate() {
+                    out[j] = Some(evaluate_candidate(ctx, base + offset + j + 1, offset + j, mask));
+                }
+            });
+        }
+    });
+    evals.into_iter().map(|e| e.expect("every level slot evaluated")).collect()
+}
+
 /// Run the backchase.
 ///
 /// `original` is the query being reformulated, `universal_plan` the result of
 /// the chase (its `branches`), `proprietary` the set of predicates that may
-/// appear in a reformulation.
+/// appear in a reformulation, `deds` the dependency set in its shared
+/// compiled form ([`CompiledDeps`] — built once per engine, reused by every
+/// back-chase here).
 pub fn backchase(
     original: &ConjunctiveQuery,
     universal_plan: &UniversalPlan,
     proprietary: &HashSet<Predicate>,
-    deds: &[Ded],
+    deds: &CompiledDeps,
     estimator: &dyn CostEstimator,
     options: &BackchaseOptions,
 ) -> BackchaseOutcome {
@@ -200,32 +445,31 @@ pub fn backchase(
     // Pool of candidate atoms: proprietary atoms of the (pruned) plan.
     let pool: Vec<_> =
         pruned_plan.body.iter().filter(|a| proprietary.contains(&a.predicate)).cloned().collect();
-    if pool.is_empty() || pool.len() > 128 {
-        // Either nothing to enumerate, or the pool is too large for subset
-        // enumeration: fall back to greedy minimization of the initial
-        // reformulation (documented limitation; the paper relies on schema
-        // specialization to keep pools small). Greedy minimization yields at
-        // most one reformulation, never the full minimal set.
-        if !pool.is_empty() {
-            outcome.truncated = true;
-            let initial = ConjunctiveQuery {
-                name: format!("{}_initial", primary.name),
-                head: primary.head.clone(),
-                body: pool.clone(),
-                inequalities: primary.inequalities.clone(),
-            };
-            if let Some(minimized) = greedy_minimize(
-                &initial,
-                original,
-                &universal_plan.branches,
-                deds,
-                &options.chase,
-                &mut outcome,
-            ) {
-                let cost = estimator.estimate(&minimized);
-                outcome.best = Some((minimized.clone(), cost));
-                outcome.minimal.push((minimized, cost));
-            }
+    if pool.is_empty() {
+        outcome.duration = start.elapsed();
+        return outcome;
+    }
+
+    if options.greedy {
+        // Explicitly requested greedy minimization (at most one
+        // reformulation; see the option's docs for the trade-off).
+        let initial = ConjunctiveQuery {
+            name: format!("{}_initial", primary.name),
+            head: primary.head.clone(),
+            body: pool.clone(),
+            inequalities: primary.inequalities.clone(),
+        };
+        if let Some(minimized) = greedy_minimize(
+            &initial,
+            original,
+            &universal_plan.branches,
+            deds,
+            &options.chase,
+            &mut outcome,
+        ) {
+            let cost = estimator.estimate(&minimized);
+            outcome.best = Some((minimized.clone(), cost));
+            outcome.minimal.push((minimized, cost));
         }
         outcome.duration = start.elapsed();
         return outcome;
@@ -258,156 +502,101 @@ pub fn backchase(
     let branch_targets: Vec<ContainmentTarget> =
         universal_plan.branches.iter().map(ContainmentTarget::new).collect();
     let atom_costs = estimator.atom_costs(&pool_query);
-    let mask_cost = |mask: u128| -> Option<f64> {
-        atom_costs
-            .as_ref()
-            .map(|w| (0..pool.len()).filter(|i| mask & (1 << i) != 0).map(|i| w[i]).sum::<f64>())
-    };
-    // Safety as a bitset fold over the head variables — exactly the
-    // `is_safe()` condition (inequality variables are NOT required:
-    // `subquery` projects away inequalities its atoms do not cover).
-    let safety_vars: Vec<Variable> = pool_query.head_variables().into_iter().collect();
-    // More than 63 safety variables do not fit the u64 prefilter: disable it
-    // (every candidate passes) and let `candidate.is_safe()` do the gating.
-    let safety_prefilter_active = safety_vars.len() < 64;
-    let full_safety: u64 =
-        if safety_prefilter_active { (1u64 << safety_vars.len()) - 1 } else { 0 };
-    let atom_safety: Vec<u64> = pool
-        .iter()
-        .map(|a| {
-            safety_vars
-                .iter()
-                .take(63)
-                .enumerate()
-                .filter(|(_, v)| a.mentions(**v))
-                .fold(0u64, |acc, (j, _)| acc | (1 << j))
-        })
-        .collect();
+    let safety = SafetyPrefilter::new(&pool_query, &pool);
 
-    // Breadth-first enumeration by subset size, represented as u128 bitsets.
-    let mut visited: HashSet<u128> = HashSet::new();
-    let mut frontier: VecDeque<u128> = VecDeque::new();
-    let mut found_masks: Vec<u128> = Vec::new();
+    // Level-synchronous breadth-first enumeration by subset size.
+    let mut visited: HashSet<AtomSet> = HashSet::new();
+    let mut frontier: Vec<AtomSet> = Vec::new();
+    let mut found: Vec<AtomSet> = Vec::new();
     let mut best_cost = f64::INFINITY;
-
-    // Memoized back-chases of the previous / current BFS size level.
-    let mut prev_level: HashMap<u128, ChasedBranches> = HashMap::new();
-    let mut cur_level: HashMap<u128, ChasedBranches> = HashMap::new();
-    let mut level: u32 = 1;
+    // Memoized back-chases of the previous BFS size level.
+    let mut prev_level: HashMap<AtomSet, ChasedBranches> = HashMap::new();
 
     let seeds: Vec<usize> =
         if options.navigation_pruning { graph.roots.clone() } else { (0..pool.len()).collect() };
     for s in seeds {
-        let mask = 1u128 << s;
-        if visited.insert(mask) {
-            frontier.push_back(mask);
+        let mask = AtomSet::singleton(s);
+        if visited.insert(mask.clone()) {
+            frontier.push(mask);
         }
     }
 
-    while let Some(mask) = frontier.pop_front() {
-        if outcome.candidates_inspected >= options.max_candidates {
+    while !frontier.is_empty() {
+        // Minimality pruning: supersets of a found reformulation are not
+        // minimal and are dropped without counting as inspected. (Within a
+        // level no candidate can be a strict superset of another of the same
+        // size, so found reformulations of previous levels suffice.)
+        let mut level: Vec<AtomSet> = std::mem::take(&mut frontier)
+            .into_iter()
+            .filter(|m| !found.iter().any(|f| f.is_subset_of(m)))
+            .collect();
+        let remaining = options.max_candidates.saturating_sub(outcome.candidates_inspected);
+        if level.len() > remaining {
             outcome.truncated = true;
+            level.truncate(remaining);
+        }
+        if level.is_empty() {
             break;
         }
-        // Minimality pruning: supersets of a found reformulation are not minimal.
-        // (Subset test on bitmasks, not membership — clippy's `contains`
-        // suggestion would change the semantics.)
-        #[allow(clippy::manual_contains)]
-        if found_masks.iter().any(|&f| f & mask == f) {
-            continue;
-        }
-        let size = mask.count_ones();
-        if size > level {
-            // The BFS moved one size level up: caches of level - 1 can no
-            // longer be parents of anything still in the frontier.
-            prev_level = std::mem::take(&mut cur_level);
-            level = size;
-        }
-        let subset: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
-        outcome.candidates_inspected += 1;
 
-        let cost = match mask_cost(mask) {
-            Some(c) => c,
-            None => estimator.estimate(&pool_query.subquery(&subset)),
+        let ctx = LevelContext {
+            original,
+            pool: &pool,
+            pool_query: &pool_query,
+            graph: &graph,
+            branch_targets: &branch_targets,
+            atom_costs: atom_costs.as_deref(),
+            estimator,
+            deds,
+            back_chase_opts: &back_chase_opts,
+            safety: &safety,
+            prev_level: &prev_level,
+            navigation_pruning: options.navigation_pruning,
+            exhaustive: options.exhaustive,
+            best_cost,
+            cache_budget: options.chase_cache_per_level,
         };
+        let evals = evaluate_level(&level, &ctx, options.threads, outcome.candidates_inspected);
 
-        // Cost-based pruning: a subquery costing more than the best found so
-        // far cannot lead to the optimum (monotone cost model), so neither it
-        // nor its supersets are considered further.
-        if !options.exhaustive && cost > best_cost {
-            outcome.pruned_by_cost += 1;
-            continue;
-        }
-
-        let legal = !options.navigation_pruning || graph.is_legal_subset(&subset);
-        let safe = !safety_prefilter_active
-            || subset.iter().fold(0u64, |acc, &i| acc | atom_safety[i]) == full_safety;
-        if legal && safe {
-            let candidate = {
-                let mut q = pool_query.subquery(&subset);
-                q.name = format!("{}_candidate{}", original.name, outcome.candidates_inspected);
-                q
-            };
-            if candidate.is_safe() {
+        // Deterministic merge, in level order.
+        let mut cur_level: HashMap<AtomSet, ChasedBranches> = HashMap::new();
+        for (mask, eval) in level.iter().zip(evals) {
+            outcome.candidates_inspected += 1;
+            if eval.pruned_by_cost {
+                outcome.pruned_by_cost += 1;
+                continue;
+            }
+            if eval.checked {
                 outcome.equivalence_checks += 1;
-                // original ⊆ candidate: the candidate must map into every
-                // universal-plan branch (identity fast path on the primary).
-                let maps_into_plan =
-                    branch_targets.iter().all(|t| t.mapping_from(&candidate).is_some());
-                if maps_into_plan {
-                    // candidate ⊆ original: back-chase (memoized) and map the
-                    // original into every surviving branch.
-                    let seed = subset.iter().find_map(|&i| {
-                        let parent = mask & !(1 << i);
-                        prev_level.get(&parent).map(|s| (s, i))
-                    });
-                    let back = match seed {
-                        Some((seed_branches, added)) => {
-                            outcome.chase_cache_hits += 1;
-                            chase_branches_with_atoms(
-                                seed_branches,
-                                std::slice::from_ref(&pool[added]),
-                                &candidate.name,
-                                deds,
-                                &back_chase_opts,
-                            )
-                        }
-                        None => chase_to_universal_plan(&candidate, deds, &back_chase_opts),
-                    };
-                    if back_chase_confirms(original, &back) {
-                        found_masks.push(mask);
-                        if cost < best_cost {
-                            best_cost = cost;
-                            outcome.best = Some((candidate.clone(), cost));
-                        }
-                        outcome.minimal.push((candidate, cost));
-                        continue; // supersets are not minimal
-                    }
-                    // Not (yet) a reformulation: its supersets will be
-                    // chased next level — memoize this chase as their seed.
-                    if back.stats.completed
-                        && !back.branches.is_empty()
-                        && cur_level.len() < options.chase_cache_per_level
-                    {
-                        let cached: ChasedBranches =
-                            back.branches.into_iter().zip(back.renamings).collect();
-                        cur_level.insert(mask, cached);
-                    }
+            }
+            if eval.cache_hit {
+                outcome.chase_cache_hits += 1;
+            }
+            if let Some(candidate) = eval.found {
+                found.push(mask.clone());
+                if eval.cost < best_cost {
+                    best_cost = eval.cost;
+                    outcome.best = Some((candidate.clone(), eval.cost));
+                }
+                outcome.minimal.push((candidate, eval.cost));
+                continue; // supersets are not minimal
+            }
+            if let Some(cached) = eval.cache_entry {
+                if cur_level.len() < options.chase_cache_per_level {
+                    cur_level.insert(mask.clone(), cached);
+                }
+            }
+            // Grow the subset by one atom.
+            for g in eval.grow {
+                let next = mask.with(g);
+                if visited.insert(next.clone()) {
+                    frontier.push(next);
                 }
             }
         }
-
-        // Grow the subset by one atom.
-        let grow: Vec<usize> = if options.navigation_pruning {
-            graph.enabled(&subset)
-        } else {
-            (0..pool.len()).filter(|i| mask & (1 << i) == 0).collect()
-        };
-        for g in grow {
-            let next = mask | (1 << g);
-            if visited.insert(next) {
-                frontier.push_back(next);
-            }
+        prev_level = cur_level;
+        if outcome.truncated {
+            break;
         }
     }
 
@@ -415,14 +604,14 @@ pub fn backchase(
     outcome
 }
 
-/// Greedy minimization used when the candidate pool is too large for subset
-/// enumeration: repeatedly drop atoms from the initial reformulation while it
-/// remains a reformulation.
+/// Greedy minimization (the explicit [`BackchaseOptions::greedy`] opt-in):
+/// repeatedly drop atoms from the initial reformulation while it remains a
+/// reformulation.
 fn greedy_minimize(
     initial: &ConjunctiveQuery,
     original: &ConjunctiveQuery,
     branches: &[ConjunctiveQuery],
-    deds: &[Ded],
+    deds: &CompiledDeps,
     chase_opts: &ChaseOptions,
     outcome: &mut BackchaseOutcome,
 ) -> Option<ConjunctiveQuery> {
@@ -454,9 +643,11 @@ fn greedy_minimize(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chase::chase_to_universal_plan;
     use mars_cost::WeightedAtomEstimator;
+    use mars_cq::atom::builders::{child, root};
     use mars_cq::ded::view_dependencies;
-    use mars_cq::{Atom, Term, Variable};
+    use mars_cq::{Atom, Ded, Term, Variable};
 
     fn t(n: &str) -> Term {
         Term::var(n)
@@ -498,12 +689,22 @@ mod tests {
         (q, deds, proprietary)
     }
 
+    fn run(
+        q: &ConjunctiveQuery,
+        deds: &[Ded],
+        proprietary: &HashSet<Predicate>,
+        options: &BackchaseOptions,
+    ) -> BackchaseOutcome {
+        let compiled = CompiledDeps::new(deds);
+        let up = chase_to_universal_plan_compiled(q, &compiled, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        backchase(q, &up, proprietary, &compiled, &est, options)
+    }
+
     #[test]
     fn section_2_3_backchase_finds_view_rewriting() {
         let (q, deds, proprietary) = section_2_3_setup();
-        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
-        let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        let out = run(&q, &deds, &proprietary, &BackchaseOptions::default());
         assert_eq!(out.minimal.len(), 1);
         assert!(!out.truncated);
         let (best, _) = out.best.as_ref().unwrap();
@@ -526,14 +727,12 @@ mod tests {
     #[test]
     fn redundant_storage_yields_multiple_minimal_reformulations() {
         let (q, deds, proprietary) = redundant_setup();
-        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
-        let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        let out = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
         assert_eq!(out.minimal.len(), 2, "both the view and the stored copy are minimal");
         let best = out.best.as_ref().unwrap();
         assert_eq!(best.0.body.len(), 1);
         // Cost pruning (non-exhaustive) still finds at least one and the best.
-        let pruned = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        let pruned = run(&q, &deds, &proprietary, &BackchaseOptions::default());
         assert!(pruned.best.is_some());
     }
 
@@ -542,10 +741,7 @@ mod tests {
         // Without (ind) the view cannot answer Q.
         let (q, deds, proprietary) = section_2_3_setup();
         let deds_no_ind: Vec<Ded> = deds.iter().skip(1).cloned().collect();
-        let up = chase_to_universal_plan(&q, &deds_no_ind, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
-        let out =
-            backchase(&q, &up, &proprietary, &deds_no_ind, &est, &BackchaseOptions::default());
+        let out = run(&q, &deds_no_ind, &proprietary, &BackchaseOptions::default());
         assert!(out.minimal.is_empty());
         assert!(out.best.is_none());
     }
@@ -556,20 +752,15 @@ mod tests {
         let (q, deds, _) = section_2_3_setup();
         // Make only B proprietary: B(y,z) does not bind x, so no reformulation.
         let proprietary: HashSet<Predicate> = [Predicate::new("B")].into_iter().collect();
-        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
-        let out = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        let out = run(&q, &deds, &proprietary, &BackchaseOptions::default());
         assert!(out.minimal.is_empty());
     }
 
     #[test]
     fn cost_pruning_reduces_inspected_candidates() {
         let (q, deds, proprietary) = redundant_setup();
-        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
-        let exhaustive =
-            backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
-        let pruned = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::default());
+        let exhaustive = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
+        let pruned = run(&q, &deds, &proprietary, &BackchaseOptions::default());
         assert!(pruned.candidates_inspected <= exhaustive.candidates_inspected);
         assert_eq!(
             pruned.best.as_ref().map(|(_, c)| *c),
@@ -583,14 +774,11 @@ mod tests {
     #[test]
     fn truncation_is_reported() {
         let (q, deds, proprietary) = redundant_setup();
-        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
         let opts = BackchaseOptions { max_candidates: 1, ..BackchaseOptions::exhaustive() };
-        let out = backchase(&q, &up, &proprietary, &deds, &est, &opts);
+        let out = run(&q, &deds, &proprietary, &opts);
         assert!(out.truncated, "hitting max_candidates must set the flag");
         assert!(out.minimal.len() < 2);
-        let complete =
-            backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        let complete = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
         assert!(!complete.truncated);
     }
 
@@ -599,13 +787,94 @@ mod tests {
     #[test]
     fn memoized_and_scratch_backchase_agree() {
         let (q, deds, proprietary) = redundant_setup();
-        let up = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
-        let est = WeightedAtomEstimator::default();
-        let memo = backchase(&q, &up, &proprietary, &deds, &est, &BackchaseOptions::exhaustive());
+        let memo = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
         let opts = BackchaseOptions { chase_cache_per_level: 0, ..BackchaseOptions::exhaustive() };
-        let scratch = backchase(&q, &up, &proprietary, &deds, &est, &opts);
+        let scratch = run(&q, &deds, &proprietary, &opts);
         assert_eq!(scratch.chase_cache_hits, 0);
         assert_eq!(memo.minimal.len(), scratch.minimal.len());
         assert_eq!(memo.best.as_ref().map(|(_, c)| *c), scratch.best.as_ref().map(|(_, c)| *c));
+    }
+
+    /// The determinism contract of the parallel engine: any thread count
+    /// produces an outcome byte-identical to the sequential run — same
+    /// reformulations (names, bodies, costs, order), same statistics, same
+    /// flags.
+    #[test]
+    fn parallel_and_sequential_backchase_are_identical() {
+        let (q, deds, proprietary) = redundant_setup();
+        for exhaustive in [false, true] {
+            let base = BackchaseOptions {
+                exhaustive,
+                ..if exhaustive { BackchaseOptions::exhaustive() } else { Default::default() }
+            };
+            let seq = run(&q, &deds, &proprietary, &base);
+            for threads in [2usize, 4, 7] {
+                let par = run(&q, &deds, &proprietary, &base.clone().with_threads(threads));
+                assert_eq!(
+                    format!("{:?}", strip_duration(&seq)),
+                    format!("{:?}", strip_duration(&par)),
+                    "threads = {threads}, exhaustive = {exhaustive}"
+                );
+            }
+        }
+    }
+
+    /// `outcome` with the wall-clock field zeroed (everything else must be
+    /// bit-for-bit reproducible across thread counts).
+    fn strip_duration(outcome: &BackchaseOutcome) -> BackchaseOutcome {
+        BackchaseOutcome { duration: Duration::default(), ..outcome.clone() }
+    }
+
+    /// Regression for the removed 128-atom ceiling: a candidate pool wider
+    /// than 128 atoms is enumerated exhaustively (no silent greedy fallback,
+    /// no truncation flag). The pool is a 139-atom navigation chain, so the
+    /// reachability pruning keeps the search space linear: the prefixes.
+    #[test]
+    fn pool_wider_than_128_atoms_is_enumerated_exhaustively() {
+        let steps = 138usize;
+        let mut body = vec![root(t("x0"))];
+        for i in 0..steps {
+            body.push(child(t(&format!("x{i}")), t(&format!("x{}", i + 1))));
+        }
+        let q =
+            ConjunctiveQuery::new("deep").with_head(vec![t(&format!("x{steps}"))]).with_body(body);
+        let proprietary: HashSet<Predicate> =
+            [Predicate::new("root"), Predicate::new("child")].into_iter().collect();
+        let compiled = CompiledDeps::new(&[]);
+        let up = chase_to_universal_plan_compiled(&q, &compiled, &ChaseOptions::default());
+        let est = WeightedAtomEstimator::default();
+        let out =
+            backchase(&q, &up, &proprietary, &compiled, &est, &BackchaseOptions::exhaustive());
+        assert!(!out.truncated, "a wide pool must enumerate completely, not truncate");
+        assert_eq!(out.minimal.len(), 1, "only the full chain binds the head");
+        assert_eq!(out.minimal[0].0.body.len(), steps + 1);
+        // Navigation pruning keeps it linear: one prefix per size.
+        assert_eq!(out.candidates_inspected, steps + 1);
+        // And the parallel engine agrees on the wide pool too.
+        let par = backchase(
+            &q,
+            &up,
+            &proprietary,
+            &compiled,
+            &est,
+            &BackchaseOptions::exhaustive().with_threads(4),
+        );
+        assert_eq!(format!("{:?}", strip_duration(&out)), format!("{:?}", strip_duration(&par)));
+    }
+
+    /// Greedy minimization only runs as an explicit opt-in, and still finds
+    /// a correct (single) reformulation.
+    #[test]
+    fn greedy_minimization_is_an_explicit_opt_in() {
+        let (q, deds, proprietary) = redundant_setup();
+        let greedy = BackchaseOptions { greedy: true, ..Default::default() };
+        let out = run(&q, &deds, &proprietary, &greedy);
+        assert_eq!(out.minimal.len(), 1, "greedy yields at most one reformulation");
+        assert!(!out.truncated, "greedy is requested incompleteness, not truncation");
+        let (m, _) = &out.minimal[0];
+        assert_eq!(m.body.len(), 1, "greedy minimizes down to a single atom here");
+        // The exhaustive default, by contrast, enumerates both.
+        let full = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
+        assert_eq!(full.minimal.len(), 2);
     }
 }

@@ -13,7 +13,8 @@
 //!   significant redundancy or when any reformulation is needed fast.
 
 use crate::backchase::{backchase, initial_reformulation, BackchaseOptions, BackchaseOutcome};
-use crate::chase::{chase_to_universal_plan, ChaseOptions, ChaseStats};
+use crate::chase::{chase_to_universal_plan_compiled, ChaseOptions, ChaseStats};
+use crate::compiled::CompiledDeps;
 use mars_cost::{CostEstimator, WeightedAtomEstimator};
 use mars_cq::{ConjunctiveQuery, Ded, Predicate};
 use std::collections::HashSet;
@@ -93,11 +94,16 @@ impl ReformulationResult {
 }
 
 /// The C&B engine.
+///
+/// Thread-safe and cheap to clone: the dependency set is compiled exactly
+/// once at construction ([`CompiledDeps`]) and shared via `Arc` across every
+/// chase, back-chase, candidate branch and query block — no entry point
+/// recompiles it.
 #[derive(Clone)]
 pub struct ChaseBackchase {
-    /// Dependencies: compiled schema correspondence, XICs, TIX, relational
-    /// integrity constraints.
-    pub deds: Vec<Ded>,
+    /// Dependencies (compiled schema correspondence, XICs, TIX, relational
+    /// integrity constraints) in shared compiled form.
+    compiled: Arc<CompiledDeps>,
     /// Predicates of the proprietary schema (the only ones allowed in
     /// reformulations).
     pub proprietary: HashSet<Predicate>,
@@ -108,14 +114,25 @@ pub struct ChaseBackchase {
 }
 
 impl ChaseBackchase {
-    /// An engine with the default (weighted-atom) cost estimator.
+    /// An engine with the default (weighted-atom) cost estimator. Compiles
+    /// the dependency set once, up front.
     pub fn new(deds: Vec<Ded>, proprietary: HashSet<Predicate>) -> ChaseBackchase {
         ChaseBackchase {
-            deds,
+            compiled: Arc::new(CompiledDeps::new(&deds)),
             proprietary,
             estimator: Arc::new(WeightedAtomEstimator::default()),
             options: CbOptions::default(),
         }
+    }
+
+    /// The dependency set this engine reformulates under.
+    pub fn deds(&self) -> &[Ded] {
+        self.compiled.deds()
+    }
+
+    /// The shared compiled form of the dependency set.
+    pub fn compiled(&self) -> &Arc<CompiledDeps> {
+        &self.compiled
     }
 
     /// Builder: replace the cost estimator.
@@ -139,7 +156,7 @@ impl ChaseBackchase {
     /// Full chase & backchase reformulation of a query.
     pub fn reformulate(&self, query: &ConjunctiveQuery) -> ReformulationResult {
         let start = Instant::now();
-        let up = chase_to_universal_plan(query, &self.deds, &self.options.chase);
+        let up = chase_to_universal_plan_compiled(query, &self.compiled, &self.options.chase);
         let time_to_universal_plan = start.elapsed();
 
         let (universal_plan, initial) = if up.branches.is_empty() {
@@ -167,7 +184,7 @@ impl ChaseBackchase {
                 query,
                 &up,
                 &self.proprietary,
-                &self.deds,
+                &self.compiled,
                 self.estimator.as_ref(),
                 &self.options.backchase,
             )
@@ -195,7 +212,7 @@ impl ChaseBackchase {
         query: &ConjunctiveQuery,
     ) -> (Option<ConjunctiveQuery>, CbStatistics) {
         let start = Instant::now();
-        let up = chase_to_universal_plan(query, &self.deds, &self.options.chase);
+        let up = chase_to_universal_plan_compiled(query, &self.compiled, &self.options.chase);
         let time_to_universal_plan = start.elapsed();
         let initial = up.branches.first().map(|b| initial_reformulation(b, &self.proprietary));
         let initial = initial.filter(|q| !q.body.is_empty());

@@ -7,10 +7,10 @@
 //! constraints are short-cut by a direct transitive-closure computation
 //! (Section 3.2) when [`ChaseOptions::use_shortcut`] is enabled.
 
-use crate::compiled::CompiledDed;
+use crate::compiled::{CompiledDed, CompiledDeps, DedIndex};
 use crate::instance::SymbolicInstance;
-use crate::shortcut::{apply_closure, detect_closure_constraints, ClosureConstraints};
-use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Substitution, Term, Variable};
+use crate::shortcut::apply_closure;
+use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Predicate, Substitution, Term, Variable};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -129,6 +129,13 @@ struct Branch {
     /// Composition of every unification applied to this branch, relative to
     /// the variables of the query the chase started from.
     renaming: Substitution,
+    /// Delta tracking: `needs_check[i]` is true when compiled dependency `i`
+    /// may have acquired a new unblocked premise binding since it was last
+    /// confirmed at fixpoint (an atom of one of its premise predicates was
+    /// inserted or rewritten). Dependencies with a false flag are skipped by
+    /// [`run_round`] — the instance only grows and blocked steps stay
+    /// blocked, so skipping them is sound.
+    needs_check: Vec<bool>,
 }
 
 impl Branch {
@@ -138,11 +145,14 @@ impl Branch {
             head: q.head.clone(),
             inequalities: q.inequalities.clone(),
             renaming: Substitution::new(),
+            needs_check: Vec::new(),
         }
     }
 
-    fn rename(&mut self, s: &Substitution) {
-        self.inst.apply_substitution(s);
+    fn rename(&mut self, s: &Substitution, index: &DedIndex) {
+        for p in self.inst.apply_substitution(s) {
+            index.mark(p, &mut self.needs_check);
+        }
         self.head = self.head.iter().map(|t| s.apply_term_deep(*t)).collect();
         self.inequalities = self
             .inequalities
@@ -171,6 +181,7 @@ fn apply_conjunct(
     conjunct: &Conjunct,
     h: &Substitution,
     fresh: &mut u32,
+    index: &DedIndex,
 ) -> Result<(), ()> {
     let mut sub = h.clone();
     // Freshen every conclusion variable not bound by the premise mapping.
@@ -181,7 +192,10 @@ fn apply_conjunct(
         }
     }
     for atom in &conjunct.atoms {
-        branch.inst.insert_atom(&sub.apply_atom(atom));
+        let applied = sub.apply_atom(atom);
+        if branch.inst.insert_atom(&applied) {
+            index.mark(applied.predicate, &mut branch.needs_check);
+        }
     }
     for (a, b) in &conjunct.equalities {
         let ia = sub.apply_term_deep(*a);
@@ -196,25 +210,37 @@ fn apply_conjunct(
         };
         let mut s = Substitution::new();
         s.set(from, to);
-        branch.rename(&s);
+        branch.rename(&s, index);
         sub = sub.then(&s);
     }
     Ok(())
 }
 
-/// One round over a branch: evaluate every dependency's premise in bulk,
-/// apply every unblocked step. Returns as soon as a disjunctive or unifying
-/// step requires restarting the round.
+/// One round over a branch: evaluate every *dirty* dependency's premise in
+/// bulk, apply every unblocked step. Returns as soon as a disjunctive or
+/// unifying step requires restarting the round.
+///
+/// Dependencies whose `needs_check` flag is off are skipped entirely: no
+/// atom of their premise predicates was inserted or rewritten since they
+/// were last confirmed at fixpoint, the instance only grows, and blocked
+/// steps stay blocked — so no new unblocked binding can exist. This is what
+/// makes resumed back-chases (a fixpoint seed plus one atom) touch only the
+/// dependency cone of the new atom instead of sweeping the whole set.
 fn run_round(
     branch: &mut Branch,
     compiled: &[CompiledDed],
+    index: &DedIndex,
     fresh: &mut u32,
     stats: &mut ChaseStats,
     max_atoms: usize,
 ) -> RoundResult {
     let mut changed = false;
-    for ded in compiled {
+    for (di, ded) in compiled.iter().enumerate() {
+        if !branch.needs_check[di] {
+            continue;
+        }
         let bindings = ded.premise_bindings(&branch.inst);
+        let mut applied_any = false;
         for h in bindings {
             // Re-check against the (possibly grown) instance so that bulk
             // application does not duplicate work already satisfied earlier in
@@ -223,6 +249,7 @@ fn run_round(
                 continue;
             }
             stats.applied_steps += 1;
+            applied_any = true;
             if ded.conclusions.is_empty() {
                 return RoundResult::Failed;
             }
@@ -230,7 +257,7 @@ fn run_round(
                 let mut children = Vec::new();
                 for c in &ded.conclusions {
                     let mut child = branch.clone();
-                    if apply_conjunct(&mut child, &c.conjunct, &h, fresh).is_ok() {
+                    if apply_conjunct(&mut child, &c.conjunct, &h, fresh, index).is_ok() {
                         children.push(child);
                     } else {
                         stats.failed_branches += 1;
@@ -239,7 +266,7 @@ fn run_round(
                 return RoundResult::Split(children);
             }
             let conclusion = &ded.conclusions[0];
-            match apply_conjunct(branch, &conclusion.conjunct, &h, fresh) {
+            match apply_conjunct(branch, &conclusion.conjunct, &h, fresh, index) {
                 Ok(()) => changed = true,
                 Err(()) => return RoundResult::Failed,
             }
@@ -251,6 +278,12 @@ fn run_round(
             if !conclusion.conjunct.equalities.is_empty() {
                 return RoundResult::Changed;
             }
+        }
+        if !applied_any {
+            // Every binding blocked: this dependency is at fixpoint until an
+            // atom of one of its premise predicates changes (apply_conjunct /
+            // rename re-mark it through the index).
+            branch.needs_check[di] = false;
         }
         // Restart after the first dependency that applied any step, so the
         // EGDs (sorted to the front of `compiled`) re-run before further
@@ -266,12 +299,27 @@ fn run_round(
 }
 
 /// Chase `query` with `deds` to the universal plan.
+///
+/// Convenience wrapper that compiles the dependency set for this one chase.
+/// Long-lived callers (the C&B engine, `Mars`) must build a [`CompiledDeps`]
+/// once and use [`chase_to_universal_plan_compiled`] instead — recompiling
+/// per chase is exactly the overhead the shared compilation removes.
 pub fn chase_to_universal_plan(
     query: &ConjunctiveQuery,
     deds: &[Ded],
     options: &ChaseOptions,
 ) -> UniversalPlan {
-    run_chase(vec![Branch::from_query(query)], &query.name, deds, options)
+    chase_to_universal_plan_compiled(query, &CompiledDeps::new(deds), options)
+}
+
+/// Chase `query` to the universal plan with an already-compiled dependency
+/// set (see [`CompiledDeps`]).
+pub fn chase_to_universal_plan_compiled(
+    query: &ConjunctiveQuery,
+    compiled: &CompiledDeps,
+    options: &ChaseOptions,
+) -> UniversalPlan {
+    run_chase(vec![Branch::from_query(query)], &query.name, compiled, options, None)
 }
 
 /// Resume a chase from already-chased branches, each extended with extra
@@ -292,6 +340,19 @@ pub fn chase_branches_with_atoms(
     deds: &[Ded],
     options: &ChaseOptions,
 ) -> UniversalPlan {
+    chase_branches_with_atoms_compiled(seeds, extra, name, &CompiledDeps::new(deds), options)
+}
+
+/// [`chase_branches_with_atoms`] with an already-compiled dependency set —
+/// the form the backchase hot loop uses (one shared compilation across every
+/// memoized resume).
+pub fn chase_branches_with_atoms_compiled(
+    seeds: &[(ConjunctiveQuery, Substitution)],
+    extra: &[Atom],
+    name: &str,
+    compiled: &CompiledDeps,
+    options: &ChaseOptions,
+) -> UniversalPlan {
     let initial: Vec<Branch> = seeds
         .iter()
         .map(|(q, renaming)| {
@@ -303,53 +364,40 @@ pub fn chase_branches_with_atoms(
             b
         })
         .collect();
-    run_chase(initial, name, deds, options)
+    // The seeds are at fixpoint, so only dependencies whose premise mentions
+    // a predicate of the inserted atoms can have new unblocked steps — the
+    // chase starts with exactly those dirty (renaming preserves predicates).
+    let dirty: HashSet<Predicate> = extra.iter().map(|a| a.predicate).collect();
+    run_chase(initial, name, compiled, options, Some(&dirty))
 }
 
-/// The chase driver shared by [`chase_to_universal_plan`] and
-/// [`chase_branches_with_atoms`].
+/// The chase driver shared by [`chase_to_universal_plan_compiled`] and
+/// [`chase_branches_with_atoms_compiled`].
+///
+/// The dependency set arrives pre-compiled (closure detection, per-DED
+/// compilation, EGD-priority ordering, premise-predicate index — see
+/// [`CompiledDeps`]); nothing is compiled per chase. `initial_dirty`
+/// restricts the initial delta (see [`DedIndex::initial_needs`]): `None` for
+/// a from-scratch chase, the inserted predicates for a chase resumed from
+/// fixpoint seeds.
 fn run_chase(
     initial: Vec<Branch>,
     name: &str,
-    deds: &[Ded],
+    deps: &CompiledDeps,
     options: &ChaseOptions,
+    initial_dirty: Option<&HashSet<Predicate>>,
 ) -> UniversalPlan {
     let start = Instant::now();
-    let closure = if options.use_shortcut {
-        detect_closure_constraints(deds)
-    } else {
-        ClosureConstraints::default()
-    };
-    let skip: HashSet<usize> = closure.indices().into_iter().collect();
-    let mut compiled: Vec<CompiledDed> = deds
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !skip.contains(i))
-        .map(|(_, d)| CompiledDed::compile(d))
-        .collect();
-    // EGD-priority order: denials first (fail fast), then pure
-    // equality-generating dependencies, then tuple-generating ones. Since
-    // `run_round` restarts whenever an equality is applied, this runs every
-    // unification to fixpoint *before* any TGD invents new atoms — otherwise
-    // a TGD can fire on two pre-unification duplicates and create spurious
-    // existential structure that no later equality removes (the instances
-    // stay homomorphically equivalent, but grow multiplicatively with each
-    // duplicated pattern).
-    compiled.sort_by_key(|d| {
-        if d.conclusions.is_empty() {
-            0
-        } else if d.conclusions.iter().all(|c| c.conjunct.atoms.is_empty()) {
-            1
-        } else {
-            2
-        }
-    });
+    let (compiled, closure, index) = deps.for_chase(options.use_shortcut);
 
     let mut stats = ChaseStats { completed: true, ..Default::default() };
     let mut fresh = (initial.iter().map(|b| b.inst.max_variable_index()).max().unwrap_or_default()
         + 1)
     .max(options.min_fresh_index);
     let mut worklist = initial;
+    for b in &mut worklist {
+        b.needs_check = index.initial_needs(initial_dirty);
+    }
     let mut done: Vec<Branch> = Vec::new();
 
     while let Some(mut branch) = worklist.pop() {
@@ -370,13 +418,21 @@ fn run_chase(
             stats.rounds += 1;
 
             let mut shortcut_changed = false;
-            if options.use_shortcut && closure.any() {
-                let added = apply_closure(&mut branch.inst, &closure);
-                stats.shortcut_desc_added += added;
-                shortcut_changed = added > 0;
+            if let Some(closure) = closure {
+                if closure.any() {
+                    let added = apply_closure(&mut branch.inst, closure);
+                    stats.shortcut_desc_added += added;
+                    shortcut_changed = added > 0;
+                    if added > 0 {
+                        // The closure inserts navigation atoms behind the
+                        // index's back: conservatively re-check everything.
+                        branch.needs_check.iter_mut().for_each(|n| *n = true);
+                    }
+                }
             }
 
-            match run_round(&mut branch, &compiled, &mut fresh, &mut stats, options.max_atoms) {
+            match run_round(&mut branch, compiled, index, &mut fresh, &mut stats, options.max_atoms)
+            {
                 RoundResult::NoChange => {
                     if !shortcut_changed {
                         done.push(branch);
@@ -450,8 +506,8 @@ mod tests {
         assert!(up.stats.completed);
         let plan = up.primary();
         assert_eq!(plan.body.len(), 3);
-        let preds: Vec<String> = plan.body.iter().map(|a| a.predicate.name()).collect();
-        assert!(preds.contains(&"V".to_string()));
+        let preds: Vec<&str> = plan.body.iter().map(|a| a.predicate.name()).collect();
+        assert!(preds.contains(&"V"));
 
         // Same size as the naive chase result.
         let naive = naive_chase(&q, &deds, &ChaseBudget::small());

@@ -4,10 +4,20 @@
 //! the premise becomes a join plan evaluated over the symbolic instance and
 //! each conclusion disjunct becomes the probe side of a semijoin used for the
 //! extension check.
+//!
+//! [`CompiledDeps`] packages the full dependency set in its chase-ready form
+//! (closure-shortcut detection, EGD-priority ordering, per-DED compilation)
+//! so that a `Mars` instance — or any other long-lived engine — compiles the
+//! set **once** and shares it across every chase, back-chase, branch and
+//! query block via `Arc`. Before this type existed every chase recompiled
+//! the dependency set from scratch, which dominated the backchase hot loop.
 
 use crate::evaluate::{evaluate_bindings, satisfiable};
 use crate::instance::SymbolicInstance;
-use mars_cq::{Conjunct, Ded, Substitution, Term};
+use crate::shortcut::{detect_closure_constraints, ClosureConstraints};
+use mars_cq::{Conjunct, Ded, Predicate, Substitution, Term};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A compiled conclusion disjunct.
 #[derive(Clone, Debug)]
@@ -100,6 +110,154 @@ impl CompiledDed {
     /// disjunct already holds)?
     pub fn blocked(&self, h: &Substitution, inst: &SymbolicInstance) -> bool {
         self.conclusions.iter().any(|c| c.satisfied(h, inst))
+    }
+}
+
+/// Number of dependency-set compilations performed since process start.
+///
+/// Used by regression tests to verify that long-lived engines compile their
+/// dependency set exactly once — no public entry point may recompile per
+/// chase, per candidate or per query block.
+static COMPILATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide dependency-set compilation count (see [`CompiledDeps`]).
+pub fn compilation_count() -> usize {
+    COMPILATIONS.load(Ordering::SeqCst)
+}
+
+/// Premise-predicate index over a compiled DED list, driving the chase's
+/// delta rounds: a dependency whose premise mentions none of the predicates
+/// touched since it was last confirmed at fixpoint cannot acquire a new
+/// unblocked premise binding (the instance only grows, and blocked steps
+/// stay blocked), so the round skips it without evaluating anything.
+#[derive(Clone, Debug, Default)]
+pub struct DedIndex {
+    by_pred: HashMap<Predicate, Vec<usize>>,
+    n: usize,
+}
+
+impl DedIndex {
+    fn new(compiled: &[CompiledDed]) -> DedIndex {
+        let mut by_pred: HashMap<Predicate, Vec<usize>> = HashMap::new();
+        for (i, d) in compiled.iter().enumerate() {
+            let preds: HashSet<Predicate> = d.ded.premise.iter().map(|a| a.predicate).collect();
+            for p in preds {
+                by_pred.entry(p).or_default().push(i);
+            }
+        }
+        DedIndex { by_pred, n: compiled.len() }
+    }
+
+    /// The needs-check vector a chase starts from. `None` means everything
+    /// is dirty (a from-scratch chase); `Some(preds)` restricts the initial
+    /// work to dependencies whose premise mentions one of `preds` (a chase
+    /// resumed from a fixpoint seed extended with atoms of those predicates).
+    pub fn initial_needs(&self, dirty: Option<&HashSet<Predicate>>) -> Vec<bool> {
+        match dirty {
+            None => vec![true; self.n],
+            Some(set) => {
+                let mut needs = vec![false; self.n];
+                for p in set {
+                    self.mark(*p, &mut needs);
+                }
+                needs
+            }
+        }
+    }
+
+    /// Mark every dependency whose premise mentions `p` as needing a
+    /// re-check (an atom of that predicate was inserted or rewritten).
+    pub fn mark(&self, p: Predicate, needs: &mut [bool]) {
+        if let Some(dis) = self.by_pred.get(&p) {
+            for &i in dis {
+                needs[i] = true;
+            }
+        }
+    }
+}
+
+/// A dependency set compiled once for repeated chasing.
+///
+/// Holds the source DEDs plus everything `run_chase` needs precomputed:
+/// the detected closure-shortcut constraints, the EGD-priority-sorted
+/// compiled DED lists — both with the closure constraints excluded
+/// (shortcut on) and included (shortcut off) — and the premise-predicate
+/// indexes driving the delta rounds. Build it once per engine / `Mars`
+/// instance and share it via `Arc` — every chase and back-chase then reuses
+/// the same compilation.
+#[derive(Clone, Debug)]
+pub struct CompiledDeps {
+    deds: Vec<Ded>,
+    /// EGD-priority-sorted compiled DEDs excluding the closure-shortcut
+    /// constraints (used when `ChaseOptions::use_shortcut` is on).
+    shortcut_rest: Vec<CompiledDed>,
+    /// EGD-priority-sorted compiled DEDs, all of them (shortcut off).
+    all: Vec<CompiledDed>,
+    /// Premise-predicate indexes aligned with the two lists above.
+    shortcut_index: DedIndex,
+    all_index: DedIndex,
+    /// The detected `(refl)/(base)/(trans)` closure constraints.
+    closure: ClosureConstraints,
+}
+
+/// EGD-priority order: denials first (fail fast), then pure
+/// equality-generating dependencies, then tuple-generating ones. Since the
+/// chase restarts its round whenever an equality is applied, this runs every
+/// unification to fixpoint *before* any TGD invents new atoms — otherwise a
+/// TGD can fire on two pre-unification duplicates and create spurious
+/// existential structure that no later equality removes (the instances stay
+/// homomorphically equivalent, but grow multiplicatively with each
+/// duplicated pattern).
+fn egd_priority(d: &CompiledDed) -> u8 {
+    if d.conclusions.is_empty() {
+        0
+    } else if d.conclusions.iter().all(|c| c.conjunct.atoms.is_empty()) {
+        1
+    } else {
+        2
+    }
+}
+
+impl CompiledDeps {
+    /// Compile a dependency set (closure detection + per-DED compilation +
+    /// EGD-priority ordering). This is the only place dependency compilation
+    /// happens; it increments the process-wide [`compilation_count`].
+    pub fn new(deds: &[Ded]) -> CompiledDeps {
+        COMPILATIONS.fetch_add(1, Ordering::SeqCst);
+        let closure = detect_closure_constraints(deds);
+        let skip: HashSet<usize> = closure.indices().into_iter().collect();
+        let mut all: Vec<CompiledDed> = deds.iter().map(CompiledDed::compile).collect();
+        let mut shortcut_rest: Vec<CompiledDed> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !skip.contains(i))
+            .map(|(_, d)| d.clone())
+            .collect();
+        all.sort_by_key(egd_priority);
+        shortcut_rest.sort_by_key(egd_priority);
+        let shortcut_index = DedIndex::new(&shortcut_rest);
+        let all_index = DedIndex::new(&all);
+        CompiledDeps { deds: deds.to_vec(), shortcut_rest, all, shortcut_index, all_index, closure }
+    }
+
+    /// The source dependency set.
+    pub fn deds(&self) -> &[Ded] {
+        &self.deds
+    }
+
+    /// The compiled DEDs the chase should run, given whether the closure
+    /// shortcut is active, plus the closure constraints to apply directly
+    /// (`None` when the shortcut is off) and the premise-predicate index
+    /// aligned with the returned list.
+    pub fn for_chase(
+        &self,
+        use_shortcut: bool,
+    ) -> (&[CompiledDed], Option<&ClosureConstraints>, &DedIndex) {
+        if use_shortcut {
+            (&self.shortcut_rest, Some(&self.closure), &self.shortcut_index)
+        } else {
+            (&self.all, None, &self.all_index)
+        }
     }
 }
 

@@ -22,10 +22,13 @@ enum Slot {
     /// out while building the hash index (selection pushdown).
     Const,
     /// The position's variable is already bound by the current prefix of the
-    /// join; it participates in the hash key.
-    Join,
-    /// The position's variable is new; it is bound by this atom.
+    /// join (column index); it participates in the hash key.
+    Join(usize),
+    /// The position's variable is new; it becomes a new column.
     New,
+    /// The position repeats a fresh variable first seen at the given earlier
+    /// argument position of the same atom; tuples must carry equal terms.
+    NewDup(usize),
 }
 
 /// Choose an evaluation order for the atoms: start from the atom with the
@@ -65,6 +68,12 @@ fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
 
 /// Evaluate `atoms` (a conjunction) over `inst`, extending `initial`, and
 /// filter the results by the inequalities. Returns every homomorphism.
+///
+/// Intermediate join results are kept *columnar* — a shared variable list
+/// plus flat term-vector rows — and only the surviving final rows are
+/// materialized as [`Substitution`]s. Cloning a hash-map substitution per
+/// intermediate row dominated the chase profile; the term vectors make each
+/// extension a `Vec` push.
 pub fn evaluate_bindings(
     atoms: &[Atom],
     inequalities: &[(Term, Term)],
@@ -80,7 +89,11 @@ pub fn evaluate_bindings(
     let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
     let order = order_atoms(atoms, &initially_bound);
 
-    let mut rows: Vec<Substitution> = vec![initial.clone()];
+    // Columnar state: `vars[c]` is the variable of column `c`, each row holds
+    // that variable's term at position `c`.
+    let mut vars: Vec<Variable> = initially_bound;
+    let mut rows: Vec<Vec<Term>> =
+        vec![vars.iter().map(|v| initial.get(*v).expect("initially bound")).collect()];
 
     for &ai in &order {
         if rows.is_empty() {
@@ -92,97 +105,168 @@ pub fn evaluate_bindings(
             return Vec::new();
         }
 
-        // Classify argument positions relative to the first row (all rows have
-        // the same bound-variable set by construction).
-        let probe = &rows[0];
-        let slots: Vec<Slot> = atom
-            .args
-            .iter()
-            .map(|t| match t {
-                Term::Const(_) => Slot::Const,
+        // Classify argument positions against the current column set.
+        let mut slots: Vec<Slot> = Vec::with_capacity(atom.args.len());
+        // Argument positions whose (fresh) variable becomes a new column.
+        let mut new_positions: Vec<usize> = Vec::new();
+        for (i, arg) in atom.args.iter().enumerate() {
+            match arg {
+                Term::Const(_) => slots.push(Slot::Const),
                 Term::Var(v) => {
-                    if probe.binds(*v) {
-                        Slot::Join
+                    if let Some(col) = vars.iter().position(|w| w == v) {
+                        slots.push(Slot::Join(col));
+                    } else if let Some(p) =
+                        atom.args[..i].iter().position(|w| w.as_var() == Some(*v))
+                    {
+                        // Repeated fresh variable within the atom: the tuple
+                        // must carry equal terms at both positions.
+                        slots.push(Slot::NewDup(p));
                     } else {
-                        Slot::New
+                        slots.push(Slot::New);
+                        new_positions.push(i);
                     }
                 }
+            }
+        }
+        let join_positions: Vec<(usize, usize)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Join(col) => Some((i, *col)),
+                _ => None,
             })
             .collect();
-
-        let join_positions: Vec<usize> =
-            (0..slots.len()).filter(|&i| slots[i] == Slot::Join).collect();
 
         // Build the hash index over the relation: filter on constants and on
         // repeated variables within the atom, key on the join positions.
         let mut index: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
         'tuples: for tuple in tuples {
-            // Selection pushdown: constants.
             for (i, slot) in slots.iter().enumerate() {
-                if *slot == Slot::Const && tuple[i] != atom.args[i] {
-                    continue 'tuples;
+                match slot {
+                    Slot::Const if tuple[i] != atom.args[i] => continue 'tuples,
+                    Slot::NewDup(p) if tuple[i] != tuple[*p] => continue 'tuples,
+                    _ => {}
                 }
             }
-            // Selection pushdown: repeated variables inside the atom must be
-            // matched by equal terms in the tuple.
-            for i in 0..atom.args.len() {
-                for j in (i + 1)..atom.args.len() {
-                    if atom.args[i].is_var() && atom.args[i] == atom.args[j] && tuple[i] != tuple[j]
-                    {
-                        continue 'tuples;
-                    }
-                }
-            }
-            let key: Vec<Term> = join_positions.iter().map(|&i| tuple[i]).collect();
+            let key: Vec<Term> = join_positions.iter().map(|&(i, _)| tuple[i]).collect();
             index.entry(key).or_default().push(tuple);
         }
 
         // Probe.
-        let mut next_rows: Vec<Substitution> = Vec::new();
+        let mut next_rows: Vec<Vec<Term>> = Vec::new();
         for row in &rows {
-            let key: Vec<Term> =
-                join_positions.iter().map(|&i| row.apply_term(atom.args[i])).collect();
+            let key: Vec<Term> = join_positions.iter().map(|&(_, col)| row[col]).collect();
             if let Some(matches) = index.get(&key) {
                 for tuple in matches {
-                    let mut extended = row.clone();
-                    let mut ok = true;
-                    for (i, slot) in slots.iter().enumerate() {
-                        if *slot == Slot::New {
-                            if let Term::Var(v) = atom.args[i] {
-                                if !extended.bind(v, tuple[i]) {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if ok {
-                        next_rows.push(extended);
-                    }
+                    let mut extended = Vec::with_capacity(row.len() + new_positions.len());
+                    extended.extend_from_slice(row);
+                    extended.extend(new_positions.iter().map(|&p| tuple[p]));
+                    next_rows.push(extended);
                 }
             }
         }
         rows = next_rows;
+        vars.extend(
+            new_positions.iter().map(|&p| atom.args[p].as_var().expect("new slots are variables")),
+        );
     }
 
     if !inequalities.is_empty() {
-        rows.retain(|r| inequalities.iter().all(|(a, b)| r.apply_term(*a) != r.apply_term(*b)));
+        let value = |row: &[Term], t: Term| -> Term {
+            match t {
+                Term::Var(v) => {
+                    vars.iter().position(|w| *w == v).map(|c| row[c]).unwrap_or(Term::Var(v))
+                }
+                Term::Const(_) => t,
+            }
+        };
+        rows.retain(|r| inequalities.iter().all(|(a, b)| value(r, *a) != value(r, *b)));
     }
-    rows
+
+    rows.into_iter()
+        .map(|row| {
+            let mut s = initial.clone();
+            for (v, t) in vars.iter().zip(&row) {
+                s.set(*v, *t);
+            }
+            s
+        })
+        .collect()
 }
 
 /// Semijoin-style existence check: is there at least one extension of
-/// `initial` satisfying the atoms and inequalities? Cheaper than materializing
-/// all bindings when only existence matters.
+/// `initial` satisfying the atoms and inequalities?
+///
+/// This is the chase's *blocked* test, called once per premise binding —
+/// by far the highest-volume entry point of this module — so unlike
+/// [`evaluate_bindings`] it does not materialize anything: a backtracking
+/// search over the (join-ordered) atoms binds variables in place and
+/// returns at the first witness.
 pub fn satisfiable(
     atoms: &[Atom],
     inequalities: &[(Term, Term)],
     inst: &SymbolicInstance,
     initial: &Substitution,
 ) -> bool {
-    // A dedicated early-exit evaluation would be slightly faster; for the
-    // input sizes produced by one conclusion this is not a bottleneck.
-    !evaluate_bindings(atoms, inequalities, inst, initial).is_empty()
+    if atoms.is_empty() {
+        return inequalities.iter().all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
+    }
+    let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
+    let order = order_atoms(atoms, &initially_bound);
+    let mut sub = initial.clone();
+    satisfiable_from(&order, 0, atoms, inequalities, inst, &mut sub)
+}
+
+fn satisfiable_from(
+    order: &[usize],
+    depth: usize,
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    sub: &mut Substitution,
+) -> bool {
+    if depth == order.len() {
+        return inequalities.iter().all(|(a, b)| sub.apply_term(*a) != sub.apply_term(*b));
+    }
+    let atom = &atoms[order[depth]];
+    'tuples: for tuple in inst.relation(atom.predicate) {
+        // Match the atom's arguments against the tuple, collecting the fresh
+        // bindings this tuple would add (repeated fresh variables within the
+        // atom must match equal terms).
+        let mut added: Vec<(Variable, Term)> = Vec::new();
+        for (i, arg) in atom.args.iter().enumerate() {
+            match arg {
+                Term::Const(_) => {
+                    if tuple[i] != *arg {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some(t) = sub.get(*v) {
+                        if t != tuple[i] {
+                            continue 'tuples;
+                        }
+                    } else if let Some((_, t)) = added.iter().find(|(w, _)| w == v) {
+                        if *t != tuple[i] {
+                            continue 'tuples;
+                        }
+                    } else {
+                        added.push((*v, tuple[i]));
+                    }
+                }
+            }
+        }
+        for (v, t) in &added {
+            sub.set(*v, *t);
+        }
+        if satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub) {
+            return true;
+        }
+        for (v, _) in &added {
+            sub.remove(*v);
+        }
+    }
+    false
 }
 
 #[cfg(test)]

@@ -148,21 +148,32 @@ impl SymbolicInstance {
     }
 
     /// Apply a substitution to every tuple of the instance (used when an EGD
-    /// unifies two terms). Rebuilds the per-relation dedup sets.
-    pub fn apply_substitution(&mut self, s: &Substitution) {
-        let mut new_relations: HashMap<Predicate, Relation> = HashMap::new();
+    /// unifies two terms). Returns the predicates whose relations actually
+    /// changed (some tuple was rewritten) — the delta-driven chase
+    /// re-examines only dependencies whose premises mention one of them.
+    ///
+    /// Relations no tuple of which mentions a substituted variable are left
+    /// untouched (no rebuild, no allocation): unifications during a resumed
+    /// back-chase typically affect a handful of atoms in an instance of
+    /// hundreds, and rewriting everything dominated the chase profile.
+    pub fn apply_substitution(&mut self, s: &Substitution) -> HashSet<Predicate> {
+        let mut changed: HashSet<Predicate> = HashSet::new();
         let mut count = 0usize;
-        for (p, rel) in &self.relations {
-            let entry = new_relations.entry(*p).or_default();
-            for tuple in rel.tuples() {
-                let mapped: Vec<Term> = tuple.iter().map(|t| s.apply_term_deep(*t)).collect();
-                if entry.insert(mapped) {
-                    count += 1;
+        for (p, rel) in self.relations.iter_mut() {
+            let touched =
+                rel.tuples.iter().any(|tuple| tuple.iter().any(|t| s.apply_term_deep(*t) != *t));
+            if touched {
+                changed.insert(*p);
+                let mut rewritten = Relation::default();
+                for tuple in &rel.tuples {
+                    rewritten.insert(tuple.iter().map(|t| s.apply_term_deep(*t)).collect());
                 }
+                *rel = rewritten;
             }
+            count += rel.len();
         }
-        self.relations = new_relations;
         self.atom_count = count;
+        changed
     }
 
     /// Next free variable disambiguator, used when inventing fresh

@@ -15,12 +15,19 @@
 //!
 //! On top of the chase the crate implements:
 //!
+//! * **shared compilation** ([`CompiledDeps`]): the dependency set is
+//!   compiled once per engine (closure detection, EGD-priority ordering,
+//!   per-DED join plans) and shared via `Arc` across every chase,
+//!   back-chase, branch and query block,
 //! * the **chase shortcut** of Section 3.2 (the effect of the TIX constraints
 //!   `(refl)`, `(base)`, `(trans)` is computed directly as a transitive
 //!   closure instead of step-by-step),
-//! * the **backchase** with bottom-up subquery enumeration, cost-based pruning
-//!   and the three XML-specific pruning criteria implemented on the atom
-//!   reachability graph,
+//! * the **backchase** with level-synchronous bottom-up subquery enumeration
+//!   over growable [`mars_cq::AtomSet`] bitsets (no pool-width ceiling),
+//!   deterministic multi-threaded candidate evaluation
+//!   ([`BackchaseOptions::threads`]), cost-based pruning and the three
+//!   XML-specific pruning criteria implemented on the atom reachability
+//!   graph,
 //! * the top-level [`ChaseBackchase`] driver returning the initial
 //!   reformulation, all minimal reformulations and the cost-optimal one.
 
@@ -33,12 +40,13 @@ pub mod instance;
 pub mod reach;
 pub mod shortcut;
 
-pub use backchase::{BackchaseOptions, BackchaseOutcome};
+pub use backchase::{backchase, BackchaseOptions, BackchaseOutcome};
 pub use cb::{CbOptions, CbStatistics, ChaseBackchase, ReformulationResult};
 pub use chase::{
-    chase_branches_with_atoms, chase_to_universal_plan, ChaseOptions, ChaseStats, UniversalPlan,
+    chase_branches_with_atoms, chase_branches_with_atoms_compiled, chase_to_universal_plan,
+    chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, UniversalPlan,
 };
-pub use compiled::{CompiledConclusion, CompiledDed};
+pub use compiled::{compilation_count, CompiledConclusion, CompiledDed, CompiledDeps};
 pub use evaluate::{evaluate_bindings, Binding};
 pub use instance::SymbolicInstance;
 pub use reach::{prune_parallel_desc, ReachabilityGraph};

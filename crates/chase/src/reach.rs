@@ -19,10 +19,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// ones subject to the navigation legality criteria; every other predicate
 /// (base relations, materialized views, specialization relations) is a valid
 /// entry point by itself.
-fn grex_base_name(p: Predicate) -> String {
+fn grex_base_name(p: Predicate) -> &'static str {
     let name = p.name();
     match name.split_once('#') {
-        Some((base, _)) => base.to_string(),
+        Some((base, _)) => base,
         None => name,
     }
 }
@@ -32,7 +32,7 @@ fn grex_base_name(p: Predicate) -> String {
 fn atom_io(atom: &Atom) -> (Vec<Variable>, Vec<Variable>) {
     let vars: Vec<Option<Variable>> = atom.args.iter().map(|t| t.as_var()).collect();
     let var = |i: usize| -> Vec<Variable> { vars.get(i).copied().flatten().into_iter().collect() };
-    match grex_base_name(atom.predicate).as_str() {
+    match grex_base_name(atom.predicate) {
         // root(x): produces x, requires nothing — an entry point.
         "root" => (vec![], var(0)),
         // el(x): structural marker; requires the node, produces nothing new.

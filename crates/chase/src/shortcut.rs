@@ -17,10 +17,10 @@ use std::collections::{HashMap, HashSet};
 
 /// Split a predicate name into its GReX base name and optional document
 /// suffix.
-fn split_pred(p: Predicate) -> (String, Option<String>) {
+fn split_pred(p: Predicate) -> (&'static str, Option<&'static str>) {
     let name = p.name();
     match name.split_once('#') {
-        Some((base, doc)) => (base.to_string(), Some(doc.to_string())),
+        Some((base, doc)) => (base, Some(doc)),
         None => (name, None),
     }
 }
@@ -77,7 +77,7 @@ impl ClosureConstraints {
 fn is_binary_base(a: &Atom, base: &str) -> Option<Option<String>> {
     let (b, doc) = split_pred(a.predicate);
     if b == base && a.arity() == 2 && a.args.iter().all(Term::is_var) {
-        Some(doc)
+        Some(doc.map(str::to_string))
     } else {
         None
     }
@@ -86,7 +86,7 @@ fn is_binary_base(a: &Atom, base: &str) -> Option<Option<String>> {
 fn is_unary_base(a: &Atom, base: &str) -> Option<Option<String>> {
     let (b, doc) = split_pred(a.predicate);
     if b == base && a.arity() == 1 && a.args.iter().all(Term::is_var) {
-        Some(doc)
+        Some(doc.map(str::to_string))
     } else {
         None
     }

@@ -1,6 +1,6 @@
 //! The plug-in cost estimator interface and a simple weighted-atom model.
 
-use mars_cq::ConjunctiveQuery;
+use mars_cq::{AtomSet, ConjunctiveQuery};
 
 /// A plug-in cost estimator.
 ///
@@ -29,6 +29,15 @@ pub trait CostEstimator: Send + Sync {
     }
 }
 
+/// Fold precomputed per-atom costs ([`CostEstimator::atom_costs`]) over a
+/// candidate atom set: the cost of the induced subquery under an additive
+/// model. This is the backchase's per-candidate cost path — an O(words)
+/// bitset iteration instead of a full estimate, for pools of any width (the
+/// former `u128`-mask fold capped pools at 128 atoms).
+pub fn fold_atom_costs(costs: &[f64], atoms: &AtomSet) -> f64 {
+    atoms.iter().map(|i| costs[i]).sum()
+}
+
 /// A simple monotone model charging a fixed weight per body atom, with
 /// navigation-aware weights: `desc` (descendant) atoms are charged more than
 /// `child` atoms, reflecting the paper's observation (pruning criterion 1 in
@@ -54,7 +63,7 @@ impl WeightedAtomEstimator {
     fn atom_cost(&self, a: &mars_cq::Atom) -> f64 {
         let name = a.predicate.name();
         // GReX predicates carry a `#document` suffix.
-        let base = name.split_once('#').map(|(b, _)| b).unwrap_or(name.as_str());
+        let base = name.split_once('#').map(|(b, _)| b).unwrap_or(name);
         match base {
             "child" => self.child_weight,
             "desc" => self.desc_weight,
@@ -120,8 +129,8 @@ mod tests {
     }
 
     /// The additivity contract of `atom_costs`: the per-atom costs of any
-    /// query sum to its estimate, so a bitmask fold over them equals a full
-    /// estimate of the corresponding subquery.
+    /// query sum to its estimate, so an [`AtomSet`] fold over them equals a
+    /// full estimate of the corresponding subquery.
     #[test]
     fn atom_costs_sum_to_estimate() {
         let est = WeightedAtomEstimator::default();
@@ -133,8 +142,10 @@ mod tests {
         let costs = est.atom_costs(&q).expect("weighted-atom model is additive");
         assert_eq!(costs.len(), q.body.len());
         assert_eq!(costs.iter().sum::<f64>(), est.estimate(&q));
-        // Per-subquery agreement.
+        // Per-subquery agreement, through the backchase's fold path.
         let sub = q.subquery(&[0, 2]);
+        let set = AtomSet::from_indices([0, 2]);
+        assert_eq!(fold_atom_costs(&costs, &set), est.estimate(&sub));
         assert_eq!(costs[0] + costs[2], est.estimate(&sub));
     }
 }

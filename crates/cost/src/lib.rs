@@ -23,7 +23,7 @@ pub mod estimator;
 pub mod join_order;
 
 pub use catalog::{Catalog, RelationStats};
-pub use estimator::{CostEstimator, WeightedAtomEstimator};
+pub use estimator::{fold_atom_costs, CostEstimator, WeightedAtomEstimator};
 pub use join_order::{JoinOrderEstimator, JoinPlan};
 
 #[cfg(test)]

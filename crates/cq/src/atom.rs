@@ -15,8 +15,8 @@ impl Predicate {
         Predicate(symbol(name).0)
     }
 
-    /// The predicate name.
-    pub fn name(&self) -> String {
+    /// The predicate name. Allocation-free (interned strings are `'static`).
+    pub fn name(&self) -> &'static str {
         Symbol(self.0).as_str()
     }
 

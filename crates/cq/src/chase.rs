@@ -324,10 +324,10 @@ mod tests {
         assert!(tree.terminated());
         let up = tree.single().expect("one branch");
         assert_eq!(up.body.len(), 3);
-        let preds: Vec<String> = up.body.iter().map(|a| a.predicate.name()).collect();
-        assert!(preds.contains(&"A".to_string()));
-        assert!(preds.contains(&"B".to_string()));
-        assert!(preds.contains(&"V".to_string()));
+        let preds: Vec<&str> = up.body.iter().map(|a| a.predicate.name()).collect();
+        assert!(preds.contains(&"A"));
+        assert!(preds.contains(&"B"));
+        assert!(preds.contains(&"V"));
         // Exactly two steps were needed: (ind) then (cV).
         assert_eq!(tree.steps, 2);
     }

@@ -4,7 +4,8 @@
 //! (Deutsch & Tannen, VLDB 2003) compiles XML publishing problems into:
 //!
 //! * interned [`Symbol`]s, [`Term`]s, [`Atom`]s and [`ConjunctiveQuery`]s
-//!   (with inequalities and unions),
+//!   (with inequalities and unions), plus [`AtomSet`] — the growable
+//!   atom-index bitset the backchase enumerates subqueries with,
 //! * [`Ded`]s — *disjunctive embedded dependencies* — the constraint language
 //!   used for relational integrity constraints, compiled XML integrity
 //!   constraints (XICs) and compiled XQuery views,
@@ -19,6 +20,7 @@
 //! the `mars-chase` crate; it shares all data types defined here.
 
 pub mod atom;
+pub mod atomset;
 pub mod chase;
 pub mod containment;
 pub mod ded;
@@ -30,6 +32,7 @@ pub mod symbol;
 pub mod term;
 
 pub use atom::{Atom, Predicate};
+pub use atomset::AtomSet;
 pub use chase::{naive_chase, ChaseBudget, ChaseOutcome, ChaseTree};
 pub use containment::{contained_in, equivalent, minimize, ContainmentOptions, ContainmentTarget};
 pub use ded::{Conjunct, Ded};

@@ -276,9 +276,9 @@ mod tests {
     fn predicates_and_joins() {
         let q = sample();
         assert_eq!(q.join_count(), 4);
-        let preds: Vec<String> = q.predicates().iter().map(|p| p.name()).collect();
-        assert!(preds.contains(&"child".to_string()));
-        assert!(preds.contains(&"root".to_string()));
+        let preds: Vec<&str> = q.predicates().iter().map(|p| p.name()).collect();
+        assert!(preds.contains(&"child"));
+        assert!(preds.contains(&"root"));
     }
 
     #[test]

@@ -3,7 +3,6 @@
 
 use crate::atom::Atom;
 use crate::term::{Term, Variable};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A substitution `θ : Variable ⇀ Term`.
@@ -11,15 +10,27 @@ use std::fmt;
 /// Substitutions are used both as *homomorphisms* (mapping the variables of a
 /// constraint premise into the terms of a query body) and as *renamings* /
 /// *unifiers* during the chase.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Backed by a flat `Vec` of unique `(variable, term)` pairs: the chase
+/// builds and clones hundreds of thousands of small substitutions per
+/// reformulation, and a vector (one allocation, memcpy clone, linear probes
+/// over a handful of entries) is far cheaper there than a hash map.
+/// Equality is *set* equality — binding insertion order does not matter.
+#[derive(Clone, Default, Eq)]
 pub struct Substitution {
-    map: HashMap<Variable, Term>,
+    map: Vec<(Variable, Term)>,
+}
+
+impl PartialEq for Substitution {
+    fn eq(&self, other: &Substitution) -> bool {
+        self.map.len() == other.map.len() && self.map.iter().all(|(v, t)| other.get(*v) == Some(*t))
+    }
 }
 
 impl Substitution {
     /// The empty substitution.
     pub fn new() -> Substitution {
-        Substitution { map: HashMap::new() }
+        Substitution { map: Vec::new() }
     }
 
     /// Number of bound variables.
@@ -35,10 +46,10 @@ impl Substitution {
     /// Bind `v` to `t`. Returns `false` (and leaves the substitution
     /// unchanged) if `v` is already bound to a different term.
     pub fn bind(&mut self, v: Variable, t: Term) -> bool {
-        match self.map.get(&v) {
-            Some(existing) => *existing == t,
+        match self.get(v) {
+            Some(existing) => existing == t,
             None => {
-                self.map.insert(v, t);
+                self.map.push((v, t));
                 true
             }
         }
@@ -46,28 +57,39 @@ impl Substitution {
 
     /// Forcefully (re)bind `v` to `t`.
     pub fn set(&mut self, v: Variable, t: Term) {
-        self.map.insert(v, t);
+        match self.map.iter_mut().find(|(w, _)| *w == v) {
+            Some(entry) => entry.1 = t,
+            None => self.map.push((v, t)),
+        }
+    }
+
+    /// Remove the binding of `v` (used by backtracking searches that extend a
+    /// substitution in place and undo on failure).
+    pub fn remove(&mut self, v: Variable) {
+        if let Some(pos) = self.map.iter().position(|(w, _)| *w == v) {
+            self.map.swap_remove(pos);
+        }
     }
 
     /// Look up the binding of `v`.
     pub fn get(&self, v: Variable) -> Option<Term> {
-        self.map.get(&v).copied()
+        self.map.iter().find(|(w, _)| *w == v).map(|(_, t)| *t)
     }
 
     /// Is `v` bound?
     pub fn binds(&self, v: Variable) -> bool {
-        self.map.contains_key(&v)
+        self.map.iter().any(|(w, _)| *w == v)
     }
 
     /// Iterate over bindings.
     pub fn iter(&self) -> impl Iterator<Item = (Variable, Term)> + '_ {
-        self.map.iter().map(|(v, t)| (*v, *t))
+        self.map.iter().copied()
     }
 
     /// Apply the substitution to a term. Unbound variables are left alone.
     pub fn apply_term(&self, t: Term) -> Term {
         match t {
-            Term::Var(v) => self.map.get(&v).copied().unwrap_or(t),
+            Term::Var(v) => self.get(v).unwrap_or(t),
             Term::Const(_) => t,
         }
     }
@@ -79,8 +101,8 @@ impl Substitution {
         let mut steps = 0;
         loop {
             match t {
-                Term::Var(v) => match self.map.get(&v) {
-                    Some(&next) if next != t => {
+                Term::Var(v) => match self.get(v) {
+                    Some(next) if next != t => {
                         t = next;
                         steps += 1;
                         if steps > self.map.len() + 1 {

@@ -3,9 +3,14 @@
 //! Queries, constraints and the symbolic chase instances manipulate very large
 //! numbers of predicate names, tag names and string constants. Interning them
 //! as `u32` [`Symbol`]s makes atom comparison, hashing and homomorphism search
-//! cheap. The interner is global and append-only, guarded by an `RwLock`; the
-//! read path (resolving a symbol back to a string) is only used for display
-//! and debugging.
+//! cheap. The interner is global and append-only, guarded by an `RwLock`;
+//! interned strings are leaked (`Box::leak`) so that resolving a symbol back
+//! to its string ([`symbol_name`]) returns a `&'static str` without
+//! allocating — the resolve path sits on hot loops (per-atom cost estimation,
+//! navigation classification in the backchase reachability graph) where a
+//! fresh `String` per call showed up in profiles. The leak is bounded by the
+//! number of distinct strings ever interned, which the interner retains for
+//! the lifetime of the process anyway.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -16,8 +21,8 @@ use std::sync::{OnceLock, RwLock};
 pub struct Symbol(pub u32);
 
 struct Interner {
-    names: Vec<String>,
-    map: HashMap<String, u32>,
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, u32>,
 }
 
 impl Interner {
@@ -29,9 +34,10 @@ impl Interner {
         if let Some(&id) = self.map.get(s) {
             return id;
         }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
         let id = self.names.len() as u32;
-        self.names.push(s.to_string());
-        self.map.insert(s.to_string(), id);
+        self.names.push(leaked);
+        self.map.insert(leaked, id);
         id
     }
 }
@@ -54,10 +60,11 @@ pub fn symbol(s: &str) -> Symbol {
     Symbol(guard.intern(s))
 }
 
-/// Resolve a [`Symbol`] back to its string.
-pub fn symbol_name(sym: Symbol) -> String {
+/// Resolve a [`Symbol`] back to its string. Allocation-free: the interner
+/// leaks each distinct string once, so the resolved name is `'static`.
+pub fn symbol_name(sym: Symbol) -> &'static str {
     let guard = interner().read().expect("symbol interner poisoned");
-    guard.names.get(sym.0 as usize).cloned().unwrap_or_else(|| format!("<sym:{}>", sym.0))
+    guard.names.get(sym.0 as usize).copied().unwrap_or("<sym:invalid>")
 }
 
 impl Symbol {
@@ -67,7 +74,7 @@ impl Symbol {
     }
 
     /// The interned string.
-    pub fn as_str(&self) -> String {
+    pub fn as_str(&self) -> &'static str {
         symbol_name(*self)
     }
 }
@@ -134,6 +141,16 @@ mod tests {
     fn unknown_symbol_renders_placeholder() {
         let bogus = Symbol(u32::MAX);
         assert!(symbol_name(bogus).starts_with("<sym:"));
+    }
+
+    /// The resolve path must not allocate: two resolves of the same symbol
+    /// return the same `&'static str` (pointer-identical).
+    #[test]
+    fn resolution_returns_stable_static_str() {
+        let a = symbol("stable-name-test");
+        let s1 = symbol_name(a);
+        let s2 = a.as_str();
+        assert!(std::ptr::eq(s1, s2));
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl Variable {
     /// Render the variable, including the disambiguator when non-zero.
     pub fn display_name(&self) -> String {
         if self.index == 0 {
-            Symbol(self.name).as_str()
+            Symbol(self.name).as_str().to_string()
         } else {
             format!("{}#{}", Symbol(self.name).as_str(), self.index)
         }
@@ -83,7 +83,7 @@ impl Constant {
     /// Render the constant for display / SQL generation.
     pub fn render(&self) -> String {
         match self {
-            Constant::Str(s) => Symbol(*s).as_str(),
+            Constant::Str(s) => Symbol(*s).as_str().to_string(),
             Constant::Int(i) => i.to_string(),
         }
     }

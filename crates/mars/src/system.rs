@@ -119,6 +119,23 @@ impl MarsOptions {
         self.spec_replaces_navigation = true;
         self
     }
+
+    /// Builder: evaluate each backchase BFS level on `n` worker threads.
+    /// Any thread count produces byte-identical reformulation results —
+    /// the engine merges per-level results deterministically.
+    pub fn with_threads(mut self, n: usize) -> MarsOptions {
+        self.cb.backchase.threads = n.max(1);
+        self
+    }
+
+    /// Builder: replace the exhaustive subquery enumeration with greedy
+    /// minimization of the initial reformulation. An explicit trade of
+    /// completeness (at most one reformulation, not necessarily the optimum)
+    /// for speed on very wide candidate pools; it is never applied silently.
+    pub fn with_greedy_minimization(mut self) -> MarsOptions {
+        self.cb.backchase.greedy = true;
+        self
+    }
 }
 
 /// The MARS system, ready to reformulate client queries.
@@ -155,7 +172,7 @@ impl Mars {
 
     /// The compiled dependency set (schema correspondence + XICs + TIX).
     pub fn dependencies(&self) -> &[Ded] {
-        &self.engine.deds
+        self.engine.deds()
     }
 
     /// The proprietary-schema predicates reformulations may mention.
@@ -366,6 +383,58 @@ mod tests {
         assert!(best.body.iter().any(|a| a.predicate == Predicate::new("bookRel")));
         let sql = block.sql.as_ref().unwrap();
         assert!(sql.contains("bookRel"));
+    }
+
+    #[test]
+    fn threaded_reformulation_is_identical_to_sequential() {
+        let client = XBindQuery::new("Client")
+            .with_head(&["a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let seq = Mars::with_options(mini_correspondence(), MarsOptions::default().exhaustive())
+            .reformulate_xbind(&client);
+        let par = Mars::with_options(
+            mini_correspondence(),
+            MarsOptions::default().exhaustive().with_threads(4),
+        )
+        .reformulate_xbind(&client);
+        assert_eq!(seq.result.minimal.len(), par.result.minimal.len());
+        for ((a, ca), (b, cb)) in seq.result.minimal.iter().zip(&par.result.minimal) {
+            assert_eq!(format!("{a}"), format!("{b}"));
+            assert_eq!(ca, cb);
+        }
+        assert_eq!(seq.result.stats.candidates_inspected, par.result.stats.candidates_inspected);
+    }
+
+    #[test]
+    fn greedy_minimization_opt_in_yields_a_single_reformulation() {
+        let mars = Mars::with_options(
+            mini_correspondence(),
+            MarsOptions::default().with_greedy_minimization(),
+        );
+        let client = XBindQuery::new("Client")
+            .with_head(&["a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let block = mars.reformulate_xbind(&client);
+        assert!(block.result.has_reformulation());
+        assert!(block.result.minimal.len() <= 1, "greedy yields at most one reformulation");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Regression tests for the shared-compilation contract: a `Mars` instance
+//! (and the `ChaseBackchase` engine inside it) compiles its dependency set
+//! exactly once, at construction — reformulating any number of query blocks,
+//! running any number of back-chase candidates, never recompiles.
+//!
+//! These tests live in their own integration-test binary because they assert
+//! exact deltas of the process-wide compilation counter
+//! (`mars_chase::compilation_count`); sharing a binary with other tests that
+//! build engines concurrently would make the deltas racy. For the same
+//! reason the tests *within* this binary serialize themselves on
+//! [`COUNTER_LOCK`] — libtest runs them on parallel threads by default.
+
+use mars_system::chase::compilation_count;
+use mars_system::mars::{Mars, MarsOptions, SchemaCorrespondence};
+use mars_system::workloads::star::StarConfig;
+use mars_system::xml::parse_path;
+use mars_system::xquery::{XBindAtom, XBindQuery};
+use std::sync::Mutex;
+
+/// Serializes the tests of this binary: each one measures exact deltas of
+/// the global compilation counter, so two running concurrently would see
+/// each other's compilations.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// A small publishing scenario: a proprietary table published as a document
+/// through a GAV view, plus a LAV cache of the author list.
+fn correspondence() -> SchemaCorrespondence {
+    let case_body =
+        XBindQuery::new("PubMap").with_head(&["t", "a"]).with_atom(XBindAtom::Relational {
+            relation: "bookRel".to_string(),
+            args: vec![
+                mars_system::xquery::XBindTerm::var("t"),
+                mars_system::xquery::XBindTerm::var("a"),
+            ],
+        });
+    let gav = mars_system::grex::ViewDef::xml_flat(
+        "PubMap",
+        case_body,
+        "bib.xml",
+        "book",
+        &["title", "author"],
+    );
+    SchemaCorrespondence {
+        public_documents: vec!["bib.xml".to_string()],
+        gav_views: vec![gav],
+        proprietary_relations: vec!["bookRel".to_string()],
+        ..Default::default()
+    }
+}
+
+#[test]
+fn multi_block_reformulation_compiles_dependencies_once() {
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let before = compilation_count();
+    let mars = Mars::new(correspondence());
+    let after_build = compilation_count();
+    assert_eq!(after_build - before, 1, "building Mars compiles the dependency set exactly once");
+
+    // A two-block client XQuery (nested FLWR decorrelates into two XBind
+    // blocks), plus an extra standalone block: several chases, many
+    // back-chase candidates — zero further compilations.
+    let nested = r#"<result>
+        for $a in distinct(//author/text())
+        return
+          <item>
+            <writer>$a</writer>
+            {for $b in //book
+                 $a1 in $b/author/text()
+             where $a = $a1
+             return $b}
+          </item>
+      </result>"#;
+    let result = mars.reformulate_xquery(nested, "bib.xml").expect("parses");
+    assert!(result.blocks.len() >= 2, "expected a multi-block query, got {}", result.blocks.len());
+
+    let extra = XBindQuery::new("Extra")
+        .with_head(&["t", "a"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: "bib.xml".to_string(),
+            path: parse_path("//book").unwrap(),
+            var: "b".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./title/text()").unwrap(),
+            source: "b".to_string(),
+            var: "t".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./author/text()").unwrap(),
+            source: "b".to_string(),
+            var: "a".to_string(),
+        });
+    let block = mars.reformulate_xbind(&extra);
+    assert!(block.result.has_reformulation());
+
+    assert_eq!(
+        compilation_count() - after_build,
+        0,
+        "no public API caller may recompile dependencies per chase or per block"
+    );
+}
+
+#[test]
+fn star_reformulation_reuses_the_engine_compilation() {
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let cfg = StarConfig::figure5(4);
+    let before = compilation_count();
+    let mars = cfg.mars(MarsOptions::specialized().exhaustive());
+    let after_build = compilation_count();
+    assert_eq!(after_build - before, 1);
+
+    // The exhaustive star backchase runs hundreds of candidate back-chases;
+    // every one must reuse the shared compilation.
+    let block = mars.reformulate_xbind(&cfg.client_query());
+    assert_eq!(block.result.minimal.len(), 1 << cfg.nv);
+    assert!(block.result.stats.equivalence_checks > 10);
+    assert_eq!(compilation_count() - after_build, 0, "back-chases must not recompile");
+}

@@ -186,4 +186,52 @@ proptest! {
             }
         }
     }
+
+    /// The determinism contract of the parallel backchase engine: for any
+    /// redundant-storage setup and any thread count, the parallel run is
+    /// identical to the sequential one — same minimal reformulations (names,
+    /// bodies, costs, discovery order), same best, same candidate /
+    /// equivalence-check / cache statistics, same truncation flag.
+    #[test]
+    fn parallel_and_sequential_backchase_agree(
+        len in 2usize..4,
+        copy_mask in 0u8..16,
+        join_mask in 0u8..8,
+        exhaustive in proptest::bool::ANY,
+    ) {
+        use mars_system::chase::{BackchaseOptions, CbOptions};
+
+        let (engine, q) = redundant_chain_engine(len, copy_mask, join_mask);
+        let mut opts = if exhaustive { CbOptions::exhaustive() } else { CbOptions::default() };
+        let sequential = engine.clone().with_options(opts.clone()).reformulate(&q);
+        for threads in [2usize, 4] {
+            opts.backchase =
+                BackchaseOptions { threads, ..opts.backchase.clone() };
+            let parallel = engine.clone().with_options(opts.clone()).reformulate(&q);
+
+            prop_assert_eq!(parallel.minimal.len(), sequential.minimal.len());
+            for ((qa, ca), (qb, cb)) in parallel.minimal.iter().zip(&sequential.minimal) {
+                prop_assert_eq!(&qa.name, &qb.name);
+                prop_assert_eq!(&qa.body, &qb.body);
+                prop_assert_eq!(ca, cb);
+            }
+            prop_assert_eq!(
+                parallel.best.as_ref().map(|(q, c)| (format!("{q}"), *c)),
+                sequential.best.as_ref().map(|(q, c)| (format!("{q}"), *c))
+            );
+            prop_assert_eq!(
+                parallel.stats.candidates_inspected,
+                sequential.stats.candidates_inspected
+            );
+            prop_assert_eq!(
+                parallel.stats.equivalence_checks,
+                sequential.stats.equivalence_checks
+            );
+            prop_assert_eq!(parallel.stats.chase_cache_hits, sequential.stats.chase_cache_hits);
+            prop_assert_eq!(
+                parallel.stats.backchase_truncated,
+                sequential.stats.backchase_truncated
+            );
+        }
+    }
 }
