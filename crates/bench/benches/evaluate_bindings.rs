@@ -1,0 +1,64 @@
+//! Join-level micro-benchmark: full premise joins vs semi-naive
+//! (delta-seeded) joins over a growing symbolic instance.
+//!
+//! Isolates `evaluate_bindings` / `evaluate_bindings_delta` from the
+//! end-to-end fig5 numbers so join-level regressions are visible on their
+//! own. The scenario mirrors the chase's hot path: a premise of a few atoms
+//! evaluated over an instance of `n` tuples after a single-tuple insert —
+//! the full join re-derives every homomorphism, the delta join only those
+//! touching the new tuple.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_chase::{evaluate_bindings, evaluate_bindings_delta, SymbolicInstance};
+use mars_cq::{Atom, Substitution, Term};
+
+fn t(n: &str) -> Term {
+    Term::var(n)
+}
+
+/// A branchy instance: `n` R-edges forming chains of length 4 plus a unary
+/// L-label per node, then one extra edge appended (the delta).
+fn instance(n: usize) -> (SymbolicInstance, Vec<usize>) {
+    let mut inst = SymbolicInstance::new();
+    for i in 0..n {
+        let group = i / 4;
+        let a = format!("n{}_{}", group, i % 4);
+        let b = format!("n{}_{}", group, i % 4 + 1);
+        inst.insert_atom(&Atom::named("R", vec![t(&a), t(&b)]));
+        inst.insert_atom(&Atom::named("L", vec![t(&a)]));
+    }
+    let premise = premise();
+    // Watermarks taken before the delta insert.
+    let marks: Vec<usize> = premise.iter().map(|a| inst.relation_len(a.predicate)).collect();
+    inst.insert_atom(&Atom::named("R", vec![t("n0_1"), t("fresh")]));
+    (inst, marks)
+}
+
+fn premise() -> Vec<Atom> {
+    vec![
+        Atom::named("R", vec![t("x"), t("y")]),
+        Atom::named("R", vec![t("y"), t("z")]),
+        Atom::named("L", vec![t("x")]),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluate_bindings");
+    g.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let (inst, marks) = instance(n);
+        let p = premise();
+        g.bench_with_input(BenchmarkId::new("full_join", n), &n, |b, _| {
+            b.iter(|| black_box(evaluate_bindings(&p, &[], &inst, &Substitution::new())))
+        });
+        g.bench_with_input(BenchmarkId::new("delta_seeded", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(evaluate_bindings_delta(&p, &[], &inst, &Substitution::new(), &marks))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -107,11 +107,15 @@ fn main() {
         .iter()
         .map(|(name, t)| (name.to_string(), serde_json::Value::from(*t)))
         .collect();
+    // Environment metadata: multi-core re-benchmarks must be comparable to
+    // the 1-core container numbers, so record what produced this file.
     results.insert(
         "run".to_string(),
         serde_json::json!({
             "threads": threads,
             "max_nc": max_nc,
+            "cpu_cores": detected_cpu_cores(),
+            "rustc": rustc_version(),
             "phase_wall_ms": serde_json::Value::Object(phases),
         }),
     );
@@ -124,6 +128,24 @@ fn main() {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1000.0
+}
+
+/// CPU cores visible to this process (0 when undetectable).
+fn detected_cpu_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+}
+
+/// The `rustc --version` line of the toolchain on PATH ("unknown" when rustc
+/// is not invokable — e.g. a stripped runtime container).
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Figure 5: scalability of reformulation.
@@ -204,11 +226,51 @@ fn stress_experiment(results: &mut HashMap<String, serde_json::Value>) {
     let with_shortcut = chase_to_universal_plan(&q, &tix, &ChaseOptions::default());
     let with_shortcut_time = start.elapsed();
 
+    // Join-strategy ablation: the closure-shortcut chase with semi-naive
+    // delta-seeded joins (the default measured above) vs naive full joins.
+    // Results are byte-identical; only the premise-join volume differs.
+    let start = Instant::now();
+    let naive_joins =
+        chase_to_universal_plan(&q, &tix, &ChaseOptions::default().with_naive_joins());
+    let naive_joins_time = start.elapsed();
+    assert_eq!(
+        with_shortcut.primary().body.len(),
+        naive_joins.primary().body.len(),
+        "join strategy must not change the universal plan"
+    );
+
     println!("input atoms:                 {}", q.body.len());
     println!("universal plan atoms:        {}", with_shortcut.primary().body.len());
     println!("old (naive) implementation:  {naive_label}   (paper: >12 h)");
     println!("new join-tree implementation: {:.1} ms   (paper: 2.6 s)", ms(no_shortcut_time));
     println!("new + closure shortcut:       {:.1} ms   (paper: 640 ms)", ms(with_shortcut_time));
+    println!(
+        "  with naive full joins:      {:.1} ms   (semi-naive ablation)",
+        ms(naive_joins_time)
+    );
+
+    // Depth sweep with both join strategies, so chase-side perf is tracked
+    // over growing inputs (not just the paper's depth-10 point).
+    println!("{:>6} {:>18} {:>18}", "depth", "semi-naive (ms)", "naive joins (ms)");
+    let mut sweep = Vec::new();
+    for d in [6usize, 8, 10, 12] {
+        let q = stress::compiled_stress_query(d);
+        let start = Instant::now();
+        let semi = chase_to_universal_plan(&q, &tix, &ChaseOptions::default());
+        let semi_time = start.elapsed();
+        let start = Instant::now();
+        let full = chase_to_universal_plan(&q, &tix, &ChaseOptions::default().with_naive_joins());
+        let full_time = start.elapsed();
+        assert_eq!(semi.primary().body.len(), full.primary().body.len());
+        println!("{:>6} {:>18.1} {:>18.1}", d, ms(semi_time), ms(full_time));
+        sweep.push(serde_json::json!({
+            "depth": d,
+            "seminaive_ms": ms(semi_time),
+            "naive_joins_ms": ms(full_time),
+            "universal_plan_atoms": semi.primary().body.len(),
+        }));
+    }
+
     results.insert(
         "stress".to_string(),
         serde_json::json!({
@@ -217,6 +279,8 @@ fn stress_experiment(results: &mut HashMap<String, serde_json::Value>) {
             "naive_terminated": naive.terminated(),
             "join_tree_ms": ms(no_shortcut_time),
             "shortcut_ms": ms(with_shortcut_time),
+            "shortcut_naive_joins_ms": ms(naive_joins_time),
+            "depth_sweep": serde_json::Value::Array(sweep),
         }),
     );
     let _ = no_shortcut;

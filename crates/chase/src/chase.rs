@@ -9,7 +9,7 @@
 
 use crate::compiled::{CompiledDed, CompiledDeps, DedIndex};
 use crate::instance::SymbolicInstance;
-use crate::shortcut::apply_closure;
+use crate::shortcut::{apply_closure, ClosureConstraints};
 use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Predicate, Substitution, Term, Variable};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -20,11 +20,12 @@ pub struct ChaseOptions {
     /// Short-cut the `(refl)/(base)/(trans)` constraints by computing the
     /// transitive closure directly (Section 3.2).
     pub use_shortcut: bool,
-    /// Maximum number of chase rounds. A round ends at the first dependency
-    /// that applies any step (EGD-priority restart), so this effectively
-    /// bounds the number of *dependency applications*, not full sweeps — the
-    /// default is sized accordingly (divergent chases are additionally
-    /// stopped by `max_atoms` and `timeout`).
+    /// Maximum number of chase rounds per branch (root-to-leaf path; children
+    /// of a split inherit the rounds their ancestors consumed). A round ends
+    /// at the first dependency that applies any step (EGD-priority restart),
+    /// so this effectively bounds the number of *dependency applications*,
+    /// not full sweeps — the default is sized accordingly (divergent chases
+    /// are additionally stopped by `max_atoms` and `timeout`).
     pub max_rounds: usize,
     /// Maximum number of atoms in any branch instance.
     pub max_atoms: usize,
@@ -38,6 +39,21 @@ pub struct ChaseOptions {
     /// with further pool atoms ([`chase_branches_with_atoms`]) without an
     /// invented variable colliding with a pool variable of the same name.
     pub min_fresh_index: u32,
+    /// Semi-naive (delta-seeded) premise joins: a dirty dependency seeds its
+    /// join from the tuples inserted since it was last confirmed at fixpoint
+    /// (each premise atom takes a turn as the delta atom) instead of
+    /// re-joining its full premise. Produces a universal plan byte-identical
+    /// to the naive full join — the delta bindings come back in the full
+    /// join's order and the skipped all-old bindings were all blocked.
+    /// On by default; [`ChaseOptions::with_naive_joins`] disables it (the
+    /// ablation baseline and the agreement tests).
+    pub semi_naive: bool,
+    /// Number of worker threads chasing the branches of one worklist level
+    /// (disjunctive DEDs split the chase into independent branches). `1`
+    /// runs sequentially; any value produces byte-identical universal plans
+    /// (branches are chased independently — per-branch fresh-variable
+    /// counters — and merged back in level order).
+    pub threads: usize,
 }
 
 impl Default for ChaseOptions {
@@ -49,6 +65,8 @@ impl Default for ChaseOptions {
             max_branches: 32,
             timeout: None,
             min_fresh_index: 0,
+            semi_naive: true,
+            threads: 1,
         }
     }
 }
@@ -62,6 +80,21 @@ impl ChaseOptions {
     /// Builder: set a wall-clock timeout.
     pub fn with_timeout(mut self, d: Duration) -> ChaseOptions {
         self.timeout = Some(d);
+        self
+    }
+
+    /// Builder: disable the semi-naive delta-seeded joins (every dirty
+    /// dependency re-joins its full premise — the pre-delta baseline the
+    /// agreement tests and ablation experiments compare against).
+    pub fn with_naive_joins(mut self) -> ChaseOptions {
+        self.semi_naive = false;
+        self
+    }
+
+    /// Builder: chase the branches of each worklist level on `n` worker
+    /// threads (byte-identical results for any thread count).
+    pub fn with_threads(mut self, n: usize) -> ChaseOptions {
+        self.threads = n.max(1);
         self
     }
 }
@@ -136,6 +169,20 @@ struct Branch {
     /// [`run_round`] — the instance only grows and blocked steps stay
     /// blocked, so skipping them is sound.
     needs_check: Vec<bool>,
+    /// Semi-naive delta watermarks: `marks[i]` holds, per premise predicate
+    /// of compiled dependency `i` (aligned with its `premise_preds`), the
+    /// relation length when the dependency was last confirmed at fixpoint.
+    /// Tuples at index ≥ the watermark are that dependency's delta; 0 means
+    /// the whole relation is delta (initial state, or the relation was
+    /// rewritten by an EGD). A dirty dependency whose marks are all 0 falls
+    /// back to the full join.
+    marks: Vec<Vec<usize>>,
+    /// Next fresh-variable disambiguator. Per-branch: branches are chased
+    /// independently (children inherit the parent's counter at a split),
+    /// which is what makes the level-parallel worklist deterministic.
+    fresh: u32,
+    /// Rounds consumed on the root-to-leaf path (per-branch round budget).
+    rounds: usize,
 }
 
 impl Branch {
@@ -146,12 +193,15 @@ impl Branch {
             inequalities: q.inequalities.clone(),
             renaming: Substitution::new(),
             needs_check: Vec::new(),
+            marks: Vec::new(),
+            fresh: 0,
+            rounds: 0,
         }
     }
 
     fn rename(&mut self, s: &Substitution, index: &DedIndex) {
         for p in self.inst.apply_substitution(s) {
-            index.mark(p, &mut self.needs_check);
+            index.mark_rewrite(p, &mut self.needs_check, &mut self.marks);
         }
         self.head = self.head.iter().map(|t| s.apply_term_deep(*t)).collect();
         self.inequalities = self
@@ -180,15 +230,14 @@ fn apply_conjunct(
     branch: &mut Branch,
     conjunct: &Conjunct,
     h: &Substitution,
-    fresh: &mut u32,
     index: &DedIndex,
 ) -> Result<(), ()> {
     let mut sub = h.clone();
     // Freshen every conclusion variable not bound by the premise mapping.
     for v in conjunct.variables() {
         if !sub.binds(v) {
-            sub.set(v, Term::Var(Variable { name: v.name, index: *fresh }));
-            *fresh += 1;
+            sub.set(v, Term::Var(Variable { name: v.name, index: branch.fresh }));
+            branch.fresh += 1;
         }
     }
     for atom in &conjunct.atoms {
@@ -216,8 +265,8 @@ fn apply_conjunct(
     Ok(())
 }
 
-/// One round over a branch: evaluate every *dirty* dependency's premise in
-/// bulk, apply every unblocked step. Returns as soon as a disjunctive or
+/// One round over a branch: evaluate every *dirty* dependency's premise,
+/// apply every unblocked step. Returns as soon as a disjunctive or
 /// unifying step requires restarting the round.
 ///
 /// Dependencies whose `needs_check` flag is off are skipped entirely: no
@@ -226,20 +275,36 @@ fn apply_conjunct(
 /// steps stay blocked — so no new unblocked binding can exist. This is what
 /// makes resumed back-chases (a fixpoint seed plus one atom) touch only the
 /// dependency cone of the new atom instead of sweeping the whole set.
+///
+/// A dirty dependency with non-zero delta watermarks additionally joins
+/// **semi-naive**: [`CompiledDed::premise_bindings_delta`] seeds the join
+/// from the tuples inserted past the watermarks instead of re-joining the
+/// full premise. The all-old bindings it skips were each confirmed blocked
+/// when the watermarks were taken, and the delta bindings come back in the
+/// full join's order — so the applied-step sequence (and with it the
+/// universal plan) is byte-identical to the naive full join.
 fn run_round(
     branch: &mut Branch,
     compiled: &[CompiledDed],
     index: &DedIndex,
-    fresh: &mut u32,
     stats: &mut ChaseStats,
     max_atoms: usize,
+    semi_naive: bool,
 ) -> RoundResult {
     let mut changed = false;
     for (di, ded) in compiled.iter().enumerate() {
         if !branch.needs_check[di] {
             continue;
         }
-        let bindings = ded.premise_bindings(&branch.inst);
+        // Watermark snapshot *before* evaluating: tuples this round inserts
+        // stay above it, so they remain delta for the next evaluation.
+        let snapshot = if semi_naive { ded.premise_watermarks(&branch.inst) } else { Vec::new() };
+        let use_delta = semi_naive && branch.marks[di].iter().any(|&m| m > 0);
+        let bindings = if use_delta {
+            ded.premise_bindings_delta(&branch.inst, &branch.marks[di])
+        } else {
+            ded.premise_bindings(&branch.inst)
+        };
         let mut applied_any = false;
         for h in bindings {
             // Re-check against the (possibly grown) instance so that bulk
@@ -257,7 +322,7 @@ fn run_round(
                 let mut children = Vec::new();
                 for c in &ded.conclusions {
                     let mut child = branch.clone();
-                    if apply_conjunct(&mut child, &c.conjunct, &h, fresh, index).is_ok() {
+                    if apply_conjunct(&mut child, &c.conjunct, &h, index).is_ok() {
                         children.push(child);
                     } else {
                         stats.failed_branches += 1;
@@ -266,7 +331,7 @@ fn run_round(
                 return RoundResult::Split(children);
             }
             let conclusion = &ded.conclusions[0];
-            match apply_conjunct(branch, &conclusion.conjunct, &h, fresh, index) {
+            match apply_conjunct(branch, &conclusion.conjunct, &h, index) {
                 Ok(()) => changed = true,
                 Err(()) => return RoundResult::Failed,
             }
@@ -282,8 +347,13 @@ fn run_round(
         if !applied_any {
             // Every binding blocked: this dependency is at fixpoint until an
             // atom of one of its premise predicates changes (apply_conjunct /
-            // rename re-mark it through the index).
+            // rename re-mark it through the index). Advance the delta
+            // watermarks to the snapshot — everything below it has just been
+            // confirmed blocked, so the next wake-up joins only the delta.
             branch.needs_check[di] = false;
+            if semi_naive {
+                branch.marks[di] = snapshot;
+            }
         }
         // Restart after the first dependency that applied any step, so the
         // EGDs (sorted to the front of `compiled`) re-run before further
@@ -353,11 +423,20 @@ pub fn chase_branches_with_atoms_compiled(
     compiled: &CompiledDeps,
     options: &ChaseOptions,
 ) -> UniversalPlan {
+    let (compiled_deds, _, _) = compiled.for_chase(options.use_shortcut);
     let initial: Vec<Branch> = seeds
         .iter()
         .map(|(q, renaming)| {
             let mut b = Branch::from_query(q);
             b.renaming = renaming.clone();
+            // The seed is at fixpoint: every binding over the pre-insert
+            // tuples is blocked. Watermark every dependency at the
+            // pre-insert relation lengths so the dirty ones seed their
+            // joins from exactly the delta — the inserted atoms and their
+            // consequences.
+            if options.semi_naive {
+                b.marks = compiled_deds.iter().map(|d| d.premise_watermarks(&b.inst)).collect();
+            }
             for a in extra {
                 b.inst.insert_atom(&renaming.apply_atom_deep(a));
             }
@@ -371,6 +450,127 @@ pub fn chase_branches_with_atoms_compiled(
     run_chase(initial, name, compiled, options, Some(&dirty))
 }
 
+/// What chasing one branch to quiescence produced.
+enum BranchOutcome {
+    /// Reached a fixpoint (or ran out of budget — `completed` is cleared in
+    /// the per-branch stats then).
+    Done(Branch),
+    /// A denial fired or a unification forced a constant clash.
+    Failed,
+    /// A disjunctive dependency split the branch; the children continue on
+    /// the next worklist level.
+    Split(Vec<Branch>),
+}
+
+/// Chase one branch until it finishes, fails or splits. Self-contained: all
+/// state lives in the branch (fresh counter, delta watermarks, round budget)
+/// and in the local `stats`, which is what lets a worklist level run its
+/// branches on parallel workers and still merge deterministically.
+fn chase_branch(
+    mut branch: Branch,
+    compiled: &[CompiledDed],
+    closure: Option<&ClosureConstraints>,
+    index: &DedIndex,
+    options: &ChaseOptions,
+    start: Instant,
+    stats: &mut ChaseStats,
+) -> BranchOutcome {
+    loop {
+        let over_budget = branch.rounds >= options.max_rounds
+            || branch.inst.len() >= options.max_atoms
+            || options.timeout.map(|t| start.elapsed() > t).unwrap_or(false);
+        if over_budget {
+            stats.completed = false;
+            return BranchOutcome::Done(branch);
+        }
+        branch.rounds += 1;
+        stats.rounds += 1;
+
+        let mut shortcut_changed = false;
+        if let Some(closure) = closure {
+            if closure.any() {
+                let added = apply_closure(&mut branch.inst, closure);
+                stats.shortcut_desc_added += added;
+                shortcut_changed = added > 0;
+                if added > 0 {
+                    // The closure inserts navigation atoms behind the
+                    // index's back: conservatively re-check everything (the
+                    // delta watermarks stay valid — closure atoms are
+                    // appended above them).
+                    branch.needs_check.iter_mut().for_each(|n| *n = true);
+                }
+            }
+        }
+
+        match run_round(&mut branch, compiled, index, stats, options.max_atoms, options.semi_naive)
+        {
+            RoundResult::NoChange => {
+                if !shortcut_changed {
+                    return BranchOutcome::Done(branch);
+                }
+            }
+            RoundResult::Changed => {}
+            RoundResult::Failed => {
+                stats.failed_branches += 1;
+                return BranchOutcome::Failed;
+            }
+            RoundResult::Split(children) => return BranchOutcome::Split(children),
+        }
+    }
+}
+
+/// Chase every branch of one worklist level, on `threads` workers when that
+/// pays off. Results come back in level order regardless of thread count —
+/// each worker owns a disjoint slice of the output vector — so the merge in
+/// [`run_chase`] is deterministic.
+fn chase_level(
+    level: Vec<Branch>,
+    compiled: &[CompiledDed],
+    closure: Option<&ClosureConstraints>,
+    index: &DedIndex,
+    options: &ChaseOptions,
+    start: Instant,
+) -> Vec<(BranchOutcome, ChaseStats)> {
+    let fresh_stats = || ChaseStats { completed: true, ..Default::default() };
+    let threads = options.threads.max(1).min(level.len());
+    if threads <= 1 {
+        return level
+            .into_iter()
+            .map(|b| {
+                let mut s = fresh_stats();
+                let r = chase_branch(b, compiled, closure, index, options, start, &mut s);
+                (r, s)
+            })
+            .collect();
+    }
+    let chunk = level.len().div_ceil(threads);
+    let mut outs: Vec<Option<(BranchOutcome, ChaseStats)>> = Vec::new();
+    outs.resize_with(level.len(), || None);
+    let mut chunks: Vec<Vec<Branch>> = Vec::new();
+    {
+        let mut it = level.into_iter();
+        loop {
+            let c: Vec<Branch> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+    }
+    std::thread::scope(|scope| {
+        for (branches, out) in chunks.into_iter().zip(outs.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (j, b) in branches.into_iter().enumerate() {
+                    let mut s = fresh_stats();
+                    let r = chase_branch(b, compiled, closure, index, options, start, &mut s);
+                    out[j] = Some((r, s));
+                }
+            });
+        }
+    });
+    outs.into_iter().map(|o| o.expect("every level slot chased")).collect()
+}
+
 /// The chase driver shared by [`chase_to_universal_plan_compiled`] and
 /// [`chase_branches_with_atoms_compiled`].
 ///
@@ -380,6 +580,11 @@ pub fn chase_branches_with_atoms_compiled(
 /// restricts the initial delta (see [`DedIndex::initial_needs`]): `None` for
 /// a from-scratch chase, the inserted predicates for a chase resumed from
 /// fixpoint seeds.
+///
+/// The branch worklist is **level-synchronous**: every pending branch of a
+/// level is chased independently (optionally on a worker pool,
+/// [`ChaseOptions::threads`]) and the outcomes are merged back in level
+/// order, so the universal plan is byte-identical for any thread count.
 fn run_chase(
     initial: Vec<Branch>,
     name: &str,
@@ -391,65 +596,46 @@ fn run_chase(
     let (compiled, closure, index) = deps.for_chase(options.use_shortcut);
 
     let mut stats = ChaseStats { completed: true, ..Default::default() };
-    let mut fresh = (initial.iter().map(|b| b.inst.max_variable_index()).max().unwrap_or_default()
-        + 1)
-    .max(options.min_fresh_index);
-    let mut worklist = initial;
-    for b in &mut worklist {
+    let base_fresh =
+        (initial.iter().map(|b| b.inst.max_variable_index()).max().unwrap_or_default() + 1)
+            .max(options.min_fresh_index);
+    let mut level = initial;
+    for b in &mut level {
         b.needs_check = index.initial_needs(initial_dirty);
+        if b.marks.len() != compiled.len() {
+            b.marks = compiled.iter().map(|d| vec![0; d.premise_preds.len()]).collect();
+        }
+        b.fresh = base_fresh;
     }
     let mut done: Vec<Branch> = Vec::new();
 
-    while let Some(mut branch) = worklist.pop() {
-        if done.len() + worklist.len() + 1 > options.max_branches {
+    while !level.is_empty() {
+        // Branch budget: branches beyond it are parked unchased (and the
+        // plan is flagged incomplete), matching the old worklist behaviour.
+        if done.len() + level.len() > options.max_branches {
             stats.completed = false;
-            done.push(branch);
-            continue;
-        }
-        loop {
-            let over_budget = stats.rounds >= options.max_rounds
-                || branch.inst.len() >= options.max_atoms
-                || options.timeout.map(|t| start.elapsed() > t).unwrap_or(false);
-            if over_budget {
-                stats.completed = false;
-                done.push(branch);
+            let keep = options.max_branches.saturating_sub(done.len());
+            let parked = level.split_off(keep);
+            done.extend(parked);
+            if level.is_empty() {
                 break;
             }
-            stats.rounds += 1;
-
-            let mut shortcut_changed = false;
-            if let Some(closure) = closure {
-                if closure.any() {
-                    let added = apply_closure(&mut branch.inst, closure);
-                    stats.shortcut_desc_added += added;
-                    shortcut_changed = added > 0;
-                    if added > 0 {
-                        // The closure inserts navigation atoms behind the
-                        // index's back: conservatively re-check everything.
-                        branch.needs_check.iter_mut().for_each(|n| *n = true);
-                    }
-                }
-            }
-
-            match run_round(&mut branch, compiled, index, &mut fresh, &mut stats, options.max_atoms)
-            {
-                RoundResult::NoChange => {
-                    if !shortcut_changed {
-                        done.push(branch);
-                        break;
-                    }
-                }
-                RoundResult::Changed => {}
-                RoundResult::Failed => {
-                    stats.failed_branches += 1;
-                    break;
-                }
-                RoundResult::Split(children) => {
-                    worklist.extend(children);
-                    break;
-                }
+        }
+        let outcomes = chase_level(level, compiled, closure, index, options, start);
+        let mut next: Vec<Branch> = Vec::new();
+        for (outcome, s) in outcomes {
+            stats.rounds += s.rounds;
+            stats.applied_steps += s.applied_steps;
+            stats.shortcut_desc_added += s.shortcut_desc_added;
+            stats.failed_branches += s.failed_branches;
+            stats.completed &= s.completed;
+            match outcome {
+                BranchOutcome::Done(b) => done.push(b),
+                BranchOutcome::Failed => {}
+                BranchOutcome::Split(children) => next.extend(children),
             }
         }
+        level = next;
     }
 
     stats.duration = start.elapsed();
@@ -700,6 +886,121 @@ mod tests {
         let b_atoms: Vec<&Atom> = plan.body.iter().filter(|a| a.predicate.name() == "B").collect();
         assert_eq!(b_atoms.len(), 2);
         assert_ne!(b_atoms[0].args[1], b_atoms[1].args[1]);
+    }
+
+    /// A universal plan with the wall-clock field zeroed: everything else
+    /// must be bit-for-bit reproducible across join strategies and thread
+    /// counts.
+    fn plan_fingerprint(up: &UniversalPlan) -> String {
+        let stats = ChaseStats { duration: Duration::default(), ..up.stats.clone() };
+        format!("{:?} {:?} {:?}", up.branches, up.renamings, stats)
+    }
+
+    /// The byte-identical contract of the semi-naive joins: delta-seeded and
+    /// naive full-join chases agree on every branch, renaming and statistic
+    /// — including through EGD unifications (watermark resets) and resumed
+    /// seeded chases.
+    #[test]
+    fn seminaive_and_naive_chase_are_byte_identical() {
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x"), t("y")]).with_body(vec![
+            Atom::named("R", vec![t("k"), t("x")]),
+            Atom::named("R", vec![t("k"), t("y")]),
+            Atom::named("A", vec![t("x"), t("y")]),
+        ]);
+        let key = Ded::egd(
+            "key",
+            vec![Atom::named("R", vec![t("u"), t("p")]), Atom::named("R", vec![t("u"), t("q")])],
+            t("p"),
+            t("q"),
+        );
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let chain = Ded::tgd(
+            "chain",
+            vec![Atom::named("B", vec![t("x"), t("y")])],
+            vec![],
+            vec![Atom::named("C", vec![t("x"), t("y")])],
+        );
+        let deds = vec![key, ind, chain];
+        let semi = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let naive = chase_to_universal_plan(&q, &deds, &ChaseOptions::default().with_naive_joins());
+        assert_eq!(plan_fingerprint(&semi), plan_fingerprint(&naive));
+
+        // Resumed chases (the backchase's memoization hook) must agree too —
+        // this is where the delta watermarks seed from the inserted atoms.
+        let seeds_semi: Vec<(ConjunctiveQuery, Substitution)> =
+            semi.branches.iter().cloned().zip(semi.renamings.iter().cloned()).collect();
+        let extra = Atom::named("A", vec![t("y"), t("w")]);
+        let resumed_semi = chase_branches_with_atoms(
+            &seeds_semi,
+            std::slice::from_ref(&extra),
+            "S",
+            &deds,
+            &ChaseOptions::default(),
+        );
+        let resumed_naive = chase_branches_with_atoms(
+            &seeds_semi,
+            std::slice::from_ref(&extra),
+            "S",
+            &deds,
+            &ChaseOptions::default().with_naive_joins(),
+        );
+        assert_eq!(plan_fingerprint(&resumed_semi), plan_fingerprint(&resumed_naive));
+    }
+
+    /// The parallel branch worklist is deterministic: disjunctive DEDs split
+    /// the chase into branch trees, and any thread count must produce a plan
+    /// byte-identical to the sequential one.
+    #[test]
+    fn parallel_branch_worklist_is_byte_identical() {
+        let split_st = Ded::disjunctive(
+            "st",
+            vec![Atom::named("R", vec![t("x")])],
+            vec![
+                Conjunct::atoms(vec![Atom::named("S", vec![t("x")])]),
+                Conjunct::atoms(vec![Atom::named("T", vec![t("x")])]),
+            ],
+        );
+        let split_uv = Ded::disjunctive(
+            "uv",
+            vec![Atom::named("S", vec![t("x")])],
+            vec![
+                Conjunct::atoms(vec![Atom::named("U", vec![t("x")])]),
+                Conjunct::atoms(vec![Atom::named("V", vec![t("x")])]),
+            ],
+        );
+        let grow = Ded::tgd(
+            "grow",
+            vec![Atom::named("T", vec![t("x")])],
+            vec![v("y")],
+            vec![Atom::named("W", vec![t("x"), t("y")])],
+        );
+        let deds = vec![split_st, split_uv, grow];
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a"), t("b")])
+            .with_body(vec![Atom::named("R", vec![t("a")]), Atom::named("R", vec![t("b")])]);
+        let seq = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        assert!(seq.branches.len() > 2, "the setup must actually split");
+        for threads in [2usize, 3, 8] {
+            let par =
+                chase_to_universal_plan(&q, &deds, &ChaseOptions::default().with_threads(threads));
+            assert_eq!(
+                plan_fingerprint(&seq),
+                plan_fingerprint(&par),
+                "threads = {threads} must be byte-identical to sequential"
+            );
+        }
+        // And the thread knob composes with naive joins.
+        let naive_par = chase_to_universal_plan(
+            &q,
+            &deds,
+            &ChaseOptions::default().with_naive_joins().with_threads(4),
+        );
+        assert_eq!(plan_fingerprint(&seq), plan_fingerprint(&naive_par));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! query block via `Arc`. Before this type existed every chase recompiled
 //! the dependency set from scratch, which dominated the backchase hot loop.
 
-use crate::evaluate::{evaluate_bindings, satisfiable};
+use crate::evaluate::{evaluate_bindings, evaluate_bindings_delta, satisfiable};
 use crate::instance::SymbolicInstance;
 use crate::shortcut::{detect_closure_constraints, ClosureConstraints};
 use mars_cq::{Conjunct, Ded, Predicate, Substitution, Term};
@@ -79,14 +79,36 @@ pub struct CompiledDed {
     pub ded: Ded,
     /// Compiled conclusions (empty for denial constraints).
     pub conclusions: Vec<CompiledConclusion>,
+    /// Unique premise predicates, in first-occurrence order. The semi-naive
+    /// chase keeps one delta watermark per entry ([`premise_slots`] maps each
+    /// premise atom onto its entry).
+    ///
+    /// [`premise_slots`]: CompiledDed::premise_slots
+    pub premise_preds: Vec<Predicate>,
+    /// Per premise atom, the index of its predicate in
+    /// [`CompiledDed::premise_preds`].
+    pub premise_slots: Vec<usize>,
 }
 
 impl CompiledDed {
     /// Compile a dependency.
     pub fn compile(ded: &Ded) -> CompiledDed {
+        let mut premise_preds: Vec<Predicate> = Vec::new();
+        let premise_slots: Vec<usize> = ded
+            .premise
+            .iter()
+            .map(|a| {
+                premise_preds.iter().position(|p| *p == a.predicate).unwrap_or_else(|| {
+                    premise_preds.push(a.predicate);
+                    premise_preds.len() - 1
+                })
+            })
+            .collect();
         CompiledDed {
             conclusions: ded.conclusions.iter().map(CompiledConclusion::new).collect(),
             ded: ded.clone(),
+            premise_preds,
+            premise_slots,
         }
     }
 
@@ -104,6 +126,32 @@ impl CompiledDed {
             inst,
             &Substitution::new(),
         )
+    }
+
+    /// Semi-naive premise evaluation: only homomorphisms that use at least
+    /// one tuple beyond the per-slot watermarks in `marks` (aligned with
+    /// [`CompiledDed::premise_preds`]), in the full join's order — see
+    /// [`evaluate_bindings_delta`].
+    pub fn premise_bindings_delta(
+        &self,
+        inst: &SymbolicInstance,
+        marks: &[usize],
+    ) -> Vec<Substitution> {
+        let old_len: Vec<usize> = self.premise_slots.iter().map(|&s| marks[s]).collect();
+        evaluate_bindings_delta(
+            &self.ded.premise,
+            &self.ded.premise_inequalities,
+            inst,
+            &Substitution::new(),
+            &old_len,
+        )
+    }
+
+    /// Relation lengths of the premise predicates (the watermark snapshot a
+    /// fixpoint confirmation records), aligned with
+    /// [`CompiledDed::premise_preds`].
+    pub fn premise_watermarks(&self, inst: &SymbolicInstance) -> Vec<usize> {
+        self.premise_preds.iter().map(|p| inst.relation_len(*p)).collect()
     }
 
     /// Is the chase step for homomorphism `h` *blocked* (some conclusion
@@ -132,17 +180,19 @@ pub fn compilation_count() -> usize {
 /// stay blocked), so the round skips it without evaluating anything.
 #[derive(Clone, Debug, Default)]
 pub struct DedIndex {
-    by_pred: HashMap<Predicate, Vec<usize>>,
+    /// Per predicate, every `(dependency, watermark slot)` whose premise
+    /// mentions it (the slot indexes the dependency's
+    /// [`CompiledDed::premise_preds`]).
+    by_pred: HashMap<Predicate, Vec<(usize, usize)>>,
     n: usize,
 }
 
 impl DedIndex {
     fn new(compiled: &[CompiledDed]) -> DedIndex {
-        let mut by_pred: HashMap<Predicate, Vec<usize>> = HashMap::new();
+        let mut by_pred: HashMap<Predicate, Vec<(usize, usize)>> = HashMap::new();
         for (i, d) in compiled.iter().enumerate() {
-            let preds: HashSet<Predicate> = d.ded.premise.iter().map(|a| a.predicate).collect();
-            for p in preds {
-                by_pred.entry(p).or_default().push(i);
+            for (slot, p) in d.premise_preds.iter().enumerate() {
+                by_pred.entry(*p).or_default().push((i, slot));
             }
         }
         DedIndex { by_pred, n: compiled.len() }
@@ -166,11 +216,24 @@ impl DedIndex {
     }
 
     /// Mark every dependency whose premise mentions `p` as needing a
-    /// re-check (an atom of that predicate was inserted or rewritten).
+    /// re-check (an atom of that predicate was inserted).
     pub fn mark(&self, p: Predicate, needs: &mut [bool]) {
         if let Some(dis) = self.by_pred.get(&p) {
-            for &i in dis {
+            for &(i, _) in dis {
                 needs[i] = true;
+            }
+        }
+    }
+
+    /// Mark every dependency whose premise mentions `p` after the relation
+    /// of `p` was *rewritten* (an EGD unification): besides the re-check
+    /// flag, the dependency's delta watermark for `p` is reset to 0 — tuple
+    /// positions changed, so the whole relation is delta again.
+    pub fn mark_rewrite(&self, p: Predicate, needs: &mut [bool], marks: &mut [Vec<usize>]) {
+        if let Some(dis) = self.by_pred.get(&p) {
+            for &(i, slot) in dis {
+                needs[i] = true;
+                marks[i][slot] = 0;
             }
         }
     }

@@ -6,30 +6,36 @@
 //! `Inst(Q)` using hash joins with selections (constants, repeated variables)
 //! pushed into the joins, producing *all* homomorphisms in bulk rather than
 //! one backtracking search per candidate.
+//!
+//! Joins probe the instance's **persistent** per-predicate column indexes
+//! ([`crate::instance::Relation::index`]): an index is built at most once per
+//! (relation, column-set) and maintained incrementally on insert, so repeated
+//! evaluations over a growing instance never rebuild hash tables.
+//!
+//! [`evaluate_bindings_delta`] is the semi-naive variant: given per-atom
+//! tuple watermarks, it enumerates exactly the homomorphisms that use at
+//! least one tuple beyond its atom's watermark (each premise atom takes a
+//! turn as the *delta atom*, joining old × delta × full), and merges the
+//! per-pass results back into the **same order** the full join would produce
+//! (each row carries the tuple-index trail of its join steps; the full join
+//! emits rows in lexicographic trail order, so sorting the union by trail
+//! reproduces it). The chase therefore applies identical steps in identical
+//! order whether it joins full or delta — the byte-identical contract.
 
 use crate::instance::SymbolicInstance;
-use mars_cq::{Atom, Substitution, Term, Variable};
-use std::collections::HashMap;
+use mars_cq::{Atom, Predicate, Substitution, Term, Variable};
 
 /// A homomorphism produced by evaluation (bindings of the evaluated atoms'
 /// variables to terms of the instance).
 pub type Binding = Substitution;
 
-/// How an argument position of an atom is handled during the join.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Slot {
-    /// The position carries a constant; tuples not matching it are filtered
-    /// out while building the hash index (selection pushdown).
-    Const,
-    /// The position's variable is already bound by the current prefix of the
-    /// join (column index); it participates in the hash key.
-    Join(usize),
-    /// The position's variable is new; it becomes a new column.
-    New,
-    /// The position repeats a fresh variable first seen at the given earlier
-    /// argument position of the same atom; tuples must carry equal terms.
-    NewDup(usize),
-}
+/// A tuple-index window `[lo, hi)` restricting which tuples of a relation an
+/// atom may match (semi-naive old/delta/full roles).
+type Window = (usize, usize);
+
+/// Below this many candidate tuples a filtered scan beats building and
+/// probing a hash index (allocation + hashing dominate on tiny inputs).
+const SCAN_THRESHOLD: usize = 8;
 
 /// Choose an evaluation order for the atoms: start from the atom with the
 /// most constants (most selective), then repeatedly pick an atom sharing a
@@ -43,7 +49,7 @@ fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
 
     let const_count = |a: &Atom| a.args.iter().filter(|t| t.is_const()).count();
 
-    for _ in 0..n {
+    while order.len() < n {
         let mut best: Option<usize> = None;
         let mut best_key = (false, 0usize);
         for (i, a) in atoms.iter().enumerate() {
@@ -66,123 +72,188 @@ fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
     order
 }
 
-/// Evaluate `atoms` (a conjunction) over `inst`, extending `initial`, and
-/// filter the results by the inequalities. Returns every homomorphism.
+/// Columnar join output: a variable per column, flat term-vector rows, and —
+/// when trails are tracked — the tuple index chosen at each join step (in
+/// join order) per row.
+struct JoinRows {
+    vars: Vec<Variable>,
+    rows: Vec<Vec<Term>>,
+    trails: Vec<Vec<u32>>,
+}
+
+impl JoinRows {
+    fn empty(initially_bound: Vec<Variable>) -> JoinRows {
+        JoinRows { vars: initially_bound, rows: Vec::new(), trails: Vec::new() }
+    }
+}
+
+/// The shared join core: evaluate `atoms` (visited in `order`) over `inst`
+/// extending `initial`, probing the persistent column indexes. `windows`
+/// optionally restricts each atom (by its position in `atoms`) to a tuple
+/// window; `track` additionally records per-row tuple-index trails so
+/// semi-naive passes can be merged back into full-join order.
 ///
 /// Intermediate join results are kept *columnar* — a shared variable list
-/// plus flat term-vector rows — and only the surviving final rows are
-/// materialized as [`Substitution`]s. Cloning a hash-map substitution per
-/// intermediate row dominated the chase profile; the term vectors make each
-/// extension a `Vec` push.
-pub fn evaluate_bindings(
+/// plus flat term-vector rows — and only surviving final rows are
+/// materialized as [`Substitution`]s by the callers. Cloning a hash-map
+/// substitution per intermediate row dominated the chase profile; the term
+/// vectors make each extension a `Vec` push.
+fn join_rows(
     atoms: &[Atom],
-    inequalities: &[(Term, Term)],
+    order: &[usize],
     inst: &SymbolicInstance,
     initial: &Substitution,
-) -> Vec<Binding> {
-    if atoms.is_empty() {
-        // Only the initial binding, provided it satisfies the inequalities.
-        let ok = inequalities.iter().all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
-        return if ok { vec![initial.clone()] } else { Vec::new() };
-    }
-
+    windows: Option<&[Window]>,
+    track: bool,
+) -> JoinRows {
     let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
-    let order = order_atoms(atoms, &initially_bound);
-
-    // Columnar state: `vars[c]` is the variable of column `c`, each row holds
-    // that variable's term at position `c`.
     let mut vars: Vec<Variable> = initially_bound;
     let mut rows: Vec<Vec<Term>> =
         vec![vars.iter().map(|v| initial.get(*v).expect("initially bound")).collect()];
+    let mut trails: Vec<Vec<u32>> = if track { vec![Vec::new()] } else { Vec::new() };
 
-    for &ai in &order {
+    for &ai in order {
         if rows.is_empty() {
-            return Vec::new();
+            return JoinRows::empty(vars);
         }
         let atom = &atoms[ai];
-        let tuples = inst.relation(atom.predicate);
-        if tuples.is_empty() {
-            return Vec::new();
+        let Some(rel) = inst.relation_data(atom.predicate) else {
+            return JoinRows::empty(vars);
+        };
+        let (lo, hi) = match windows {
+            Some(w) => (w[ai].0, w[ai].1.min(rel.len())),
+            None => (0, rel.len()),
+        };
+        if lo >= hi {
+            return JoinRows::empty(vars);
         }
+        let tuples = rel.tuples();
 
         // Classify argument positions against the current column set.
-        let mut slots: Vec<Slot> = Vec::with_capacity(atom.args.len());
         // Argument positions whose (fresh) variable becomes a new column.
         let mut new_positions: Vec<usize> = Vec::new();
+        // Positions repeating a fresh variable first seen at an earlier
+        // position of the same atom: the tuple must carry equal terms.
+        let mut dup_positions: Vec<(usize, usize)> = Vec::new();
+        // Hash-key columns of the persistent index (ascending positions) and
+        // how to fill the probe key: a fixed constant or a row column.
+        let mut key_cols: Vec<usize> = Vec::new();
+        let mut key_sources: Vec<Result<Term, usize>> = Vec::new();
         for (i, arg) in atom.args.iter().enumerate() {
             match arg {
-                Term::Const(_) => slots.push(Slot::Const),
+                Term::Const(_) => {
+                    key_cols.push(i);
+                    key_sources.push(Ok(*arg));
+                }
                 Term::Var(v) => {
                     if let Some(col) = vars.iter().position(|w| w == v) {
-                        slots.push(Slot::Join(col));
+                        key_cols.push(i);
+                        key_sources.push(Err(col));
                     } else if let Some(p) =
                         atom.args[..i].iter().position(|w| w.as_var() == Some(*v))
                     {
-                        // Repeated fresh variable within the atom: the tuple
-                        // must carry equal terms at both positions.
-                        slots.push(Slot::NewDup(p));
+                        dup_positions.push((i, p));
                     } else {
-                        slots.push(Slot::New);
                         new_positions.push(i);
                     }
                 }
             }
         }
-        let join_positions: Vec<(usize, usize)> = slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| match s {
-                Slot::Join(col) => Some((i, *col)),
-                _ => None,
-            })
-            .collect();
 
-        // Build the hash index over the relation: filter on constants and on
-        // repeated variables within the atom, key on the join positions.
-        let mut index: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
-        'tuples: for tuple in tuples {
-            for (i, slot) in slots.iter().enumerate() {
-                match slot {
-                    Slot::Const if tuple[i] != atom.args[i] => continue 'tuples,
-                    Slot::NewDup(p) if tuple[i] != tuple[*p] => continue 'tuples,
-                    _ => {}
+        let mut next_rows: Vec<Vec<Term>> = Vec::new();
+        let mut next_trails: Vec<Vec<u32>> = Vec::new();
+        // Extend one row by one matching tuple (dup filter + window applied
+        // by the callers below).
+        let mut extend = |row: &Vec<Term>, trail: Option<&Vec<u32>>, ti: usize| {
+            let tuple = &tuples[ti];
+            for &(i, p) in &dup_positions {
+                if tuple[i] != tuple[p] {
+                    return;
                 }
             }
-            let key: Vec<Term> = join_positions.iter().map(|&(i, _)| tuple[i]).collect();
-            index.entry(key).or_default().push(tuple);
-        }
+            let mut extended = Vec::with_capacity(row.len() + new_positions.len());
+            extended.extend_from_slice(row);
+            extended.extend(new_positions.iter().map(|&p| tuple[p]));
+            next_rows.push(extended);
+            if let Some(trail) = trail {
+                let mut t = Vec::with_capacity(trail.len() + 1);
+                t.extend_from_slice(trail);
+                t.push(ti as u32);
+                next_trails.push(t);
+            }
+        };
 
-        // Probe.
-        let mut next_rows: Vec<Vec<Term>> = Vec::new();
-        for row in &rows {
-            let key: Vec<Term> = join_positions.iter().map(|&(_, col)| row[col]).collect();
-            if let Some(matches) = index.get(&key) {
-                for tuple in matches {
-                    let mut extended = Vec::with_capacity(row.len() + new_positions.len());
-                    extended.extend_from_slice(row);
-                    extended.extend(new_positions.iter().map(|&p| tuple[p]));
-                    next_rows.push(extended);
+        if key_cols.is_empty() {
+            // No bound position: scan the window (Cartesian extension).
+            for (ri, row) in rows.iter().enumerate() {
+                let trail = track.then(|| &trails[ri]);
+                for ti in lo..hi {
+                    extend(row, trail, ti);
+                }
+            }
+        } else if hi - lo <= SCAN_THRESHOLD {
+            // Tiny window (delta atoms, small relations): a filtered scan
+            // beats building/probing a hash index.
+            for (ri, row) in rows.iter().enumerate() {
+                let trail = track.then(|| &trails[ri]);
+                'scan: for (ti, tuple) in tuples.iter().enumerate().take(hi).skip(lo) {
+                    for (i, src) in key_cols.iter().zip(&key_sources) {
+                        let want = match src {
+                            Ok(c) => *c,
+                            Err(col) => row[*col],
+                        };
+                        if tuple[*i] != want {
+                            continue 'scan;
+                        }
+                    }
+                    extend(row, trail, ti);
+                }
+            }
+        } else {
+            // Probe the persistent index; posting lists are ascending tuple
+            // indices, so the window is a subrange.
+            let index = rel.index(&key_cols);
+            let mut key: Vec<Term> = Vec::with_capacity(key_sources.len());
+            for (ri, row) in rows.iter().enumerate() {
+                key.clear();
+                key.extend(key_sources.iter().map(|s| match s {
+                    Ok(c) => *c,
+                    Err(col) => row[*col],
+                }));
+                if let Some(matches) = index.get(&key) {
+                    let from = matches.partition_point(|&ti| ti < lo);
+                    let to = matches.partition_point(|&ti| ti < hi);
+                    let trail = track.then(|| &trails[ri]);
+                    for &ti in &matches[from..to] {
+                        extend(row, trail, ti);
+                    }
                 }
             }
         }
         rows = next_rows;
+        trails = next_trails;
         vars.extend(
             new_positions.iter().map(|&p| atom.args[p].as_var().expect("new slots are variables")),
         );
     }
+    JoinRows { vars, rows, trails }
+}
 
-    if !inequalities.is_empty() {
-        let value = |row: &[Term], t: Term| -> Term {
-            match t {
-                Term::Var(v) => {
-                    vars.iter().position(|w| *w == v).map(|c| row[c]).unwrap_or(Term::Var(v))
-                }
-                Term::Const(_) => t,
+/// Does a columnar row satisfy every inequality?
+fn row_satisfies(vars: &[Variable], row: &[Term], ineqs: &[(Term, Term)]) -> bool {
+    let value = |t: Term| -> Term {
+        match t {
+            Term::Var(v) => {
+                vars.iter().position(|w| *w == v).map(|c| row[c]).unwrap_or(Term::Var(v))
             }
-        };
-        rows.retain(|r| inequalities.iter().all(|(a, b)| value(r, *a) != value(r, *b)));
-    }
+            Term::Const(_) => t,
+        }
+    };
+    ineqs.iter().all(|(a, b)| value(*a) != value(*b))
+}
 
+/// Materialize columnar rows as [`Substitution`]s extending `initial`.
+fn materialize(vars: &[Variable], rows: Vec<Vec<Term>>, initial: &Substitution) -> Vec<Binding> {
     rows.into_iter()
         .map(|row| {
             let mut s = initial.clone();
@@ -194,6 +265,92 @@ pub fn evaluate_bindings(
         .collect()
 }
 
+/// Evaluate `atoms` (a conjunction) over `inst`, extending `initial`, and
+/// filter the results by the inequalities. Returns every homomorphism.
+pub fn evaluate_bindings(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+) -> Vec<Binding> {
+    if atoms.is_empty() {
+        // Only the initial binding, provided it satisfies the inequalities.
+        let ok = inequalities.iter().all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
+        return if ok { vec![initial.clone()] } else { Vec::new() };
+    }
+    let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
+    let order = order_atoms(atoms, &initially_bound);
+    let mut jr = join_rows(atoms, &order, inst, initial, None, false);
+    if !inequalities.is_empty() {
+        jr.rows.retain(|r| row_satisfies(&jr.vars, r, inequalities));
+    }
+    materialize(&jr.vars, jr.rows, initial)
+}
+
+/// Semi-naive (delta-seeded) evaluation: every homomorphism that maps at
+/// least one atom to a tuple at index ≥ that atom's watermark `old_len[i]`.
+///
+/// Homomorphisms whose atoms all map below their watermarks (*all-old*
+/// bindings) are exactly the ones the chase already confirmed blocked when
+/// the watermarks were taken — blocked steps stay blocked on a growing
+/// instance, so skipping them is sound. Each atom takes a turn as the delta
+/// atom (`old × delta × full` windows, partitioning the new bindings by
+/// their first over-watermark atom), and the union is sorted by tuple-index
+/// trail, which is precisely the order the full join emits — so downstream
+/// chase steps fire in an order byte-identical to the naive full join.
+pub fn evaluate_bindings_delta(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+    old_len: &[usize],
+) -> Vec<Binding> {
+    if atoms.is_empty() {
+        // No atoms, hence no delta tuple can be involved: the (single)
+        // initial binding is all-old by definition.
+        return Vec::new();
+    }
+    debug_assert_eq!(atoms.len(), old_len.len());
+    let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
+    // The same join order the full join would use: every pass then probes
+    // the same persistent column indexes the full join would (no per-pass
+    // index variants), and the per-row trails are directly comparable.
+    let order = order_atoms(atoms, &initially_bound);
+
+    let mut vars: Vec<Variable> = Vec::new();
+    let mut merged: Vec<(Vec<u32>, Vec<Term>)> = Vec::new();
+    for j in 0..atoms.len() {
+        if inst.relation_len(atoms[j].predicate) <= old_len[j] {
+            continue; // no delta tuples for this atom
+        }
+        let windows: Vec<Window> = (0..atoms.len())
+            .map(|k| match k.cmp(&j) {
+                std::cmp::Ordering::Less => (0, old_len[k]),
+                std::cmp::Ordering::Equal => (old_len[j], usize::MAX),
+                std::cmp::Ordering::Greater => (0, usize::MAX),
+            })
+            .collect();
+        let jr = join_rows(atoms, &order, inst, initial, Some(&windows), true);
+        if jr.rows.is_empty() {
+            // An empty pass may have short-circuited with a truncated
+            // variable layout; it contributes nothing, so skip it.
+            continue;
+        }
+        // The pass windows partition the binding space, so trails — and only
+        // trails — differ across non-empty passes; the variable layout is
+        // identical.
+        merged.extend(jr.trails.into_iter().zip(jr.rows));
+        vars = jr.vars;
+    }
+    // Lexicographic trail order == the order the full join enumerates rows.
+    merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut rows: Vec<Vec<Term>> = merged.into_iter().map(|(_, row)| row).collect();
+    if !inequalities.is_empty() {
+        rows.retain(|r| row_satisfies(&vars, r, inequalities));
+    }
+    materialize(&vars, rows, initial)
+}
+
 /// Semijoin-style existence check: is there at least one extension of
 /// `initial` satisfying the atoms and inequalities?
 ///
@@ -201,7 +358,9 @@ pub fn evaluate_bindings(
 /// by far the highest-volume entry point of this module — so unlike
 /// [`evaluate_bindings`] it does not materialize anything: a backtracking
 /// search over the (join-ordered) atoms binds variables in place and
-/// returns at the first witness.
+/// returns at the first witness. Candidate tuples at each depth come from
+/// the persistent column indexes (probed on the positions bound so far)
+/// instead of a relation scan.
 pub fn satisfiable(
     atoms: &[Atom],
     inequalities: &[(Term, Term)],
@@ -214,7 +373,11 @@ pub fn satisfiable(
     let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
     let order = order_atoms(atoms, &initially_bound);
     let mut sub = initial.clone();
-    satisfiable_from(&order, 0, atoms, inequalities, inst, &mut sub)
+    // One posting-list scratch buffer per depth: candidate tuple ids are
+    // copied out of the index so no index borrow is held across recursion
+    // (a deeper probe of the same relation may need to build a new index).
+    let mut scratch: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    satisfiable_from(&order, 0, atoms, inequalities, inst, &mut sub, &mut scratch)
 }
 
 fn satisfiable_from(
@@ -224,42 +387,88 @@ fn satisfiable_from(
     inequalities: &[(Term, Term)],
     inst: &SymbolicInstance,
     sub: &mut Substitution,
+    scratch: &mut [Vec<usize>],
 ) -> bool {
     if depth == order.len() {
         return inequalities.iter().all(|(a, b)| sub.apply_term(*a) != sub.apply_term(*b));
     }
     let atom = &atoms[order[depth]];
-    'tuples: for tuple in inst.relation(atom.predicate) {
-        // Match the atom's arguments against the tuple, collecting the fresh
+    let Some(rel) = inst.relation_data(atom.predicate) else {
+        return false;
+    };
+    if rel.is_empty() {
+        return false;
+    }
+
+    // Bound positions (constants and variables already bound) form the probe
+    // key; the rest are free.
+    let mut key_cols: Vec<usize> = Vec::new();
+    let mut key: Vec<Term> = Vec::new();
+    for (i, arg) in atom.args.iter().enumerate() {
+        match arg {
+            Term::Const(_) => {
+                key_cols.push(i);
+                key.push(*arg);
+            }
+            Term::Var(v) => {
+                if let Some(t) = sub.get(*v) {
+                    key_cols.push(i);
+                    key.push(t);
+                }
+            }
+        }
+    }
+    let (mine, rest) = scratch.split_first_mut().expect("scratch sized to the atom order");
+    if key_cols.len() == atom.args.len() {
+        // Fully bound: the key *is* the tuple — a set-membership test.
+        return rel.contains(&key)
+            && satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub, rest);
+    }
+    mine.clear();
+    if key_cols.is_empty() {
+        mine.extend(0..rel.len());
+    } else if rel.len() <= SCAN_THRESHOLD {
+        // Tiny relation: a filtered scan beats the hash index.
+        'scan: for (ti, tuple) in rel.tuples().iter().enumerate() {
+            for (i, want) in key_cols.iter().zip(&key) {
+                if tuple[*i] != *want {
+                    continue 'scan;
+                }
+            }
+            mine.push(ti);
+        }
+    } else {
+        let index = rel.index(&key_cols);
+        if let Some(matches) = index.get(&key) {
+            mine.extend_from_slice(matches);
+        }
+    }
+
+    'tuples: for &ti in mine.iter() {
+        let tuple = &rel.tuples()[ti];
+        // Match the free positions against the tuple, collecting the fresh
         // bindings this tuple would add (repeated fresh variables within the
-        // atom must match equal terms).
+        // atom must match equal terms; bound positions already matched via
+        // the probe key).
         let mut added: Vec<(Variable, Term)> = Vec::new();
         for (i, arg) in atom.args.iter().enumerate() {
-            match arg {
-                Term::Const(_) => {
-                    if tuple[i] != *arg {
+            if let Term::Var(v) = arg {
+                if sub.binds(*v) {
+                    continue;
+                }
+                if let Some((_, t)) = added.iter().find(|(w, _)| w == v) {
+                    if *t != tuple[i] {
                         continue 'tuples;
                     }
-                }
-                Term::Var(v) => {
-                    if let Some(t) = sub.get(*v) {
-                        if t != tuple[i] {
-                            continue 'tuples;
-                        }
-                    } else if let Some((_, t)) = added.iter().find(|(w, _)| w == v) {
-                        if *t != tuple[i] {
-                            continue 'tuples;
-                        }
-                    } else {
-                        added.push((*v, tuple[i]));
-                    }
+                } else {
+                    added.push((*v, tuple[i]));
                 }
             }
         }
         for (v, t) in &added {
             sub.set(*v, *t);
         }
-        if satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub) {
+        if satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub, rest) {
             return true;
         }
         for (v, _) in &added {
@@ -267,6 +476,12 @@ fn satisfiable_from(
         }
     }
     false
+}
+
+/// Per-atom delta watermarks derived from per-predicate watermarks: the
+/// convenience used by [`crate::compiled::CompiledDed::premise_bindings_delta`].
+pub fn atom_watermarks(atoms: &[Atom], watermark: impl Fn(Predicate) -> usize) -> Vec<usize> {
+    atoms.iter().map(|a| watermark(a.predicate)).collect()
 }
 
 #[cfg(test)]
@@ -435,5 +650,118 @@ mod tests {
         let slow = mars_cq::find_all_homomorphisms(&pattern, &index, &Substitution::new(), None);
         assert_eq!(fast.len(), slow.len());
         assert_eq!(fast.len(), 6 * 3 * 3);
+    }
+
+    /// With all-zero watermarks, the only non-empty pass is the first one
+    /// and its windows are unrestricted: the delta evaluation *is* the full
+    /// join, including its order.
+    #[test]
+    fn delta_with_zero_watermarks_equals_full_join() {
+        let inst = example_instance();
+        let premise = vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("y"), t("z")]),
+            Atom::named("S", vec![t("z"), t("u")]),
+        ];
+        let full = evaluate_bindings(&premise, &[], &inst, &Substitution::new());
+        let delta = evaluate_bindings_delta(&premise, &[], &inst, &Substitution::new(), &[0, 0, 0]);
+        assert_eq!(full, delta);
+    }
+
+    /// Delta bindings + all-old bindings partition the full join: watermarks
+    /// taken before an insert make the delta evaluation return exactly the
+    /// new homomorphisms, in the full join's relative order.
+    #[test]
+    fn delta_after_insert_returns_exactly_the_new_bindings() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("n1"), t("n2")));
+        inst.insert_atom(&child(t("n2"), t("n3")));
+        let pattern = vec![child(t("x"), t("y")), child(t("y"), t("z"))];
+        let before = evaluate_bindings(&pattern, &[], &inst, &Substitution::new());
+        assert_eq!(before.len(), 1);
+        let marks = vec![inst.relation_len(pattern[0].predicate); 2];
+
+        inst.insert_atom(&child(t("n3"), t("n4")));
+        inst.insert_atom(&child(t("n0"), t("n1")));
+        let after = evaluate_bindings(&pattern, &[], &inst, &Substitution::new());
+        let delta = evaluate_bindings_delta(&pattern, &[], &inst, &Substitution::new(), &marks);
+        // Every old binding is absent from the delta, every new one present,
+        // and the delta preserves the full join's relative order.
+        assert_eq!(after.len(), before.len() + delta.len());
+        for b in &before {
+            assert!(!delta.contains(b));
+        }
+        let filtered: Vec<&Binding> = after.iter().filter(|b| !before.contains(b)).collect();
+        assert_eq!(filtered.len(), delta.len());
+        for (f, d) in filtered.iter().zip(&delta) {
+            assert_eq!(**f, *d, "delta must preserve the full join's order");
+        }
+    }
+
+    /// The same partition property on a branchier instance with repeated
+    /// predicates and inequalities.
+    #[test]
+    fn delta_partition_with_inequalities() {
+        let mut inst = SymbolicInstance::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "a"), ("c", "a")] {
+            inst.insert_atom(&Atom::named("R", vec![t(a), t(b)]));
+        }
+        let pattern =
+            vec![Atom::named("R", vec![t("x"), t("y")]), Atom::named("R", vec![t("y"), t("z")])];
+        let ineqs = vec![(t("x"), t("z"))];
+        let marks = vec![inst.relation_len(pattern[0].predicate); 2];
+        inst.insert_atom(&Atom::named("R", vec![t("c"), t("d")]));
+        inst.insert_atom(&Atom::named("R", vec![t("d"), t("a")]));
+
+        let after = evaluate_bindings(&pattern, &ineqs, &inst, &Substitution::new());
+        let delta = evaluate_bindings_delta(&pattern, &ineqs, &inst, &Substitution::new(), &marks);
+        let old: Vec<&Binding> = after
+            .iter()
+            .filter(|b| {
+                // A binding is all-old iff both matched tuples predate the mark.
+                let pos = |x: Term, y: Term| {
+                    inst.relation(pattern[0].predicate)
+                        .iter()
+                        .position(|tu| tu[0] == x && tu[1] == y)
+                        .unwrap()
+                };
+                pos(b.get(v("x")).unwrap(), b.get(v("y")).unwrap()) < marks[0]
+                    && pos(b.get(v("y")).unwrap(), b.get(v("z")).unwrap()) < marks[1]
+            })
+            .collect();
+        assert_eq!(old.len() + delta.len(), after.len());
+        for d in &delta {
+            assert!(after.contains(d));
+            assert!(!old.contains(&d));
+        }
+    }
+
+    #[test]
+    fn satisfiable_probes_agree_with_full_evaluation() {
+        let inst = example_instance();
+        let premise =
+            vec![Atom::named("R", vec![t("x"), t("y")]), Atom::named("S", vec![t("u"), t("w")])];
+        assert!(satisfiable(&premise, &[], &inst, &Substitution::new()));
+        // Fully bound membership path.
+        let init = Substitution::from_pairs(vec![(v("x"), t("a")), (v("y"), t("b"))]).unwrap();
+        assert!(satisfiable(&[Atom::named("R", vec![t("x"), t("y")])], &[], &inst, &init));
+        let bad = Substitution::from_pairs(vec![(v("x"), t("a")), (v("y"), t("c"))]).unwrap();
+        assert!(!satisfiable(&[Atom::named("R", vec![t("x"), t("y")])], &[], &inst, &bad));
+        // Repeated free variable within an atom.
+        let mut inst2 = SymbolicInstance::new();
+        inst2.insert_atom(&Atom::named("R", vec![t("a"), t("b")]));
+        assert!(!satisfiable(
+            &[Atom::named("R", vec![t("x"), t("x")])],
+            &[],
+            &inst2,
+            &Substitution::new()
+        ));
+        inst2.insert_atom(&Atom::named("R", vec![t("c"), t("c")]));
+        assert!(satisfiable(
+            &[Atom::named("R", vec![t("x"), t("x")])],
+            &[],
+            &inst2,
+            &Substitution::new()
+        ));
     }
 }

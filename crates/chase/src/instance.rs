@@ -4,9 +4,36 @@
 //! instance Inst(Q) consisting of the relations ... whose constants are the
 //! variables of Q, and whose tuples are the atoms in Q's body". The chase then
 //! becomes query evaluation over this instance.
+//!
+//! Every relation carries *persistent* hash indexes keyed on column sets
+//! ([`Relation::index`]): an index is built at most once per (relation,
+//! column-set) pair and then maintained incrementally on insert, instead of
+//! being rebuilt inside every premise evaluation. Only an EGD rewrite
+//! ([`SymbolicInstance::apply_substitution`]) invalidates the indexes of the
+//! relations it actually touches. The process-wide [`index_build_count`]
+//! lets regression tests pin this contract down.
 
 use mars_cq::{Atom, ConjunctiveQuery, Predicate, Substitution, Term, Variable};
+use std::cell::{Ref, RefCell};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of from-scratch column-index builds since process start.
+///
+/// Used by regression tests (`tests/engine_reuse.rs`) to verify that premise
+/// evaluation reuses the persistent per-predicate indexes: evaluating the
+/// same conjunction twice over an unchanged (or grown-by-insert) instance
+/// must not rebuild anything.
+static INDEX_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide column-index build count (see [`Relation::index`]).
+pub fn index_build_count() -> usize {
+    INDEX_BUILDS.load(Ordering::SeqCst)
+}
+
+/// A hash index over one column set: key terms (in column order) → indices of
+/// the matching tuples, ascending in insertion order.
+pub type ColumnIndex = HashMap<Vec<Term>, Vec<usize>>;
 
 /// One relation of the symbolic instance: a deduplicated, insertion-ordered
 /// set of tuples whose entries are [`Term`]s (variables act as constants).
@@ -14,13 +41,28 @@ use std::collections::{HashMap, HashSet};
 pub struct Relation {
     tuples: Vec<Vec<Term>>,
     set: HashSet<Vec<Term>>,
+    /// Persistent column-set indexes. Interior mutability lets evaluation
+    /// (`&SymbolicInstance`) build an index lazily on first use; instances
+    /// are never shared across threads (branches move between workers
+    /// whole), so the `RefCell` borrows are all thread-local.
+    indexes: RefCell<HashMap<Vec<usize>, ColumnIndex>>,
+    /// From-scratch builds of this relation's indexes — the race-free
+    /// (per-relation) counterpart of the process-wide [`index_build_count`],
+    /// for tests that must not observe other tests' builds.
+    builds: std::cell::Cell<usize>,
 }
 
 impl Relation {
-    /// Insert a tuple; returns `true` if it was new.
+    /// Insert a tuple; returns `true` if it was new. Every existing column
+    /// index absorbs the new tuple incrementally (no rebuild).
     pub fn insert(&mut self, tuple: Vec<Term>) -> bool {
         if self.set.contains(&tuple) {
             return false;
+        }
+        let id = self.tuples.len();
+        for (cols, index) in self.indexes.get_mut().iter_mut() {
+            let key: Vec<Term> = cols.iter().map(|&c| tuple[c]).collect();
+            index.entry(key).or_default().push(id);
         }
         self.set.insert(tuple.clone());
         self.tuples.push(tuple);
@@ -45,6 +87,43 @@ impl Relation {
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
+    }
+
+    /// The persistent hash index over `cols` (ascending column positions).
+    /// Built from the current tuples on first use — counted by
+    /// [`index_build_count`] — and maintained incrementally by
+    /// [`Relation::insert`] afterwards.
+    ///
+    /// The returned guard holds a shared borrow of the index cache: callers
+    /// must drop it before anything inserts into this relation (the chase
+    /// never evaluates and inserts at the same moment, so in practice this
+    /// only rules out holding the guard across a recursive step that could
+    /// build another index of the *same* relation — copy the posting list
+    /// out first).
+    pub fn index(&self, cols: &[usize]) -> Ref<'_, ColumnIndex> {
+        if !self.indexes.borrow().contains_key(cols) {
+            INDEX_BUILDS.fetch_add(1, Ordering::SeqCst);
+            self.builds.set(self.builds.get() + 1);
+            let mut index = ColumnIndex::new();
+            for (id, tuple) in self.tuples.iter().enumerate() {
+                let key: Vec<Term> = cols.iter().map(|&c| tuple[c]).collect();
+                index.entry(key).or_default().push(id);
+            }
+            self.indexes.borrow_mut().insert(cols.to_vec(), index);
+        }
+        Ref::map(self.indexes.borrow(), |m| m.get(cols).expect("index just ensured"))
+    }
+
+    /// Number of column indexes currently cached (test introspection).
+    pub fn cached_index_count(&self) -> usize {
+        self.indexes.borrow().len()
+    }
+
+    /// From-scratch index builds performed by *this relation* (test
+    /// introspection; unlike [`index_build_count`] it cannot be perturbed
+    /// by tests running on parallel threads).
+    pub fn index_builds(&self) -> usize {
+        self.builds.get()
     }
 }
 
@@ -88,6 +167,19 @@ impl SymbolicInstance {
     /// The relation for a predicate (empty slice if absent).
     pub fn relation(&self, p: Predicate) -> &[Vec<Term>] {
         self.relations.get(&p).map(|r| r.tuples()).unwrap_or(&[])
+    }
+
+    /// The full relation object (tuples + persistent indexes) for a
+    /// predicate, if present.
+    pub fn relation_data(&self, p: Predicate) -> Option<&Relation> {
+        self.relations.get(&p)
+    }
+
+    /// Number of tuples of a predicate (0 if absent). The semi-naive chase
+    /// uses relation lengths as delta watermarks: tuples at index ≥ the
+    /// watermark are the delta.
+    pub fn relation_len(&self, p: Predicate) -> usize {
+        self.relations.get(&p).map(|r| r.len()).unwrap_or(0)
     }
 
     /// All predicates present.
@@ -153,9 +245,11 @@ impl SymbolicInstance {
     /// re-examines only dependencies whose premises mention one of them.
     ///
     /// Relations no tuple of which mentions a substituted variable are left
-    /// untouched (no rebuild, no allocation): unifications during a resumed
-    /// back-chase typically affect a handful of atoms in an instance of
-    /// hundreds, and rewriting everything dominated the chase profile.
+    /// untouched (no rebuild, no allocation, cached column indexes survive):
+    /// unifications during a resumed back-chase typically affect a handful of
+    /// atoms in an instance of hundreds, and rewriting everything dominated
+    /// the chase profile. Rewritten relations start over with empty index
+    /// caches (tuple positions change, so the old postings are meaningless).
     pub fn apply_substitution(&mut self, s: &Substitution) -> HashSet<Predicate> {
         let mut changed: HashSet<Predicate> = HashSet::new();
         let mut count = 0usize;
@@ -266,5 +360,75 @@ mod tests {
         assert_eq!(inst.len(), 0);
         assert!(inst.atoms().is_empty());
         assert_eq!(inst.relation(mars_cq::Predicate::new("nothing")).len(), 0);
+    }
+
+    #[test]
+    fn column_index_probes_and_is_maintained_on_insert() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("b")));
+        inst.insert_atom(&child(t("a"), t("c")));
+        inst.insert_atom(&child(t("d"), t("e")));
+        let p = mars_cq::Predicate::new("child");
+
+        // Build counts are asserted through the race-free per-relation
+        // counter; the process-wide `index_build_count` is exercised by the
+        // serialized tests in tests/engine_reuse.rs.
+        {
+            let rel = inst.relation_data(p).unwrap();
+            let idx = rel.index(&[0]);
+            assert_eq!(idx.get(&vec![t("a")]), Some(&vec![0, 1]));
+            assert_eq!(idx.get(&vec![t("d")]), Some(&vec![2]));
+            assert!(idx.get(&vec![t("z")]).is_none());
+        }
+        assert_eq!(inst.relation_data(p).unwrap().index_builds(), 1, "one build per column set");
+
+        // Insert maintains the cached index incrementally — no rebuild.
+        inst.insert_atom(&child(t("a"), t("f")));
+        {
+            let rel = inst.relation_data(p).unwrap();
+            let idx = rel.index(&[0]);
+            assert_eq!(idx.get(&vec![t("a")]), Some(&vec![0, 1, 3]));
+        }
+        assert_eq!(
+            inst.relation_data(p).unwrap().index_builds(),
+            1,
+            "insert must not rebuild the index"
+        );
+
+        // A second column set is a second (counted) build; re-requesting
+        // either set afterwards builds nothing.
+        {
+            let rel = inst.relation_data(p).unwrap();
+            let idx01 = rel.index(&[0, 1]);
+            assert_eq!(idx01.get(&vec![t("a"), t("f")]), Some(&vec![3]));
+        }
+        {
+            let rel = inst.relation_data(p).unwrap();
+            let _ = rel.index(&[0]);
+            let _ = rel.index(&[0, 1]);
+            assert_eq!(rel.cached_index_count(), 2);
+            assert_eq!(rel.index_builds(), 2);
+        }
+    }
+
+    #[test]
+    fn rewrite_drops_indexes_of_touched_relations_only() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("x")));
+        inst.insert_atom(&tag(t("n"), "book"));
+        let child_p = mars_cq::Predicate::new("child");
+        let tag_p = mars_cq::Predicate::new("tag");
+        let _ = inst.relation_data(child_p).unwrap().index(&[0]);
+        let _ = inst.relation_data(tag_p).unwrap().index(&[1]);
+
+        let mut s = Substitution::new();
+        s.set(mars_cq::Variable::named("x"), t("y"));
+        let changed = inst.apply_substitution(&s);
+        assert!(changed.contains(&child_p));
+        assert!(!changed.contains(&tag_p));
+        // The rewritten relation starts with an empty index cache; the
+        // untouched relation keeps its cached index.
+        assert_eq!(inst.relation_data(child_p).unwrap().cached_index_count(), 0);
+        assert_eq!(inst.relation_data(tag_p).unwrap().cached_index_count(), 1);
     }
 }

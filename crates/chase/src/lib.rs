@@ -47,7 +47,7 @@ pub use chase::{
     chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, UniversalPlan,
 };
 pub use compiled::{compilation_count, CompiledConclusion, CompiledDed, CompiledDeps};
-pub use evaluate::{evaluate_bindings, Binding};
-pub use instance::SymbolicInstance;
+pub use evaluate::{evaluate_bindings, evaluate_bindings_delta, satisfiable, Binding};
+pub use instance::{index_build_count, Relation, SymbolicInstance};
 pub use reach::{prune_parallel_desc, ReachabilityGraph};
 pub use shortcut::{detect_closure_constraints, ClosureConstraints};

@@ -120,11 +120,24 @@ impl MarsOptions {
         self
     }
 
-    /// Builder: evaluate each backchase BFS level on `n` worker threads.
+    /// Builder: evaluate each backchase BFS level — and each branch level of
+    /// the initial chase's disjunctive worklist — on `n` worker threads.
     /// Any thread count produces byte-identical reformulation results —
-    /// the engine merges per-level results deterministically.
+    /// both engines merge per-level results deterministically. (The back
+    /// chases inside candidate evaluations stay sequential; they are already
+    /// parallelized at the candidate level.)
     pub fn with_threads(mut self, n: usize) -> MarsOptions {
         self.cb.backchase.threads = n.max(1);
+        self.cb.chase.threads = n.max(1);
+        self
+    }
+
+    /// Builder: disable the semi-naive delta-seeded premise joins everywhere
+    /// (initial chase and back-chases). The ablation baseline: results are
+    /// byte-identical either way, only the join volume changes.
+    pub fn with_naive_joins(mut self) -> MarsOptions {
+        self.cb.chase.semi_naive = false;
+        self.cb.backchase.chase.semi_naive = false;
         self
     }
 
@@ -412,6 +425,47 @@ mod tests {
             assert_eq!(ca, cb);
         }
         assert_eq!(seq.result.stats.candidates_inspected, par.result.stats.candidates_inspected);
+    }
+
+    /// The semi-naive delta-seeded joins are a pure evaluation-strategy
+    /// change: the full pipeline must produce byte-identical reformulations
+    /// with them on (default) and off.
+    #[test]
+    fn seminaive_and_naive_joins_reformulate_identically() {
+        let client = XBindQuery::new("Client")
+            .with_head(&["t", "a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./title/text()").unwrap(),
+                source: "b".to_string(),
+                var: "t".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let semi = Mars::with_options(mini_correspondence(), MarsOptions::default().exhaustive())
+            .reformulate_xbind(&client);
+        let naive = Mars::with_options(
+            mini_correspondence(),
+            MarsOptions::default().exhaustive().with_naive_joins(),
+        )
+        .reformulate_xbind(&client);
+        assert_eq!(format!("{}", semi.compiled), format!("{}", naive.compiled));
+        assert_eq!(semi.result.minimal.len(), naive.result.minimal.len());
+        for ((a, ca), (b, cb)) in semi.result.minimal.iter().zip(&naive.result.minimal) {
+            assert_eq!(format!("{a}"), format!("{b}"));
+            assert_eq!(ca, cb);
+        }
+        assert_eq!(semi.sql, naive.sql);
+        assert_eq!(semi.result.stats.candidates_inspected, naive.result.stats.candidates_inspected);
+        assert_eq!(semi.result.stats.equivalence_checks, naive.result.stats.equivalence_checks);
+        assert_eq!(semi.result.stats.chase.applied_steps, naive.result.stats.chase.applied_steps);
     }
 
     #[test]

@@ -1,16 +1,19 @@
-//! Regression tests for the shared-compilation contract: a `Mars` instance
-//! (and the `ChaseBackchase` engine inside it) compiles its dependency set
-//! exactly once, at construction — reformulating any number of query blocks,
-//! running any number of back-chase candidates, never recompiles.
+//! Regression tests for the shared-compilation and shared-index contracts:
+//! a `Mars` instance (and the `ChaseBackchase` engine inside it) compiles
+//! its dependency set exactly once, at construction — reformulating any
+//! number of query blocks, running any number of back-chase candidates,
+//! never recompiles — and premise evaluation over a symbolic instance reuses
+//! the instance's persistent per-predicate column indexes instead of
+//! rebuilding hash tables per evaluation.
 //!
 //! These tests live in their own integration-test binary because they assert
-//! exact deltas of the process-wide compilation counter
-//! (`mars_chase::compilation_count`); sharing a binary with other tests that
+//! exact deltas of process-wide counters (`mars_chase::compilation_count`,
+//! `mars_chase::index_build_count`); sharing a binary with other tests that
 //! build engines concurrently would make the deltas racy. For the same
 //! reason the tests *within* this binary serialize themselves on
 //! [`COUNTER_LOCK`] — libtest runs them on parallel threads by default.
 
-use mars_system::chase::compilation_count;
+use mars_system::chase::{compilation_count, index_build_count};
 use mars_system::mars::{Mars, MarsOptions, SchemaCorrespondence};
 use mars_system::workloads::star::StarConfig;
 use mars_system::xml::parse_path;
@@ -97,6 +100,57 @@ fn multi_block_reformulation_compiles_dependencies_once() {
         compilation_count() - after_build,
         0,
         "no public API caller may recompile dependencies per chase or per block"
+    );
+}
+
+/// The per-predicate index contract: evaluating the same conjunction again
+/// over an unchanged — or grown-by-insert — instance must not rebuild any
+/// hash index (the instance's persistent column indexes are built once and
+/// maintained incrementally; only an EGD rewrite of a relation drops them).
+#[test]
+fn premise_evaluation_reuses_instance_indexes() {
+    use mars_system::chase::{evaluate_bindings, satisfiable, SymbolicInstance};
+    use mars_system::cq::{Atom, ConjunctiveQuery, Substitution, Term};
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let t = Term::var;
+    let mut body = Vec::new();
+    for i in 0..12 {
+        body.push(Atom::named("R", vec![t(&format!("a{i}")), t(&format!("a{}", i + 1))]));
+        body.push(Atom::named("L", vec![t(&format!("a{i}"))]));
+    }
+    let mut inst = SymbolicInstance::from_query(&ConjunctiveQuery::new("Q").with_body(body));
+    let premise = vec![
+        Atom::named("R", vec![t("x"), t("y")]),
+        Atom::named("R", vec![t("y"), t("z")]),
+        Atom::named("L", vec![t("x")]),
+    ];
+
+    let before = index_build_count();
+    let first = evaluate_bindings(&premise, &[], &inst, &Substitution::new());
+    assert!(!first.is_empty());
+    let after_first = index_build_count();
+    assert!(after_first > before, "the first evaluation builds the needed indexes");
+
+    // Re-evaluating (bulk and semijoin) builds nothing.
+    let again = evaluate_bindings(&premise, &[], &inst, &Substitution::new());
+    assert_eq!(again.len(), first.len());
+    assert!(satisfiable(&premise, &[], &inst, &Substitution::new()));
+    assert_eq!(
+        index_build_count(),
+        after_first,
+        "repeated evaluation must reuse the persistent indexes, not rebuild them"
+    );
+
+    // Inserting maintains the indexes incrementally — still no rebuild, and
+    // the new tuple is visible through them.
+    inst.insert_atom(&Atom::named("R", vec![t("a12"), t("a13")]));
+    let grown = evaluate_bindings(&premise, &[], &inst, &Substitution::new());
+    assert_eq!(grown.len(), first.len() + 1);
+    assert_eq!(
+        index_build_count(),
+        after_first,
+        "inserts must update the indexes in place, not rebuild them"
     );
 }
 

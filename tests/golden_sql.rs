@@ -2,8 +2,24 @@
 //!
 //! Snapshots the SQL emitted for the chosen reformulation of the paper's
 //! scenarios, so later cost-model or join-order changes cannot silently alter
-//! the emitted SQL. Regenerate with `UPDATE_GOLDEN=1 cargo test --test
-//! golden_sql` and review the diff like any other code change.
+//! the emitted SQL.
+//!
+//! # Regenerating the snapshots
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_sql
+//! ```
+//!
+//! then review the diff under `tests/golden/` like any other code change.
+//! The snapshots are sensitive to the chase's *binding order*: fresh
+//! (existential) variables are numbered in the order chase steps fire, so an
+//! engine change that reorders premise bindings renames variables throughout
+//! the emitted SQL and the goldens must be regenerated. The semi-naive
+//! delta-seeded joins were specifically built to preserve the full join's
+//! binding order (trail-sorted merge — see `evaluate_bindings_delta`), which
+//! is why these snapshots survived that change byte-for-byte; an engine
+//! change that intentionally alters the order should regenerate them and
+//! say so in its commit message.
 
 use mars::MarsOptions;
 use mars_system::storage::sql_for_query;

@@ -93,6 +93,130 @@ proptest! {
     }
 }
 
+/// A universal plan's fingerprint: branches, renamings and statistics with
+/// the wall-clock field zeroed — the byte-identical contract of the
+/// semi-naive joins and of the parallel branch worklist.
+fn plan_fingerprint(up: &mars_system::chase::UniversalPlan) -> String {
+    let stats = mars_system::chase::ChaseStats {
+        duration: std::time::Duration::default(),
+        ..up.stats.clone()
+    };
+    format!("{:?} {:?} {:?}", up.branches, up.renamings, stats)
+}
+
+/// A randomized DED set over the chain relations: per-relation copy TGDs, a
+/// transitive closure, optionally a key EGD on R0 and a disjunctive DED on
+/// the last relation — enough variety to exercise delta watermarks,
+/// watermark resets (EGD rewrites) and branch splits.
+fn random_deds(len: usize, copy_mask: u8, with_egd: bool, with_disjunction: bool) -> Vec<Ded> {
+    use mars_system::cq::{Conjunct, Variable};
+    let mut deds = vec![
+        Ded::tgd(
+            "copy",
+            vec![Atom::named("R", vec![Term::var("x"), Term::var("y")])],
+            vec![],
+            vec![Atom::named("S", vec![Term::var("x"), Term::var("y")])],
+        ),
+        Ded::tgd(
+            "strans",
+            vec![
+                Atom::named("S", vec![Term::var("x"), Term::var("y")]),
+                Atom::named("S", vec![Term::var("y"), Term::var("z")]),
+            ],
+            vec![],
+            vec![Atom::named("S", vec![Term::var("x"), Term::var("z")])],
+        ),
+    ];
+    for i in 0..len.min(8) {
+        if copy_mask & (1 << i) != 0 {
+            deds.push(Ded::tgd(
+                &format!("grow{i}"),
+                vec![Atom::named(&format!("R{i}"), vec![Term::var("x"), Term::var("y")])],
+                vec![Variable::named("w")],
+                vec![Atom::named("G", vec![Term::var("y"), Term::var("w")])],
+            ));
+        }
+    }
+    if with_egd {
+        deds.push(Ded::egd(
+            "key",
+            vec![
+                Atom::named("R0", vec![Term::var("u"), Term::var("p")]),
+                Atom::named("R0", vec![Term::var("u"), Term::var("q")]),
+            ],
+            Term::var("p"),
+            Term::var("q"),
+        ));
+    }
+    if with_disjunction {
+        deds.push(Ded::disjunctive(
+            "split",
+            vec![Atom::named("G", vec![Term::var("x"), Term::var("y")])],
+            vec![
+                Conjunct::atoms(vec![Atom::named("L", vec![Term::var("x")])]),
+                Conjunct::atoms(vec![Atom::named("M", vec![Term::var("x")])]),
+            ],
+        ));
+    }
+    deds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The semi-naive delta-seeded chase must produce a universal plan
+    /// byte-identical to the naive full-join chase across random DED sets
+    /// (branches, renamings and statistics all agree).
+    #[test]
+    fn seminaive_chase_is_byte_identical_to_naive(
+        len in 1usize..4,
+        shared in proptest::bool::ANY,
+        copy_mask in 0u8..16,
+        with_egd in proptest::bool::ANY,
+        with_disjunction in proptest::bool::ANY,
+    ) {
+        let mut q = chain_query(len, shared);
+        if with_egd {
+            // Two R0 facts sharing a key trigger the EGD.
+            q = q
+                .with_atom(Atom::named("R0", vec![Term::var("k"), Term::var("x0")]))
+                .with_atom(Atom::named("R0", vec![Term::var("k"), Term::var("e")]));
+        }
+        let deds = random_deds(len, copy_mask, with_egd, with_disjunction);
+        let semi = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let naive = chase_to_universal_plan(&q, &deds, &ChaseOptions::default().with_naive_joins());
+        prop_assert_eq!(plan_fingerprint(&semi), plan_fingerprint(&naive));
+    }
+
+    /// The determinism contract of the parallel branch worklist: for any
+    /// randomized DED set, chasing with 2 or 4 worker threads is
+    /// byte-identical to the sequential chase.
+    #[test]
+    fn parallel_branch_worklist_agrees_with_sequential(
+        len in 1usize..4,
+        copy_mask in 1u8..16,
+        with_egd in proptest::bool::ANY,
+    ) {
+        let q = chain_query(len, false);
+        // Always include the disjunctive DED so branches actually split.
+        let deds = random_deds(len, copy_mask, with_egd, true);
+        let sequential = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        for threads in [2usize, 4] {
+            let parallel = chase_to_universal_plan(
+                &q,
+                &deds,
+                &ChaseOptions::default().with_threads(threads),
+            );
+            prop_assert_eq!(
+                plan_fingerprint(&sequential),
+                plan_fingerprint(&parallel),
+                "threads = {}",
+                threads
+            );
+        }
+    }
+}
+
 /// Build a redundant-storage C&B engine over a length-`len` chain query:
 /// every relation gets a stored proprietary copy when the corresponding bit
 /// of `copy_mask` is set, and adjacent pairs additionally get a stored join
@@ -185,6 +309,35 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// End-to-end: semi-naive and naive joins must reformulate identically
+    /// through the full C&B pipeline (initial chase + every memoized
+    /// back-chase), across randomized redundant-storage setups.
+    #[test]
+    fn seminaive_and_naive_reformulation_agree(
+        len in 2usize..4,
+        copy_mask in 0u8..16,
+        join_mask in 0u8..8,
+    ) {
+        use mars_system::chase::CbOptions;
+
+        let (engine, q) = redundant_chain_engine(len, copy_mask, join_mask);
+        let mut naive_opts = CbOptions::exhaustive();
+        naive_opts.chase = naive_opts.chase.with_naive_joins();
+        naive_opts.backchase.chase = naive_opts.backchase.chase.with_naive_joins();
+        let semi = engine.clone().with_options(CbOptions::exhaustive()).reformulate(&q);
+        let naive = engine.with_options(naive_opts).reformulate(&q);
+
+        prop_assert_eq!(format!("{}", semi.universal_plan), format!("{}", naive.universal_plan));
+        prop_assert_eq!(semi.minimal.len(), naive.minimal.len());
+        for ((qa, ca), (qb, cb)) in semi.minimal.iter().zip(&naive.minimal) {
+            prop_assert_eq!(format!("{qa}"), format!("{qb}"));
+            prop_assert_eq!(ca, cb);
+        }
+        prop_assert_eq!(semi.stats.candidates_inspected, naive.stats.candidates_inspected);
+        prop_assert_eq!(semi.stats.equivalence_checks, naive.stats.equivalence_checks);
+        prop_assert_eq!(semi.stats.chase.applied_steps, naive.stats.chase.applied_steps);
     }
 
     /// The determinism contract of the parallel backchase engine: for any
