@@ -8,7 +8,7 @@
 //! should match; see EXPERIMENTS.md).
 
 use mars::MarsOptions;
-use mars_bench::{measure_fig5_threads, measure_fig8_threads};
+use mars_bench::{measure_fig5_opts, measure_fig8_threads};
 use mars_chase::{chase_to_universal_plan, ChaseOptions};
 use mars_cq::{naive_chase, ChaseBudget};
 use mars_workloads::{example11, star::StarConfig, stress, xmark};
@@ -16,60 +16,109 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
-[--xmark] [--all] [--max-nc N] [--threads N]
+[--xmark] [--all] [--max-nc N] [--threads N] [--fixed-scan-threshold N] [--naive-joins]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
 experiment flags, --all is assumed. --max-nc N (default 6) bounds the star
 size of the fig5/fig8 sweeps; --threads N (default 1) sets the backchase
-worker-thread count (results are byte-identical for any thread count).";
+worker-thread count (results are byte-identical for any thread count).
+Ablations (results are byte-identical; only join cost changes):
+--fixed-scan-threshold N replaces the adaptive statistics-driven join
+planning with the historical fixed scan threshold, and --naive-joins
+disables the semi-naive delta-seeded joins, across the fig5 sweep.";
+
+/// The parsed command line.
+struct Args {
+    selected: Vec<String>,
+    max_nc: usize,
+    threads: usize,
+    /// `Some(n)` runs the fig5 sweep with the fixed-threshold planner
+    /// ablation instead of adaptive planning.
+    fixed_scan_threshold: Option<usize>,
+    /// Run the fig5 sweep with naive (full-join) premise evaluation.
+    naive_joins: bool,
+}
 
 /// Parse the command line strictly: unknown flags and malformed values are
 /// errors, not silently ignored (a typo must not produce an empty results
 /// file with exit code 0).
-fn parse_args(args: &[String]) -> Result<(Vec<String>, usize, usize), String> {
+fn parse_args(args: &[String]) -> Result<Args, String> {
     const FLAGS: [&str; 7] =
         ["--fig5", "--fig8", "--stress", "--oldnew", "--savings", "--xmark", "--all"];
-    let mut selected = Vec::new();
-    let mut max_nc = 6usize;
-    let mut threads = 1usize;
+    let mut parsed = Args {
+        selected: Vec::new(),
+        max_nc: 6,
+        threads: 1,
+        fixed_scan_threshold: None,
+        naive_joins: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--max-nc" {
             let value = it.next().ok_or("--max-nc requires a value".to_string())?;
-            max_nc = value
+            parsed.max_nc = value
                 .parse()
                 .map_err(|_| format!("invalid --max-nc value: {value:?} (expected a number)"))?;
-            if max_nc < 3 {
-                return Err(format!("--max-nc must be at least 3, got {max_nc}"));
+            if parsed.max_nc < 3 {
+                return Err(format!("--max-nc must be at least 3, got {}", parsed.max_nc));
             }
         } else if arg == "--threads" {
             let value = it.next().ok_or("--threads requires a value".to_string())?;
-            threads = value
+            parsed.threads = value
                 .parse()
                 .map_err(|_| format!("invalid --threads value: {value:?} (expected a number)"))?;
-            if threads < 1 {
-                return Err(format!("--threads must be at least 1, got {threads}"));
+            if parsed.threads < 1 {
+                return Err(format!("--threads must be at least 1, got {}", parsed.threads));
             }
+        } else if arg == "--fixed-scan-threshold" {
+            let value = it.next().ok_or("--fixed-scan-threshold requires a value".to_string())?;
+            parsed.fixed_scan_threshold = Some(value.parse().map_err(|_| {
+                format!("invalid --fixed-scan-threshold value: {value:?} (expected a number)")
+            })?);
+        } else if arg == "--naive-joins" {
+            parsed.naive_joins = true;
         } else if FLAGS.contains(&arg.as_str()) {
-            selected.push(arg.clone());
+            parsed.selected.push(arg.clone());
         } else {
             return Err(format!("unknown argument: {arg:?}"));
         }
     }
-    Ok((selected, max_nc, threads))
+    // The join-strategy ablations apply to the fig5 sweep only; accepting
+    // them for a run that skips fig5 would silently do nothing.
+    let runs_fig5 =
+        parsed.selected.is_empty() || parsed.selected.iter().any(|a| a == "--all" || a == "--fig5");
+    if (parsed.fixed_scan_threshold.is_some() || parsed.naive_joins) && !runs_fig5 {
+        return Err(
+            "--fixed-scan-threshold / --naive-joins are fig5 ablations; add --fig5 or --all"
+                .to_string(),
+        );
+    }
+    Ok(parsed)
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, max_nc, threads) = match parse_args(&raw) {
+    let parsed = match parse_args(&raw) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             std::process::exit(2);
         }
     };
+    let Args { selected: args, max_nc, threads, fixed_scan_threshold, naive_joins } = parsed;
     let has = |flag: &str| args.iter().any(|a| a == flag);
     let all = args.is_empty() || has("--all");
+    // The fig5 options, with the requested join-strategy ablations applied.
+    let fig5_options = move || {
+        let mut o = MarsOptions::specialized().with_threads(threads);
+        if let Some(t) = fixed_scan_threshold {
+            o = o.with_fixed_scan_threshold(t);
+        }
+        if naive_joins {
+            o = o.with_naive_joins();
+        }
+        o
+    };
 
     let mut results: HashMap<String, serde_json::Value> = HashMap::new();
     // Per-phase wall-clock times, recorded alongside the thread count so a
@@ -85,7 +134,7 @@ fn main() {
         };
 
     if all || has("--fig5") {
-        timed("fig5", &mut results, &mut |r| fig5(max_nc, threads, r));
+        timed("fig5", &mut results, &mut |r| fig5(max_nc, threads, &fig5_options, r));
     }
     if all || has("--fig8") {
         timed("fig8", &mut results, &mut |r| fig8(max_nc, threads, r));
@@ -114,6 +163,11 @@ fn main() {
         serde_json::json!({
             "threads": threads,
             "max_nc": max_nc,
+            "fig5_join_planner": match fixed_scan_threshold {
+                Some(t) => format!("fixed({t})"),
+                None => "adaptive".to_string(),
+            },
+            "fig5_semi_naive": !naive_joins,
             "cpu_cores": detected_cpu_cores(),
             "rustc": rustc_version(),
             "phase_wall_ms": serde_json::Value::Object(phases),
@@ -149,14 +203,19 @@ fn rustc_version() -> String {
 }
 
 /// Figure 5: scalability of reformulation.
-fn fig5(max_nc: usize, threads: usize, results: &mut HashMap<String, serde_json::Value>) {
+fn fig5(
+    max_nc: usize,
+    threads: usize,
+    options: &dyn Fn() -> MarsOptions,
+    results: &mut HashMap<String, serde_json::Value>,
+) {
     println!(
         "== Figure 5: scalability of reformulation (XML star, NV = NC-1, {threads} thread(s)) =="
     );
     println!("{:>4} {:>18} {:>22} {:>10}", "NC", "initial (ms)", "delta to best (ms)", "#minimal");
     let mut rows = Vec::new();
     for nc in 3..=max_nc {
-        let p = measure_fig5_threads(nc, threads);
+        let p = measure_fig5_opts(nc, options());
         println!(
             "{:>4} {:>18.2} {:>22.2} {:>10}{}",
             p.nc,

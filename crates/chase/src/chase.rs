@@ -8,6 +8,7 @@
 //! (Section 3.2) when [`ChaseOptions::use_shortcut`] is enabled.
 
 use crate::compiled::{CompiledDed, CompiledDeps, DedIndex};
+use crate::evaluate::JoinPlanner;
 use crate::instance::SymbolicInstance;
 use crate::shortcut::{apply_closure, ClosureConstraints};
 use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Predicate, Substitution, Term, Variable};
@@ -48,6 +49,14 @@ pub struct ChaseOptions {
     /// On by default; [`ChaseOptions::with_naive_joins`] disables it (the
     /// ablation baseline and the agreement tests).
     pub semi_naive: bool,
+    /// How each premise-join step is resolved to a filtered scan or an
+    /// index probe. [`JoinPlanner::Adaptive`] (the default) decides per
+    /// step from the instance's incremental relation statistics;
+    /// [`ChaseOptions::with_fixed_scan_threshold`] restores the historical
+    /// fixed-threshold rule as a fallback/ablation. The planner never
+    /// changes a chase result — only join cost (agreement is
+    /// property-tested and enforced in CI).
+    pub join_planner: JoinPlanner,
     /// Number of worker threads chasing the branches of one worklist level
     /// (disjunctive DEDs split the chase into independent branches). `1`
     /// runs sequentially; any value produces byte-identical universal plans
@@ -66,6 +75,7 @@ impl Default for ChaseOptions {
             timeout: None,
             min_fresh_index: 0,
             semi_naive: true,
+            join_planner: JoinPlanner::default(),
             threads: 1,
         }
     }
@@ -95,6 +105,24 @@ impl ChaseOptions {
     /// threads (byte-identical results for any thread count).
     pub fn with_threads(mut self, n: usize) -> ChaseOptions {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Builder: replace the adaptive statistics-driven join planning with
+    /// the historical fixed rule — scan any join window of at most
+    /// `threshold` tuples, probe (building the index if needed) anything
+    /// larger. This is the documented fallback and the ablation baseline
+    /// the adaptive-vs-fixed agreement tests compare against; results are
+    /// byte-identical either way ([`JoinPlanner`]). The pre-statistics
+    /// engine hard-coded [`JoinPlanner::DEFAULT_FIXED_THRESHOLD`].
+    pub fn with_fixed_scan_threshold(mut self, threshold: usize) -> ChaseOptions {
+        self.join_planner = JoinPlanner::FixedThreshold(threshold);
+        self
+    }
+
+    /// Builder: set the join planner directly (see [`JoinPlanner`]).
+    pub fn with_join_planner(mut self, planner: JoinPlanner) -> ChaseOptions {
+        self.join_planner = planner;
         self
     }
 }
@@ -288,9 +316,9 @@ fn run_round(
     compiled: &[CompiledDed],
     index: &DedIndex,
     stats: &mut ChaseStats,
-    max_atoms: usize,
-    semi_naive: bool,
+    options: &ChaseOptions,
 ) -> RoundResult {
+    let ChaseOptions { max_atoms, semi_naive, join_planner: planner, .. } = *options;
     let mut changed = false;
     for (di, ded) in compiled.iter().enumerate() {
         if !branch.needs_check[di] {
@@ -301,16 +329,16 @@ fn run_round(
         let snapshot = if semi_naive { ded.premise_watermarks(&branch.inst) } else { Vec::new() };
         let use_delta = semi_naive && branch.marks[di].iter().any(|&m| m > 0);
         let bindings = if use_delta {
-            ded.premise_bindings_delta(&branch.inst, &branch.marks[di])
+            ded.premise_bindings_delta_with(&branch.inst, &branch.marks[di], planner)
         } else {
-            ded.premise_bindings(&branch.inst)
+            ded.premise_bindings_with(&branch.inst, planner)
         };
         let mut applied_any = false;
         for h in bindings {
             // Re-check against the (possibly grown) instance so that bulk
             // application does not duplicate work already satisfied earlier in
             // this round.
-            if ded.blocked(&h, &branch.inst) {
+            if ded.blocked_with(&h, &branch.inst, planner) {
                 continue;
             }
             stats.applied_steps += 1;
@@ -502,8 +530,7 @@ fn chase_branch(
             }
         }
 
-        match run_round(&mut branch, compiled, index, stats, options.max_atoms, options.semi_naive)
-        {
+        match run_round(&mut branch, compiled, index, stats, options) {
             RoundResult::NoChange => {
                 if !shortcut_changed {
                     return BranchOutcome::Done(branch);
@@ -950,6 +977,58 @@ mod tests {
             &ChaseOptions::default().with_naive_joins(),
         );
         assert_eq!(plan_fingerprint(&resumed_semi), plan_fingerprint(&resumed_naive));
+    }
+
+    /// The byte-identical contract of the adaptive join planner: the
+    /// statistics-driven scan/probe choice must agree with the fixed
+    /// threshold — at any threshold, including the degenerate always-probe
+    /// and always-scan extremes — on every branch, renaming and statistic.
+    #[test]
+    fn adaptive_and_fixed_threshold_planning_are_byte_identical() {
+        let q = ConjunctiveQuery::new("Q").with_head(vec![t("x"), t("y")]).with_body(vec![
+            Atom::named("R", vec![t("k"), t("x")]),
+            Atom::named("R", vec![t("k"), t("y")]),
+            Atom::named("A", vec![t("x"), t("y")]),
+        ]);
+        let key = Ded::egd(
+            "key",
+            vec![Atom::named("R", vec![t("u"), t("p")]), Atom::named("R", vec![t("u"), t("q")])],
+            t("p"),
+            t("q"),
+        );
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let chain = Ded::tgd(
+            "chain",
+            vec![Atom::named("B", vec![t("x"), t("y")])],
+            vec![],
+            vec![Atom::named("C", vec![t("x"), t("y")])],
+        );
+        let deds = vec![key, ind, chain];
+        let adaptive = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        for threshold in [0usize, JoinPlanner::DEFAULT_FIXED_THRESHOLD, usize::MAX] {
+            let fixed = chase_to_universal_plan(
+                &q,
+                &deds,
+                &ChaseOptions::default().with_fixed_scan_threshold(threshold),
+            );
+            assert_eq!(
+                plan_fingerprint(&adaptive),
+                plan_fingerprint(&fixed),
+                "threshold = {threshold} must be byte-identical to adaptive planning"
+            );
+        }
+        // The planner knob composes with naive joins.
+        let naive_fixed = chase_to_universal_plan(
+            &q,
+            &deds,
+            &ChaseOptions::default().with_naive_joins().with_fixed_scan_threshold(4),
+        );
+        assert_eq!(plan_fingerprint(&adaptive), plan_fingerprint(&naive_fixed));
     }
 
     /// The parallel branch worklist is deterministic: disjunctive DEDs split

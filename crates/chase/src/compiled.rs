@@ -12,10 +12,13 @@
 //! query block via `Arc`. Before this type existed every chase recompiled
 //! the dependency set from scratch, which dominated the backchase hot loop.
 
-use crate::evaluate::{evaluate_bindings, evaluate_bindings_delta, satisfiable};
+use crate::evaluate::{
+    evaluate_bindings_delta_ordered, evaluate_bindings_ordered, order_atoms, satisfiable_ordered,
+    JoinPlanner,
+};
 use crate::instance::SymbolicInstance;
 use crate::shortcut::{detect_closure_constraints, ClosureConstraints};
-use mars_cq::{Conjunct, Ded, Predicate, Substitution, Term};
+use mars_cq::{Atom, Conjunct, Ded, Predicate, Substitution, Term, Variable};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -26,12 +29,29 @@ pub struct CompiledConclusion {
     pub conjunct: Conjunct,
     /// True if the conjunct has no atoms (pure equality / EGD component).
     pub is_pure_equality: bool,
+    /// Precompiled semijoin atom order for the extension check. The
+    /// satisfiability search is entered with the premise variables (and any
+    /// equality-forced existentials) bound, and only the bound *set* steers
+    /// the ordering heuristic — so the order is computed once here instead
+    /// of per blocked test, the chase's highest-volume call. The order can
+    /// never change the boolean answer, only the search cost.
+    order: Vec<usize>,
 }
 
 impl CompiledConclusion {
-    fn new(conjunct: &Conjunct) -> CompiledConclusion {
+    fn new(conjunct: &Conjunct, premise: &[Atom]) -> CompiledConclusion {
+        // Variables bound when the extension check runs: every premise
+        // variable (the homomorphism binds all of them) plus variables a
+        // conclusion equality may force a binding for. Over-approximating
+        // the bound set only affects ordering quality, never soundness.
+        let mut bound: Vec<Variable> = premise.iter().flat_map(|a| a.variables()).collect();
+        for (a, b) in &conjunct.equalities {
+            bound.extend(a.as_var());
+            bound.extend(b.as_var());
+        }
         CompiledConclusion {
             is_pure_equality: conjunct.atoms.is_empty(),
+            order: order_atoms(&conjunct.atoms, &bound),
             conjunct: conjunct.clone(),
         }
     }
@@ -42,8 +62,20 @@ impl CompiledConclusion {
     /// Equalities among premise-bound terms are checked directly; equalities
     /// that mention a still-free existential variable force a binding for it;
     /// remaining atoms are checked by a (semijoin-style) satisfiability query
-    /// over the instance.
+    /// over the instance, with join steps resolved by the adaptive planner
+    /// ([`CompiledConclusion::satisfied_with`] chooses it explicitly).
     pub fn satisfied(&self, h: &Substitution, inst: &SymbolicInstance) -> bool {
+        self.satisfied_with(h, inst, JoinPlanner::default())
+    }
+
+    /// [`CompiledConclusion::satisfied`] with an explicit [`JoinPlanner`]
+    /// for the satisfiability check. The planner never changes the answer.
+    pub fn satisfied_with(
+        &self,
+        h: &Substitution,
+        inst: &SymbolicInstance,
+        planner: JoinPlanner,
+    ) -> bool {
         let mut init = h.clone();
         for (a, b) in &self.conjunct.equalities {
             let ia = init.apply_term_deep(*a);
@@ -68,7 +100,7 @@ impl CompiledConclusion {
         if self.conjunct.atoms.is_empty() {
             return true;
         }
-        satisfiable(&self.conjunct.atoms, &[], inst, &init)
+        satisfiable_ordered(&self.conjunct.atoms, &[], inst, init, &self.order, planner)
     }
 }
 
@@ -88,6 +120,13 @@ pub struct CompiledDed {
     /// Per premise atom, the index of its predicate in
     /// [`CompiledDed::premise_preds`].
     pub premise_slots: Vec<usize>,
+    /// The premise join order, chosen once at compile time (the order
+    /// depends only on the atoms and the — empty — set of initially bound
+    /// variables, so recomputing it per evaluation was pure waste). Which
+    /// join *strategy* each ordered step uses (scan vs index probe) is
+    /// still resolved at evaluation time by the [`JoinPlanner`] from the
+    /// instance's statistics.
+    pub premise_order: Vec<usize>,
 }
 
 impl CompiledDed {
@@ -105,7 +144,12 @@ impl CompiledDed {
             })
             .collect();
         CompiledDed {
-            conclusions: ded.conclusions.iter().map(CompiledConclusion::new).collect(),
+            conclusions: ded
+                .conclusions
+                .iter()
+                .map(|c| CompiledConclusion::new(c, &ded.premise))
+                .collect(),
+            premise_order: order_atoms(&ded.premise, &[]),
             ded: ded.clone(),
             premise_preds,
             premise_slots,
@@ -118,32 +162,63 @@ impl CompiledDed {
     }
 
     /// All homomorphisms from the premise into the instance (respecting the
-    /// premise inequalities), found in bulk by hash-join evaluation.
+    /// premise inequalities), found in bulk by hash-join evaluation along
+    /// the precompiled [`CompiledDed::premise_order`], with each join step
+    /// resolved by the default (adaptive) planner.
     pub fn premise_bindings(&self, inst: &SymbolicInstance) -> Vec<Substitution> {
-        evaluate_bindings(
+        self.premise_bindings_with(inst, JoinPlanner::default())
+    }
+
+    /// [`CompiledDed::premise_bindings`] with an explicit [`JoinPlanner`].
+    /// The planner never changes the bindings or their order, only the
+    /// scan/probe strategy per join step.
+    pub fn premise_bindings_with(
+        &self,
+        inst: &SymbolicInstance,
+        planner: JoinPlanner,
+    ) -> Vec<Substitution> {
+        evaluate_bindings_ordered(
             &self.ded.premise,
             &self.ded.premise_inequalities,
             inst,
             &Substitution::new(),
+            &self.premise_order,
+            planner,
         )
     }
 
     /// Semi-naive premise evaluation: only homomorphisms that use at least
     /// one tuple beyond the per-slot watermarks in `marks` (aligned with
     /// [`CompiledDed::premise_preds`]), in the full join's order — see
-    /// [`evaluate_bindings_delta`].
+    /// [`crate::evaluate::evaluate_bindings_delta`].
     pub fn premise_bindings_delta(
         &self,
         inst: &SymbolicInstance,
         marks: &[usize],
     ) -> Vec<Substitution> {
+        self.premise_bindings_delta_with(inst, marks, JoinPlanner::default())
+    }
+
+    /// [`CompiledDed::premise_bindings_delta`] with an explicit
+    /// [`JoinPlanner`]. The old-prefix join of the delta passes is computed
+    /// once and shared (see
+    /// [`crate::evaluate::evaluate_bindings_delta_with`]); the planner never
+    /// changes the bindings or their order.
+    pub fn premise_bindings_delta_with(
+        &self,
+        inst: &SymbolicInstance,
+        marks: &[usize],
+        planner: JoinPlanner,
+    ) -> Vec<Substitution> {
         let old_len: Vec<usize> = self.premise_slots.iter().map(|&s| marks[s]).collect();
-        evaluate_bindings_delta(
+        evaluate_bindings_delta_ordered(
             &self.ded.premise,
             &self.ded.premise_inequalities,
             inst,
             &Substitution::new(),
             &old_len,
+            &self.premise_order,
+            planner,
         )
     }
 
@@ -157,7 +232,19 @@ impl CompiledDed {
     /// Is the chase step for homomorphism `h` *blocked* (some conclusion
     /// disjunct already holds)?
     pub fn blocked(&self, h: &Substitution, inst: &SymbolicInstance) -> bool {
-        self.conclusions.iter().any(|c| c.satisfied(h, inst))
+        self.blocked_with(h, inst, JoinPlanner::default())
+    }
+
+    /// [`CompiledDed::blocked`] with an explicit [`JoinPlanner`] for the
+    /// conclusion satisfiability checks. The planner never changes the
+    /// answer.
+    pub fn blocked_with(
+        &self,
+        h: &Substitution,
+        inst: &SymbolicInstance,
+        planner: JoinPlanner,
+    ) -> bool {
+        self.conclusions.iter().any(|c| c.satisfied_with(h, inst, planner))
     }
 }
 

@@ -12,17 +12,31 @@
 //! (relation, column-set) and maintained incrementally on insert, so repeated
 //! evaluations over a growing instance never rebuild hash tables.
 //!
+//! Whether one join step *scans* its tuple window or *probes* the hash index
+//! is resolved **at evaluation time** by a [`JoinPlanner`] from the
+//! relation's incremental statistics (tuple counts, per-column distinct
+//! counts, accumulated scan work) — see [`JoinPlanner::Adaptive`]. The
+//! former fixed `SCAN_THRESHOLD` survives only as the documented
+//! [`JoinPlanner::FixedThreshold`] fallback/ablation. Both strategies
+//! enumerate matching tuples in ascending tuple-index order, so the planner
+//! choice can never change a result, only its cost — the agreement property
+//! tests pin this down.
+//!
 //! [`evaluate_bindings_delta`] is the semi-naive variant: given per-atom
 //! tuple watermarks, it enumerates exactly the homomorphisms that use at
-//! least one tuple beyond its atom's watermark (each premise atom takes a
-//! turn as the *delta atom*, joining old × delta × full), and merges the
-//! per-pass results back into the **same order** the full join would produce
-//! (each row carries the tuple-index trail of its join steps; the full join
-//! emits rows in lexicographic trail order, so sorting the union by trail
-//! reproduces it). The chase therefore applies identical steps in identical
-//! order whether it joins full or delta — the byte-identical contract.
+//! least one tuple beyond its atom's watermark. Each atom (in join order)
+//! takes a turn as the *delta atom* — old × delta × full windows — and the
+//! **old-prefix join is computed once and shared across the passes**: pass
+//! `p` extends the prefix rows that joined the first `p` atoms entirely
+//! below their watermarks, and the same prefix state then grows by one atom
+//! to seed pass `p + 1`, instead of every pass re-joining its pre-watermark
+//! prefix from scratch. The merged passes are sorted by the tuple-index
+//! trail their rows carry; the full join emits rows in lexicographic trail
+//! order, so the sorted union reproduces it exactly. The chase therefore
+//! applies identical steps in identical order whether it joins full or
+//! delta — the byte-identical contract.
 
-use crate::instance::SymbolicInstance;
+use crate::instance::{Relation, SymbolicInstance};
 use mars_cq::{Atom, Predicate, Substitution, Term, Variable};
 
 /// A homomorphism produced by evaluation (bindings of the evaluated atoms'
@@ -33,15 +47,114 @@ pub type Binding = Substitution;
 /// atom may match (semi-naive old/delta/full roles).
 type Window = (usize, usize);
 
-/// Below this many candidate tuples a filtered scan beats building and
-/// probing a hash index (allocation + hashing dominate on tiny inputs).
-const SCAN_THRESHOLD: usize = 8;
+/// Modeled cost of building a hash index, in scan-equivalent tuple
+/// inspections: one pass over the relation (hash and insert each tuple).
+/// Deliberately *not* padded with constant overhead — chase instances are
+/// short-lived and probed heavily, so an index that one full-relation scan
+/// can amortize should be built immediately (a fresh instance per back-chase
+/// candidate would otherwise re-pay a deferral transient thousands of
+/// times).
+const INDEX_BUILD_COST_PER_TUPLE: usize = 1;
+
+/// Modeled fixed cost of one index probe, in scan-equivalent tuple
+/// inspections: materializing the key vector, hashing it, and narrowing the
+/// posting list to the window (two binary searches). Scanning a window
+/// smaller than this is always cheaper than probing, whatever the key
+/// selectivity.
+const PROBE_COST: usize = 8;
+
+/// How evaluation resolves each join step to a filtered scan or an index
+/// probe.
+///
+/// Every strategy enumerates matching tuples in ascending tuple-index order,
+/// so the choice is invisible in the results — universal plans, renamings
+/// and statistics are byte-identical across planners (property-tested and
+/// enforced in CI); only the join cost changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinPlanner {
+    /// Statistics-driven choice (the default). Per join step, the planner
+    /// reads the relation's incremental statistics
+    /// ([`Relation::distinct_for_columns`], [`Relation::has_index`],
+    /// [`Relation::scan_work`]) and:
+    ///
+    /// 1. scans when one probe (hash + expected matches) cannot beat
+    ///    scanning the window outright — tiny windows, e.g. delta atoms;
+    /// 2. probes when the index over the key columns is already cached (its
+    ///    build cost is sunk);
+    /// 3. otherwise *rents or buys*: the scan work this step would spend is
+    ///    accrued in the relation's per-column-set ledger
+    ///    ([`Relation::note_scan_work`]), and the index is built as soon as
+    ///    the accumulated work amortizes the modeled build cost.
+    #[default]
+    Adaptive,
+    /// The pre-statistics behaviour: scan any window of at most this many
+    /// tuples, probe (building the index if needed) anything larger,
+    /// regardless of row counts or key selectivity. Kept as the documented
+    /// fallback and ablation baseline
+    /// ([`crate::chase::ChaseOptions::with_fixed_scan_threshold`]); the
+    /// historical threshold is [`JoinPlanner::DEFAULT_FIXED_THRESHOLD`].
+    FixedThreshold(usize),
+}
+
+impl JoinPlanner {
+    /// The window size below which the pre-statistics engine always scanned
+    /// (its fixed `SCAN_THRESHOLD`).
+    pub const DEFAULT_FIXED_THRESHOLD: usize = 8;
+
+    /// The fixed-threshold planner at the historical default threshold.
+    pub fn fixed() -> JoinPlanner {
+        JoinPlanner::FixedThreshold(Self::DEFAULT_FIXED_THRESHOLD)
+    }
+
+    /// Resolve one join step: probe the persistent index over `cols`
+    /// (`true`) or scan the `window`-wide tuple range (`false`), for a step
+    /// extending `rows` partial bindings. In adaptive mode a `false` answer
+    /// also accrues the step's scan work in the relation's ledger, so
+    /// repeated scans over the same column set eventually tip into building
+    /// the index (rent-or-buy).
+    fn use_probe(self, rel: &Relation, cols: &[usize], rows: usize, window: usize) -> bool {
+        match self {
+            JoinPlanner::FixedThreshold(t) => window > t,
+            JoinPlanner::Adaptive => {
+                // One probe costs key materialization + hash + narrowing
+                // the posting list to the window (PROBE_COST), plus walking
+                // the expected matches; a scan inspects the whole window
+                // inline. If probing cannot win even with the index in
+                // hand, scan without accruing debt. (The first test is pure
+                // arithmetic so the common tiny-window case — delta atoms —
+                // never touches the statistics.)
+                if window <= PROBE_COST {
+                    return false;
+                }
+                let expected = rel.expected_matches(cols, window);
+                if PROBE_COST + expected >= window {
+                    return false;
+                }
+                if rel.has_index(cols) {
+                    return true;
+                }
+                let scan_now = rows.saturating_mul(window);
+                let build_price = INDEX_BUILD_COST_PER_TUPLE.saturating_mul(rel.len());
+                if rel.scan_work(cols).saturating_add(scan_now) >= build_price {
+                    true
+                } else {
+                    rel.note_scan_work(cols, scan_now);
+                    false
+                }
+            }
+        }
+    }
+}
 
 /// Choose an evaluation order for the atoms: start from the atom with the
 /// most constants (most selective), then repeatedly pick an atom sharing a
 /// variable with the already-ordered prefix (avoiding Cartesian products when
 /// possible), preferring more constants.
-fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
+///
+/// Only the *set* of initially bound variables matters, so the order for a
+/// fixed conjunction and binding shape can be computed once and reused —
+/// [`crate::compiled::CompiledDed`] precompiles its premise order this way.
+pub(crate) fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
     let n = atoms.len();
     let mut order = Vec::with_capacity(n);
     let mut used = vec![false; n];
@@ -72,171 +185,174 @@ fn order_atoms(atoms: &[Atom], initially_bound: &[Variable]) -> Vec<usize> {
     order
 }
 
-/// Columnar join output: a variable per column, flat term-vector rows, and —
+/// Columnar join state: a variable per column, flat term-vector rows, and —
 /// when trails are tracked — the tuple index chosen at each join step (in
 /// join order) per row.
-struct JoinRows {
-    vars: Vec<Variable>,
-    rows: Vec<Vec<Term>>,
-    trails: Vec<Vec<u32>>,
-}
-
-impl JoinRows {
-    fn empty(initially_bound: Vec<Variable>) -> JoinRows {
-        JoinRows { vars: initially_bound, rows: Vec::new(), trails: Vec::new() }
-    }
-}
-
-/// The shared join core: evaluate `atoms` (visited in `order`) over `inst`
-/// extending `initial`, probing the persistent column indexes. `windows`
-/// optionally restricts each atom (by its position in `atoms`) to a tuple
-/// window; `track` additionally records per-row tuple-index trails so
-/// semi-naive passes can be merged back into full-join order.
 ///
 /// Intermediate join results are kept *columnar* — a shared variable list
 /// plus flat term-vector rows — and only surviving final rows are
 /// materialized as [`Substitution`]s by the callers. Cloning a hash-map
 /// substitution per intermediate row dominated the chase profile; the term
 /// vectors make each extension a `Vec` push.
-fn join_rows(
-    atoms: &[Atom],
-    order: &[usize],
-    inst: &SymbolicInstance,
-    initial: &Substitution,
-    windows: Option<&[Window]>,
+#[derive(Clone)]
+struct JoinState {
+    vars: Vec<Variable>,
+    rows: Vec<Vec<Term>>,
+    trails: Vec<Vec<u32>>,
     track: bool,
-) -> JoinRows {
-    let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
-    let mut vars: Vec<Variable> = initially_bound;
-    let mut rows: Vec<Vec<Term>> =
-        vec![vars.iter().map(|v| initial.get(*v).expect("initially bound")).collect()];
-    let mut trails: Vec<Vec<u32>> = if track { vec![Vec::new()] } else { Vec::new() };
+}
 
-    for &ai in order {
-        if rows.is_empty() {
-            return JoinRows::empty(vars);
-        }
-        let atom = &atoms[ai];
-        let Some(rel) = inst.relation_data(atom.predicate) else {
-            return JoinRows::empty(vars);
-        };
-        let (lo, hi) = match windows {
-            Some(w) => (w[ai].0, w[ai].1.min(rel.len())),
-            None => (0, rel.len()),
-        };
-        if lo >= hi {
-            return JoinRows::empty(vars);
-        }
-        let tuples = rel.tuples();
-
-        // Classify argument positions against the current column set.
-        // Argument positions whose (fresh) variable becomes a new column.
-        let mut new_positions: Vec<usize> = Vec::new();
-        // Positions repeating a fresh variable first seen at an earlier
-        // position of the same atom: the tuple must carry equal terms.
-        let mut dup_positions: Vec<(usize, usize)> = Vec::new();
-        // Hash-key columns of the persistent index (ascending positions) and
-        // how to fill the probe key: a fixed constant or a row column.
-        let mut key_cols: Vec<usize> = Vec::new();
-        let mut key_sources: Vec<Result<Term, usize>> = Vec::new();
-        for (i, arg) in atom.args.iter().enumerate() {
-            match arg {
-                Term::Const(_) => {
-                    key_cols.push(i);
-                    key_sources.push(Ok(*arg));
-                }
-                Term::Var(v) => {
-                    if let Some(col) = vars.iter().position(|w| w == v) {
-                        key_cols.push(i);
-                        key_sources.push(Err(col));
-                    } else if let Some(p) =
-                        atom.args[..i].iter().position(|w| w.as_var() == Some(*v))
-                    {
-                        dup_positions.push((i, p));
-                    } else {
-                        new_positions.push(i);
-                    }
-                }
-            }
-        }
-
-        let mut next_rows: Vec<Vec<Term>> = Vec::new();
-        let mut next_trails: Vec<Vec<u32>> = Vec::new();
-        // Extend one row by one matching tuple (dup filter + window applied
-        // by the callers below).
-        let mut extend = |row: &Vec<Term>, trail: Option<&Vec<u32>>, ti: usize| {
-            let tuple = &tuples[ti];
-            for &(i, p) in &dup_positions {
-                if tuple[i] != tuple[p] {
-                    return;
-                }
-            }
-            let mut extended = Vec::with_capacity(row.len() + new_positions.len());
-            extended.extend_from_slice(row);
-            extended.extend(new_positions.iter().map(|&p| tuple[p]));
-            next_rows.push(extended);
-            if let Some(trail) = trail {
-                let mut t = Vec::with_capacity(trail.len() + 1);
-                t.extend_from_slice(trail);
-                t.push(ti as u32);
-                next_trails.push(t);
-            }
-        };
-
-        if key_cols.is_empty() {
-            // No bound position: scan the window (Cartesian extension).
-            for (ri, row) in rows.iter().enumerate() {
-                let trail = track.then(|| &trails[ri]);
-                for ti in lo..hi {
-                    extend(row, trail, ti);
-                }
-            }
-        } else if hi - lo <= SCAN_THRESHOLD {
-            // Tiny window (delta atoms, small relations): a filtered scan
-            // beats building/probing a hash index.
-            for (ri, row) in rows.iter().enumerate() {
-                let trail = track.then(|| &trails[ri]);
-                'scan: for (ti, tuple) in tuples.iter().enumerate().take(hi).skip(lo) {
-                    for (i, src) in key_cols.iter().zip(&key_sources) {
-                        let want = match src {
-                            Ok(c) => *c,
-                            Err(col) => row[*col],
-                        };
-                        if tuple[*i] != want {
-                            continue 'scan;
-                        }
-                    }
-                    extend(row, trail, ti);
-                }
-            }
-        } else {
-            // Probe the persistent index; posting lists are ascending tuple
-            // indices, so the window is a subrange.
-            let index = rel.index(&key_cols);
-            let mut key: Vec<Term> = Vec::with_capacity(key_sources.len());
-            for (ri, row) in rows.iter().enumerate() {
-                key.clear();
-                key.extend(key_sources.iter().map(|s| match s {
-                    Ok(c) => *c,
-                    Err(col) => row[*col],
-                }));
-                if let Some(matches) = index.get(&key) {
-                    let from = matches.partition_point(|&ti| ti < lo);
-                    let to = matches.partition_point(|&ti| ti < hi);
-                    let trail = track.then(|| &trails[ri]);
-                    for &ti in &matches[from..to] {
-                        extend(row, trail, ti);
-                    }
-                }
-            }
-        }
-        rows = next_rows;
-        trails = next_trails;
-        vars.extend(
-            new_positions.iter().map(|&p| atom.args[p].as_var().expect("new slots are variables")),
-        );
+impl JoinState {
+    /// The one-row state every join starts from: the initially bound
+    /// variables as columns, the initial binding as the single row.
+    fn new(initial: &Substitution, track: bool) -> JoinState {
+        let vars: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
+        let rows = vec![vars.iter().map(|v| initial.get(*v).expect("initially bound")).collect()];
+        JoinState { vars, rows, trails: if track { vec![Vec::new()] } else { Vec::new() }, track }
     }
-    JoinRows { vars, rows, trails }
+
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.trails.clear();
+    }
+}
+
+/// Extend the join state by one atom restricted to a tuple-index `window`,
+/// resolving scan vs index probe through `planner`. Returns `false` when the
+/// state has no surviving rows (missing relation, empty window, or no
+/// matches) — callers may then stop early; the variable layout is left
+/// truncated, which is fine because empty states are never materialized.
+fn join_step(
+    state: &mut JoinState,
+    atom: &Atom,
+    inst: &SymbolicInstance,
+    window: Window,
+    planner: JoinPlanner,
+) -> bool {
+    if state.rows.is_empty() {
+        return false;
+    }
+    let Some(rel) = inst.relation_data(atom.predicate) else {
+        state.clear();
+        return false;
+    };
+    let (lo, hi) = (window.0, window.1.min(rel.len()));
+    if lo >= hi {
+        state.clear();
+        return false;
+    }
+    let tuples = rel.tuples();
+
+    // Classify argument positions against the current column set.
+    // Argument positions whose (fresh) variable becomes a new column.
+    let mut new_positions: Vec<usize> = Vec::new();
+    // Positions repeating a fresh variable first seen at an earlier
+    // position of the same atom: the tuple must carry equal terms.
+    let mut dup_positions: Vec<(usize, usize)> = Vec::new();
+    // Hash-key columns of the persistent index (ascending positions) and
+    // how to fill the probe key: a fixed constant or a row column.
+    let mut key_cols: Vec<usize> = Vec::new();
+    let mut key_sources: Vec<Result<Term, usize>> = Vec::new();
+    for (i, arg) in atom.args.iter().enumerate() {
+        match arg {
+            Term::Const(_) => {
+                key_cols.push(i);
+                key_sources.push(Ok(*arg));
+            }
+            Term::Var(v) => {
+                if let Some(col) = state.vars.iter().position(|w| w == v) {
+                    key_cols.push(i);
+                    key_sources.push(Err(col));
+                } else if let Some(p) = atom.args[..i].iter().position(|w| w.as_var() == Some(*v)) {
+                    dup_positions.push((i, p));
+                } else {
+                    new_positions.push(i);
+                }
+            }
+        }
+    }
+
+    let track = state.track;
+    let rows = &state.rows;
+    let trails = &state.trails;
+    let mut next_rows: Vec<Vec<Term>> = Vec::new();
+    let mut next_trails: Vec<Vec<u32>> = Vec::new();
+    // Extend one row by one matching tuple (dup filter + window applied
+    // by the callers below).
+    let mut extend = |row: &Vec<Term>, trail: Option<&Vec<u32>>, ti: usize| {
+        let tuple = &tuples[ti];
+        for &(i, p) in &dup_positions {
+            if tuple[i] != tuple[p] {
+                return;
+            }
+        }
+        let mut extended = Vec::with_capacity(row.len() + new_positions.len());
+        extended.extend_from_slice(row);
+        extended.extend(new_positions.iter().map(|&p| tuple[p]));
+        next_rows.push(extended);
+        if let Some(trail) = trail {
+            let mut t = Vec::with_capacity(trail.len() + 1);
+            t.extend_from_slice(trail);
+            t.push(ti as u32);
+            next_trails.push(t);
+        }
+    };
+
+    if key_cols.is_empty() {
+        // No bound position: scan the window (Cartesian extension).
+        for (ri, row) in rows.iter().enumerate() {
+            let trail = track.then(|| &trails[ri]);
+            for ti in lo..hi {
+                extend(row, trail, ti);
+            }
+        }
+    } else if !planner.use_probe(rel, &key_cols, rows.len(), hi - lo) {
+        // The planner chose a filtered scan of the window (tiny windows,
+        // unselective keys, or an index that has not amortized yet).
+        for (ri, row) in rows.iter().enumerate() {
+            let trail = track.then(|| &trails[ri]);
+            'scan: for (ti, tuple) in tuples.iter().enumerate().take(hi).skip(lo) {
+                for (i, src) in key_cols.iter().zip(&key_sources) {
+                    let want = match src {
+                        Ok(c) => *c,
+                        Err(col) => row[*col],
+                    };
+                    if tuple[*i] != want {
+                        continue 'scan;
+                    }
+                }
+                extend(row, trail, ti);
+            }
+        }
+    } else {
+        // Probe the persistent index; posting lists are ascending tuple
+        // indices, so the window is a subrange — the same ascending
+        // enumeration the scan produces, which is why planner choices are
+        // invisible in the results.
+        let index = rel.index(&key_cols);
+        let mut key: Vec<Term> = Vec::with_capacity(key_sources.len());
+        for (ri, row) in rows.iter().enumerate() {
+            key.clear();
+            key.extend(key_sources.iter().map(|s| match s {
+                Ok(c) => *c,
+                Err(col) => row[*col],
+            }));
+            if let Some(matches) = index.get(&key) {
+                let from = matches.partition_point(|&ti| ti < lo);
+                let to = matches.partition_point(|&ti| ti < hi);
+                let trail = track.then(|| &trails[ri]);
+                for &ti in &matches[from..to] {
+                    extend(row, trail, ti);
+                }
+            }
+        }
+    }
+    state.rows = next_rows;
+    state.trails = next_trails;
+    state.vars.extend(
+        new_positions.iter().map(|&p| atom.args[p].as_var().expect("new slots are variables")),
+    );
+    !state.rows.is_empty()
 }
 
 /// Does a columnar row satisfy every inequality?
@@ -267,11 +383,26 @@ fn materialize(vars: &[Variable], rows: Vec<Vec<Term>>, initial: &Substitution) 
 
 /// Evaluate `atoms` (a conjunction) over `inst`, extending `initial`, and
 /// filter the results by the inequalities. Returns every homomorphism.
+///
+/// Join steps are planned adaptively from the instance's statistics; use
+/// [`evaluate_bindings_with`] to choose the planner explicitly.
 pub fn evaluate_bindings(
     atoms: &[Atom],
     inequalities: &[(Term, Term)],
     inst: &SymbolicInstance,
     initial: &Substitution,
+) -> Vec<Binding> {
+    evaluate_bindings_with(atoms, inequalities, inst, initial, JoinPlanner::default())
+}
+
+/// [`evaluate_bindings`] with an explicit [`JoinPlanner`]. The planner never
+/// changes the result, only the join strategy per step.
+pub fn evaluate_bindings_with(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+    planner: JoinPlanner,
 ) -> Vec<Binding> {
     if atoms.is_empty() {
         // Only the initial binding, provided it satisfies the inequalities.
@@ -280,11 +411,31 @@ pub fn evaluate_bindings(
     }
     let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
     let order = order_atoms(atoms, &initially_bound);
-    let mut jr = join_rows(atoms, &order, inst, initial, None, false);
-    if !inequalities.is_empty() {
-        jr.rows.retain(|r| row_satisfies(&jr.vars, r, inequalities));
+    evaluate_bindings_ordered(atoms, inequalities, inst, initial, &order, planner)
+}
+
+/// The join core behind [`evaluate_bindings_with`], with the atom order
+/// already chosen — the entry point for callers holding a precompiled order
+/// ([`crate::compiled::CompiledDed::premise_bindings_with`]).
+pub(crate) fn evaluate_bindings_ordered(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+    order: &[usize],
+    planner: JoinPlanner,
+) -> Vec<Binding> {
+    let mut state = JoinState::new(initial, false);
+    for &ai in order {
+        if !join_step(&mut state, &atoms[ai], inst, (0, usize::MAX), planner) {
+            break;
+        }
     }
-    materialize(&jr.vars, jr.rows, initial)
+    let JoinState { vars, mut rows, .. } = state;
+    if !inequalities.is_empty() {
+        rows.retain(|r| row_satisfies(&vars, r, inequalities));
+    }
+    materialize(&vars, rows, initial)
 }
 
 /// Semi-naive (delta-seeded) evaluation: every homomorphism that maps at
@@ -293,11 +444,13 @@ pub fn evaluate_bindings(
 /// Homomorphisms whose atoms all map below their watermarks (*all-old*
 /// bindings) are exactly the ones the chase already confirmed blocked when
 /// the watermarks were taken — blocked steps stay blocked on a growing
-/// instance, so skipping them is sound. Each atom takes a turn as the delta
-/// atom (`old × delta × full` windows, partitioning the new bindings by
-/// their first over-watermark atom), and the union is sorted by tuple-index
-/// trail, which is precisely the order the full join emits — so downstream
-/// chase steps fire in an order byte-identical to the naive full join.
+/// instance, so skipping them is sound. Each atom in join order takes a turn
+/// as the delta atom (`old × delta × full` windows, partitioning the new
+/// bindings by their first over-watermark join step), the **old-prefix join
+/// is shared across the passes** (computed once, grown one atom per pass),
+/// and the union is sorted by tuple-index trail — precisely the order the
+/// full join emits, so downstream chase steps fire in an order byte-identical
+/// to the naive full join.
 pub fn evaluate_bindings_delta(
     atoms: &[Atom],
     inequalities: &[(Term, Term)],
@@ -305,42 +458,117 @@ pub fn evaluate_bindings_delta(
     initial: &Substitution,
     old_len: &[usize],
 ) -> Vec<Binding> {
+    evaluate_bindings_delta_with(
+        atoms,
+        inequalities,
+        inst,
+        initial,
+        old_len,
+        JoinPlanner::default(),
+    )
+}
+
+/// [`evaluate_bindings_delta`] with an explicit [`JoinPlanner`].
+pub fn evaluate_bindings_delta_with(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+    old_len: &[usize],
+    planner: JoinPlanner,
+) -> Vec<Binding> {
     if atoms.is_empty() {
         // No atoms, hence no delta tuple can be involved: the (single)
         // initial binding is all-old by definition.
         return Vec::new();
     }
-    debug_assert_eq!(atoms.len(), old_len.len());
     let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
     // The same join order the full join would use: every pass then probes
     // the same persistent column indexes the full join would (no per-pass
     // index variants), and the per-row trails are directly comparable.
     let order = order_atoms(atoms, &initially_bound);
+    evaluate_bindings_delta_ordered(atoms, inequalities, inst, initial, old_len, &order, planner)
+}
 
+/// The delta-join core behind [`evaluate_bindings_delta_with`], with the
+/// atom order already chosen.
+///
+/// Pass `p` (in join order) joins `old-prefix × delta(order[p]) × full
+/// suffix`. The old prefix — the rows joining `order[..p]` entirely below
+/// their watermarks — is **shared**: one [`JoinState`] is grown by one
+/// old-windowed atom per pass and cloned as each pass's seed, so the
+/// pre-watermark prefixes are joined once overall instead of once per pass.
+/// The pass windows partition the delta bindings by their first
+/// over-watermark join step, so the trail-sorted union reproduces the full
+/// join's order exactly.
+pub(crate) fn evaluate_bindings_delta_ordered(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+    old_len: &[usize],
+    order: &[usize],
+    planner: JoinPlanner,
+) -> Vec<Binding> {
+    if atoms.is_empty() {
+        return Vec::new();
+    }
+    debug_assert_eq!(atoms.len(), old_len.len());
+
+    // The last join-order position whose atom has any delta tuples bounds
+    // the loop: passes beyond it cannot exist, so neither their shared
+    // prefix nor anything after it is ever computed. All-old evaluations
+    // (no delta anywhere) return without joining a single tuple.
+    let Some(last_delta) = (0..order.len())
+        .rev()
+        .find(|&p| inst.delta_width(atoms[order[p]].predicate, old_len[order[p]]) > 0)
+    else {
+        return Vec::new();
+    };
+
+    let mut prefix = JoinState::new(initial, true);
     let mut vars: Vec<Variable> = Vec::new();
     let mut merged: Vec<(Vec<u32>, Vec<Term>)> = Vec::new();
-    for j in 0..atoms.len() {
-        if inst.relation_len(atoms[j].predicate) <= old_len[j] {
-            continue; // no delta tuples for this atom
+    for (p, &ai) in order.iter().enumerate().take(last_delta + 1) {
+        if inst.delta_width(atoms[ai].predicate, old_len[ai]) > 0 {
+            // Pass p: shared old prefix × delta atom × full suffix. The
+            // final pass consumes the prefix instead of cloning it (nothing
+            // extends it afterwards — the empty placeholder is never read).
+            let mut pass = if p == last_delta {
+                let empty = JoinState {
+                    vars: Vec::new(),
+                    rows: Vec::new(),
+                    trails: Vec::new(),
+                    track: true,
+                };
+                std::mem::replace(&mut prefix, empty)
+            } else {
+                prefix.clone()
+            };
+            let mut alive =
+                join_step(&mut pass, &atoms[ai], inst, (old_len[ai], usize::MAX), planner);
+            for &aj in &order[p + 1..] {
+                if !alive {
+                    break;
+                }
+                alive = join_step(&mut pass, &atoms[aj], inst, (0, usize::MAX), planner);
+            }
+            if alive {
+                // The pass windows partition the binding space, so trails —
+                // and only trails — differ across non-empty passes; the
+                // variable layout is identical.
+                merged.extend(pass.trails.into_iter().zip(pass.rows));
+                vars = pass.vars;
+            }
         }
-        let windows: Vec<Window> = (0..atoms.len())
-            .map(|k| match k.cmp(&j) {
-                std::cmp::Ordering::Less => (0, old_len[k]),
-                std::cmp::Ordering::Equal => (old_len[j], usize::MAX),
-                std::cmp::Ordering::Greater => (0, usize::MAX),
-            })
-            .collect();
-        let jr = join_rows(atoms, &order, inst, initial, Some(&windows), true);
-        if jr.rows.is_empty() {
-            // An empty pass may have short-circuited with a truncated
-            // variable layout; it contributes nothing, so skip it.
-            continue;
+        if p == last_delta {
+            break; // the prefix has served its final pass
         }
-        // The pass windows partition the binding space, so trails — and only
-        // trails — differ across non-empty passes; the variable layout is
-        // identical.
-        merged.extend(jr.trails.into_iter().zip(jr.rows));
-        vars = jr.vars;
+        // Grow the shared prefix by this atom's old window; once it empties,
+        // no later pass can contribute (they all extend it).
+        if !join_step(&mut prefix, &atoms[ai], inst, (0, old_len[ai]), planner) {
+            break;
+        }
     }
     // Lexicographic trail order == the order the full join enumerates rows.
     merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
@@ -360,26 +588,62 @@ pub fn evaluate_bindings_delta(
 /// search over the (join-ordered) atoms binds variables in place and
 /// returns at the first witness. Candidate tuples at each depth come from
 /// the persistent column indexes (probed on the positions bound so far)
-/// instead of a relation scan.
+/// or a filtered scan, as resolved per depth by the adaptive planner; use
+/// [`satisfiable_with`] to choose the planner explicitly.
 pub fn satisfiable(
     atoms: &[Atom],
     inequalities: &[(Term, Term)],
     inst: &SymbolicInstance,
     initial: &Substitution,
 ) -> bool {
+    satisfiable_with(atoms, inequalities, inst, initial, JoinPlanner::default())
+}
+
+/// [`satisfiable`] with an explicit [`JoinPlanner`]. The planner never
+/// changes the answer, only how candidate tuples are found per depth.
+pub fn satisfiable_with(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: &Substitution,
+    planner: JoinPlanner,
+) -> bool {
     if atoms.is_empty() {
         return inequalities.iter().all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
     }
     let initially_bound: Vec<Variable> = initial.iter().map(|(v, _)| v).collect();
     let order = order_atoms(atoms, &initially_bound);
-    let mut sub = initial.clone();
+    satisfiable_ordered(atoms, inequalities, inst, initial.clone(), &order, planner)
+}
+
+/// The search core behind [`satisfiable_with`], with the atom order already
+/// chosen — the entry point for callers holding a precompiled order
+/// ([`crate::compiled::CompiledConclusion::satisfied_with`], whose bound
+/// *set* is known at compile time). The order only steers the search, never
+/// the boolean answer, so a precompiled order is always sound.
+pub(crate) fn satisfiable_ordered(
+    atoms: &[Atom],
+    inequalities: &[(Term, Term)],
+    inst: &SymbolicInstance,
+    initial: Substitution,
+    order: &[usize],
+    planner: JoinPlanner,
+) -> bool {
+    if atoms.is_empty() {
+        return inequalities.iter().all(|(a, b)| initial.apply_term(*a) != initial.apply_term(*b));
+    }
+    // The initial binding is taken by value: the highest-volume caller (the
+    // blocked test) hands over a substitution it just built, so the search
+    // mutates it in place instead of cloning a second time.
+    let mut sub = initial;
     // One posting-list scratch buffer per depth: candidate tuple ids are
     // copied out of the index so no index borrow is held across recursion
     // (a deeper probe of the same relation may need to build a new index).
     let mut scratch: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
-    satisfiable_from(&order, 0, atoms, inequalities, inst, &mut sub, &mut scratch)
+    satisfiable_from(order, 0, atoms, inequalities, inst, &mut sub, &mut scratch, planner)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn satisfiable_from(
     order: &[usize],
     depth: usize,
@@ -388,6 +652,7 @@ fn satisfiable_from(
     inst: &SymbolicInstance,
     sub: &mut Substitution,
     scratch: &mut [Vec<usize>],
+    planner: JoinPlanner,
 ) -> bool {
     if depth == order.len() {
         return inequalities.iter().all(|(a, b)| sub.apply_term(*a) != sub.apply_term(*b));
@@ -422,13 +687,14 @@ fn satisfiable_from(
     if key_cols.len() == atom.args.len() {
         // Fully bound: the key *is* the tuple — a set-membership test.
         return rel.contains(&key)
-            && satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub, rest);
+            && satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub, rest, planner);
     }
     mine.clear();
     if key_cols.is_empty() {
         mine.extend(0..rel.len());
-    } else if rel.len() <= SCAN_THRESHOLD {
-        // Tiny relation: a filtered scan beats the hash index.
+    } else if !planner.use_probe(rel, &key_cols, 1, rel.len()) {
+        // The planner chose a filtered scan (tiny or unselective relations,
+        // or an index that has not amortized across repeated probes yet).
         'scan: for (ti, tuple) in rel.tuples().iter().enumerate() {
             for (i, want) in key_cols.iter().zip(&key) {
                 if tuple[*i] != *want {
@@ -468,7 +734,7 @@ fn satisfiable_from(
         for (v, t) in &added {
             sub.set(*v, *t);
         }
-        if satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub, rest) {
+        if satisfiable_from(order, depth + 1, atoms, inequalities, inst, sub, rest, planner) {
             return true;
         }
         for (v, _) in &added {
@@ -483,7 +749,6 @@ fn satisfiable_from(
 pub fn atom_watermarks(atoms: &[Atom], watermark: impl Fn(Predicate) -> usize) -> Vec<usize> {
     atoms.iter().map(|a| watermark(a.predicate)).collect()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,5 +1028,110 @@ mod tests {
             &inst2,
             &Substitution::new()
         ));
+    }
+
+    /// The planner resolves scan vs probe per step but can never change a
+    /// result: adaptive, the historical fixed threshold, an always-scan and
+    /// an always-probe planner must return identical binding lists — order
+    /// included — on full, delta and semijoin evaluation.
+    #[test]
+    fn planners_agree_on_bindings_deltas_and_satisfiability() {
+        let mut inst = SymbolicInstance::new();
+        for i in 0..24 {
+            inst.insert_atom(&child(t(&format!("p{}", i % 6)), t(&format!("c{i}"))));
+            inst.insert_atom(&tag(t(&format!("c{i}")), if i % 2 == 0 { "a" } else { "b" }));
+        }
+        let pattern = vec![child(t("x"), t("y")), tag(t("y"), "a"), child(t("x"), t("z"))];
+        let ineqs = vec![(t("y"), t("z"))];
+        let marks = vec![
+            inst.relation_len(pattern[0].predicate) - 3,
+            inst.relation_len(pattern[1].predicate) - 2,
+            inst.relation_len(pattern[2].predicate) - 3,
+        ];
+        let planners = [
+            JoinPlanner::Adaptive,
+            JoinPlanner::fixed(),
+            JoinPlanner::FixedThreshold(0),
+            JoinPlanner::FixedThreshold(usize::MAX),
+        ];
+        let reference =
+            evaluate_bindings_with(&pattern, &ineqs, &inst, &Substitution::new(), planners[0]);
+        let ref_delta = evaluate_bindings_delta_with(
+            &pattern,
+            &ineqs,
+            &inst,
+            &Substitution::new(),
+            &marks,
+            planners[0],
+        );
+        assert!(!reference.is_empty());
+        for p in planners[1..].iter() {
+            assert_eq!(
+                reference,
+                evaluate_bindings_with(&pattern, &ineqs, &inst, &Substitution::new(), *p),
+                "planner {p:?} changed the full join"
+            );
+            assert_eq!(
+                ref_delta,
+                evaluate_bindings_delta_with(
+                    &pattern,
+                    &ineqs,
+                    &inst,
+                    &Substitution::new(),
+                    &marks,
+                    *p
+                ),
+                "planner {p:?} changed the delta join"
+            );
+            assert!(
+                satisfiable_with(&pattern, &ineqs, &inst, &Substitution::new(), *p),
+                "planner {p:?} changed satisfiability"
+            );
+        }
+    }
+
+    /// The shared old-prefix delta join must still partition exactly like
+    /// the per-pass formulation: zero watermarks degenerate to the full
+    /// join, and a mid-stream watermark returns exactly the new bindings in
+    /// full-join order (these complement the pre-existing partition tests).
+    #[test]
+    fn shared_prefix_delta_equals_per_pass_partition() {
+        let mut inst = SymbolicInstance::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("a", "c")] {
+            inst.insert_atom(&Atom::named("R", vec![t(a), t(b)]));
+        }
+        let pattern = vec![
+            Atom::named("R", vec![t("x"), t("y")]),
+            Atom::named("R", vec![t("y"), t("z")]),
+            Atom::named("R", vec![t("z"), t("w")]),
+        ];
+        // Watermark below the full length on every atom: multiple passes
+        // have non-empty deltas and non-empty shared prefixes.
+        let marks = vec![3usize, 2, 4];
+        let full = evaluate_bindings(&pattern, &[], &inst, &Substitution::new());
+        let delta = evaluate_bindings_delta(&pattern, &[], &inst, &Substitution::new(), &marks);
+        // Every delta binding appears in the full join, in the same relative
+        // order, and no all-old binding leaks in.
+        let mut fi = full.iter();
+        for d in &delta {
+            assert!(fi.any(|f| f == d), "delta binding missing or out of order: {d:?}");
+        }
+        let rel = inst.relation(pattern[0].predicate);
+        let pos = |x: Term, y: Term| {
+            rel.iter().position(|tu| tu[0] == x && tu[1] == y).expect("tuple present")
+        };
+        for b in &full {
+            let steps = [
+                pos(b.get(v("x")).unwrap(), b.get(v("y")).unwrap()),
+                pos(b.get(v("y")).unwrap(), b.get(v("z")).unwrap()),
+                pos(b.get(v("z")).unwrap(), b.get(v("w")).unwrap()),
+            ];
+            let all_old = steps.iter().zip(&marks).all(|(s, m)| s < m);
+            assert_eq!(
+                !all_old,
+                delta.contains(b),
+                "binding {b:?} misclassified by the shared-prefix delta join"
+            );
+        }
     }
 }

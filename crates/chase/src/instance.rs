@@ -12,6 +12,15 @@
 //! ([`SymbolicInstance::apply_substitution`]) invalidates the indexes of the
 //! relations it actually touches. The process-wide [`index_build_count`]
 //! lets regression tests pin this contract down.
+//!
+//! Relations also maintain cheap **incremental statistics** — tuple counts,
+//! exact per-column distinct counts ([`Relation::distinct_in_column`]) and a
+//! per-column-set *scan-work ledger* ([`Relation::note_scan_work`]) — which
+//! the adaptive join planner ([`crate::evaluate::JoinPlanner`]) reads at
+//! evaluation time to resolve each join step to a filtered scan or an index
+//! probe. Statistics are updated on the same paths that maintain the indexes
+//! (insert updates them in place, an EGD rewrite rebuilds them with the
+//! relation), so they are always exact, never sampled or stale.
 
 use mars_cq::{Atom, ConjunctiveQuery, Predicate, Substitution, Term, Variable};
 use std::cell::{Ref, RefCell};
@@ -50,11 +59,23 @@ pub struct Relation {
     /// (per-relation) counterpart of the process-wide [`index_build_count`],
     /// for tests that must not observe other tests' builds.
     builds: std::cell::Cell<usize>,
+    /// Per-column distinct-term sets, maintained incrementally on insert
+    /// (sized to the relation's arity at the first insert). `distinct[c].len()`
+    /// is the *exact* number of distinct terms in column `c` — the
+    /// cardinality statistic behind [`Relation::expected_matches`].
+    distinct: Vec<HashSet<Term>>,
+    /// Scan-work ledger: per column set, how many tuple inspections filtered
+    /// scans have already spent where an index probe would have been
+    /// preferred. The adaptive planner builds the index once the accumulated
+    /// work amortizes the build (rent-or-buy); see
+    /// [`crate::evaluate::JoinPlanner::Adaptive`].
+    scan_work: RefCell<HashMap<Vec<usize>, usize>>,
 }
 
 impl Relation {
     /// Insert a tuple; returns `true` if it was new. Every existing column
-    /// index absorbs the new tuple incrementally (no rebuild).
+    /// index absorbs the new tuple incrementally (no rebuild), and the
+    /// per-column distinct statistics are updated in place.
     pub fn insert(&mut self, tuple: Vec<Term>) -> bool {
         if self.set.contains(&tuple) {
             return false;
@@ -63,6 +84,12 @@ impl Relation {
         for (cols, index) in self.indexes.get_mut().iter_mut() {
             let key: Vec<Term> = cols.iter().map(|&c| tuple[c]).collect();
             index.entry(key).or_default().push(id);
+        }
+        if self.distinct.len() < tuple.len() {
+            self.distinct.resize_with(tuple.len(), HashSet::new);
+        }
+        for (c, t) in tuple.iter().enumerate() {
+            self.distinct[c].insert(*t);
         }
         self.set.insert(tuple.clone());
         self.tuples.push(tuple);
@@ -125,6 +152,53 @@ impl Relation {
     pub fn index_builds(&self) -> usize {
         self.builds.get()
     }
+
+    /// Is an index over exactly these columns already cached? The adaptive
+    /// planner treats a cached index as free to probe (its build cost is
+    /// sunk), so this changes the scan/probe break-even point.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indexes.borrow().contains_key(cols)
+    }
+
+    /// Exact number of distinct terms in column `col` (0 for an empty
+    /// relation or an out-of-arity column). Maintained incrementally by
+    /// [`Relation::insert`]; rebuilt with the relation on an EGD rewrite.
+    pub fn distinct_in_column(&self, col: usize) -> usize {
+        self.distinct.get(col).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Distinct estimate for a *composite* key over `cols`: the maximum of
+    /// the per-column distinct counts, clamped to `[1, len]`. A composite key
+    /// has at least as many distinct values as its most selective column, so
+    /// this is a conservative (under-)estimate that errs toward predicting
+    /// more matches per probe — i.e. toward scanning — never toward building
+    /// an index that cannot pay off.
+    pub fn distinct_for_columns(&self, cols: &[usize]) -> usize {
+        cols.iter()
+            .map(|&c| self.distinct_in_column(c))
+            .max()
+            .unwrap_or(0)
+            .clamp(1, self.len().max(1))
+    }
+
+    /// Expected number of tuples matching one probe key over `cols` within a
+    /// window of `window` tuples, assuming keys are uniformly distributed:
+    /// `⌈window / distinct(cols)⌉`.
+    pub fn expected_matches(&self, cols: &[usize], window: usize) -> usize {
+        window.div_ceil(self.distinct_for_columns(cols))
+    }
+
+    /// Record `work` tuple inspections spent by a filtered scan over `cols`
+    /// where an index probe would have been preferred had the index existed
+    /// (the adaptive planner's rent-or-buy ledger).
+    pub fn note_scan_work(&self, cols: &[usize], work: usize) {
+        *self.scan_work.borrow_mut().entry(cols.to_vec()).or_default() += work;
+    }
+
+    /// Accumulated scan work over `cols` (see [`Relation::note_scan_work`]).
+    pub fn scan_work(&self, cols: &[usize]) -> usize {
+        self.scan_work.borrow().get(cols).copied().unwrap_or(0)
+    }
 }
 
 /// The symbolic database instance associated with a query.
@@ -180,6 +254,14 @@ impl SymbolicInstance {
     /// watermark are the delta.
     pub fn relation_len(&self, p: Predicate) -> usize {
         self.relations.get(&p).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Width of the delta of predicate `p` relative to a watermark: the
+    /// number of tuples inserted since the watermark was taken. This is the
+    /// statistic that makes delta join windows cheap to size without
+    /// touching the tuples themselves.
+    pub fn delta_width(&self, p: Predicate, watermark: usize) -> usize {
+        self.relation_len(p).saturating_sub(watermark)
     }
 
     /// All predicates present.
@@ -409,6 +491,72 @@ mod tests {
             assert_eq!(rel.cached_index_count(), 2);
             assert_eq!(rel.index_builds(), 2);
         }
+    }
+
+    /// Distinct estimates are exact and maintained incrementally across
+    /// inserts (duplicates included).
+    #[test]
+    fn distinct_estimates_track_inserts() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("x")));
+        inst.insert_atom(&child(t("a"), t("y")));
+        inst.insert_atom(&child(t("b"), t("x")));
+        let p = mars_cq::Predicate::new("child");
+        let rel = inst.relation_data(p).unwrap();
+        assert_eq!(rel.distinct_in_column(0), 2, "a, b");
+        assert_eq!(rel.distinct_in_column(1), 2, "x, y");
+        assert_eq!(rel.distinct_for_columns(&[0, 1]), 2, "composite = max of columns");
+        assert_eq!(rel.expected_matches(&[0], 3), 2, "ceil(3 / 2)");
+        // Out-of-arity columns and duplicates are handled.
+        assert_eq!(rel.distinct_in_column(7), 0);
+        inst.insert_atom(&child(t("a"), t("x"))); // duplicate: no change
+        inst.insert_atom(&child(t("c"), t("x")));
+        let rel = inst.relation_data(p).unwrap();
+        assert_eq!(rel.distinct_in_column(0), 3);
+        assert_eq!(rel.distinct_in_column(1), 2);
+        // The delta-width statistic is the growth past a watermark.
+        assert_eq!(inst.delta_width(p, 3), 1);
+        assert_eq!(inst.delta_width(p, 9), 0);
+        assert_eq!(inst.delta_width(mars_cq::Predicate::new("absent"), 0), 0);
+    }
+
+    /// An EGD rewrite rebuilds the touched relation — and with it the
+    /// distinct statistics, which must reflect the merged terms exactly
+    /// (stale statistics would mis-price every later scan/probe choice).
+    #[test]
+    fn distinct_estimates_survive_egd_rewrites() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("x")));
+        inst.insert_atom(&child(t("b"), t("y")));
+        inst.insert_atom(&child(t("c"), t("y")));
+        let p = mars_cq::Predicate::new("child");
+        assert_eq!(inst.relation_data(p).unwrap().distinct_in_column(1), 2);
+
+        let mut s = Substitution::new();
+        s.set(mars_cq::Variable::named("x"), t("y"));
+        inst.apply_substitution(&s);
+        let rel = inst.relation_data(p).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.distinct_in_column(1), 1, "x merged into y");
+        assert_eq!(rel.distinct_in_column(0), 3, "column 0 untouched by the unification");
+        // The scan-work ledger restarts with the rewritten relation.
+        assert_eq!(rel.scan_work(&[1]), 0);
+    }
+
+    /// The scan-work ledger accrues per column set and is independent across
+    /// sets — the adaptive planner's rent-or-buy bookkeeping.
+    #[test]
+    fn scan_work_ledger_accrues_per_column_set() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("x")));
+        let rel = inst.relation_data(mars_cq::Predicate::new("child")).unwrap();
+        assert_eq!(rel.scan_work(&[0]), 0);
+        rel.note_scan_work(&[0], 5);
+        rel.note_scan_work(&[0], 7);
+        rel.note_scan_work(&[1], 2);
+        assert_eq!(rel.scan_work(&[0]), 12);
+        assert_eq!(rel.scan_work(&[1]), 2);
+        assert_eq!(rel.scan_work(&[0, 1]), 0);
     }
 
     #[test]

@@ -17,8 +17,19 @@
 //!
 //! * **shared compilation** ([`CompiledDeps`]): the dependency set is
 //!   compiled once per engine (closure detection, EGD-priority ordering,
-//!   per-DED join plans) and shared via `Arc` across every chase,
-//!   back-chase, branch and query block,
+//!   per-DED join plans with precompiled join orders) and shared via `Arc`
+//!   across every chase, back-chase, branch and query block,
+//! * **adaptive join planning** ([`JoinPlanner`]): each join step is
+//!   resolved at evaluation time to a filtered scan or an index probe from
+//!   the symbolic instance's incremental relation statistics (tuple counts,
+//!   per-column distinct counts, scan-work ledgers); the historical fixed
+//!   scan threshold survives only as the documented
+//!   [`ChaseOptions::with_fixed_scan_threshold`] fallback/ablation,
+//! * **semi-naive delta joins with a shared old-prefix**
+//!   ([`evaluate_bindings_delta`]): dirty dependencies join delta-seeded,
+//!   and the pre-watermark prefix join is computed once per dependency and
+//!   shared across its delta passes — byte-identical to the naive full
+//!   join,
 //! * the **chase shortcut** of Section 3.2 (the effect of the TIX constraints
 //!   `(refl)`, `(base)`, `(trans)` is computed directly as a transitive
 //!   closure instead of step-by-step),
@@ -30,6 +41,8 @@
 //!   graph,
 //! * the top-level [`ChaseBackchase`] driver returning the initial
 //!   reformulation, all minimal reformulations and the cost-optimal one.
+
+#![deny(missing_docs)]
 
 pub mod backchase;
 pub mod cb;
@@ -47,7 +60,10 @@ pub use chase::{
     chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, UniversalPlan,
 };
 pub use compiled::{compilation_count, CompiledConclusion, CompiledDed, CompiledDeps};
-pub use evaluate::{evaluate_bindings, evaluate_bindings_delta, satisfiable, Binding};
+pub use evaluate::{
+    evaluate_bindings, evaluate_bindings_delta, evaluate_bindings_delta_with,
+    evaluate_bindings_with, satisfiable, satisfiable_with, Binding, JoinPlanner,
+};
 pub use instance::{index_build_count, Relation, SymbolicInstance};
 pub use reach::{prune_parallel_desc, ReachabilityGraph};
 pub use shortcut::{detect_closure_constraints, ClosureConstraints};

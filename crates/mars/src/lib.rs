@@ -15,6 +15,8 @@
 //!    relational storage, XBind for native XML storage) and can be executed
 //!    against the `mars-storage` substrates.
 
+#![deny(missing_docs)]
+
 pub mod result;
 pub mod system;
 

@@ -1,7 +1,7 @@
 //! The MARS system: schema correspondence compilation and query reformulation.
 
 use crate::result::{BlockReformulation, MarsResult};
-use mars_chase::{CbOptions, ChaseBackchase};
+use mars_chase::{CbOptions, ChaseBackchase, JoinPlanner};
 use mars_cost::{CostEstimator, WeightedAtomEstimator};
 use mars_cq::{ConjunctiveQuery, Ded, Predicate};
 use mars_grex::{
@@ -138,6 +138,24 @@ impl MarsOptions {
     pub fn with_naive_joins(mut self) -> MarsOptions {
         self.cb.chase.semi_naive = false;
         self.cb.backchase.chase.semi_naive = false;
+        self
+    }
+
+    /// Builder: replace the adaptive statistics-driven join planning with
+    /// the historical fixed scan threshold, everywhere (initial chase and
+    /// back-chases). The documented fallback and the ablation baseline of
+    /// the adaptive planner: results are byte-identical either way, only
+    /// the scan/probe choices change (see
+    /// [`mars_chase::ChaseOptions::with_fixed_scan_threshold`]).
+    pub fn with_fixed_scan_threshold(self, threshold: usize) -> MarsOptions {
+        self.with_join_planner(JoinPlanner::FixedThreshold(threshold))
+    }
+
+    /// Builder: set the join planner for every chase the pipeline runs (see
+    /// [`mars_chase::JoinPlanner`]).
+    pub fn with_join_planner(mut self, planner: JoinPlanner) -> MarsOptions {
+        self.cb.chase.join_planner = planner;
+        self.cb.backchase.chase.join_planner = planner;
         self
     }
 
@@ -466,6 +484,55 @@ mod tests {
         assert_eq!(semi.result.stats.candidates_inspected, naive.result.stats.candidates_inspected);
         assert_eq!(semi.result.stats.equivalence_checks, naive.result.stats.equivalence_checks);
         assert_eq!(semi.result.stats.chase.applied_steps, naive.result.stats.chase.applied_steps);
+    }
+
+    /// The adaptive join planner is a pure evaluation-strategy change: the
+    /// full pipeline must produce byte-identical reformulations with it
+    /// (default) and with the fixed-threshold fallback, at any threshold.
+    #[test]
+    fn adaptive_and_fixed_threshold_reformulate_identically() {
+        let client = XBindQuery::new("Client")
+            .with_head(&["t", "a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./title/text()").unwrap(),
+                source: "b".to_string(),
+                var: "t".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let adaptive =
+            Mars::with_options(mini_correspondence(), MarsOptions::default().exhaustive())
+                .reformulate_xbind(&client);
+        for threshold in [0usize, 8, usize::MAX] {
+            let fixed = Mars::with_options(
+                mini_correspondence(),
+                MarsOptions::default().exhaustive().with_fixed_scan_threshold(threshold),
+            )
+            .reformulate_xbind(&client);
+            assert_eq!(format!("{}", adaptive.compiled), format!("{}", fixed.compiled));
+            assert_eq!(adaptive.result.minimal.len(), fixed.result.minimal.len());
+            for ((a, ca), (b, cb)) in adaptive.result.minimal.iter().zip(&fixed.result.minimal) {
+                assert_eq!(format!("{a}"), format!("{b}"), "threshold = {threshold}");
+                assert_eq!(ca, cb);
+            }
+            assert_eq!(adaptive.sql, fixed.sql);
+            assert_eq!(
+                adaptive.result.stats.candidates_inspected,
+                fixed.result.stats.candidates_inspected
+            );
+            assert_eq!(
+                adaptive.result.stats.chase.applied_steps,
+                fixed.result.stats.chase.applied_steps
+            );
+        }
     }
 
     #[test]

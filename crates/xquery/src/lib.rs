@@ -13,7 +13,8 @@
 //! * the [`XBindQuery`] intermediate representation and its atoms,
 //! * the XQuery fragment AST ([`ast`]) and a recursive-descent
 //!   [`parser`](parser::parse_xquery) for it,
-//! * [`decorrelate`] — the FLWR-block decorrelation of Example 2.1,
+//! * [`decorrelate()`](decorrelate::decorrelate) — the FLWR-block
+//!   decorrelation of Example 2.1,
 //! * XML integrity constraints ([`Xic`]) in the style of Section 2.1
 //!   (constraints (1) and (2)).
 

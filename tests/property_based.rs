@@ -188,6 +188,44 @@ proptest! {
         prop_assert_eq!(plan_fingerprint(&semi), plan_fingerprint(&naive));
     }
 
+    /// The byte-identical contract of the adaptive join planner: across
+    /// random DED sets (EGD rewrites resetting statistics, disjunctive
+    /// splits cloning them, delta watermarks windowing the joins), the
+    /// statistics-driven scan/probe choice must produce a universal plan
+    /// byte-identical to the fixed-threshold fallback at any threshold —
+    /// including the degenerate always-probe (0) and always-scan (MAX)
+    /// extremes.
+    #[test]
+    fn adaptive_and_fixed_threshold_chases_are_byte_identical(
+        len in 1usize..4,
+        shared in proptest::bool::ANY,
+        copy_mask in 0u8..16,
+        with_egd in proptest::bool::ANY,
+        with_disjunction in proptest::bool::ANY,
+        threshold_pick in 0usize..4,
+    ) {
+        let mut q = chain_query(len, shared);
+        if with_egd {
+            q = q
+                .with_atom(Atom::named("R0", vec![Term::var("k"), Term::var("x0")]))
+                .with_atom(Atom::named("R0", vec![Term::var("k"), Term::var("e")]));
+        }
+        let deds = random_deds(len, copy_mask, with_egd, with_disjunction);
+        let adaptive = chase_to_universal_plan(&q, &deds, &ChaseOptions::default());
+        let threshold = [0usize, 2, 8, usize::MAX][threshold_pick];
+        let fixed = chase_to_universal_plan(
+            &q,
+            &deds,
+            &ChaseOptions::default().with_fixed_scan_threshold(threshold),
+        );
+        prop_assert_eq!(
+            plan_fingerprint(&adaptive),
+            plan_fingerprint(&fixed),
+            "threshold = {}",
+            threshold
+        );
+    }
+
     /// The determinism contract of the parallel branch worklist: for any
     /// randomized DED set, chasing with 2 or 4 worker threads is
     /// byte-identical to the sequential chase.
