@@ -7,21 +7,31 @@
 //! numbers differ — different hardware and substitute engines — but the shape
 //! should match; see EXPERIMENTS.md).
 
-use mars::MarsOptions;
+use mars::{MarsOptions, MarsService};
 use mars_bench::{measure_fig5_opts, measure_fig8_threads};
 use mars_chase::{chase_to_universal_plan, ChaseOptions};
 use mars_cq::{naive_chase, ChaseBudget};
 use mars_workloads::{example11, star::StarConfig, stress, xmark};
+use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
-[--xmark] [--all] [--max-nc N] [--threads N] [--fixed-scan-threshold N] [--naive-joins]
+[--xmark] [--serve] [--all] [--max-nc N] [--threads N] [--serve-batch N] [--serve-requests N] \
+[--fixed-scan-threshold N] [--naive-joins]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
 experiment flags, --all is assumed. --max-nc N (default 6) bounds the star
 size of the fig5/fig8 sweeps; --threads N (default 1) sets the backchase
 worker-thread count (results are byte-identical for any thread count).
+--serve runs the resident reformulation service on the star workload at
+NC = max-nc: batches of requests (--serve-batch N per batch, default 8;
+--serve-requests N in total, default 48) are driven over --threads N worker
+threads cold (no cache) and warm (shape-keyed plan cache), reporting
+reformulations/sec and end-to-end publishes/sec for both; the process exits
+non-zero if warm throughput does not beat cold. --serve is not part of
+--all (it reuses the fig5 workload and is gated separately in CI).
 Ablations (results are byte-identical; only join cost changes):
 --fixed-scan-threshold N replaces the adaptive statistics-driven join
 planning with the historical fixed scan threshold, and --naive-joins
@@ -32,6 +42,10 @@ struct Args {
     selected: Vec<String>,
     max_nc: usize,
     threads: usize,
+    /// Requests per serve-mode batch (a worker thread claims whole batches).
+    serve_batch: usize,
+    /// Total number of serve-mode requests per phase.
+    serve_requests: usize,
     /// `Some(n)` runs the fig5 sweep with the fixed-threshold planner
     /// ablation instead of adaptive planning.
     fixed_scan_threshold: Option<usize>,
@@ -43,15 +57,18 @@ struct Args {
 /// errors, not silently ignored (a typo must not produce an empty results
 /// file with exit code 0).
 fn parse_args(args: &[String]) -> Result<Args, String> {
-    const FLAGS: [&str; 7] =
-        ["--fig5", "--fig8", "--stress", "--oldnew", "--savings", "--xmark", "--all"];
+    const FLAGS: [&str; 8] =
+        ["--fig5", "--fig8", "--stress", "--oldnew", "--savings", "--xmark", "--serve", "--all"];
     let mut parsed = Args {
         selected: Vec::new(),
         max_nc: 6,
         threads: 1,
+        serve_batch: 8,
+        serve_requests: 48,
         fixed_scan_threshold: None,
         naive_joins: false,
     };
+    let mut serve_flag_seen = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--max-nc" {
@@ -70,6 +87,30 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             if parsed.threads < 1 {
                 return Err(format!("--threads must be at least 1, got {}", parsed.threads));
             }
+        } else if arg == "--serve-batch" {
+            let value = it.next().ok_or("--serve-batch requires a value".to_string())?;
+            parsed.serve_batch = value.parse().map_err(|_| {
+                format!("invalid --serve-batch value: {value:?} (expected a number)")
+            })?;
+            if parsed.serve_batch < 1 {
+                return Err(format!(
+                    "--serve-batch must be at least 1, got {}",
+                    parsed.serve_batch
+                ));
+            }
+            serve_flag_seen = true;
+        } else if arg == "--serve-requests" {
+            let value = it.next().ok_or("--serve-requests requires a value".to_string())?;
+            parsed.serve_requests = value.parse().map_err(|_| {
+                format!("invalid --serve-requests value: {value:?} (expected a number)")
+            })?;
+            if parsed.serve_requests < 1 {
+                return Err(format!(
+                    "--serve-requests must be at least 1, got {}",
+                    parsed.serve_requests
+                ));
+            }
+            serve_flag_seen = true;
         } else if arg == "--fixed-scan-threshold" {
             let value = it.next().ok_or("--fixed-scan-threshold requires a value".to_string())?;
             parsed.fixed_scan_threshold = Some(value.parse().map_err(|_| {
@@ -93,6 +134,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 .to_string(),
         );
     }
+    // Same scoping rule for the serve knobs: accepting them for a run that
+    // never serves would silently do nothing.
+    if serve_flag_seen && !parsed.selected.iter().any(|a| a == "--serve") {
+        return Err(
+            "--serve-batch / --serve-requests only apply to --serve; add --serve".to_string()
+        );
+    }
     Ok(parsed)
 }
 
@@ -105,7 +153,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Args { selected: args, max_nc, threads, fixed_scan_threshold, naive_joins } = parsed;
+    let Args {
+        selected: args,
+        max_nc,
+        threads,
+        serve_batch,
+        serve_requests,
+        fixed_scan_threshold,
+        naive_joins,
+    } = parsed;
     let has = |flag: &str| args.iter().any(|a| a == flag);
     let all = args.is_empty() || has("--all");
     // The fig5 options, with the requested join-strategy ablations applied.
@@ -151,6 +207,14 @@ fn main() {
     if all || has("--xmark") {
         timed("xmark", &mut results, &mut xmark_feasibility);
     }
+    // Serve mode is opt-in only (it reuses the fig5 workload): run it when
+    // requested and gate the exit code on warm beating cold.
+    let mut warm_beats_cold = true;
+    if has("--serve") {
+        timed("serve", &mut results, &mut |r| {
+            warm_beats_cold = serve_experiment(max_nc, threads, serve_batch, serve_requests, r);
+        });
+    }
 
     let phases: std::collections::BTreeMap<String, serde_json::Value> = phase_wall_ms
         .iter()
@@ -177,6 +241,13 @@ fn main() {
     if let Ok(json) = serde_json::to_string_pretty(&results) {
         let _ = std::fs::write("experiments_results.json", json);
         println!("\n(results also written to experiments_results.json)");
+    }
+    if !warm_beats_cold {
+        eprintln!(
+            "error: serve mode measured warm throughput at or below cold — the plan cache \
+             is not paying for itself"
+        );
+        std::process::exit(1);
     }
 }
 
@@ -469,4 +540,202 @@ fn xmark_feasibility(results: &mut HashMap<String, serde_json::Value>) {
         block.result.has_reformulation(),
         block.result.minimal.len()
     );
+}
+
+/// Drain `reqs` in batches of `batch` across `threads` worker threads
+/// (workers claim whole batches from a shared counter) and return the
+/// wall-clock time for the whole drain.
+fn run_batched<F: Fn(&XBindQuery) + Sync>(
+    reqs: &[XBindQuery],
+    batch: usize,
+    threads: usize,
+    f: F,
+) -> Duration {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let lo = next.fetch_add(1, Ordering::SeqCst) * batch;
+                if lo >= reqs.len() {
+                    break;
+                }
+                for q in &reqs[lo..(lo + batch).min(reqs.len())] {
+                    f(q);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Serve mode: the resident reformulation service on the star workload.
+///
+/// Every request is the fig5 client query at NC = `max_nc` plus a
+/// per-request key constant — the arrival pattern a resident service sees:
+/// one template, many constants. The cold phases reformulate each request
+/// from scratch on a shared `Mars`; the warm phases answer from the
+/// shape-keyed plan cache of a shared `MarsService` (primed with one
+/// request). "Publish" is the end-to-end unit: reformulate, then execute the
+/// best plan on the materialized relational views. Cold and warm drain the
+/// same batches with the same thread count (publish phases sequentially, on
+/// the single-connection relational engine), so each reported gap isolates
+/// the cache. Returns whether warm reformulation throughput beat cold.
+fn serve_experiment(
+    max_nc: usize,
+    threads: usize,
+    batch: usize,
+    requests: usize,
+    results: &mut HashMap<String, serde_json::Value>,
+) -> bool {
+    println!(
+        "\n== Serve mode: resident reformulation service \
+         (star NC={max_nc}, {requests} requests, batch {batch}, {threads} thread(s)) =="
+    );
+    let cfg = StarConfig::figure5(max_nc);
+    let mars = cfg.mars(MarsOptions::specialized());
+    let (_xml, db) = cfg.populate(5, 4, 17);
+    let reqs: Vec<XBindQuery> = (0..requests)
+        .map(|i| {
+            cfg.client_query().with_atom(XBindAtom::Eq(
+                XBindTerm::var("k"),
+                XBindTerm::str(&format!("servekey{i}")),
+            ))
+        })
+        .collect();
+
+    // Sanity: the workload must actually reformulate, or throughput is noise.
+    let probe = mars.reformulate_xbind(&reqs[0]);
+    assert!(probe.result.has_reformulation(), "star serve request failed to reformulate");
+
+    let served = AtomicUsize::new(0);
+    let cold_reform = run_batched(&reqs, batch, threads, |q| {
+        let block = mars.reformulate_xbind(q);
+        assert!(block.result.has_reformulation());
+        served.fetch_add(1, Ordering::SeqCst);
+    });
+    // The in-memory relational engine keeps per-relation index caches behind
+    // RefCell (single connection) — publish phases therefore drain
+    // sequentially; the cold/warm comparison still isolates the plan cache.
+    let start = Instant::now();
+    for q in &reqs {
+        let block = mars.reformulate_xbind(q);
+        if let Some(best) = block.result.best_or_initial() {
+            let _ = db.query(best);
+        }
+    }
+    let cold_publish = start.elapsed();
+
+    let service = MarsService::new(cfg.mars(MarsOptions::specialized()));
+    // Prime the cache so the warm phases measure steady-state service.
+    let primer = cfg
+        .client_query()
+        .with_atom(XBindAtom::Eq(XBindTerm::var("k"), XBindTerm::str("servekey_warmup")));
+    service.reformulate_xbind(&primer).expect("priming request reformulates");
+    let warm_reform = run_batched(&reqs, batch, threads, |q| {
+        let block = service.reformulate_xbind(q).expect("warm request reformulates");
+        assert!(block.result.has_reformulation());
+        served.fetch_add(1, Ordering::SeqCst);
+    });
+    let start = Instant::now();
+    for q in &reqs {
+        let block = service.reformulate_xbind(q).expect("warm request reformulates");
+        if let Some(best) = block.result.best_or_initial() {
+            let _ = db.query(best);
+        }
+    }
+    let warm_publish = start.elapsed();
+    assert_eq!(served.load(Ordering::SeqCst), 2 * requests, "every request must be served");
+
+    let rps = |d: Duration| requests as f64 / d.as_secs_f64().max(1e-9);
+    let stats = service.cache_stats();
+    println!("{:>22} {:>14} {:>14} {:>10}", "", "cold", "warm", "speedup");
+    println!(
+        "{:>22} {:>14.1} {:>14.1} {:>9.1}x",
+        "reformulations/sec",
+        rps(cold_reform),
+        rps(warm_reform),
+        rps(warm_reform) / rps(cold_reform)
+    );
+    println!(
+        "{:>22} {:>14.1} {:>14.1} {:>9.1}x",
+        "publishes/sec",
+        rps(cold_publish),
+        rps(warm_publish),
+        rps(warm_publish) / rps(cold_publish)
+    );
+    println!("cache: {} hits, {} misses, {} entries", stats.hits, stats.misses, stats.entries);
+
+    results.insert(
+        "serve".to_string(),
+        serde_json::json!({
+            "nc": max_nc,
+            "requests": requests,
+            "batch": batch,
+            "threads": threads,
+            "cold_reformulations_per_sec": rps(cold_reform),
+            "warm_reformulations_per_sec": rps(warm_reform),
+            "reform_speedup": rps(warm_reform) / rps(cold_reform),
+            "cold_publishes_per_sec": rps(cold_publish),
+            "warm_publishes_per_sec": rps(warm_publish),
+            "publish_speedup": rps(warm_publish) / rps(cold_publish),
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+        }),
+    );
+    rps(warm_reform) > rps(cold_reform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    /// Regression: degenerate numeric flag values must be rejected at parse
+    /// time (main exits 2 on any parse error), never run sequentially or
+    /// divide by zero mid-experiment.
+    #[test]
+    fn zero_and_malformed_values_are_rejected() {
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--serve", "--serve-batch", "0"]).is_err());
+        assert!(parse(&["--serve", "--serve-requests", "0"]).is_err());
+        assert!(parse(&["--max-nc", "2"]).is_err());
+        assert!(parse(&["--threads", "two"]).is_err());
+        assert!(parse(&["--serve", "--serve-batch"]).is_err(), "missing value");
+        assert!(parse(&["--frobnicate"]).is_err(), "unknown flag");
+    }
+
+    /// The serve knobs only make sense with --serve; accepting them without
+    /// it would silently do nothing.
+    #[test]
+    fn serve_knobs_require_serve() {
+        assert!(parse(&["--serve-batch", "4"]).is_err());
+        assert!(parse(&["--fig5", "--serve-requests", "16"]).is_err());
+        assert!(parse(&["--serve", "--serve-batch", "4", "--serve-requests", "16"]).is_ok());
+    }
+
+    #[test]
+    fn defaults_and_valid_flags_parse() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.threads, 1);
+        assert_eq!(args.serve_batch, 8);
+        assert_eq!(args.serve_requests, 48);
+        assert!(args.selected.is_empty());
+
+        let args =
+            parse(&["--serve", "--threads", "4", "--serve-batch", "2", "--serve-requests", "16"])
+                .unwrap();
+        assert_eq!(args.selected, vec!["--serve"]);
+        assert_eq!((args.threads, args.serve_batch, args.serve_requests), (4, 2, 16));
+    }
+
+    /// --serve is deliberately not part of --all.
+    #[test]
+    fn serve_is_not_selected_by_all() {
+        let args = parse(&["--all"]).unwrap();
+        assert_eq!(args.selected, vec!["--all"]);
+    }
 }

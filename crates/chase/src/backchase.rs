@@ -31,13 +31,16 @@
 //! * **Shared compilation**: the dependency set arrives as a
 //!   [`CompiledDeps`] built once per engine; no chase anywhere in the
 //!   enumeration recompiles it.
-//! * **Chase memoization**: completed back-chases are cached keyed on the
-//!   candidate's [`AtomSet`]. A candidate grown from an already-chased
-//!   subset resumes from the cached chase result plus the one new atom
-//!   ([`chase_branches_with_atoms_compiled`]) instead of re-chasing from
-//!   scratch — the seed is already at fixpoint, so only consequences of the
-//!   new atom fire. Because the BFS visits subsets level by level, only the
-//!   previous and current size levels are retained.
+//! * **Resident chase memoization**: completed back-chases are cached keyed
+//!   on the candidate's [`AtomSet`], as *resident* branches
+//!   ([`ResidentBranch`]) — frozen symbolic instances that keep their column
+//!   indexes, distinct statistics and scan-work ledgers. A candidate grown
+//!   from an already-chased subset thaws the cached instances and resumes
+//!   with the one new atom ([`chase_resident_with_atoms_compiled`]) instead
+//!   of re-parsing a memoized query and re-deriving every access path — the
+//!   seed is already at fixpoint, so only consequences of the new atom fire.
+//!   Because the BFS visits subsets level by level, only the previous and
+//!   current size levels are retained.
 //! * **O(1) subset costs**: for additive cost models
 //!   ([`CostEstimator::atom_costs`]) the per-atom costs of the pool are
 //!   computed once and a candidate's cost is a bitset fold
@@ -48,14 +51,14 @@
 //!   branch hit the identity fast path.
 
 use crate::chase::{
-    chase_branches_with_atoms_compiled, chase_to_universal_plan_compiled, ChaseOptions,
-    UniversalPlan,
+    chase_resident_with_atoms_compiled, chase_to_resident_compiled,
+    chase_to_universal_plan_compiled, ChaseOptions, ResidentBranch, ResidentChase, UniversalPlan,
 };
 use crate::compiled::CompiledDeps;
 use crate::reach::{prune_parallel_desc, ReachabilityGraph};
 use mars_cost::{fold_atom_costs, CostEstimator};
 use mars_cq::containment::{containment_mapping, ContainmentTarget};
-use mars_cq::{Atom, AtomSet, ConjunctiveQuery, Predicate, Substitution, Variable};
+use mars_cq::{Atom, AtomSet, ConjunctiveQuery, Predicate, Variable};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -213,7 +216,26 @@ fn back_chase_confirms(original: &ConjunctiveQuery, back: &UniversalPlan) -> boo
 }
 
 /// Chased branches of a candidate, cached for reuse by its supersets.
-type ChasedBranches = Vec<(ConjunctiveQuery, Substitution)>;
+///
+/// Kept **resident** ([`ResidentBranch`]): the frozen symbolic instances
+/// carry their warm column indexes, distinct statistics and scan-work
+/// ledgers, so a superset's resumed chase thaws them instead of re-parsing a
+/// memoized `ConjunctiveQuery` from scratch and re-deriving every access
+/// path.
+type ChasedBranches = Vec<ResidentBranch>;
+
+/// [`back_chase_confirms`] over a resident chase: completed, at least one
+/// surviving branch, and the original maps into every branch preserving the
+/// head. Containment is invariant under the branch naming, so the rendered
+/// queries use a fixed placeholder name.
+fn resident_confirms(original: &ConjunctiveQuery, back: &ResidentChase) -> bool {
+    back.stats().completed
+        && !back.is_empty()
+        && back
+            .branches()
+            .iter()
+            .all(|b| containment_mapping(original, &b.to_query("back")).is_some())
+}
 
 /// Head-variable coverage prefilter: safety as a bitset fold over the head
 /// variables — exactly the `is_safe()` condition (inequality variables are
@@ -345,19 +367,19 @@ fn evaluate_candidate(
                 let back = match seed {
                     Some((seed_branches, added)) => {
                         eval.cache_hit = true;
-                        chase_branches_with_atoms_compiled(
+                        // Resume from the memoized *resident* branches: the
+                        // seed instances thaw with their indexes, statistics
+                        // and scan ledgers warm — nothing is re-parsed.
+                        chase_resident_with_atoms_compiled(
                             seed_branches,
                             std::slice::from_ref(&ctx.pool[added]),
-                            &candidate.name,
                             ctx.deds,
                             ctx.back_chase_opts,
                         )
                     }
-                    None => {
-                        chase_to_universal_plan_compiled(&candidate, ctx.deds, ctx.back_chase_opts)
-                    }
+                    None => chase_to_resident_compiled(&candidate, ctx.deds, ctx.back_chase_opts),
                 };
-                if back_chase_confirms(ctx.original, &back) {
+                if resident_confirms(ctx.original, &back) {
                     eval.found = Some(candidate);
                     return eval; // supersets are not minimal: no growth
                 }
@@ -365,10 +387,8 @@ fn evaluate_candidate(
                 // level — hand this chase back as their memoization seed
                 // (position-gated so a wide level cannot hold more chases
                 // than the cache budget between evaluation and merge).
-                if position < ctx.cache_budget && back.stats.completed && !back.branches.is_empty()
-                {
-                    eval.cache_entry =
-                        Some(back.branches.into_iter().zip(back.renamings).collect());
+                if position < ctx.cache_budget && back.stats().completed && !back.is_empty() {
+                    eval.cache_entry = Some(back.into_branches());
                 }
             }
         }

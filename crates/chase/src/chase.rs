@@ -9,7 +9,7 @@
 
 use crate::compiled::{CompiledDed, CompiledDeps, DedIndex};
 use crate::evaluate::JoinPlanner;
-use crate::instance::SymbolicInstance;
+use crate::instance::{FrozenInstance, SymbolicInstance};
 use crate::shortcut::{apply_closure, ClosureConstraints};
 use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Predicate, Substitution, Term, Variable};
 use std::collections::HashSet;
@@ -170,9 +170,17 @@ impl UniversalPlan {
     }
 
     /// The first branch; panics if the query was inconsistent with the
-    /// constraints (no surviving branch).
+    /// constraints (no surviving branch). Library callers that cannot rule
+    /// out an inconsistent input should use [`UniversalPlan::try_primary`].
     pub fn primary(&self) -> &ConjunctiveQuery {
         self.branches.first().expect("universal plan has no surviving branch")
+    }
+
+    /// The first branch, or `None` when the query was inconsistent with the
+    /// constraints (every chase branch failed) — the non-panicking form of
+    /// [`UniversalPlan::primary`].
+    pub fn try_primary(&self) -> Option<&ConjunctiveQuery> {
+        self.branches.first()
     }
 
     /// Total number of atoms across branches (used in experiment reports).
@@ -478,6 +486,172 @@ pub fn chase_branches_with_atoms_compiled(
     run_chase(initial, name, compiled, options, Some(&dirty))
 }
 
+/// One chased branch kept *resident*: the frozen symbolic instance (with its
+/// warm column indexes, distinct statistics and scan-work ledgers), the head
+/// and inequalities it carries, and the renaming the chase accumulated.
+///
+/// Unlike the `(ConjunctiveQuery, Substitution)` seeds of
+/// [`chase_branches_with_atoms_compiled`], resuming from a `ResidentBranch`
+/// does not re-parse the query into a fresh instance — it thaws the snapshot,
+/// so every index and statistic the previous chase built is reused as-is. The
+/// snapshot is `Sync` and can be shared by reference across backchase worker
+/// threads.
+#[derive(Clone, Debug)]
+pub struct ResidentBranch {
+    inst: FrozenInstance,
+    head: Vec<Term>,
+    inequalities: Vec<(Term, Term)>,
+    renaming: Substitution,
+}
+
+impl ResidentBranch {
+    /// The renaming accumulated by the chase that produced this branch (maps
+    /// variables of the chased query to the terms that replaced them).
+    pub fn renaming(&self) -> &Substitution {
+        &self.renaming
+    }
+
+    /// The branch as a query with the given name (deterministic atom order,
+    /// as in [`SymbolicInstance::to_query`]).
+    pub fn to_query(&self, name: &str) -> ConjunctiveQuery {
+        self.inst.to_query(name, self.head.clone(), self.inequalities.clone())
+    }
+
+    /// Thaw into a live chase branch (warm indexes carried over, no rebuild).
+    fn thaw(&self) -> Branch {
+        Branch {
+            inst: self.inst.thaw(),
+            head: self.head.clone(),
+            inequalities: self.inequalities.clone(),
+            renaming: self.renaming.clone(),
+            needs_check: Vec::new(),
+            marks: Vec::new(),
+            fresh: 0,
+            rounds: 0,
+        }
+    }
+}
+
+/// A completed chase whose branches stay resident (see [`ResidentBranch`]).
+///
+/// This is the chase result form the backchase memoizes across levels: a
+/// candidate's chase is kept as frozen instances, and each superset of the
+/// candidate resumes directly from them instead of re-parsing memoized
+/// queries from scratch.
+#[derive(Clone, Debug)]
+pub struct ResidentChase {
+    branches: Vec<ResidentBranch>,
+    stats: ChaseStats,
+}
+
+impl ResidentChase {
+    /// Chase statistics.
+    pub fn stats(&self) -> &ChaseStats {
+        &self.stats
+    }
+
+    /// Number of surviving branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Did every branch fail (query inconsistent with the constraints)?
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// The resident branches.
+    pub fn branches(&self) -> &[ResidentBranch] {
+        &self.branches
+    }
+
+    /// Take ownership of the resident branches (for memoization).
+    pub fn into_branches(self) -> Vec<ResidentBranch> {
+        self.branches
+    }
+
+    /// The surviving branches as queries named `{name}_up{i}` — the same
+    /// queries [`UniversalPlan::branches`] would hold.
+    pub fn branch_queries(&self, name: &str) -> Vec<ConjunctiveQuery> {
+        self.branches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b.to_query(&format!("{name}_up{i}")))
+            .collect()
+    }
+
+    /// Convert to a [`UniversalPlan`] (thaws nothing; renders each branch).
+    pub fn into_universal_plan(self, name: &str) -> UniversalPlan {
+        let branches = self.branch_queries(name);
+        let renamings = self.branches.into_iter().map(|b| b.renaming).collect();
+        UniversalPlan { branches, renamings, stats: self.stats }
+    }
+}
+
+/// Chase `query` to a *resident* result (see [`ResidentChase`]) with an
+/// already-compiled dependency set. Identical chase to
+/// [`chase_to_universal_plan_compiled`]; only the result form differs — the
+/// branches keep their warm instances instead of flattening to queries.
+pub fn chase_to_resident_compiled(
+    query: &ConjunctiveQuery,
+    compiled: &CompiledDeps,
+    options: &ChaseOptions,
+) -> ResidentChase {
+    let (done, stats) =
+        run_chase_branches(vec![Branch::from_query(query)], compiled, options, None);
+    freeze_done(done, stats)
+}
+
+/// Resume a chase from resident branches, each extended with extra atoms —
+/// the resident counterpart of [`chase_branches_with_atoms_compiled`].
+///
+/// Each seed is thawed (its warm indexes, statistics and scan ledgers carry
+/// over without any rebuild), watermarked at its pre-insert relation lengths,
+/// and grown by the renamed `extra` atoms; only the dependency cone of the
+/// inserted predicates starts dirty, exactly as in the re-parsing resume
+/// path.
+pub fn chase_resident_with_atoms_compiled(
+    seeds: &[ResidentBranch],
+    extra: &[Atom],
+    compiled: &CompiledDeps,
+    options: &ChaseOptions,
+) -> ResidentChase {
+    let (compiled_deds, _, _) = compiled.for_chase(options.use_shortcut);
+    let initial: Vec<Branch> = seeds
+        .iter()
+        .map(|seed| {
+            let mut b = seed.thaw();
+            // The seed is at fixpoint: watermark every dependency at the
+            // pre-insert relation lengths so the dirty ones join only the
+            // delta (the inserted atoms and their consequences).
+            if options.semi_naive {
+                b.marks = compiled_deds.iter().map(|d| d.premise_watermarks(&b.inst)).collect();
+            }
+            for a in extra {
+                b.inst.insert_atom(&b.renaming.apply_atom_deep(a));
+            }
+            b
+        })
+        .collect();
+    let dirty: HashSet<Predicate> = extra.iter().map(|a| a.predicate).collect();
+    let (done, stats) = run_chase_branches(initial, compiled, options, Some(&dirty));
+    freeze_done(done, stats)
+}
+
+/// Freeze finished branches into a [`ResidentChase`].
+fn freeze_done(done: Vec<Branch>, stats: ChaseStats) -> ResidentChase {
+    let branches = done
+        .into_iter()
+        .map(|b| ResidentBranch {
+            inst: b.inst.freeze(),
+            head: b.head,
+            inequalities: b.inequalities,
+            renaming: b.renaming,
+        })
+        .collect();
+    ResidentChase { branches, stats }
+}
+
 /// What chasing one branch to quiescence produced.
 enum BranchOutcome {
     /// Reached a fixpoint (or ran out of budget — `completed` is cleared in
@@ -619,6 +793,22 @@ fn run_chase(
     options: &ChaseOptions,
     initial_dirty: Option<&HashSet<Predicate>>,
 ) -> UniversalPlan {
+    let (done, stats) = run_chase_branches(initial, deps, options, initial_dirty);
+    let branches =
+        done.iter().enumerate().map(|(i, b)| b.to_query(&format!("{name}_up{i}"))).collect();
+    let renamings = done.iter().map(|b| b.renaming.clone()).collect();
+    UniversalPlan { branches, renamings, stats }
+}
+
+/// The worklist driver behind [`run_chase`], returning the finished branches
+/// themselves (live instances included) so resident callers can freeze them
+/// instead of flattening to queries.
+fn run_chase_branches(
+    initial: Vec<Branch>,
+    deps: &CompiledDeps,
+    options: &ChaseOptions,
+    initial_dirty: Option<&HashSet<Predicate>>,
+) -> (Vec<Branch>, ChaseStats) {
     let start = Instant::now();
     let (compiled, closure, index) = deps.for_chase(options.use_shortcut);
 
@@ -666,10 +856,7 @@ fn run_chase(
     }
 
     stats.duration = start.elapsed();
-    let branches =
-        done.iter().enumerate().map(|(i, b)| b.to_query(&format!("{name}_up{i}"))).collect();
-    let renamings = done.iter().map(|b| b.renaming.clone()).collect();
-    UniversalPlan { branches, renamings, stats }
+    (done, stats)
 }
 
 #[cfg(test)]
@@ -798,6 +985,99 @@ mod tests {
         use mars_cq::containment::containment_mapping;
         assert!(containment_mapping(seeded.primary(), scratch.primary()).is_some());
         assert!(containment_mapping(scratch.primary(), seeded.primary()).is_some());
+    }
+
+    /// The resident resume path (thawed frozen instances) reaches a universal
+    /// plan homomorphically equivalent to both the re-parsing resume path and
+    /// the from-scratch chase, and confirms completion the same way.
+    #[test]
+    fn resident_chase_matches_seeded_and_scratch_chase() {
+        let q_sub = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let opts = ChaseOptions::default();
+        let compiled = CompiledDeps::new(std::slice::from_ref(&ind));
+
+        let resident = chase_to_resident_compiled(&q_sub, &compiled, &opts);
+        assert!(resident.stats().completed);
+        assert_eq!(resident.len(), 1);
+        assert!(!resident.is_empty());
+
+        let extra = Atom::named("A", vec![t("y"), t("w")]);
+        let resumed = chase_resident_with_atoms_compiled(
+            resident.branches(),
+            std::slice::from_ref(&extra),
+            &compiled,
+            &opts,
+        );
+        let scratch = chase_to_universal_plan_compiled(
+            &q_sub.clone().with_atom(extra.clone()),
+            &compiled,
+            &opts,
+        );
+        let seeds: Vec<(ConjunctiveQuery, Substitution)> = {
+            let up = chase_to_universal_plan_compiled(&q_sub, &compiled, &opts);
+            up.branches.into_iter().zip(up.renamings).collect()
+        };
+        let seeded = chase_branches_with_atoms_compiled(
+            &seeds,
+            std::slice::from_ref(&extra),
+            "S",
+            &compiled,
+            &opts,
+        );
+        assert!(resumed.stats().completed && scratch.stats.completed && seeded.stats.completed);
+        let resumed_q = &resumed.branch_queries("S")[0];
+        assert_eq!(resumed_q.body.len(), scratch.primary().body.len());
+        assert_eq!(resumed_q.body.len(), seeded.primary().body.len());
+        use mars_cq::containment::containment_mapping;
+        for other in [scratch.primary(), seeded.primary()] {
+            assert!(containment_mapping(resumed_q, other).is_some());
+            assert!(containment_mapping(other, resumed_q).is_some());
+        }
+        // The resident form converts to a universal plan with the same
+        // naming scheme as the query-level API.
+        let as_plan = resumed.into_universal_plan("S");
+        assert_eq!(as_plan.branches[0].name, "S_up0");
+        assert_eq!(as_plan.renamings.len(), as_plan.branches.len());
+    }
+
+    /// A resident seed is a true fixpoint resume: inserting nothing fires
+    /// nothing (the freeze/thaw pair preserving warm indexes without
+    /// rebuilds is unit-tested in `instance::tests`).
+    #[test]
+    fn resident_resume_is_a_fixpoint_resume() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let compiled = CompiledDeps::new(std::slice::from_ref(&ind));
+        let opts = ChaseOptions::default();
+        let resident = chase_to_resident_compiled(&q, &compiled, &opts);
+        let extra = Atom::named("A", vec![t("y"), t("w")]);
+        let resumed = chase_resident_with_atoms_compiled(
+            resident.branches(),
+            std::slice::from_ref(&extra),
+            &compiled,
+            &opts,
+        );
+        assert!(resumed.stats().completed);
+        // A resume that inserts nothing fires nothing: the seed really is at
+        // fixpoint and the dirty-cone restriction sees an empty delta.
+        let noop = chase_resident_with_atoms_compiled(resident.branches(), &[], &compiled, &opts);
+        assert!(noop.stats().completed);
+        assert_eq!(noop.stats().applied_steps, 0, "fixpoint seed plus nothing fires nothing");
     }
 
     /// The per-branch renaming records EGD unifications, so atoms phrased

@@ -357,6 +357,114 @@ impl SymbolicInstance {
     pub fn max_variable_index(&self) -> u32 {
         self.variables().into_iter().map(|v| v.index).max().unwrap_or(0)
     }
+
+    /// Freeze the instance into an immutable, thread-shareable snapshot that
+    /// keeps the warm state — cached column indexes, distinct statistics and
+    /// the scan-work ledgers — alongside the tuples. The inverse is
+    /// [`FrozenInstance::thaw`].
+    pub fn freeze(self) -> FrozenInstance {
+        let relations = self
+            .relations
+            .into_iter()
+            .map(|(p, rel)| {
+                (
+                    p,
+                    FrozenRelation {
+                        tuples: rel.tuples,
+                        set: rel.set,
+                        indexes: rel.indexes.into_inner(),
+                        builds: rel.builds.get(),
+                        distinct: rel.distinct,
+                        scan_work: rel.scan_work.into_inner(),
+                    },
+                )
+            })
+            .collect();
+        FrozenInstance { relations, atom_count: self.atom_count }
+    }
+}
+
+/// An immutable snapshot of one [`Relation`]: the same tuples, cached column
+/// indexes, distinct statistics and scan-work ledger, but in plain containers
+/// with no interior mutability — so the snapshot is `Sync` and can be shared
+/// by reference across the backchase worker threads.
+#[derive(Clone, Debug)]
+struct FrozenRelation {
+    tuples: Vec<Vec<Term>>,
+    set: HashSet<Vec<Term>>,
+    indexes: HashMap<Vec<usize>, ColumnIndex>,
+    builds: usize,
+    distinct: Vec<HashSet<Term>>,
+    scan_work: HashMap<Vec<usize>, usize>,
+}
+
+/// An immutable, thread-shareable snapshot of a [`SymbolicInstance`].
+///
+/// Freezing preserves everything the chase warmed up — persistent column
+/// indexes, exact distinct statistics and the adaptive planner's scan-work
+/// ledgers — so a back-chase that resumes from a frozen seed starts with hot
+/// access paths instead of re-deriving them from a re-parsed query. Thawing
+/// restores a fully live [`SymbolicInstance`] without counting any index
+/// (re)build: the indexes are copied, not reconstructed.
+#[derive(Clone, Debug, Default)]
+pub struct FrozenInstance {
+    relations: HashMap<Predicate, FrozenRelation>,
+    atom_count: usize,
+}
+
+impl FrozenInstance {
+    /// Restore a live instance from the snapshot. Cached indexes, statistics
+    /// and scan ledgers carry over verbatim; nothing is rebuilt and no build
+    /// counter (process-wide or per-relation) advances.
+    pub fn thaw(&self) -> SymbolicInstance {
+        let relations = self
+            .relations
+            .iter()
+            .map(|(p, rel)| {
+                (
+                    *p,
+                    Relation {
+                        tuples: rel.tuples.clone(),
+                        set: rel.set.clone(),
+                        indexes: RefCell::new(rel.indexes.clone()),
+                        builds: std::cell::Cell::new(rel.builds),
+                        distinct: rel.distinct.clone(),
+                        scan_work: RefCell::new(rel.scan_work.clone()),
+                    },
+                )
+            })
+            .collect();
+        SymbolicInstance { relations, atom_count: self.atom_count }
+    }
+
+    /// Total number of atoms (tuples) in the snapshot.
+    pub fn len(&self) -> usize {
+        self.atom_count
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.atom_count == 0
+    }
+
+    /// Convert the snapshot to a query with the given name, head and
+    /// inequalities — same deterministic atom order as
+    /// [`SymbolicInstance::to_query`].
+    pub fn to_query(
+        &self,
+        name: &str,
+        head: Vec<Term>,
+        inequalities: Vec<(Term, Term)>,
+    ) -> ConjunctiveQuery {
+        let mut atoms = Vec::with_capacity(self.atom_count);
+        for (p, rel) in &self.relations {
+            for t in &rel.tuples {
+                atoms.push(Atom::new(*p, t.clone()));
+            }
+        }
+        atoms.sort_by(|a, b| (a.predicate.name(), &a.args).cmp(&(b.predicate.name(), &b.args)));
+        ConjunctiveQuery { name: name.to_string(), head, body: atoms, inequalities }
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +665,40 @@ mod tests {
         assert_eq!(rel.scan_work(&[0]), 12);
         assert_eq!(rel.scan_work(&[1]), 2);
         assert_eq!(rel.scan_work(&[0, 1]), 0);
+    }
+
+    /// Freeze/thaw is the resident-reuse contract: a thawed instance carries
+    /// the frozen one's warm indexes, statistics and scan ledgers verbatim —
+    /// no index is rebuilt and the build counters do not move.
+    #[test]
+    fn freeze_thaw_preserves_indexes_without_rebuilds() {
+        let mut inst = SymbolicInstance::new();
+        inst.insert_atom(&child(t("a"), t("x")));
+        inst.insert_atom(&child(t("a"), t("y")));
+        inst.insert_atom(&child(t("b"), t("x")));
+        let p = mars_cq::Predicate::new("child");
+        let _ = inst.relation_data(p).unwrap().index(&[0]);
+        inst.relation_data(p).unwrap().note_scan_work(&[1], 9);
+        assert_eq!(inst.relation_data(p).unwrap().index_builds(), 1);
+
+        let frozen = inst.freeze();
+        assert_eq!(frozen.len(), 3);
+        assert!(!frozen.is_empty());
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.len(), 3);
+        let rel = thawed.relation_data(p).unwrap();
+        // The cached index came across as data: probing it is not a build.
+        assert!(rel.has_index(&[0]));
+        assert_eq!(rel.index_builds(), 1, "thaw copies indexes, it does not rebuild them");
+        assert_eq!(rel.index(&[0]).get(&vec![t("a")]), Some(&vec![0, 1]));
+        assert_eq!(rel.index_builds(), 1);
+        // Statistics and the scan ledger survive too.
+        assert_eq!(rel.distinct_in_column(0), 2);
+        assert_eq!(rel.scan_work(&[1]), 9);
+        // The frozen form converts to the same deterministic query.
+        let q1 = frozen.to_query("Q", vec![], vec![]);
+        let q2 = thawed.to_query("Q", vec![], vec![]);
+        assert_eq!(q1.body, q2.body);
     }
 
     #[test]

@@ -56,14 +56,16 @@ pub mod shortcut;
 pub use backchase::{backchase, BackchaseOptions, BackchaseOutcome};
 pub use cb::{CbOptions, CbStatistics, ChaseBackchase, ReformulationResult};
 pub use chase::{
-    chase_branches_with_atoms, chase_branches_with_atoms_compiled, chase_to_universal_plan,
-    chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, UniversalPlan,
+    chase_branches_with_atoms, chase_branches_with_atoms_compiled,
+    chase_resident_with_atoms_compiled, chase_to_resident_compiled, chase_to_universal_plan,
+    chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, ResidentBranch, ResidentChase,
+    UniversalPlan,
 };
 pub use compiled::{compilation_count, CompiledConclusion, CompiledDed, CompiledDeps};
 pub use evaluate::{
     evaluate_bindings, evaluate_bindings_delta, evaluate_bindings_delta_with,
     evaluate_bindings_with, satisfiable, satisfiable_with, Binding, JoinPlanner,
 };
-pub use instance::{index_build_count, Relation, SymbolicInstance};
+pub use instance::{index_build_count, FrozenInstance, Relation, SymbolicInstance};
 pub use reach::{prune_parallel_desc, ReachabilityGraph};
 pub use shortcut::{detect_closure_constraints, ClosureConstraints};

@@ -356,7 +356,7 @@ mod tests {
     #[test]
     fn xic_constraint_2_compiles_like_the_paper() {
         // ∀p //person(p) → ∃s ./ssn(p,s)
-        let xic = Xic::exists_child("person_has_ssn", "people.xml", "//person", "./ssn");
+        let xic = Xic::exists_child("person_has_ssn", "people.xml", "//person", "./ssn").unwrap();
         let mut ctx = CompileContext::new();
         let ded = compile_xic(&mut ctx, &xic);
         let s = GrexSchema::new("people.xml");
@@ -373,7 +373,7 @@ mod tests {
 
     #[test]
     fn xic_key_compiles_to_an_egd() {
-        let xic = Xic::key("ssn_key", "people.xml", "//person", "./ssn");
+        let xic = Xic::key("ssn_key", "people.xml", "//person", "./ssn").unwrap();
         let mut ctx = CompileContext::new();
         let ded = compile_xic(&mut ctx, &xic);
         assert!(ded.is_egd());

@@ -14,11 +14,23 @@
 //! 4. the chosen reformulation is rendered as an executable query (SQL for
 //!    relational storage, XBind for native XML storage) and can be executed
 //!    against the `mars-storage` substrates.
+//!
+//! For resident deployments the [`MarsService`] wraps a compiled system with
+//! a shape-keyed [`PlanCache`]: repeated query templates that differ only in
+//! constants skip the Chase & Backchase and are answered by re-substituting
+//! the fresh constants into the cached reformulation. Degenerate inputs
+//! surface as structured [`MarsError`]s rather than panics.
 
 #![deny(missing_docs)]
 
+pub mod cache;
+pub mod error;
 pub mod result;
+pub mod service;
 pub mod system;
 
+pub use cache::{CacheStats, PlanCache};
+pub use error::MarsError;
 pub use result::{BlockReformulation, MarsResult};
+pub use service::MarsService;
 pub use system::{Mars, MarsOptions, SchemaCorrespondence};

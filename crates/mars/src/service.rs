@@ -1,0 +1,239 @@
+//! Reformulation as a service: a [`Mars`] system behind a shape-keyed
+//! [`PlanCache`].
+//!
+//! A deployed MARS instance is resident: the schema correspondence is
+//! compiled once and then millions of client queries arrive against it, most
+//! of them instances of a few templates that differ only in constants. The
+//! service normalizes each arrival to its [`QueryShape`](mars_xquery::QueryShape)
+//! (variables alpha-renamed, non-reserved constants parameterized out) and
+//! answers repeats from the cache by re-substituting the fresh constants into
+//! the cached reformulation — skipping the chase & backchase entirely. The
+//! re-substituted warm answer is byte-identical to what a cold run would
+//! produce (property-tested in `tests/property_based.rs`).
+//!
+//! Entries are scoped to the system's [fingerprint](Mars::fingerprint); use
+//! [`MarsService::replace`] when the correspondence changes and the stale
+//! entries are invalidated rather than served.
+//!
+//! The service is `Sync`: one instance can be shared across request threads
+//! (`&MarsService` handles), which is how the `experiments --serve` harness
+//! drives it.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::error::MarsError;
+use crate::result::{BlockReformulation, MarsResult};
+use crate::system::Mars;
+use mars_xquery::{decorrelate, parse_xquery, shape_of, XBindQuery};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A resident [`Mars`] system with a plan cache (see the module docs).
+pub struct MarsService {
+    mars: Mars,
+    cache: PlanCache,
+    fingerprint: u64,
+    reserved: HashSet<String>,
+}
+
+impl MarsService {
+    /// Wrap a compiled system. The fingerprint and the reserved-constant set
+    /// (the constants [`shape_of`] must keep literal) are computed once here.
+    pub fn new(mars: Mars) -> MarsService {
+        let fingerprint = mars.fingerprint();
+        let reserved = mars.reserved_constants();
+        MarsService { mars, cache: PlanCache::new(), fingerprint, reserved }
+    }
+
+    /// The wrapped system.
+    pub fn mars(&self) -> &Mars {
+        &self.mars
+    }
+
+    /// The fingerprint cache entries are currently scoped to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Swap in a rebuilt system (the schema correspondence or the options
+    /// changed). The fingerprint and reserved constants are recomputed and
+    /// every cache entry of the old fingerprint is invalidated.
+    pub fn replace(&mut self, mars: Mars) {
+        self.fingerprint = mars.fingerprint();
+        self.reserved = mars.reserved_constants();
+        self.mars = mars;
+        self.cache.invalidate_except(self.fingerprint);
+    }
+
+    /// Reformulate one navigation block through the cache: a shape hit
+    /// re-substitutes the cached plan with this query's constants, a miss
+    /// runs [`Mars::try_reformulate_xbind`] cold and caches the result.
+    /// Degenerate blocks surface the same [`MarsError`]s as the cold path.
+    pub fn reformulate_xbind(&self, xbind: &XBindQuery) -> Result<BlockReformulation, MarsError> {
+        let shape = shape_of(xbind, &self.reserved);
+        if let Some(hit) = self.cache.lookup(&shape, self.fingerprint) {
+            return Ok(hit);
+        }
+        let block = self.mars.try_reformulate_xbind(xbind)?;
+        self.cache.insert(shape, self.fingerprint, block.clone());
+        Ok(block)
+    }
+
+    /// Reformulate a full client XQuery (text) through the cache: parse,
+    /// decorrelate, and run every navigation block through
+    /// [`MarsService::reformulate_xbind`]. Atomless blocks (decorrelation
+    /// produces one for constant-only return templates) bypass the cache and
+    /// the degenerate-input checks — they are legitimate there, not client
+    /// errors.
+    pub fn reformulate_xquery(
+        &self,
+        xquery: &str,
+        default_document: &str,
+    ) -> Result<MarsResult, MarsError> {
+        let ast = parse_xquery(xquery)?;
+        let dec = decorrelate(&ast, default_document);
+        let start = Instant::now();
+        let mut blocks = Vec::with_capacity(dec.blocks.len());
+        for b in &dec.blocks {
+            if b.atoms.is_empty() {
+                blocks.push(self.mars.reformulate_xbind(b));
+            } else {
+                blocks.push(self.reformulate_xbind(b)?);
+            }
+        }
+        Ok(MarsResult { decorrelated: dec, blocks, total: start.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SchemaCorrespondence;
+    use mars_grex::ViewDef;
+    use mars_xml::parse_path;
+    use mars_xquery::{XBindAtom, XBindTerm};
+
+    fn correspondence() -> SchemaCorrespondence {
+        let body =
+            XBindQuery::new("PubMap").with_head(&["t", "a"]).with_atom(XBindAtom::Relational {
+                relation: "bookRel".to_string(),
+                args: vec![XBindTerm::var("t"), XBindTerm::var("a")],
+            });
+        let gav = ViewDef::xml_flat("PubMap", body, "bib.xml", "book", &["title", "author"]);
+        let lav_body = XBindQuery::new("AuthorsMap")
+            .with_head(&["a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            });
+        let lav = ViewDef::relational("authorsCache", lav_body);
+        SchemaCorrespondence {
+            public_documents: vec!["bib.xml".to_string()],
+            gav_views: vec![gav],
+            lav_views: vec![lav],
+            proprietary_relations: vec!["bookRel".to_string()],
+            ..Default::default()
+        }
+    }
+
+    fn title_filter(title: &str) -> XBindQuery {
+        XBindQuery::new("Client")
+            .with_head(&["a"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./title/text()").unwrap(),
+                source: "b".to_string(),
+                var: "t".to_string(),
+            })
+            .with_atom(XBindAtom::RelativePath {
+                path: parse_path("./author/text()").unwrap(),
+                source: "b".to_string(),
+                var: "a".to_string(),
+            })
+            .with_atom(XBindAtom::Eq(XBindTerm::var("t"), XBindTerm::str(title)))
+    }
+
+    /// The service is shared by reference across request threads.
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<MarsService>();
+    }
+
+    /// The second arrival of a template (same shape, different constant) is a
+    /// cache hit whose SQL carries the *new* constant.
+    #[test]
+    fn constants_only_repeat_is_a_hit_with_fresh_constants() {
+        let service = MarsService::new(Mars::new(correspondence()));
+        let cold = service.reformulate_xbind(&title_filter("First Title")).unwrap();
+        assert!(cold.sql.as_ref().unwrap().contains("First Title"));
+        let warm = service.reformulate_xbind(&title_filter("Second Title")).unwrap();
+        assert!(warm.sql.as_ref().unwrap().contains("Second Title"));
+        assert!(!warm.sql.as_ref().unwrap().contains("First Title"));
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    /// Degenerate inputs surface the structured errors of the cold path and
+    /// are never cached.
+    #[test]
+    fn degenerate_blocks_error_and_are_not_cached() {
+        let service = MarsService::new(Mars::new(correspondence()));
+        let empty = XBindQuery::new("E").with_head(&["x"]);
+        assert!(matches!(service.reformulate_xbind(&empty), Err(MarsError::EmptyBlock { .. })));
+        assert_eq!(service.cache_stats().entries, 0);
+    }
+
+    /// Replacing the system invalidates entries scoped to the old
+    /// fingerprint; the next arrival reformulates cold against the new one.
+    #[test]
+    fn replace_invalidates_stale_plans() {
+        let mut service = MarsService::new(Mars::new(correspondence()));
+        service.reformulate_xbind(&title_filter("T")).unwrap();
+        assert_eq!(service.cache_stats().entries, 1);
+        let old_fp = service.fingerprint();
+
+        let mut changed = correspondence();
+        changed.proprietary_relations.push("extraRel".to_string());
+        service.replace(Mars::new(changed));
+        assert_ne!(service.fingerprint(), old_fp);
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.invalidations, 1);
+        // The template still reformulates — cold, under the new fingerprint.
+        let again = service.reformulate_xbind(&title_filter("T")).unwrap();
+        assert!(again.result.has_reformulation());
+        assert_eq!(service.cache_stats().entries, 1);
+    }
+
+    /// The full-XQuery service path parses, caches per block, and reports
+    /// parse errors as `MarsError`.
+    #[test]
+    fn xquery_path_goes_through_the_cache() {
+        let service = MarsService::new(Mars::new(correspondence()));
+        let text = "for $b in //book $a in $b/author/text() return <writer>$a</writer>";
+        let cold = service.reformulate_xquery(text, "bib.xml").unwrap();
+        assert_eq!(cold.blocks.len(), 1);
+        let warm = service.reformulate_xquery(text, "bib.xml").unwrap();
+        assert!(warm.blocks[0].result.has_reformulation());
+        assert!(service.cache_stats().hits >= 1);
+        assert!(matches!(
+            service.reformulate_xquery("for $b in", "bib.xml"),
+            Err(MarsError::Parse(_))
+        ));
+    }
+}

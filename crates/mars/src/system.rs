@@ -1,9 +1,10 @@
 //! The MARS system: schema correspondence compilation and query reformulation.
 
+use crate::error::MarsError;
 use crate::result::{BlockReformulation, MarsResult};
 use mars_chase::{CbOptions, ChaseBackchase, JoinPlanner};
 use mars_cost::{CostEstimator, WeightedAtomEstimator};
-use mars_cq::{ConjunctiveQuery, Ded, Predicate};
+use mars_cq::{ConjunctiveQuery, Constant, Ded, Predicate, Term};
 use mars_grex::{
     compile_view, compile_xbind, compile_xic, tix_constraints_core, CompileContext, GrexSchema,
     ViewDef,
@@ -11,7 +12,9 @@ use mars_grex::{
 use mars_specialize::{specialize_query, specialize_view, specialize_xic, SpecializationMapping};
 use mars_storage::sql_for_query;
 use mars_xquery::{decorrelate, parse_xquery, XBindAtom, XBindQuery, Xic};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -216,6 +219,63 @@ impl Mars {
         &self.correspondence
     }
 
+    /// A digest of everything a reformulation depends on besides the query
+    /// itself: the compiled dependency set, the proprietary-schema predicates
+    /// and the pipeline options. Two systems with equal fingerprints
+    /// reformulate identical inputs identically, so the fingerprint is the
+    /// invalidation key of the [`crate::PlanCache`] — rebuilding the system
+    /// from a changed correspondence changes the fingerprint and strands
+    /// every cached plan of the old one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for d in self.engine.deds() {
+            d.to_string().hash(&mut h);
+        }
+        let mut proprietary: Vec<&str> = self.engine.proprietary.iter().map(|p| p.name()).collect();
+        proprietary.sort_unstable();
+        proprietary.hash(&mut h);
+        format!("{:?}", self.options).hash(&mut h);
+        h.finish()
+    }
+
+    /// Every string constant the compiled dependency set mentions, plus all
+    /// document names of the correspondence. These constants are *structural*:
+    /// the chase joins a client query's constants against them, so the plan
+    /// cache must never parameterize them out of a query shape (see
+    /// [`mars_xquery::shape_of`]).
+    pub fn reserved_constants(&self) -> HashSet<String> {
+        fn push(out: &mut HashSet<String>, t: &Term) {
+            if let Term::Const(c @ Constant::Str(_)) = t {
+                out.insert(c.render());
+            }
+        }
+        let mut out = HashSet::new();
+        for d in self.engine.deds() {
+            for a in &d.premise {
+                for t in &a.args {
+                    push(&mut out, t);
+                }
+            }
+            for (a, b) in &d.premise_inequalities {
+                push(&mut out, a);
+                push(&mut out, b);
+            }
+            for c in &d.conclusions {
+                for atom in &c.atoms {
+                    for t in &atom.args {
+                        push(&mut out, t);
+                    }
+                }
+                for (a, b) in &c.equalities {
+                    push(&mut out, a);
+                    push(&mut out, b);
+                }
+            }
+        }
+        out.extend(self.correspondence.all_documents());
+        out
+    }
+
     fn compile(
         corr: &SchemaCorrespondence,
         options: &MarsOptions,
@@ -318,13 +378,34 @@ impl Mars {
         }
     }
 
+    /// [`Mars::reformulate_xbind`] with the degenerate inputs rejected up
+    /// front: a correspondence that compiled to nothing, a block with no
+    /// atoms, and an unsafe block (head variable unbound in the body) each
+    /// surface as a structured [`MarsError`] instead of a meaningless run.
+    /// This is the entry point resident services should use.
+    pub fn try_reformulate_xbind(
+        &self,
+        xbind: &XBindQuery,
+    ) -> Result<BlockReformulation, MarsError> {
+        if self.engine.deds().is_empty() && self.engine.proprietary.is_empty() {
+            return Err(MarsError::EmptyCorrespondence);
+        }
+        if xbind.atoms.is_empty() {
+            return Err(MarsError::EmptyBlock { block: xbind.name.clone() });
+        }
+        if !xbind.is_safe() {
+            return Err(MarsError::UnsafeBlock { block: xbind.name.clone() });
+        }
+        Ok(self.reformulate_xbind(xbind))
+    }
+
     /// Reformulate a full client XQuery (text): parse, decorrelate, and
     /// reformulate every navigation block.
     pub fn reformulate_xquery(
         &self,
         xquery: &str,
         default_document: &str,
-    ) -> Result<MarsResult, mars_xquery::XQueryParseError> {
+    ) -> Result<MarsResult, MarsError> {
         let ast = parse_xquery(xquery)?;
         let dec = decorrelate(&ast, default_document);
         let start = Instant::now();
@@ -556,6 +637,85 @@ mod tests {
         let block = mars.reformulate_xbind(&client);
         assert!(block.result.has_reformulation());
         assert!(block.result.minimal.len() <= 1, "greedy yields at most one reformulation");
+    }
+
+    /// Regression: unparsable XQuery used to surface as the raw parser error
+    /// type; it is now a [`MarsError::Parse`] like every other degenerate
+    /// input, so resident callers handle one error enum.
+    #[test]
+    fn parse_errors_surface_as_mars_error() {
+        let mars = Mars::new(mini_correspondence());
+        let err = mars.reformulate_xquery("for $b in", "bib.xml").unwrap_err();
+        assert!(matches!(err, MarsError::Parse(_)), "got {err}");
+        assert!(!err.to_string().is_empty());
+    }
+
+    /// Regression: a block with no atoms has nothing to reformulate; the
+    /// checked entry point reports it instead of running a meaningless chase.
+    #[test]
+    fn empty_block_is_a_structured_error() {
+        let mars = Mars::new(mini_correspondence());
+        let empty = XBindQuery::new("E").with_head(&["x"]);
+        let err = mars.try_reformulate_xbind(&empty).unwrap_err();
+        assert_eq!(err, MarsError::EmptyBlock { block: "E".to_string() });
+    }
+
+    /// Regression: an unsafe block (head variable unbound in the body) is a
+    /// client error, reported as such by the checked entry point.
+    #[test]
+    fn unsafe_block_is_a_structured_error() {
+        let mars = Mars::new(mini_correspondence());
+        let unsafe_q =
+            XBindQuery::new("U").with_head(&["nowhere"]).with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: "b".to_string(),
+            });
+        let err = mars.try_reformulate_xbind(&unsafe_q).unwrap_err();
+        assert_eq!(err, MarsError::UnsafeBlock { block: "U".to_string() });
+    }
+
+    /// Regression: a default (zero-view, zero-document) correspondence
+    /// compiles to nothing; the checked entry point says so instead of
+    /// reformulating against an empty dependency set.
+    #[test]
+    fn zero_view_correspondence_is_a_structured_error() {
+        let mars = Mars::new(SchemaCorrespondence::default());
+        let q = XBindQuery::new("Q").with_head(&["b"]).with_atom(XBindAtom::AbsolutePath {
+            document: "bib.xml".to_string(),
+            path: parse_path("//book").unwrap(),
+            var: "b".to_string(),
+        });
+        let err = mars.try_reformulate_xbind(&q).unwrap_err();
+        assert_eq!(err, MarsError::EmptyCorrespondence);
+    }
+
+    /// The fingerprint is stable for equal systems and moves when the
+    /// correspondence (and hence the compiled dependency set) changes.
+    #[test]
+    fn fingerprint_tracks_the_compiled_correspondence() {
+        let a = Mars::new(mini_correspondence());
+        let b = Mars::new(mini_correspondence());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut changed = mini_correspondence();
+        changed.proprietary_relations.push("extraRel".to_string());
+        assert_ne!(a.fingerprint(), Mars::new(changed).fingerprint());
+
+        let other_options =
+            Mars::with_options(mini_correspondence(), MarsOptions::default().exhaustive());
+        assert_ne!(a.fingerprint(), other_options.fingerprint(), "options are fingerprinted too");
+    }
+
+    /// Reserved constants are the structural ones: document names and every
+    /// constant the compiled dependency set mentions (tag names like `book`).
+    #[test]
+    fn reserved_constants_cover_documents_and_schema_tags() {
+        let mars = Mars::new(mini_correspondence());
+        let reserved = mars.reserved_constants();
+        assert!(reserved.contains("bib.xml"));
+        assert!(reserved.contains("book"), "view-output tag names are structural");
+        assert!(!reserved.contains("some client value"));
     }
 
     #[test]

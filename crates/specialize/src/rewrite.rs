@@ -285,7 +285,8 @@ mod tests {
         assert!(matches!(sview.output, mars_grex::ViewOutput::Relation { .. }));
 
         let xic =
-            mars_xquery::Xic::exists_child("author_has_name", "pubs.xml", "//author", "./name");
+            mars_xquery::Xic::exists_child("author_has_name", "pubs.xml", "//author", "./name")
+                .unwrap();
         let sxic = specialize_xic(&xic, &m);
         // The premise //author(p) specializes to Author(p, ...).
         assert!(

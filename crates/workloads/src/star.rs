@@ -160,6 +160,7 @@ impl StarConfig {
     /// The key XIC on `R.K` (the constraint that makes view rewritings valid).
     pub fn key_constraint(&self) -> Xic {
         Xic::key("R_key", &self.document(), "//R", "./K/text()")
+            .expect("literal star key paths parse")
     }
 
     /// DTD single-occurrence constraints of the star document: each hub has
@@ -170,11 +171,14 @@ impl StarConfig {
     /// cross-product of equivalent patterns.
     pub fn dtd_constraints(&self) -> Vec<Xic> {
         let doc = self.document();
-        let mut out = vec![Xic::unique_child("R_one_K", &doc, "//R", "./K")];
+        let one = |name: &str, elements: &str, child: &str| {
+            Xic::unique_child(name, &doc, elements, child).expect("literal star DTD paths parse")
+        };
+        let mut out = vec![one("R_one_K", "//R", "./K")];
         for i in 1..=self.nc {
-            out.push(Xic::unique_child(&format!("R_one_A{i}"), &doc, "//R", &format!("./A{i}")));
-            out.push(Xic::unique_child(&format!("S{i}_one_A"), &doc, &format!("//S{i}"), "./A"));
-            out.push(Xic::unique_child(&format!("S{i}_one_B"), &doc, &format!("//S{i}"), "./B"));
+            out.push(one(&format!("R_one_A{i}"), "//R", &format!("./A{i}")));
+            out.push(one(&format!("S{i}_one_A"), &format!("//S{i}"), "./A"));
+            out.push(one(&format!("S{i}_one_B"), &format!("//S{i}"), "./B"));
         }
         out
     }
@@ -191,6 +195,7 @@ impl StarConfig {
                     &format!("//S{i}"),
                     "./A/text()",
                 )
+                .expect("literal star foreign-key paths parse")
             })
             .collect()
     }

@@ -21,11 +21,13 @@
 pub mod ast;
 pub mod decorrelate;
 pub mod parser;
+pub mod shape;
 pub mod xbind;
 pub mod xic;
 
 pub use ast::{Condition, ForBinding, SourceExpr, XQueryExpr};
 pub use decorrelate::{decorrelate, DecorrelatedQuery, TaggingTemplate, TemplateNode};
 pub use parser::{parse_xquery, XQueryParseError};
+pub use shape::{shape_of, QueryShape};
 pub use xbind::{XBindAtom, XBindQuery, XBindTerm};
 pub use xic::{Xic, XicConjunct};

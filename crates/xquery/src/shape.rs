@@ -1,0 +1,218 @@
+//! Query *shape* normalization for the plan cache.
+//!
+//! A resident reformulation service sees millions of arrivals of the same
+//! query *templates* with different constants. The shape of an
+//! [`XBindQuery`] is the query with its variables alpha-renamed (first
+//! occurrence order) and its non-reserved constants parameterized out — two
+//! queries that differ only in constant values share a shape, so the second
+//! arrival can reuse the first one's reformulation with the constants
+//! re-substituted.
+//!
+//! Two correctness subtleties the normalization must respect:
+//!
+//! * **Implicit equality joins.** The *same* constant appearing twice is an
+//!   implicit join (both occurrences must carry the same value), while two
+//!   *distinct* constants are independent parameters. Parameter indices are
+//!   therefore assigned per distinct constant **value**: `Eq(x,"a"),
+//!   Eq(y,"a")` normalizes to `eq(v0,?0) eq(v1,?0)` but `Eq(x,"a"),
+//!   Eq(y,"b")` to `eq(v0,?0) eq(v1,?1)` — different keys, never conflated.
+//! * **Reserved constants.** Constants that also appear in the schema
+//!   correspondence (tag names, document names, specialization labels) are
+//!   part of the query's *structure*: the chase joins them against the
+//!   dependency set, so substituting a different value would change the
+//!   reformulation. They stay literal in the key and are never parameterized.
+
+use crate::xbind::{XBindAtom, XBindQuery, XBindTerm};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// The normal form of an [`XBindQuery`]: the cache key plus the concrete
+/// values abstracted out of it, in a deterministic order so a cache hit can
+/// re-substitute them pairwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryShape {
+    /// The canonical rendering: block name, head, distinct flag and atoms
+    /// with variables alpha-renamed to `v0, v1, …` and non-reserved
+    /// constants replaced by `?0, ?1, …` (one parameter per distinct value).
+    pub key: String,
+    /// The distinct non-reserved constant values, in parameter order
+    /// (`constants[i]` is the value of `?i`).
+    pub constants: Vec<String>,
+    /// The original variable names, in alpha-renaming order
+    /// (`variables[i]` is the name `v{i}` stands for).
+    pub variables: Vec<String>,
+}
+
+/// State threaded through the canonical rendering.
+struct Normalizer<'a> {
+    reserved: &'a HashSet<String>,
+    vars: HashMap<String, usize>,
+    var_order: Vec<String>,
+    params: HashMap<String, usize>,
+    param_order: Vec<String>,
+}
+
+impl<'a> Normalizer<'a> {
+    fn var(&mut self, name: &str) -> String {
+        let next = self.vars.len();
+        let i = *self.vars.entry(name.to_string()).or_insert(next);
+        if i == next && self.var_order.len() == next {
+            self.var_order.push(name.to_string());
+        }
+        format!("v{i}")
+    }
+
+    fn constant(&mut self, value: &str) -> String {
+        if self.reserved.contains(value) {
+            // Structural constant: keep it literal (escaped so a value can
+            // never collide with the surrounding syntax).
+            return format!("{value:?}");
+        }
+        let next = self.params.len();
+        let i = *self.params.entry(value.to_string()).or_insert(next);
+        if i == next && self.param_order.len() == next {
+            self.param_order.push(value.to_string());
+        }
+        format!("?{i}")
+    }
+
+    fn term(&mut self, t: &XBindTerm) -> String {
+        match t {
+            XBindTerm::Var(v) => self.var(v),
+            XBindTerm::Str(s) => self.constant(s),
+        }
+    }
+
+    fn atom(&mut self, a: &XBindAtom) -> String {
+        match a {
+            XBindAtom::AbsolutePath { document, path, var } => {
+                format!("doc({document:?})[{path}]({})", self.var(var))
+            }
+            XBindAtom::RelativePath { path, source, var } => {
+                format!("rel[{path}]({},{})", self.var(source), self.var(var))
+            }
+            XBindAtom::QueryRef { name, vars } => {
+                let vs: Vec<String> = vars.iter().map(|v| self.var(v)).collect();
+                format!("ref {name}({})", vs.join(","))
+            }
+            XBindAtom::Relational { relation, args } => {
+                let ts: Vec<String> = args.iter().map(|t| self.term(t)).collect();
+                format!("{relation}({})", ts.join(","))
+            }
+            XBindAtom::Eq(a, b) => format!("eq({},{})", self.term(a), self.term(b)),
+            XBindAtom::Neq(a, b) => format!("neq({},{})", self.term(a), self.term(b)),
+        }
+    }
+}
+
+/// Normalize a query to its [`QueryShape`].
+///
+/// `reserved` holds the constant values that are structural for the current
+/// schema correspondence (see the module docs); everything else is
+/// parameterized out. The walk order (head, then atoms in order) is the
+/// deterministic first-occurrence order both the variable alpha-renaming and
+/// the constant parameter numbering follow.
+pub fn shape_of(q: &XBindQuery, reserved: &HashSet<String>) -> QueryShape {
+    let mut n = Normalizer {
+        reserved,
+        vars: HashMap::new(),
+        var_order: Vec::new(),
+        params: HashMap::new(),
+        param_order: Vec::new(),
+    };
+    let head: Vec<String> = q.head.iter().map(|v| n.var(v)).collect();
+    let atoms: Vec<String> = q.atoms.iter().map(|a| n.atom(a)).collect();
+    let key = format!(
+        "{name}{distinct}({head}) :- {atoms}",
+        name = q.name,
+        distinct = if q.distinct { " distinct" } else { "" },
+        head = head.join(","),
+        atoms = atoms.join(" & "),
+    );
+    QueryShape { key, constants: n.param_order, variables: n.var_order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xbind::example_2_1;
+    use mars_xml::parse_path;
+
+    fn reserved() -> HashSet<String> {
+        HashSet::new()
+    }
+
+    fn filter_query(name: &str, var: &str, c1: &str, c2: &str) -> XBindQuery {
+        XBindQuery::new(name)
+            .with_head(&[var, "y"])
+            .with_atom(XBindAtom::AbsolutePath {
+                document: "bib.xml".to_string(),
+                path: parse_path("//book").unwrap(),
+                var: var.to_string(),
+            })
+            .with_atom(XBindAtom::Eq(XBindTerm::var(var), XBindTerm::str(c1)))
+            .with_atom(XBindAtom::Eq(XBindTerm::var("y"), XBindTerm::str(c2)))
+    }
+
+    #[test]
+    fn constants_are_parameterized_out() {
+        let a = shape_of(&filter_query("Q", "x", "k1", "k2"), &reserved());
+        let b = shape_of(&filter_query("Q", "x", "zz", "ww"), &reserved());
+        assert_eq!(a.key, b.key, "queries differing only in constants share a shape");
+        assert_eq!(a.constants, vec!["k1", "k2"]);
+        assert_eq!(b.constants, vec!["zz", "ww"]);
+    }
+
+    #[test]
+    fn variables_are_alpha_renamed() {
+        let a = shape_of(&filter_query("Q", "x", "k", "k2"), &reserved());
+        let b = shape_of(&filter_query("Q", "renamed", "k", "k2"), &reserved());
+        assert_eq!(a.key, b.key, "alpha-renaming erases variable names");
+        assert_eq!(a.variables, vec!["x", "y"]);
+        assert_eq!(b.variables, vec!["renamed", "y"]);
+    }
+
+    /// The same constant twice is an implicit equality join; two distinct
+    /// constants are two parameters. The shapes must differ.
+    #[test]
+    fn repeated_constant_is_not_conflated_with_distinct_constants() {
+        let joined = shape_of(&filter_query("Q", "x", "same", "same"), &reserved());
+        let split = shape_of(&filter_query("Q", "x", "one", "two"), &reserved());
+        assert_ne!(joined.key, split.key);
+        assert_eq!(joined.constants, vec!["same"]);
+        assert_eq!(split.constants, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn reserved_constants_stay_literal() {
+        let mut r = HashSet::new();
+        r.insert("k1".to_string());
+        let shape = shape_of(&filter_query("Q", "x", "k1", "k2"), &r);
+        assert!(shape.key.contains("\"k1\""), "reserved value is structural: {}", shape.key);
+        assert_eq!(shape.constants, vec!["k2"], "only the free constant is a parameter");
+        // A different value in the reserved position is a different shape.
+        let other = shape_of(&filter_query("Q", "x", "other", "k2"), &r);
+        assert_ne!(shape.key, other.key);
+    }
+
+    #[test]
+    fn block_name_head_and_distinct_are_part_of_the_key() {
+        let base = filter_query("Q", "x", "k", "k2");
+        let renamed_block = filter_query("R", "x", "k", "k2");
+        let distinct = filter_query("Q", "x", "k", "k2").with_distinct();
+        let r = reserved();
+        assert_ne!(shape_of(&base, &r).key, shape_of(&renamed_block, &r).key);
+        assert_ne!(shape_of(&base, &r).key, shape_of(&distinct, &r).key);
+    }
+
+    #[test]
+    fn example_2_1_shapes_are_stable() {
+        let (outer, inner) = example_2_1();
+        for q in [&outer, &inner] {
+            let s1 = shape_of(q, &reserved());
+            let s2 = shape_of(q, &reserved());
+            assert_eq!(s1, s2);
+            assert!(s1.constants.is_empty(), "example 2.1 has no client constants");
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! the GReX schema.
 
 use crate::xbind::{XBindAtom, XBindTerm};
-use mars_xml::parse_path;
+use mars_xml::{parse_path, PathError};
 use serde::{Deserialize, Serialize};
 
 /// One disjunct of an XIC conclusion.
@@ -58,27 +58,42 @@ impl Xic {
 
     /// Paper constraint (2): every element reached by `element_path` has a
     /// child reached by `child_path`. E.g. every `//person` has a `./ssn`.
-    pub fn exists_child(name: &str, document: &str, element_path: &str, child_path: &str) -> Xic {
+    ///
+    /// Returns the parse error of the offending path instead of panicking —
+    /// these constructors sit on the public correspondence-building API, so a
+    /// malformed path from a caller must surface as an error, not kill a
+    /// resident service.
+    pub fn exists_child(
+        name: &str,
+        document: &str,
+        element_path: &str,
+        child_path: &str,
+    ) -> Result<Xic, PathError> {
         let premise = vec![XBindAtom::AbsolutePath {
             document: document.to_string(),
-            path: parse_path(element_path).expect("valid element path"),
+            path: parse_path(element_path)?,
             var: "p".to_string(),
         }];
         let conclusion = XicConjunct::atoms(vec![XBindAtom::RelativePath {
-            path: parse_path(child_path).expect("valid child path"),
+            path: parse_path(child_path)?,
             source: "p".to_string(),
             var: "s".to_string(),
         }])
         .with_exists(&["s"]);
-        Xic::new(name, premise, vec![conclusion])
+        Ok(Xic::new(name, premise, vec![conclusion]))
     }
 
     /// Paper constraint (1): the value reached by `key_path` is a key for the
     /// elements reached by `element_path` — two elements sharing the key value
     /// are equal.
-    pub fn key(name: &str, document: &str, element_path: &str, key_path: &str) -> Xic {
-        let epath = parse_path(element_path).expect("valid element path");
-        let kpath = parse_path(key_path).expect("valid key path");
+    pub fn key(
+        name: &str,
+        document: &str,
+        element_path: &str,
+        key_path: &str,
+    ) -> Result<Xic, PathError> {
+        let epath = parse_path(element_path)?;
+        let kpath = parse_path(key_path)?;
         let premise = vec![
             XBindAtom::AbsolutePath {
                 document: document.to_string(),
@@ -98,7 +113,7 @@ impl Xic {
             XBindAtom::RelativePath { path: kpath, source: "q".to_string(), var: "s".to_string() },
         ];
         let conclusion = XicConjunct::equalities(vec![(XBindTerm::var("p"), XBindTerm::var("q"))]);
-        Xic::new(name, premise, vec![conclusion])
+        Ok(Xic::new(name, premise, vec![conclusion]))
     }
 
     /// DTD-style single-occurrence constraint: every element reached by
@@ -108,12 +123,17 @@ impl Xic {
     /// several sources (e.g. two view unfoldings over the same element)
     /// cannot unify the duplicated nodes and the instance grows with a
     /// cross-product of equivalent navigation patterns.
-    pub fn unique_child(name: &str, document: &str, element_path: &str, child_path: &str) -> Xic {
-        let cpath = parse_path(child_path).expect("valid child path");
+    pub fn unique_child(
+        name: &str,
+        document: &str,
+        element_path: &str,
+        child_path: &str,
+    ) -> Result<Xic, PathError> {
+        let cpath = parse_path(child_path)?;
         let premise = vec![
             XBindAtom::AbsolutePath {
                 document: document.to_string(),
-                path: parse_path(element_path).expect("valid element path"),
+                path: parse_path(element_path)?,
                 var: "p".to_string(),
             },
             XBindAtom::RelativePath {
@@ -124,7 +144,7 @@ impl Xic {
             XBindAtom::RelativePath { path: cpath, source: "p".to_string(), var: "m".to_string() },
         ];
         let conclusion = XicConjunct::equalities(vec![(XBindTerm::var("n"), XBindTerm::var("m"))]);
-        Xic::new(name, premise, vec![conclusion])
+        Ok(Xic::new(name, premise, vec![conclusion]))
     }
 
     /// A foreign-key style inclusion: every value reached by `from_path`
@@ -137,15 +157,15 @@ impl Xic {
         from_path: &str,
         to_elements: &str,
         to_path: &str,
-    ) -> Xic {
+    ) -> Result<Xic, PathError> {
         let premise = vec![
             XBindAtom::AbsolutePath {
                 document: document.to_string(),
-                path: parse_path(from_elements).expect("valid path"),
+                path: parse_path(from_elements)?,
                 var: "e".to_string(),
             },
             XBindAtom::RelativePath {
-                path: parse_path(from_path).expect("valid path"),
+                path: parse_path(from_path)?,
                 source: "e".to_string(),
                 var: "v".to_string(),
             },
@@ -153,17 +173,17 @@ impl Xic {
         let conclusion = XicConjunct::atoms(vec![
             XBindAtom::AbsolutePath {
                 document: document.to_string(),
-                path: parse_path(to_elements).expect("valid path"),
+                path: parse_path(to_elements)?,
                 var: "f".to_string(),
             },
             XBindAtom::RelativePath {
-                path: parse_path(to_path).expect("valid path"),
+                path: parse_path(to_path)?,
                 source: "f".to_string(),
                 var: "v".to_string(),
             },
         ])
         .with_exists(&["f"]);
-        Xic::new(name, premise, vec![conclusion])
+        Ok(Xic::new(name, premise, vec![conclusion]))
     }
 
     /// Is this a denial constraint?
@@ -178,7 +198,7 @@ mod tests {
 
     #[test]
     fn exists_child_matches_paper_constraint_2() {
-        let xic = Xic::exists_child("person_has_ssn", "people.xml", "//person", "./ssn");
+        let xic = Xic::exists_child("person_has_ssn", "people.xml", "//person", "./ssn").unwrap();
         assert_eq!(xic.premise.len(), 1);
         assert_eq!(xic.conclusions.len(), 1);
         assert_eq!(xic.conclusions[0].exists, vec!["s"]);
@@ -188,7 +208,7 @@ mod tests {
 
     #[test]
     fn key_matches_paper_constraint_1() {
-        let xic = Xic::key("ssn_key", "people.xml", "//person", "./ssn");
+        let xic = Xic::key("ssn_key", "people.xml", "//person", "./ssn").unwrap();
         assert_eq!(xic.premise.len(), 4);
         assert_eq!(xic.conclusions[0].equalities.len(), 1);
         assert!(xic.conclusions[0].atoms.is_empty());
@@ -196,7 +216,7 @@ mod tests {
 
     #[test]
     fn unique_child_is_an_equality_constraint() {
-        let xic = Xic::unique_child("R_one_K", "star.xml", "//R", "./K");
+        let xic = Xic::unique_child("R_one_K", "star.xml", "//R", "./K").unwrap();
         assert_eq!(xic.premise.len(), 3);
         assert_eq!(xic.conclusions.len(), 1);
         assert!(xic.conclusions[0].atoms.is_empty());
@@ -205,10 +225,26 @@ mod tests {
 
     #[test]
     fn inclusion_constraint_shape() {
-        let xic = Xic::inclusion("fk_a1", "star.xml", "//R", "./A1/text()", "//S1", "./A/text()");
+        let xic = Xic::inclusion("fk_a1", "star.xml", "//R", "./A1/text()", "//S1", "./A/text()")
+            .unwrap();
         assert_eq!(xic.premise.len(), 2);
         assert_eq!(xic.conclusions[0].atoms.len(), 2);
         assert_eq!(xic.conclusions[0].exists, vec!["f"]);
+    }
+
+    /// Regression: every convenience constructor used to `expect()` on path
+    /// parsing, killing library callers on a malformed path. Each now
+    /// returns the parse error.
+    #[test]
+    fn malformed_paths_are_errors_not_panics() {
+        assert!(Xic::exists_child("x", "d.xml", "//per son", "./ssn").is_err());
+        assert!(Xic::exists_child("x", "d.xml", "//person", "./s sn").is_err());
+        assert!(Xic::key("x", "d.xml", "//@@", "./ssn").is_err());
+        assert!(Xic::key("x", "d.xml", "//person", "").is_err());
+        assert!(Xic::unique_child("x", "d.xml", "//R", "./K//").is_err());
+        assert!(Xic::inclusion("x", "d.xml", "//R", "bad path", "//S", "./A").is_err());
+        let err = Xic::unique_child("x", "d.xml", "//R", "./ /K").unwrap_err();
+        assert!(!err.message.is_empty(), "the path error carries a message");
     }
 
     #[test]

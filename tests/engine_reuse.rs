@@ -154,6 +154,138 @@ fn premise_evaluation_reuses_instance_indexes() {
     );
 }
 
+/// The title-filter client query with a per-request key constant: the
+/// arrival pattern of a resident service (one template, many constants).
+fn title_filter(title: &str) -> XBindQuery {
+    XBindQuery::new("Client")
+        .with_head(&["a"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: "bib.xml".to_string(),
+            path: parse_path("//book").unwrap(),
+            var: "b".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./title/text()").unwrap(),
+            source: "b".to_string(),
+            var: "t".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: parse_path("./author/text()").unwrap(),
+            source: "b".to_string(),
+            var: "a".to_string(),
+        })
+        .with_atom(XBindAtom::Eq(
+            mars_system::xquery::XBindTerm::var("t"),
+            mars_system::xquery::XBindTerm::str(title),
+        ))
+}
+
+/// The plan-cache stats contract: constants-only repeats of a template hit
+/// the cache, a structurally different query misses, and the counters in
+/// `PlanCache::stats()` (surfaced as `MarsService::cache_stats()`) say so.
+#[test]
+fn plan_cache_counts_hits_and_misses() {
+    use mars_system::mars::MarsService;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let service = MarsService::new(Mars::new(correspondence()));
+    let cold = service.reformulate_xbind(&title_filter("alpha")).expect("reformulates");
+    assert!(cold.result.has_reformulation());
+    for key in ["beta", "gamma", "delta"] {
+        let warm = service.reformulate_xbind(&title_filter(key)).expect("reformulates");
+        assert!(warm.sql.as_ref().expect("sql").contains(key), "hit carries the fresh constant");
+    }
+    // A structurally different template (no filter) is its own shape.
+    let other = title_filter("unused");
+    let other = XBindQuery { atoms: other.atoms[..3].to_vec(), ..other };
+    service.reformulate_xbind(&other).expect("reformulates");
+
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 3, "three constants-only repeats");
+    assert_eq!(stats.misses, 2, "two distinct shapes reformulated cold");
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.invalidations, 0);
+}
+
+/// Fingerprint invalidation: replacing the system with one built from a
+/// changed correspondence strands every cached plan — the service counts
+/// the invalidations and reformulates the next arrival cold.
+#[test]
+fn plan_cache_invalidates_on_fingerprint_change() {
+    use mars_system::mars::MarsService;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let mut service = MarsService::new(Mars::new(correspondence()));
+    service.reformulate_xbind(&title_filter("alpha")).expect("reformulates");
+    let old_fingerprint = service.fingerprint();
+    assert_eq!(service.cache_stats().entries, 1);
+
+    let mut changed = correspondence();
+    changed.proprietary_relations.push("auditLog".to_string());
+    service.replace(Mars::new(changed));
+    assert_ne!(service.fingerprint(), old_fingerprint, "the dependency set changed");
+
+    let stats = service.cache_stats();
+    assert_eq!(stats.entries, 0, "stale plans are dropped, not served");
+    assert_eq!(stats.invalidations, 1);
+
+    let again = service.reformulate_xbind(&title_filter("alpha")).expect("reformulates");
+    assert!(again.result.has_reformulation(), "cold reformulation under the new fingerprint");
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 2));
+}
+
+/// Concurrent warm access is deterministic: every thread hammering the same
+/// shared service gets, for each request constant, output identical to every
+/// other thread's and to a cold single-threaded reformulation.
+#[test]
+fn concurrent_warm_cache_access_is_deterministic() {
+    use mars_system::mars::MarsService;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let service = MarsService::new(Mars::new(correspondence()));
+    service.reformulate_xbind(&title_filter("warmup")).expect("reformulates");
+
+    let keys = ["k-one", "k-two", "k-three"];
+    let per_thread: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    keys.iter()
+                        .map(|k| {
+                            let block =
+                                service.reformulate_xbind(&title_filter(k)).expect("reformulates");
+                            format!(
+                                "{} | {:?} | {}",
+                                block.result.universal_plan,
+                                block.result.minimal,
+                                block.sql.as_deref().unwrap_or("-")
+                            )
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    for other in &per_thread[1..] {
+        assert_eq!(&per_thread[0], other, "all threads must observe identical warm plans");
+    }
+
+    // And the warm plans are exactly what a cold system computes.
+    let cold = Mars::new(correspondence());
+    for (i, k) in keys.iter().enumerate() {
+        let block = cold.try_reformulate_xbind(&title_filter(k)).expect("reformulates");
+        let rendered = format!(
+            "{} | {:?} | {}",
+            block.result.universal_plan,
+            block.result.minimal,
+            block.sql.as_deref().unwrap_or("-")
+        );
+        assert_eq!(per_thread[0][i], rendered, "warm output differs from cold for {k}");
+    }
+}
+
 #[test]
 fn star_reformulation_reuses_the_engine_compilation() {
     let _serial = COUNTER_LOCK.lock().unwrap();

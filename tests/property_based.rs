@@ -426,3 +426,164 @@ proptest! {
         }
     }
 }
+
+/// Monotone salt for service-cache properties: every generated request gets
+/// constants never seen by the process before, so each query's constants
+/// first-intern in occurrence order — the regime a resident service sees
+/// (fresh client values arriving over time) and the one the byte-identity
+/// contract of the plan cache is stated for.
+static CONSTANT_SALT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn fresh_constant(tag: &str) -> String {
+    format!("{tag}-{}", CONSTANT_SALT.fetch_add(1, std::sync::atomic::Ordering::SeqCst))
+}
+
+/// The publishing correspondence used across the service-cache properties:
+/// a proprietary table published as `bib.xml` through a GAV view, plus a
+/// LAV cache of the author list.
+fn service_correspondence() -> mars_system::mars::SchemaCorrespondence {
+    use mars_system::xquery::{XBindAtom, XBindQuery, XBindTerm};
+
+    let gav_body =
+        XBindQuery::new("PubMap").with_head(&["t", "a"]).with_atom(XBindAtom::Relational {
+            relation: "bookRel".to_string(),
+            args: vec![XBindTerm::var("t"), XBindTerm::var("a")],
+        });
+    let gav = mars_system::grex::ViewDef::xml_flat(
+        "PubMap",
+        gav_body,
+        "bib.xml",
+        "book",
+        &["title", "author"],
+    );
+    let lav_body = XBindQuery::new("AuthorsMap")
+        .with_head(&["a"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: "bib.xml".to_string(),
+            path: mars_system::xml::parse_path("//book").unwrap(),
+            var: "b".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: mars_system::xml::parse_path("./author/text()").unwrap(),
+            source: "b".to_string(),
+            var: "a".to_string(),
+        });
+    let lav = mars_system::grex::ViewDef::relational("authorsCache", lav_body);
+    mars_system::mars::SchemaCorrespondence {
+        public_documents: vec!["bib.xml".to_string()],
+        gav_views: vec![gav],
+        lav_views: vec![lav],
+        proprietary_relations: vec!["bookRel".to_string()],
+        ..Default::default()
+    }
+}
+
+/// A client template: titles/authors of `bib.xml` filtered on the title
+/// constant `c_title` and (when `filter_author`) on the author constant
+/// `c_author`. Passing the same string for both is the implicit-equality-join
+/// variant: one constant value, used twice.
+fn service_request(
+    c_title: &str,
+    filter_author: bool,
+    c_author: &str,
+) -> mars_system::xquery::XBindQuery {
+    use mars_system::xquery::{XBindAtom, XBindQuery, XBindTerm};
+
+    let mut q = XBindQuery::new("Client")
+        .with_head(&["t", "a"])
+        .with_atom(XBindAtom::AbsolutePath {
+            document: "bib.xml".to_string(),
+            path: mars_system::xml::parse_path("//book").unwrap(),
+            var: "b".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: mars_system::xml::parse_path("./title/text()").unwrap(),
+            source: "b".to_string(),
+            var: "t".to_string(),
+        })
+        .with_atom(XBindAtom::RelativePath {
+            path: mars_system::xml::parse_path("./author/text()").unwrap(),
+            source: "b".to_string(),
+            var: "a".to_string(),
+        })
+        .with_atom(XBindAtom::Eq(XBindTerm::var("t"), XBindTerm::str(c_title)));
+    if filter_author {
+        q = q.with_atom(XBindAtom::Eq(XBindTerm::var("a"), XBindTerm::str(c_author)));
+    }
+    q
+}
+
+/// Everything a client can observe of a block reformulation, rendered to
+/// bytes (durations and wall-clock statistics excluded).
+fn block_bytes(block: &mars_system::mars::BlockReformulation) -> String {
+    format!(
+        "compiled: {}\nuniversal: {}\ninitial: {:?}\nminimal: {:?}\nbest: {:?}\nsql: {:?}",
+        block.compiled,
+        block.result.universal_plan,
+        block.result.initial.as_ref().map(|q| format!("{q}")),
+        block.result.minimal.iter().map(|(q, c)| (format!("{q}"), *c)).collect::<Vec<_>>(),
+        block.result.best.as_ref().map(|(q, c)| (format!("{q}"), *c)),
+        block.sql
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The plan-cache re-substitution contract: a warm hit answered by
+    /// re-substituting fresh constants into the cached plan is byte-identical
+    /// to reformulating the same request cold on a fresh system — across
+    /// single-filter and double-filter templates, including the
+    /// same-constant-twice (implicit equality join) variant.
+    #[test]
+    fn warm_cache_hit_is_byte_identical_to_cold(
+        filter_author in proptest::bool::ANY,
+        join_constants in proptest::bool::ANY,
+    ) {
+        use mars_system::mars::{Mars, MarsService};
+
+        let make_request = || {
+            let title = fresh_constant("title");
+            let author = if join_constants { title.clone() } else { fresh_constant("author") };
+            service_request(&title, filter_author, &author)
+        };
+
+        let service = MarsService::new(Mars::new(service_correspondence()));
+        let first = make_request();
+        service.reformulate_xbind(&first).expect("cold reformulation");
+
+        let second = make_request();
+        let warm = service.reformulate_xbind(&second).expect("warm reformulation");
+        prop_assert!(service.cache_stats().hits >= 1, "the repeat must hit the cache");
+
+        let cold = Mars::new(service_correspondence())
+            .try_reformulate_xbind(&second)
+            .expect("cold reformulation");
+        prop_assert_eq!(block_bytes(&warm), block_bytes(&cold));
+    }
+
+    /// Shape-key separation: the same constant twice (an implicit equality
+    /// join between the two filters) must never be answered from the entry
+    /// of the two-distinct-constants template, or vice versa — they are
+    /// different queries with different answers.
+    #[test]
+    fn joined_and_distinct_constant_templates_never_share_an_entry(
+        joined_first in proptest::bool::ANY,
+    ) {
+        use mars_system::mars::{Mars, MarsService};
+
+        let joined = {
+            let c = fresh_constant("key");
+            service_request(&c, true, &c)
+        };
+        let distinct = service_request(&fresh_constant("key"), true, &fresh_constant("key"));
+        let (a, b) = if joined_first { (&joined, &distinct) } else { (&distinct, &joined) };
+
+        let service = MarsService::new(Mars::new(service_correspondence()));
+        service.reformulate_xbind(a).expect("reformulates");
+        service.reformulate_xbind(b).expect("reformulates");
+        let stats = service.cache_stats();
+        prop_assert_eq!(stats.hits, 0, "the two templates must not be conflated");
+        prop_assert_eq!(stats.entries, 2);
+    }
+}
