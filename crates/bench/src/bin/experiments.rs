@@ -11,6 +11,7 @@ use mars::{MarsOptions, MarsService};
 use mars_bench::{measure_fig5_opts, measure_fig8_threads};
 use mars_chase::{chase_to_universal_plan, ChaseOptions};
 use mars_cq::{naive_chase, ChaseBudget};
+use mars_storage::QueryExecutor;
 use mars_workloads::{example11, star::StarConfig, stress, xmark};
 use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
 use std::collections::HashMap;
@@ -19,7 +20,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
 [--xmark] [--serve] [--all] [--max-nc N] [--threads N] [--serve-batch N] [--serve-requests N] \
-[--fixed-scan-threshold N] [--naive-joins]
+[--fixed-scan-threshold N] [--naive-joins] [--naive-executor]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
 experiment flags, --all is assumed. --max-nc N (default 6) bounds the star
@@ -35,7 +36,10 @@ non-zero if warm throughput does not beat cold. --serve is not part of
 Ablations (results are byte-identical; only join cost changes):
 --fixed-scan-threshold N replaces the adaptive statistics-driven join
 planning with the historical fixed scan threshold, and --naive-joins
-disables the semi-naive delta-seeded joins, across the fig5 sweep.";
+disables the semi-naive delta-seeded joins, across the fig5 sweep.
+--naive-executor runs the savings/xmark reformulated executions through the
+naive relational evaluator instead of the cost-based physical plans (the
+executor ablation; rows are byte-identical either way).";
 
 /// The parsed command line.
 struct Args {
@@ -51,6 +55,10 @@ struct Args {
     fixed_scan_threshold: Option<usize>,
     /// Run the fig5 sweep with naive (full-join) premise evaluation.
     naive_joins: bool,
+    /// Execute the savings/xmark reformulated queries with the naive
+    /// relational evaluator instead of the physical plans (the executor
+    /// ablation).
+    naive_executor: bool,
 }
 
 /// Parse the command line strictly: unknown flags and malformed values are
@@ -67,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         serve_requests: 48,
         fixed_scan_threshold: None,
         naive_joins: false,
+        naive_executor: false,
     };
     let mut serve_flag_seen = false;
     let mut it = args.iter();
@@ -118,6 +127,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             })?);
         } else if arg == "--naive-joins" {
             parsed.naive_joins = true;
+        } else if arg == "--naive-executor" {
+            parsed.naive_executor = true;
         } else if FLAGS.contains(&arg.as_str()) {
             parsed.selected.push(arg.clone());
         } else {
@@ -131,6 +142,15 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     if (parsed.fixed_scan_threshold.is_some() || parsed.naive_joins) && !runs_fig5 {
         return Err(
             "--fixed-scan-threshold / --naive-joins are fig5 ablations; add --fig5 or --all"
+                .to_string(),
+        );
+    }
+    // The executor ablation applies to the savings/xmark executions only.
+    let runs_executions = parsed.selected.is_empty()
+        || parsed.selected.iter().any(|a| a == "--all" || a == "--savings" || a == "--xmark");
+    if parsed.naive_executor && !runs_executions {
+        return Err(
+            "--naive-executor is a savings/xmark ablation; add --savings, --xmark or --all"
                 .to_string(),
         );
     }
@@ -161,7 +181,9 @@ fn main() {
         serve_requests,
         fixed_scan_threshold,
         naive_joins,
+        naive_executor,
     } = parsed;
+    let executor = if naive_executor { QueryExecutor::Naive } else { QueryExecutor::Physical };
     let has = |flag: &str| args.iter().any(|a| a == flag);
     let all = args.is_empty() || has("--all");
     // The fig5 options, with the requested join-strategy ablations applied.
@@ -202,10 +224,10 @@ fn main() {
         timed("old_vs_new", &mut results, &mut old_vs_new);
     }
     if all || has("--savings") {
-        timed("net_savings", &mut results, &mut net_savings);
+        timed("net_savings", &mut results, &mut |r| net_savings(executor, r));
     }
     if all || has("--xmark") {
-        timed("xmark", &mut results, &mut xmark_feasibility);
+        timed("xmark", &mut results, &mut |r| xmark_feasibility(executor, r));
     }
     // Serve mode is opt-in only (it reuses the fig5 workload): run it when
     // requested and gate the exit code on warm beating cold.
@@ -232,6 +254,10 @@ fn main() {
                 None => "adaptive".to_string(),
             },
             "fig5_semi_naive": !naive_joins,
+            "relational_executor": match executor {
+                QueryExecutor::Physical => "physical",
+                QueryExecutor::Naive => "naive",
+            },
             "cpu_cores": detected_cpu_cores(),
             "rustc": rustc_version(),
             "phase_wall_ms": serde_json::Value::Object(phases),
@@ -453,7 +479,7 @@ fn old_vs_new(results: &mut HashMap<String, serde_json::Value>) {
 }
 
 /// Section 4.2: reformulation time vs execution-time saving.
-fn net_savings(results: &mut HashMap<String, serde_json::Value>) {
+fn net_savings(executor: QueryExecutor, results: &mut HashMap<String, serde_json::Value>) {
     println!("\n== Section 4.2: net saving of reformulation (star, small document) ==");
     println!(
         "{:>4} {:>16} {:>20} {:>18} {:>16}",
@@ -478,7 +504,8 @@ fn net_savings(results: &mut HashMap<String, serde_json::Value>) {
         // engine over the materialized views.
         let best = block.result.best_or_initial().cloned();
         let start = Instant::now();
-        let reformulated_rows = best.as_ref().map(|q| db.query(q).len()).unwrap_or(0);
+        let reformulated_rows =
+            best.as_ref().map(|q| db.query_with(q, executor).len()).unwrap_or(0);
         let ref_time = start.elapsed();
 
         let saving = unref_time.as_secs_f64() - (reform_time + ref_time).as_secs_f64();
@@ -501,12 +528,76 @@ fn net_savings(results: &mut HashMap<String, serde_json::Value>) {
         }));
     }
     results.insert("net_savings".to_string(), serde_json::Value::Array(rows));
+    executor_scale_sweep(results);
 }
 
-/// Section 4.2: XMark-based feasibility (average reformulation time).
-fn xmark_feasibility(results: &mut HashMap<String, serde_json::Value>) {
+/// Naive vs physical execution of the star's best reformulation at growing
+/// scale factors (NC fixed at 3; hubs × corner size grow the materialized
+/// views). Both executors must return byte-identical rows — the sweep aborts
+/// otherwise — so the ratio isolates what the plan layer buys.
+fn executor_scale_sweep(results: &mut HashMap<String, serde_json::Value>) {
+    println!("\n-- executor scale sweep (star NC=3, naive vs physical relational execution) --");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>14} {:>9}",
+        "hubs", "corner", "tuples", "naive (ms)", "physical (ms)", "speedup"
+    );
+    let cfg = StarConfig::figure5(3);
+    let mars = cfg.mars(MarsOptions::specialized());
+    let block = mars.reformulate_xbind(&cfg.client_query());
+    let best = block.result.best_or_initial().expect("star query must reformulate");
+    let mut rows = Vec::new();
+    for (hubs, corner) in [(40usize, 30usize), (160, 120), (640, 480), (1600, 1200), (4000, 3000)] {
+        let (_xml, db) = cfg.populate(hubs, corner, 17);
+
+        // Min of 3 per executor: single-shot ms-scale timings jitter ±20 %
+        // on the 1-core container (same protocol as the fig5 record).
+        let mut naive = Vec::new();
+        let mut naive_time = Duration::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            naive = db.query_naive(best);
+            naive_time = naive_time.min(start.elapsed());
+        }
+        let mut physical = Vec::new();
+        let mut physical_time = Duration::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            physical = db.query(best);
+            physical_time = physical_time.min(start.elapsed());
+        }
+
+        assert_eq!(naive, physical, "executors diverged at scale ({hubs}, {corner})");
+        let speedup = naive_time.as_secs_f64() / physical_time.as_secs_f64().max(1e-9);
+        println!(
+            "{:>6} {:>8} {:>8} {:>12.2} {:>14.2} {:>8.2}x",
+            hubs,
+            corner,
+            db.len(),
+            ms(naive_time),
+            ms(physical_time),
+            speedup
+        );
+        rows.push(serde_json::json!({
+            "hubs": hubs,
+            "corner_size": corner,
+            "tuples": db.len(),
+            "rows": physical.len(),
+            "naive_exec_ms": ms(naive_time),
+            "physical_exec_ms": ms(physical_time),
+            "speedup": speedup,
+        }));
+    }
+    results.insert("executor_scale_sweep".to_string(), serde_json::Value::Array(rows));
+}
+
+/// Section 4.2: XMark-based feasibility (average reformulation time), plus
+/// real execution of each reformulation over a populated store with the
+/// selected relational executor (both executors are run and must agree;
+/// `executor` picks which time is the headline `exec_ms`).
+fn xmark_feasibility(executor: QueryExecutor, results: &mut HashMap<String, serde_json::Value>) {
     println!("\n== Section 4.2: XMark-based scenario (reformulation feasibility) ==");
     let system = xmark::mars(true);
+    let (_xml, db) = xmark::populate(300, 120, 200);
     let mut total = Duration::default();
     let mut rows = Vec::new();
     for q in xmark::query_suite() {
@@ -514,17 +605,44 @@ fn xmark_feasibility(results: &mut HashMap<String, serde_json::Value>) {
         let block = system.reformulate_xbind(&q);
         let t = start.elapsed();
         total += t;
+
+        // Execute the chosen reformulation over the materialized views with
+        // both executors; the ablation flag only picks the headline number.
+        let best = block.result.best_or_initial();
+        let (result_rows, naive_ms, physical_ms) = match best {
+            Some(best) => {
+                let start = Instant::now();
+                let naive = db.query_naive(best);
+                let naive_time = start.elapsed();
+                let start = Instant::now();
+                let physical = db.query(best);
+                let physical_time = start.elapsed();
+                assert_eq!(naive, physical, "executors diverged on {}", q.name);
+                (physical.len(), ms(naive_time), ms(physical_time))
+            }
+            None => (0, 0.0, 0.0),
+        };
+        let exec_ms = match executor {
+            QueryExecutor::Naive => naive_ms,
+            QueryExecutor::Physical => physical_ms,
+        };
         println!(
-            "{:<32} {:>10.2} ms   reformulated: {}   minimal: {}",
+            "{:<32} {:>10.2} ms   reformulated: {}   minimal: {}   exec: {:>8.2} ms ({} rows)",
             q.name,
             ms(t),
             block.result.has_reformulation(),
-            block.result.minimal.len()
+            block.result.minimal.len(),
+            exec_ms,
+            result_rows,
         );
         rows.push(serde_json::json!({
             "query": q.name,
             "ms": ms(t),
             "reformulated": block.result.has_reformulation(),
+            "exec_ms": exec_ms,
+            "naive_exec_ms": naive_ms,
+            "physical_exec_ms": physical_ms,
+            "result_rows": result_rows,
         }));
     }
     let avg = total / xmark::query_suite().len() as u32;
@@ -737,5 +855,18 @@ mod tests {
     fn serve_is_not_selected_by_all() {
         let args = parse(&["--all"]).unwrap();
         assert_eq!(args.selected, vec!["--all"]);
+    }
+
+    /// The executor ablation only applies to runs that execute reformulations
+    /// (savings/xmark); accepting it elsewhere would silently do nothing.
+    #[test]
+    fn naive_executor_requires_an_execution_phase() {
+        assert!(parse(&["--fig5", "--naive-executor"]).is_err());
+        assert!(parse(&["--serve", "--naive-executor"]).is_err());
+        assert!(parse(&["--savings", "--naive-executor"]).unwrap().naive_executor);
+        assert!(parse(&["--xmark", "--naive-executor"]).unwrap().naive_executor);
+        assert!(parse(&["--all", "--naive-executor"]).unwrap().naive_executor);
+        assert!(parse(&["--naive-executor"]).unwrap().naive_executor, "bare run implies --all");
+        assert!(!parse(&["--savings"]).unwrap().naive_executor);
     }
 }

@@ -199,6 +199,44 @@ impl Relation {
     pub fn scan_work(&self, cols: &[usize]) -> usize {
         self.scan_work.borrow().get(cols).copied().unwrap_or(0)
     }
+
+    /// Arity of the relation as observed from its tuples (0 while empty —
+    /// arity is fixed at the first insert).
+    pub fn arity(&self) -> usize {
+        self.distinct.len()
+    }
+}
+
+/// The chase side of the shared statistics catalog (`mars_cost`): the
+/// symbolic instance exposes its incrementally maintained exact counters —
+/// tuple counts, per-column distincts, scan-work ledgers — through the same
+/// trait the storage layer implements, so the physical planner and the cost
+/// estimators read either substrate interchangeably. Maintenance stays here
+/// (insert updates in place, EGD rewrites rebuild); the trait is read-only.
+impl mars_cost::StatisticsCatalog for SymbolicInstance {
+    fn tuple_count(&self, relation: Predicate) -> usize {
+        self.relation_len(relation)
+    }
+
+    fn column_count(&self, relation: Predicate) -> usize {
+        self.relation_data(relation).map(|r| r.arity()).unwrap_or(0)
+    }
+
+    fn distinct_in_column(&self, relation: Predicate, col: usize) -> usize {
+        self.relation_data(relation).map(|r| r.distinct_in_column(col)).unwrap_or(0)
+    }
+
+    fn distinct_for_columns(&self, relation: Predicate, cols: &[usize]) -> usize {
+        self.relation_data(relation).map(|r| r.distinct_for_columns(cols)).unwrap_or(1)
+    }
+
+    fn expected_matches(&self, relation: Predicate, cols: &[usize], window: usize) -> usize {
+        self.relation_data(relation).map(|r| r.expected_matches(cols, window)).unwrap_or(window)
+    }
+
+    fn scan_work(&self, relation: Predicate, cols: &[usize]) -> usize {
+        self.relation_data(relation).map(|r| r.scan_work(cols)).unwrap_or(0)
+    }
 }
 
 /// The symbolic database instance associated with a query.

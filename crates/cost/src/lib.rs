@@ -16,15 +16,27 @@
 //!   and sums estimated intermediate-result cardinalities,
 //! * [`WeightedAtomEstimator`], a simple monotone model that charges a weight
 //!   per accessed atom (descendant navigation costlier than child navigation),
-//!   used by unit tests and by backchase pruning criterion 1.
+//!   used by unit tests and by backchase pruning criterion 1,
+//! * the [`StatisticsCatalog`] trait — the shared read interface to the exact
+//!   per-relation counters (tuple counts, per-column distincts, scan ledgers)
+//!   that both the chase's symbolic instance and the storage layer maintain
+//!   incrementally on insert,
+//! * [`physical_plan`], the logical→physical compiler turning a conjunctive
+//!   query into an executable operator tree (pruned scans with constant
+//!   pushdown, statistics-ordered hash joins with chosen build sides,
+//!   residual filters, project/distinct) — executed by `mars-storage`.
 
 pub mod catalog;
 pub mod estimator;
 pub mod join_order;
+pub mod physical;
+pub mod stats;
 
 pub use catalog::{Catalog, RelationStats};
 pub use estimator::{fold_atom_costs, CostEstimator, WeightedAtomEstimator};
 pub use join_order::{JoinOrderEstimator, JoinPlan};
+pub use physical::{physical_plan, BuildSide, Operand, PhysicalPlan, TableScan};
+pub use stats::StatisticsCatalog;
 
 #[cfg(test)]
 mod tests {

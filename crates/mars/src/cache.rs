@@ -162,7 +162,9 @@ fn resubstitute(
     result.initial = result.initial.as_ref().map(&q);
     result.minimal = result.minimal.iter().map(|(m, c)| (q(m), *c)).collect();
     result.best = result.best.as_ref().map(|(b, c)| (q(b), *c));
-    let sql = result.best_or_initial().map(sql_for_query);
+    // Reformulations are safe (head variables bound in the body), so SQL
+    // rendering cannot fail on them; `.ok()` guards the contract anyway.
+    let sql = result.best_or_initial().and_then(|q| sql_for_query(q).ok());
     BlockReformulation {
         name: block.name.clone(),
         compiled: q(&block.compiled),
@@ -224,7 +226,7 @@ mod tests {
             "r",
             vec![Term::var("x"), Term::constant_str(c0), Term::constant_str(c1)],
         ));
-        let sql = Some(sql_for_query(&q));
+        let sql = sql_for_query(&q).ok();
         BlockReformulation {
             name: "Q".to_string(),
             compiled: q.clone(),

@@ -368,7 +368,9 @@ impl Mars {
         let mut ctx = CompileContext::new();
         let compiled: ConjunctiveQuery = compile_xbind(&mut ctx, &effective);
         let result = self.engine.reformulate(&compiled);
-        let sql = result.best_or_initial().map(sql_for_query);
+        // Reformulations are safe (head variables bound in the body), so SQL
+        // rendering cannot fail on them; `.ok()` guards the contract anyway.
+        let sql = result.best_or_initial().and_then(|q| sql_for_query(q).ok());
         BlockReformulation {
             name: xbind.name.clone(),
             compiled,

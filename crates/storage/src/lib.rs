@@ -5,9 +5,12 @@
 //! them to:
 //!
 //! * [`RelationalDatabase`] — an in-memory relational engine executing
-//!   conjunctive queries with hash joins (and emitting the equivalent SQL
-//!   text), standing in for the commercial RDBMS holding the proprietary
-//!   tables and materialized relational views;
+//!   conjunctive queries through cost-based physical plans (pruned scans
+//!   with constant pushdown, statistics-ordered hash joins — see
+//!   [`mars_cost::physical_plan`] and the [`executor`] module; the naive
+//!   evaluator survives as the [`QueryExecutor::Naive`] ablation) and
+//!   emitting the equivalent SQL text, standing in for the commercial RDBMS
+//!   holding the proprietary tables and materialized relational views;
 //! * [`XmlStore`] — a set of in-memory XML documents with a deliberately
 //!   naive, nested-loop XBind/XQuery evaluator. It plays the role of the
 //!   Galax / Enosys engines in the paper's experiments: executing the
@@ -18,10 +21,11 @@
 //!   and result **tagging** (the sorted-outer-union assembly of the XML result
 //!   from decorrelated binding tables).
 
+pub mod executor;
 pub mod materialize;
 pub mod relational;
 pub mod xml_engine;
 
 pub use materialize::{materialize_view, tag_results};
-pub use relational::{sql_for_query, RelationalDatabase, Row};
+pub use relational::{sql_for_query, QueryExecutor, RelationalDatabase, Row, SqlUnboundVariable};
 pub use xml_engine::{Value, XmlStore};

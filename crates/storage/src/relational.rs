@@ -1,17 +1,42 @@
 //! In-memory relational engine.
 //!
 //! Tables are stored as ground facts in a symbolic instance (the same
-//! representation the chase uses, so the hash-join evaluator is shared), and
+//! representation the chase uses, so the counters behind the shared
+//! [`mars_cost::StatisticsCatalog`] are maintained on every insert), and
 //! conjunctive queries — in particular, the relational parts of MARS
-//! reformulations — execute directly against it. [`sql_for_query`] renders
-//! the SQL text MARS would ship to an external RDBMS.
+//! reformulations — execute directly against it through a cost-based
+//! physical plan ([`RelationalDatabase::plan`], executed by
+//! [`crate::executor`]). The historical naive evaluator survives as the
+//! explicit [`QueryExecutor::Naive`] ablation. [`sql_for_query`] renders the
+//! SQL text MARS would ship to an external RDBMS.
 
+use crate::executor::execute_plan;
 use mars_chase::{evaluate_bindings, SymbolicInstance};
-use mars_cq::{Atom, ConjunctiveQuery, Predicate, Substitution, Term};
+use mars_cost::{physical_plan, PhysicalPlan, StatisticsCatalog};
+use mars_cq::{Atom, ConjunctiveQuery, Predicate, Substitution, Term, Variable};
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// A result row: one value per head term.
 pub type Row = Vec<Term>;
+
+/// Which evaluator executes a conjunctive query.
+///
+/// Both return the identical row set in the identical (ascending) order —
+/// property-tested byte-for-byte in `tests/property_based.rs` — so the choice
+/// changes execution cost only, mirroring the chase's `with_naive_joins`
+/// ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueryExecutor {
+    /// Compile a cost-based physical plan from the store's exact statistics
+    /// and execute it (the default).
+    #[default]
+    Physical,
+    /// The historical naive path: enumerate bindings with the chase's
+    /// evaluator, then project and deduplicate. Kept as an explicit ablation
+    /// and as the executor correctness oracle.
+    Naive,
+}
 
 /// An in-memory relational database of ground facts.
 #[derive(Clone, Debug, Default)]
@@ -59,19 +84,46 @@ impl RelationalDatabase {
         self.inst.relation(Predicate::new(relation)).len()
     }
 
-    /// Execute a conjunctive query, returning the (deduplicated) head rows.
+    /// Compile `q` into a physical plan against this store's exact
+    /// statistics (see [`mars_cost::physical_plan`]). The rendered plan is
+    /// golden-snapshot-tested (`tests/golden/plans/`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a body-less query (nothing to scan); [`Self::query`]
+    /// handles that degenerate case without planning.
+    pub fn plan(&self, q: &ConjunctiveQuery) -> PhysicalPlan {
+        physical_plan(q, &self.inst)
+    }
+
+    /// Execute a conjunctive query with the default (physical) executor.
+    ///
+    /// Returns the deduplicated head rows in **ascending row order** — the
+    /// engine's deterministic output contract, identical for every
+    /// [`QueryExecutor`] and every planner choice.
     pub fn query(&self, q: &ConjunctiveQuery) -> Vec<Row> {
+        self.query_with(q, QueryExecutor::Physical)
+    }
+
+    /// Execute with the naive evaluator (the explicit ablation path).
+    pub fn query_naive(&self, q: &ConjunctiveQuery) -> Vec<Row> {
+        self.query_with(q, QueryExecutor::Naive)
+    }
+
+    /// Execute a conjunctive query with the chosen executor. Both executors
+    /// return the identical rows in the identical (ascending) order.
+    pub fn query_with(&self, q: &ConjunctiveQuery, executor: QueryExecutor) -> Vec<Row> {
+        if executor == QueryExecutor::Physical && !q.body.is_empty() {
+            return execute_plan(&self.plan(q), &self.inst);
+        }
+        // Naive path (and the body-less degenerate case): enumerate bindings,
+        // project the head, deduplicate into ascending order. Rows move into
+        // the set (no per-row clone).
         let bindings =
             evaluate_bindings(&q.body, &q.inequalities, &self.inst, &Substitution::new());
-        let mut seen: BTreeSet<Row> = BTreeSet::new();
-        let mut out = Vec::new();
-        for b in bindings {
-            let row: Row = q.head.iter().map(|t| b.apply_term(*t)).collect();
-            if seen.insert(row.clone()) {
-                out.push(row);
-            }
-        }
-        out
+        let rows: BTreeSet<Row> =
+            bindings.iter().map(|b| q.head.iter().map(|t| b.apply_term(*t)).collect()).collect();
+        rows.into_iter().collect()
     }
 
     /// Execute and render the rows as strings (for tests and examples).
@@ -90,13 +142,78 @@ impl RelationalDatabase {
     }
 }
 
+/// The storage side of the shared statistics catalog: the database keeps its
+/// facts in the chase's instance representation, so the same exact counters
+/// (tuple counts, per-column distincts, scan ledgers) are maintained on every
+/// insert/load and read here by the physical planner and cost estimators.
+impl StatisticsCatalog for RelationalDatabase {
+    fn tuple_count(&self, relation: Predicate) -> usize {
+        self.inst.tuple_count(relation)
+    }
+
+    fn column_count(&self, relation: Predicate) -> usize {
+        self.inst.column_count(relation)
+    }
+
+    fn distinct_in_column(&self, relation: Predicate, col: usize) -> usize {
+        self.inst.distinct_in_column(relation, col)
+    }
+
+    fn distinct_for_columns(&self, relation: Predicate, cols: &[usize]) -> usize {
+        self.inst.distinct_for_columns(relation, cols)
+    }
+
+    fn expected_matches(&self, relation: Predicate, cols: &[usize], window: usize) -> usize {
+        self.inst.expected_matches(relation, cols, window)
+    }
+
+    fn scan_work(&self, relation: Predicate, cols: &[usize]) -> usize {
+        self.inst.scan_work(relation, cols)
+    }
+}
+
+/// SQL rendering failed: the query uses a variable its body never binds, so
+/// there is no column to name (the engine-side evaluators handle such unsafe
+/// queries; SQL cannot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlUnboundVariable {
+    /// The variable with no binding column.
+    pub variable: Variable,
+    /// Where the variable occurred: `"head"` or `"inequality"`.
+    pub place: &'static str,
+}
+
+impl fmt::Display for SqlUnboundVariable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot render SQL: {} variable {} is not bound by the query body",
+            self.place, self.variable
+        )
+    }
+}
+
+impl std::error::Error for SqlUnboundVariable {}
+
+/// A SQL string literal with embedded single quotes doubled
+/// (`O'Brien` → `'O''Brien'`), so rendered constants cannot produce
+/// malformed SQL.
+fn sql_literal(c: &mars_cq::Constant) -> String {
+    format!("'{}'", c.render().replace('\'', "''"))
+}
+
 /// Render a conjunctive query as the SQL text MARS would send to an RDBMS
 /// (one alias per atom, equi-join predicates from repeated variables,
 /// constant selections from constant arguments).
-pub fn sql_for_query(q: &ConjunctiveQuery) -> String {
+///
+/// Errors with [`SqlUnboundVariable`] if the head or an inequality uses a
+/// variable the body never binds — such unsafe queries execute on the
+/// engine's evaluators but have no SQL rendering (the seed silently rendered
+/// them as `NULL`).
+pub fn sql_for_query(q: &ConjunctiveQuery) -> Result<String, SqlUnboundVariable> {
     let mut from = Vec::new();
     let mut wheres = Vec::new();
-    let mut first_occurrence: Vec<(mars_cq::Variable, String)> = Vec::new();
+    let mut first_occurrence: Vec<(Variable, String)> = Vec::new();
 
     for (i, atom) in q.body.iter().enumerate() {
         let alias = format!("t{i}");
@@ -104,7 +221,7 @@ pub fn sql_for_query(q: &ConjunctiveQuery) -> String {
         for (j, arg) in atom.args.iter().enumerate() {
             let col = format!("{alias}.c{j}");
             match arg {
-                Term::Const(c) => wheres.push(format!("{col} = '{}'", c.render())),
+                Term::Const(c) => wheres.push(format!("{col} = {}", sql_literal(c))),
                 Term::Var(v) => {
                     if let Some((_, prev)) = first_occurrence.iter().find(|(pv, _)| pv == v) {
                         wheres.push(format!("{col} = {prev}"));
@@ -115,34 +232,27 @@ pub fn sql_for_query(q: &ConjunctiveQuery) -> String {
             }
         }
     }
+    let column = |t: &Term, place: &'static str| match t {
+        Term::Const(c) => Ok(sql_literal(c)),
+        Term::Var(v) => first_occurrence
+            .iter()
+            .find(|(pv, _)| pv == v)
+            .map(|(_, c)| c.clone())
+            .ok_or(SqlUnboundVariable { variable: *v, place }),
+    };
     for (a, b) in &q.inequalities {
-        let render = |t: &Term| match t {
-            Term::Const(c) => format!("'{}'", c.render()),
-            Term::Var(v) => first_occurrence
-                .iter()
-                .find(|(pv, _)| pv == v)
-                .map(|(_, c)| c.clone())
-                .unwrap_or_else(|| "NULL".to_string()),
-        };
-        wheres.push(format!("{} <> {}", render(a), render(b)));
+        wheres.push(format!("{} <> {}", column(a, "inequality")?, column(b, "inequality")?));
     }
-    let select: Vec<String> = q
+    let select = q
         .head
         .iter()
-        .map(|t| match t {
-            Term::Const(c) => format!("'{}'", c.render()),
-            Term::Var(v) => first_occurrence
-                .iter()
-                .find(|(pv, _)| pv == v)
-                .map(|(_, c)| c.clone())
-                .unwrap_or_else(|| "NULL".to_string()),
-        })
-        .collect();
+        .map(|t| column(t, "head"))
+        .collect::<Result<Vec<String>, SqlUnboundVariable>>()?;
     let mut sql = format!("SELECT DISTINCT {}\nFROM {}", select.join(", "), from.join(", "));
     if !wheres.is_empty() {
         sql.push_str(&format!("\nWHERE {}", wheres.join("\n  AND ")));
     }
-    sql
+    Ok(sql)
 }
 
 #[cfg(test)]
@@ -165,18 +275,21 @@ mod tests {
         db
     }
 
-    #[test]
-    fn join_query_over_tables() {
-        let db = patient_db();
+    fn case_query() -> ConjunctiveQuery {
         // CaseMap's navigation: join the two tables on the patient name and
         // project the name away.
-        let q = ConjunctiveQuery::new("Case")
+        ConjunctiveQuery::new("Case")
             .with_head(vec![Term::var("diag"), Term::var("drug")])
             .with_body(vec![
                 Atom::named("patientDiag", vec![Term::var("n"), Term::var("diag")]),
                 Atom::named("patientDrug", vec![Term::var("n"), Term::var("drug"), Term::var("u")]),
-            ]);
-        let rows = db.query_strings(&q);
+            ])
+    }
+
+    #[test]
+    fn join_query_over_tables() {
+        let db = patient_db();
+        let rows = db.query_strings(&case_query());
         assert_eq!(rows.len(), 3);
         assert!(rows.contains(&vec!["flu".to_string(), "aspirin".to_string()]));
         assert!(rows.contains(&vec!["asthma".to_string(), "inhaler".to_string()]));
@@ -194,6 +307,9 @@ mod tests {
             .with_inequality(Term::var("drug"), Term::constant_str("aspirin"));
         let rows = db.query_strings(&q);
         assert_eq!(rows, vec![vec!["vitaminC".to_string()]]);
+        // The constant lands in the scan, not a separate filter.
+        let plan = db.plan(&q).to_string();
+        assert!(plan.contains("pushdown=[c2='daily']"), "{plan}");
     }
 
     #[test]
@@ -208,6 +324,36 @@ mod tests {
         assert!(!db.is_empty());
     }
 
+    /// Both executors return byte-identical rows in ascending order — the
+    /// engine's deterministic output contract.
+    #[test]
+    fn physical_and_naive_executors_agree_byte_for_byte() {
+        let db = patient_db();
+        let q = case_query().with_inequality(Term::var("drug"), Term::constant_str("aspirin"));
+        let physical = db.query(&q);
+        let naive = db.query_naive(&q);
+        assert_eq!(physical, naive);
+        let mut sorted = physical.clone();
+        sorted.sort();
+        assert_eq!(physical, sorted, "rows must come back in ascending order");
+        assert_eq!(db.query_with(&q, QueryExecutor::default()), physical);
+    }
+
+    /// The shared statistics catalog is maintained on insert and visible
+    /// through the storage layer.
+    #[test]
+    fn storage_implements_the_statistics_catalog() {
+        let db = patient_db();
+        let p = Predicate::new("patientDrug");
+        assert_eq!(db.tuple_count(p), 3);
+        assert_eq!(db.column_count(p), 3);
+        assert_eq!(db.distinct_in_column(p, 0), 2, "ann appears twice");
+        assert_eq!(db.distinct_in_column(p, 1), 3);
+        assert_eq!(db.distinct_for_columns(p, &[0, 2]), 2);
+        assert_eq!(db.expected_matches(p, &[0], 3), 2);
+        assert_eq!(db.tuple_count(Predicate::new("missing")), 0);
+    }
+
     #[test]
     fn sql_rendering() {
         let q = ConjunctiveQuery::new("Q")
@@ -218,7 +364,7 @@ mod tests {
                 Atom::named("drugPrice", vec![Term::var("drug"), Term::var("price")]),
             ])
             .with_inequality(Term::var("price"), Term::constant_str("0"));
-        let sql = sql_for_query(&q);
+        let sql = sql_for_query(&q).unwrap();
         assert!(sql.starts_with("SELECT DISTINCT t0.c1, t2.c1"));
         assert!(sql.contains("FROM patientDiag AS t0, patientDrug AS t1, drugPrice AS t2"));
         assert!(sql.contains("t1.c0 = t0.c0"));
@@ -231,7 +377,41 @@ mod tests {
         let q = ConjunctiveQuery::new("Q")
             .with_head(vec![Term::var("x")])
             .with_body(vec![Atom::named("child#case.xml", vec![Term::var("p"), Term::var("x")])]);
-        let sql = sql_for_query(&q);
+        let sql = sql_for_query(&q).unwrap();
         assert!(sql.contains("child_case.xml AS t0"));
+    }
+
+    /// Unbound head/inequality variables are a rendering error, not `NULL`.
+    #[test]
+    fn unbound_variables_are_a_sql_error() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("ghost")])
+            .with_body(vec![Atom::named("r", vec![Term::var("x")])]);
+        let err = sql_for_query(&q).unwrap_err();
+        assert_eq!(err.place, "head");
+        assert_eq!(err.variable, Variable::named("ghost"));
+        assert!(err.to_string().contains("not bound"));
+
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![Atom::named("r", vec![Term::var("x")])])
+            .with_inequality(Term::var("x"), Term::var("ghost"));
+        assert_eq!(sql_for_query(&q).unwrap_err().place, "inequality");
+    }
+
+    /// Single quotes in constants are doubled, SQL's escape for literals.
+    #[test]
+    fn quotes_in_constants_are_escaped() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::constant_str("O'Brien")])
+            .with_body(vec![Atom::named(
+                "person",
+                vec![Term::constant_str("O'Brien"), Term::var("x")],
+            )])
+            .with_inequality(Term::var("x"), Term::constant_str("it's"));
+        let sql = sql_for_query(&q).unwrap();
+        assert!(sql.contains("SELECT DISTINCT 'O''Brien'"), "{sql}");
+        assert!(sql.contains("t0.c0 = 'O''Brien'"), "{sql}");
+        assert!(sql.contains("<> 'it''s'"), "{sql}");
     }
 }

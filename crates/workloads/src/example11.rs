@@ -210,6 +210,14 @@ pub fn populate(patients: usize) -> (XmlStore, RelationalDatabase) {
     // Materialize the LAV tuning views.
     materialize_view(&drug_price_map(), &mut xml, &mut db);
     materialize_view(&cache_map(), &mut xml, &mut db);
+    // Ground GReX encodings of the proprietary catalog and the cached
+    // document: reformulations navigate them with `tag#`/`child#`/... atoms,
+    // which the relational executor can only satisfy from loaded facts.
+    for name in [names::CATALOG, names::CACHE] {
+        if let Some(doc) = xml.document(name) {
+            db.load_facts(&mars_grex::encode_document(doc));
+        }
+    }
     (xml, db)
 }
 

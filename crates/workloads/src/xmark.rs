@@ -281,6 +281,15 @@ pub fn populate(people: usize, items: usize, auctions: usize) -> (XmlStore, Rela
     for v in [person_view(), item_view(), auction_view()] {
         materialize_view(&v, &mut xml, &mut db);
     }
+    for m in specializations() {
+        materialize_view(&m.definition_view(), &mut xml, &mut db);
+    }
+    // The auction document is proprietary and published at once; loading its
+    // ground GReX encoding makes navigation-only reformulations executable
+    // on the relational side too.
+    if let Some(doc) = xml.document(AUCTION) {
+        db.load_facts(&mars_grex::encode_document(doc));
+    }
     (xml, db)
 }
 

@@ -56,7 +56,7 @@ fn example_1_1_best_reformulation_sql_is_stable() {
     let system = example11::mars();
     let block = system.reformulate_xbind(&example11::client_query());
     let best = block.result.best_or_initial().expect("example 1.1 must reformulate");
-    assert_matches_golden("example11_best.sql", &sql_for_query(best));
+    assert_matches_golden("example11_best.sql", &sql_for_query(best).expect("safe query"));
 }
 
 #[test]
@@ -65,7 +65,7 @@ fn star_best_reformulation_sql_is_stable() {
     let mars = cfg.mars(MarsOptions::specialized());
     let block = mars.reformulate_xbind(&cfg.client_query());
     let best = block.result.best_or_initial().expect("star query must reformulate");
-    assert_matches_golden("star_nc3_best.sql", &sql_for_query(best));
+    assert_matches_golden("star_nc3_best.sql", &sql_for_query(best).expect("safe query"));
 }
 
 #[test]
@@ -75,5 +75,5 @@ fn star_initial_reformulation_sql_is_stable() {
     let block = mars.reformulate_xbind(&cfg.client_query());
     let initial =
         block.result.initial.as_ref().expect("star query must have an initial reformulation");
-    assert_matches_golden("star_nc3_initial.sql", &sql_for_query(initial));
+    assert_matches_golden("star_nc3_initial.sql", &sql_for_query(initial).expect("safe query"));
 }
