@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
 [--xmark] [--serve] [--all] [--max-nc N] [--threads N] [--serve-batch N] [--serve-requests N] \
-[--fixed-scan-threshold N] [--naive-joins] [--naive-executor]
+[--fixed-scan-threshold N] [--naive-joins] [--scratch-containment] [--naive-executor]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
 experiment flags, --all is assumed. --max-nc N (default 6) bounds the star
@@ -35,8 +35,10 @@ non-zero if warm throughput does not beat cold. --serve is not part of
 --all (it reuses the fig5 workload and is gated separately in CI).
 Ablations (results are byte-identical; only join cost changes):
 --fixed-scan-threshold N replaces the adaptive statistics-driven join
-planning with the historical fixed scan threshold, and --naive-joins
-disables the semi-naive delta-seeded joins, across the fig5 sweep.
+planning with the historical fixed scan threshold, --naive-joins
+disables the semi-naive delta-seeded joins, and --scratch-containment
+disables the cross-candidate containment memo (every candidate's
+containment check runs from scratch), across the fig5 sweep.
 --naive-executor runs the savings/xmark reformulated executions through the
 naive relational evaluator instead of the cost-based physical plans (the
 executor ablation; rows are byte-identical either way).";
@@ -55,6 +57,9 @@ struct Args {
     fixed_scan_threshold: Option<usize>,
     /// Run the fig5 sweep with naive (full-join) premise evaluation.
     naive_joins: bool,
+    /// Run the fig5 sweep with the containment memo disabled (every
+    /// candidate's containment check from scratch).
+    scratch_containment: bool,
     /// Execute the savings/xmark reformulated queries with the naive
     /// relational evaluator instead of the physical plans (the executor
     /// ablation).
@@ -75,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         serve_requests: 48,
         fixed_scan_threshold: None,
         naive_joins: false,
+        scratch_containment: false,
         naive_executor: false,
     };
     let mut serve_flag_seen = false;
@@ -127,6 +133,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             })?);
         } else if arg == "--naive-joins" {
             parsed.naive_joins = true;
+        } else if arg == "--scratch-containment" {
+            parsed.scratch_containment = true;
         } else if arg == "--naive-executor" {
             parsed.naive_executor = true;
         } else if FLAGS.contains(&arg.as_str()) {
@@ -139,11 +147,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     // them for a run that skips fig5 would silently do nothing.
     let runs_fig5 =
         parsed.selected.is_empty() || parsed.selected.iter().any(|a| a == "--all" || a == "--fig5");
-    if (parsed.fixed_scan_threshold.is_some() || parsed.naive_joins) && !runs_fig5 {
-        return Err(
-            "--fixed-scan-threshold / --naive-joins are fig5 ablations; add --fig5 or --all"
-                .to_string(),
-        );
+    if (parsed.fixed_scan_threshold.is_some() || parsed.naive_joins || parsed.scratch_containment)
+        && !runs_fig5
+    {
+        return Err("--fixed-scan-threshold / --naive-joins / --scratch-containment are fig5 \
+                    ablations; add --fig5 or --all"
+            .to_string());
     }
     // The executor ablation applies to the savings/xmark executions only.
     let runs_executions = parsed.selected.is_empty()
@@ -181,6 +190,7 @@ fn main() {
         serve_requests,
         fixed_scan_threshold,
         naive_joins,
+        scratch_containment,
         naive_executor,
     } = parsed;
     let executor = if naive_executor { QueryExecutor::Naive } else { QueryExecutor::Physical };
@@ -194,6 +204,9 @@ fn main() {
         }
         if naive_joins {
             o = o.with_naive_joins();
+        }
+        if scratch_containment {
+            o = o.with_scratch_containment();
         }
         o
     };
@@ -211,8 +224,13 @@ fn main() {
             phase_wall_ms.push((name, ms(start.elapsed())));
         };
 
+    // Summed backchase phase times across the fig5 sweep (None when fig5
+    // did not run), recorded in the run metadata below.
+    let mut fig5_phases: Option<(Duration, Duration)> = None;
     if all || has("--fig5") {
-        timed("fig5", &mut results, &mut |r| fig5(max_nc, threads, &fig5_options, r));
+        timed("fig5", &mut results, &mut |r| {
+            fig5_phases = Some(fig5(max_nc, threads, &fig5_options, r));
+        });
     }
     if all || has("--fig8") {
         timed("fig8", &mut results, &mut |r| fig8(max_nc, threads, r));
@@ -254,6 +272,13 @@ fn main() {
                 None => "adaptive".to_string(),
             },
             "fig5_semi_naive": !naive_joins,
+            "fig5_containment_memo": !scratch_containment,
+            "fig5_backchase_chase_phase_ms":
+                fig5_phases.map(|(c, _)| ms(c)).map(serde_json::Value::from)
+                    .unwrap_or(serde_json::Value::Null),
+            "fig5_backchase_containment_phase_ms":
+                fig5_phases.map(|(_, c)| ms(c)).map(serde_json::Value::from)
+                    .unwrap_or(serde_json::Value::Null),
             "relational_executor": match executor {
                 QueryExecutor::Physical => "physical",
                 QueryExecutor::Naive => "naive",
@@ -299,20 +324,24 @@ fn rustc_version() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// Figure 5: scalability of reformulation.
+/// Figure 5: scalability of reformulation. Returns the backchase chase and
+/// containment phase times summed across the sweep (for the run metadata).
 fn fig5(
     max_nc: usize,
     threads: usize,
     options: &dyn Fn() -> MarsOptions,
     results: &mut HashMap<String, serde_json::Value>,
-) {
+) -> (Duration, Duration) {
     println!(
         "== Figure 5: scalability of reformulation (XML star, NV = NC-1, {threads} thread(s)) =="
     );
     println!("{:>4} {:>18} {:>22} {:>10}", "NC", "initial (ms)", "delta to best (ms)", "#minimal");
     let mut rows = Vec::new();
+    let (mut chase_total, mut containment_total) = (Duration::ZERO, Duration::ZERO);
     for nc in 3..=max_nc {
         let p = measure_fig5_opts(nc, options());
+        chase_total += p.chase_phase;
+        containment_total += p.containment_phase;
         println!(
             "{:>4} {:>18.2} {:>22.2} {:>10}{}",
             p.nc,
@@ -333,9 +362,12 @@ fn fig5(
             "delta_to_best_ms": ms(p.delta_to_best),
             "minimal": p.minimal_count,
             "truncated": p.truncated,
+            "chase_phase_ms": ms(p.chase_phase),
+            "containment_phase_ms": ms(p.containment_phase),
         }));
     }
     results.insert("fig5".to_string(), serde_json::Value::Array(rows));
+    (chase_total, containment_total)
 }
 
 /// Figure 8: effect of schema specialization (ratio without/with).
@@ -855,6 +887,18 @@ mod tests {
     fn serve_is_not_selected_by_all() {
         let args = parse(&["--all"]).unwrap();
         assert_eq!(args.selected, vec!["--all"]);
+    }
+
+    /// The containment ablation is fig5-scoped like the join-strategy
+    /// ablations; accepting it elsewhere would silently do nothing.
+    #[test]
+    fn scratch_containment_requires_fig5() {
+        assert!(parse(&["--serve", "--scratch-containment"]).is_err());
+        assert!(parse(&["--fig8", "--scratch-containment"]).is_err());
+        assert!(parse(&["--fig5", "--scratch-containment"]).unwrap().scratch_containment);
+        assert!(parse(&["--all", "--scratch-containment"]).unwrap().scratch_containment);
+        assert!(parse(&["--scratch-containment"]).unwrap().scratch_containment);
+        assert!(!parse(&["--fig5"]).unwrap().scratch_containment);
     }
 
     /// The executor ablation only applies to runs that execute reformulations

@@ -25,6 +25,11 @@ pub struct Fig5Point {
     /// Whether the backchase hit its candidate budget (the minimal count is
     /// then a lower bound, not the exact enumeration).
     pub truncated: bool,
+    /// Wall time the backchase spent chasing candidate subqueries.
+    pub chase_phase: Duration,
+    /// Wall time the backchase spent in containment checks (homomorphism
+    /// searches plus the containment memo bookkeeping).
+    pub containment_phase: Duration,
 }
 
 /// Run one Figure 5 measurement (specialized compilation, cost-pruned
@@ -56,6 +61,8 @@ pub fn measure_fig5_opts(nc: usize, options: MarsOptions) -> Fig5Point {
         delta_to_best: delta,
         minimal_count: block.result.minimal.len(),
         truncated: block.result.stats.backchase_truncated,
+        chase_phase: block.result.stats.backchase_chase_phase,
+        containment_phase: block.result.stats.backchase_containment_phase,
     }
 }
 

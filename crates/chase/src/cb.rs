@@ -60,6 +60,23 @@ pub struct CbStatistics {
     pub equivalence_checks: usize,
     /// Back-chases resumed from a memoized subset chase.
     pub chase_cache_hits: usize,
+    /// Containment verdicts transferred from a memoized seed branch (no
+    /// homomorphism search ran; see
+    /// [`BackchaseOutcome::containment_success_transfers`]).
+    pub containment_success_transfers: usize,
+    /// Homomorphism searches restricted to the fresh delta of a resumed
+    /// branch (see [`BackchaseOutcome::containment_delta_searches`]).
+    pub containment_delta_searches: usize,
+    /// Candidates whose superset cone was cut after failing to map into a
+    /// universal-plan branch (see
+    /// [`BackchaseOutcome::containment_dead_cone_skips`]).
+    pub containment_dead_cone_skips: usize,
+    /// Backchase wall-clock spent computing candidate costs.
+    pub backchase_cost_phase: Duration,
+    /// Backchase wall-clock spent in back-chases (scratch or resumed).
+    pub backchase_chase_phase: Duration,
+    /// Backchase wall-clock spent in containment (homomorphism) checks.
+    pub backchase_containment_phase: Duration,
     /// `true` when the backchase hit its candidate budget before exhausting
     /// the search space (see [`BackchaseOutcome::truncated`]): the minimal
     /// reformulation set is possibly incomplete.
@@ -200,6 +217,12 @@ impl ChaseBackchase {
             candidates_inspected: bc.candidates_inspected,
             equivalence_checks: bc.equivalence_checks,
             chase_cache_hits: bc.chase_cache_hits,
+            containment_success_transfers: bc.containment_success_transfers,
+            containment_delta_searches: bc.containment_delta_searches,
+            containment_dead_cone_skips: bc.containment_dead_cone_skips,
+            backchase_cost_phase: bc.cost_phase,
+            backchase_chase_phase: bc.chase_phase,
+            backchase_containment_phase: bc.containment_phase,
             backchase_truncated: bc.truncated,
         };
         ReformulationResult { universal_plan, initial, minimal: bc.minimal, best: bc.best, stats }

@@ -10,7 +10,7 @@
 use crate::compiled::{CompiledDed, CompiledDeps, DedIndex};
 use crate::evaluate::JoinPlanner;
 use crate::instance::{FrozenInstance, SymbolicInstance};
-use crate::shortcut::{apply_closure, ClosureConstraints};
+use crate::shortcut::{apply_closure_watermarked, ClosureConstraints, ClosureInputMark};
 use mars_cq::{Atom, Conjunct, ConjunctiveQuery, Ded, Predicate, Substitution, Term, Variable};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -219,6 +219,14 @@ struct Branch {
     fresh: u32,
     /// Rounds consumed on the root-to-leaf path (per-branch round budget).
     rounds: usize,
+    /// Closure-shortcut input watermarks, one per detected group (empty =
+    /// unknown, forcing the first application). Lets [`chase_branch`] skip
+    /// the transitive-closure recomputation on rounds where no
+    /// `child`/`desc`/`el` relation changed.
+    closure_marks: Vec<ClosureInputMark>,
+    /// EGD rewrite epoch: bumped whenever a unification rewrites the
+    /// instance in place (lengths alone then no longer witness "unchanged").
+    rewrites: u64,
 }
 
 impl Branch {
@@ -232,10 +240,13 @@ impl Branch {
             marks: Vec::new(),
             fresh: 0,
             rounds: 0,
+            closure_marks: Vec::new(),
+            rewrites: 0,
         }
     }
 
     fn rename(&mut self, s: &Substitution, index: &DedIndex) {
+        self.rewrites += 1;
         for p in self.inst.apply_substitution(s) {
             index.mark_rewrite(p, &mut self.needs_check, &mut self.marks);
         }
@@ -459,7 +470,7 @@ pub fn chase_branches_with_atoms_compiled(
     compiled: &CompiledDeps,
     options: &ChaseOptions,
 ) -> UniversalPlan {
-    let (compiled_deds, _, _) = compiled.for_chase(options.use_shortcut);
+    let (compiled_deds, closure, _) = compiled.for_chase(options.use_shortcut);
     let initial: Vec<Branch> = seeds
         .iter()
         .map(|(q, renaming)| {
@@ -472,6 +483,12 @@ pub fn chase_branches_with_atoms_compiled(
             // consequences.
             if options.semi_naive {
                 b.marks = compiled_deds.iter().map(|d| d.premise_watermarks(&b.inst)).collect();
+            }
+            // Closure is likewise at fixpoint over the pre-insert relations:
+            // mark it *before* the inserts so the first round only recomputes
+            // groups whose inputs the inserted atoms actually grew.
+            if let Some(c) = closure {
+                b.closure_marks = c.marks_at_fixpoint(&b.inst, b.rewrites);
             }
             for a in extra {
                 b.inst.insert_atom(&renaming.apply_atom_deep(a));
@@ -511,6 +528,19 @@ impl ResidentBranch {
         &self.renaming
     }
 
+    /// The branch head (in branch variable space).
+    pub fn head(&self) -> &[Term] {
+        &self.head
+    }
+
+    /// The frozen instance backing the branch. The backchase reads it to
+    /// assemble containment targets directly from the relations — in
+    /// particular, to partition a resumed branch's atoms into the prefix
+    /// carried over from its memoized seed and the fresh delta.
+    pub fn instance(&self) -> &FrozenInstance {
+        &self.inst
+    }
+
     /// The branch as a query with the given name (deterministic atom order,
     /// as in [`SymbolicInstance::to_query`]).
     pub fn to_query(&self, name: &str) -> ConjunctiveQuery {
@@ -528,6 +558,8 @@ impl ResidentBranch {
             marks: Vec::new(),
             fresh: 0,
             rounds: 0,
+            closure_marks: Vec::new(),
+            rewrites: 0,
         }
     }
 }
@@ -616,7 +648,7 @@ pub fn chase_resident_with_atoms_compiled(
     compiled: &CompiledDeps,
     options: &ChaseOptions,
 ) -> ResidentChase {
-    let (compiled_deds, _, _) = compiled.for_chase(options.use_shortcut);
+    let (compiled_deds, closure, _) = compiled.for_chase(options.use_shortcut);
     let initial: Vec<Branch> = seeds
         .iter()
         .map(|seed| {
@@ -626,6 +658,11 @@ pub fn chase_resident_with_atoms_compiled(
             // delta (the inserted atoms and their consequences).
             if options.semi_naive {
                 b.marks = compiled_deds.iter().map(|d| d.premise_watermarks(&b.inst)).collect();
+            }
+            // Closure fixpoint too: mark before the inserts (see the
+            // re-parsing resume path above).
+            if let Some(c) = closure {
+                b.closure_marks = c.marks_at_fixpoint(&b.inst, b.rewrites);
             }
             for a in extra {
                 b.inst.insert_atom(&b.renaming.apply_atom_deep(a));
@@ -652,11 +689,13 @@ fn freeze_done(done: Vec<Branch>, stats: ChaseStats) -> ResidentChase {
     ResidentChase { branches, stats }
 }
 
-/// What chasing one branch to quiescence produced.
+/// What chasing one branch to quiescence produced. The finished branch is
+/// boxed: a `Branch` carries its instance, watermarks and closure marks
+/// inline, which would otherwise dwarf the other variants.
 enum BranchOutcome {
     /// Reached a fixpoint (or ran out of budget — `completed` is cleared in
     /// the per-branch stats then).
-    Done(Branch),
+    Done(Box<Branch>),
     /// A denial fired or a unification forced a constant clash.
     Failed,
     /// A disjunctive dependency split the branch; the children continue on
@@ -683,7 +722,7 @@ fn chase_branch(
             || options.timeout.map(|t| start.elapsed() > t).unwrap_or(false);
         if over_budget {
             stats.completed = false;
-            return BranchOutcome::Done(branch);
+            return BranchOutcome::Done(Box::new(branch));
         }
         branch.rounds += 1;
         stats.rounds += 1;
@@ -691,15 +730,23 @@ fn chase_branch(
         let mut shortcut_changed = false;
         if let Some(closure) = closure {
             if closure.any() {
-                let added = apply_closure(&mut branch.inst, closure);
+                let added = apply_closure_watermarked(
+                    &mut branch.inst,
+                    closure,
+                    &mut branch.closure_marks,
+                    branch.rewrites,
+                );
                 stats.shortcut_desc_added += added;
                 shortcut_changed = added > 0;
                 if added > 0 {
-                    // The closure inserts navigation atoms behind the
-                    // index's back: conservatively re-check everything (the
-                    // delta watermarks stay valid — closure atoms are
-                    // appended above them).
-                    branch.needs_check.iter_mut().for_each(|n| *n = true);
+                    // The closure inserted `desc` atoms behind the index's
+                    // back: re-check exactly the dependencies whose premise
+                    // mentions a group's `desc` relation — the only ones the
+                    // shortcut can unblock (the delta watermarks stay valid,
+                    // closure atoms are appended above them).
+                    for g in &closure.groups {
+                        index.mark(g.desc_pred(), &mut branch.needs_check);
+                    }
                 }
             }
         }
@@ -707,7 +754,7 @@ fn chase_branch(
         match run_round(&mut branch, compiled, index, stats, options) {
             RoundResult::NoChange => {
                 if !shortcut_changed {
-                    return BranchOutcome::Done(branch);
+                    return BranchOutcome::Done(Box::new(branch));
                 }
             }
             RoundResult::Changed => {}
@@ -847,7 +894,7 @@ fn run_chase_branches(
             stats.failed_branches += s.failed_branches;
             stats.completed &= s.completed;
             match outcome {
-                BranchOutcome::Done(b) => done.push(b),
+                BranchOutcome::Done(b) => done.push(*b),
                 BranchOutcome::Failed => {}
                 BranchOutcome::Split(children) => next.extend(children),
             }

@@ -244,6 +244,7 @@ impl mars_cost::StatisticsCatalog for SymbolicInstance {
 pub struct SymbolicInstance {
     relations: HashMap<Predicate, Relation>,
     atom_count: usize,
+    max_var: u32,
 }
 
 impl SymbolicInstance {
@@ -267,6 +268,11 @@ impl SymbolicInstance {
         let added = rel.insert(atom.args.clone());
         if added {
             self.atom_count += 1;
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    self.max_var = self.max_var.max(v.index);
+                }
+            }
         }
         added
     }
@@ -387,13 +393,27 @@ impl SymbolicInstance {
             count += rel.len();
         }
         self.atom_count = count;
+        // A substitution can erase the highest-indexed variable, so the
+        // cached maximum is recomputed from the rewritten relations.
+        self.max_var = 0;
+        for rel in self.relations.values() {
+            for tuple in rel.tuples() {
+                for t in tuple {
+                    if let Term::Var(v) = t {
+                        self.max_var = self.max_var.max(v.index);
+                    }
+                }
+            }
+        }
         changed
     }
 
     /// Next free variable disambiguator, used when inventing fresh
-    /// (existential) variables during the chase.
+    /// (existential) variables during the chase. Maintained incrementally on
+    /// insertion (and recomputed on substitution), so reading it is free —
+    /// resumed chases consult it per seed branch.
     pub fn max_variable_index(&self) -> u32 {
-        self.variables().into_iter().map(|v| v.index).max().unwrap_or(0)
+        self.max_var
     }
 
     /// Freeze the instance into an immutable, thread-shareable snapshot that
@@ -418,7 +438,7 @@ impl SymbolicInstance {
                 )
             })
             .collect();
-        FrozenInstance { relations, atom_count: self.atom_count }
+        FrozenInstance { relations, atom_count: self.atom_count, max_var: self.max_var }
     }
 }
 
@@ -448,6 +468,7 @@ struct FrozenRelation {
 pub struct FrozenInstance {
     relations: HashMap<Predicate, FrozenRelation>,
     atom_count: usize,
+    max_var: u32,
 }
 
 impl FrozenInstance {
@@ -472,7 +493,7 @@ impl FrozenInstance {
                 )
             })
             .collect();
-        SymbolicInstance { relations, atom_count: self.atom_count }
+        SymbolicInstance { relations, atom_count: self.atom_count, max_var: self.max_var }
     }
 
     /// Total number of atoms (tuples) in the snapshot.
@@ -483,6 +504,28 @@ impl FrozenInstance {
     /// Is the snapshot empty?
     pub fn is_empty(&self) -> bool {
         self.atom_count == 0
+    }
+
+    /// All predicates present (iteration order is not deterministic; use
+    /// [`FrozenInstance::sorted_predicates`] for a stable order).
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Predicates present, sorted by name — the canonical order for
+    /// assembling deterministic atom lists without the per-atom sort of
+    /// [`FrozenInstance::to_query`] (tuples keep their insertion order
+    /// within each predicate, which is what lets a resumed chase branch be
+    /// compared prefix-wise against its seed).
+    pub fn sorted_predicates(&self) -> Vec<Predicate> {
+        let mut ps: Vec<Predicate> = self.relations.keys().copied().collect();
+        ps.sort_by(|a, b| a.name().cmp(b.name()));
+        ps
+    }
+
+    /// Tuples of one predicate in insertion order (empty if absent).
+    pub fn relation(&self, p: Predicate) -> &[Vec<Term>] {
+        self.relations.get(&p).map(|r| r.tuples.as_slice()).unwrap_or(&[])
     }
 
     /// Convert the snapshot to a query with the given name, head and

@@ -53,10 +53,55 @@ pub struct ClosureConstraints {
     pub groups: Vec<ClosureGroup>,
 }
 
+impl ClosureGroup {
+    /// The `desc` predicate this group's shortcut inserts into — the only
+    /// relation [`apply_closure`] ever changes.
+    pub fn desc_pred(&self) -> Predicate {
+        pred_for("desc", &self.document)
+    }
+
+    /// Snapshot of this group's closure *inputs* on `inst`: the lengths of
+    /// the `child`/`desc`/`el` relations plus the branch rewrite epoch. The
+    /// closure output is a pure function of those relations, and relations
+    /// only change by appending (lengths grow) or by an EGD rewrite (epoch
+    /// bumps) — so an unchanged mark proves a recomputation would add
+    /// nothing.
+    fn input_mark(&self, inst: &SymbolicInstance, rewrites: u64) -> ClosureInputMark {
+        ClosureInputMark {
+            child: inst.relation(pred_for("child", &self.document)).len(),
+            desc: inst.relation(self.desc_pred()).len(),
+            el: inst.relation(pred_for("el", &self.document)).len(),
+            rewrites,
+        }
+    }
+}
+
+/// Per-group watermark of the closure shortcut's input relations (see
+/// `ClosureGroup::input_mark`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosureInputMark {
+    child: usize,
+    desc: usize,
+    el: usize,
+    rewrites: u64,
+}
+
 impl ClosureConstraints {
     /// Indices of all detected closure constraints.
     pub fn indices(&self) -> Vec<usize> {
         self.groups.iter().flat_map(|g| [g.base, g.trans, g.refl]).flatten().collect()
+    }
+
+    /// The input marks of every group on an instance already at closure
+    /// fixpoint — the state a resumed chase seeds its branches with, so the
+    /// first rounds skip the closure recomputation until an input relation
+    /// actually changes.
+    pub fn marks_at_fixpoint(
+        &self,
+        inst: &SymbolicInstance,
+        rewrites: u64,
+    ) -> Vec<ClosureInputMark> {
+        self.groups.iter().map(|g| g.input_mark(inst, rewrites)).collect()
     }
 
     /// Were any closure constraints detected?
@@ -235,10 +280,140 @@ fn apply_group(inst: &mut SymbolicInstance, group: &ClosureGroup) -> usize {
     added
 }
 
+/// All terms reachable from `from` (inclusive) over `adj`, in deterministic
+/// DFS order.
+fn reach_with(adj: &HashMap<Term, Vec<Term>>, from: Term) -> Vec<Term> {
+    let mut seen: HashSet<Term> = HashSet::new();
+    seen.insert(from);
+    let mut out = vec![from];
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if let Some(succ) = adj.get(&n) {
+            for &s in succ {
+                if seen.insert(s) {
+                    out.push(s);
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Incremental variant of [`apply_group`] for a group whose input relations
+/// have only *grown* since `mark` was taken at closure fixpoint (same rewrite
+/// epoch, so no tuple was rewritten or removed in between). Every `desc` pair
+/// still missing from the instance must then ride on at least one appended
+/// edge, so for each new edge `(u, v)` the function inserts
+/// `ancestors*(u) × descendants*(v)` over the full edge set instead of
+/// re-running the DFS from every node. Pairs whose paths use several new
+/// edges are caught when their first new edge is processed (the surrounding
+/// reachability runs over the full adjacency), and pairs riding on the
+/// freshly *inserted* `desc` atoms are subsumed because each such atom stands
+/// for a path that already exists edge-by-edge in the adjacency. The inserted
+/// atom set is therefore exactly the one a full [`apply_group`] would add.
+fn apply_group_incremental(
+    inst: &mut SymbolicInstance,
+    group: &ClosureGroup,
+    mark: &ClosureInputMark,
+) -> usize {
+    let desc_pred = group.desc_pred();
+    let child_pred = pred_for("child", &group.document);
+    let el_pred = pred_for("el", &group.document);
+
+    let mut fwd: HashMap<Term, Vec<Term>> = HashMap::new();
+    let mut rev: HashMap<Term, Vec<Term>> = HashMap::new();
+    let mut new_edges: Vec<(Term, Term)> = Vec::new();
+    if group.base.is_some() || group.trans.is_some() {
+        for (i, tup) in inst.relation(child_pred).iter().enumerate() {
+            fwd.entry(tup[0]).or_default().push(tup[1]);
+            rev.entry(tup[1]).or_default().push(tup[0]);
+            if i >= mark.child {
+                new_edges.push((tup[0], tup[1]));
+            }
+        }
+        for (i, tup) in inst.relation(desc_pred).iter().enumerate() {
+            fwd.entry(tup[0]).or_default().push(tup[1]);
+            rev.entry(tup[1]).or_default().push(tup[0]);
+            if i >= mark.desc {
+                new_edges.push((tup[0], tup[1]));
+            }
+        }
+    }
+
+    let mut added = 0usize;
+    if group.trans.is_some() {
+        for &(u, v) in &new_edges {
+            let sources = reach_with(&rev, u);
+            let targets = reach_with(&fwd, v);
+            for &s in &sources {
+                for &t in &targets {
+                    if inst.insert_atom(&Atom::new(desc_pred, vec![s, t])) {
+                        added += 1;
+                    }
+                }
+            }
+        }
+    } else if group.base.is_some() {
+        for &(u, v) in &new_edges {
+            if inst.insert_atom(&Atom::new(desc_pred, vec![u, v])) {
+                added += 1;
+            }
+        }
+    }
+    if group.refl.is_some() {
+        let els: Vec<Term> = inst.relation(el_pred).iter().skip(mark.el).map(|t| t[0]).collect();
+        for e in els {
+            if inst.insert_atom(&Atom::new(desc_pred, vec![e, e])) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
 /// Apply the closure shortcut for every detected group. Returns the total
 /// number of `desc` atoms added.
 pub fn apply_closure(inst: &mut SymbolicInstance, closure: &ClosureConstraints) -> usize {
     closure.groups.iter().map(|g| apply_group(inst, g)).sum()
+}
+
+/// [`apply_closure`] with per-group input watermarks: a group whose
+/// `child`/`desc`/`el` relations are unchanged since its mark (same lengths,
+/// same rewrite epoch) is skipped outright — its recomputation would add
+/// nothing — and a group whose relations merely *grew* within the same
+/// rewrite epoch is closed incrementally over the appended edges
+/// (`apply_group_incremental`) instead of DFS-ing from every node. `marks`
+/// is updated in place to the post-application state; an empty vector means
+/// "unknown" and forces a full first application, as does a rewrite-epoch
+/// change (an EGD rewrite may rewrite or dedup tuples in place, invalidating
+/// the append-only reading of the mark). The inserted atom *set* matches a
+/// full [`apply_closure`] on every instance whose marks are honest.
+pub fn apply_closure_watermarked(
+    inst: &mut SymbolicInstance,
+    closure: &ClosureConstraints,
+    marks: &mut Vec<ClosureInputMark>,
+    rewrites: u64,
+) -> usize {
+    let unknown = marks.len() != closure.groups.len();
+    let mut added = 0;
+    for (gi, g) in closure.groups.iter().enumerate() {
+        if !unknown {
+            let cur = g.input_mark(inst, rewrites);
+            if marks[gi] == cur {
+                continue; // unchanged inputs: recomputation is a no-op
+            }
+            if marks[gi].rewrites == rewrites {
+                // Same rewrite epoch: the inputs only grew since the mark was
+                // taken at fixpoint, so only the appended edges need closing.
+                added += apply_group_incremental(inst, g, &marks[gi]);
+                continue;
+            }
+        }
+        added += apply_group(inst, g);
+    }
+    *marks = closure.groups.iter().map(|g| g.input_mark(inst, rewrites)).collect();
+    added
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use crate::atom::{Atom, Predicate};
 use crate::ded::Conjunct;
 use crate::substitution::Substitution;
-use crate::term::Term;
+use crate::term::{Term, Variable};
 use std::collections::HashMap;
 
 /// A per-predicate index over a set of target atoms, to avoid scanning the
@@ -24,11 +24,18 @@ pub struct AtomIndex {
 impl AtomIndex {
     /// Build an index over the given atoms.
     pub fn new(atoms: &[Atom]) -> AtomIndex {
-        let mut idx = AtomIndex { by_pred: HashMap::new(), atoms: atoms.to_vec() };
+        AtomIndex::from_atoms(atoms.to_vec())
+    }
+
+    /// Build an index taking ownership of the atoms (no clone — the form the
+    /// backchase uses when it assembles target atom lists straight from
+    /// resident chase branches).
+    pub fn from_atoms(atoms: Vec<Atom>) -> AtomIndex {
+        let mut by_pred: HashMap<Predicate, Vec<usize>> = HashMap::new();
         for (i, a) in atoms.iter().enumerate() {
-            idx.by_pred.entry(a.predicate).or_default().push(i);
+            by_pred.entry(a.predicate).or_default().push(i);
         }
-        idx
+        AtomIndex { by_pred, atoms }
     }
 
     /// All atoms in the index.
@@ -36,7 +43,10 @@ impl AtomIndex {
         &self.atoms
     }
 
-    /// Candidate target atoms for a given predicate.
+    /// Candidate target atoms for a given predicate, ascending. A predicate
+    /// with no bucket yields the shared empty slice — no allocation on the
+    /// miss path (the homomorphism search hits it for every source predicate
+    /// absent from the target).
     pub fn candidates(&self, p: Predicate) -> &[usize] {
         self.by_pred.get(&p).map(Vec::as_slice).unwrap_or(&[])
     }
@@ -64,29 +74,47 @@ impl AtomIndex {
     }
 }
 
-/// Try to match `source` against `target_atom` extending `sub`.
-/// Source constants must equal target terms exactly; source variables bind to
-/// whatever target term occupies the same position.
-fn match_atom(source: &Atom, target_atom: &Atom, sub: &Substitution) -> Option<Substitution> {
-    if source.predicate != target_atom.predicate || source.arity() != target_atom.arity() {
-        return None;
+/// Undo every binding made after `mark` was taken from the trail.
+fn unwind(sub: &mut Substitution, trail: &mut Vec<Variable>, mark: usize) {
+    while trail.len() > mark {
+        let v = trail.pop().expect("trail entries above mark");
+        sub.remove(v);
     }
-    let mut out = sub.clone();
+}
+
+/// Try to match `source` against `target_atom` by extending `sub` **in
+/// place**; newly bound variables are pushed onto `trail`. Source constants
+/// must equal target terms exactly; source variables bind to whatever target
+/// term occupies the same position. On a mismatch the bindings this call made
+/// are already undone when it returns `false`.
+fn match_atom_in_place(
+    source: &Atom,
+    target_atom: &Atom,
+    sub: &mut Substitution,
+    trail: &mut Vec<Variable>,
+) -> bool {
+    if source.predicate != target_atom.predicate || source.arity() != target_atom.arity() {
+        return false;
+    }
+    let mark = trail.len();
     for (s, t) in source.args.iter().zip(target_atom.args.iter()) {
-        match s {
-            Term::Const(_) => {
-                if s != t {
-                    return None;
+        let ok = match s {
+            Term::Const(_) => s == t,
+            Term::Var(v) => match sub.get(*v) {
+                Some(image) => image == *t,
+                None => {
+                    sub.set(*v, *t);
+                    trail.push(*v);
+                    true
                 }
-            }
-            Term::Var(v) => {
-                if !out.bind(*v, *t) {
-                    return None;
-                }
-            }
+            },
+        };
+        if !ok {
+            unwind(sub, trail, mark);
+            return false;
         }
     }
-    Some(out)
+    true
 }
 
 /// Order the source atoms for the backtracking search: greedily pick, at each
@@ -127,66 +155,121 @@ fn plan_order(source: &[Atom], target: &AtomIndex, initial: &Substitution) -> Ve
     order
 }
 
-#[allow(clippy::too_many_arguments)]
+/// The immutable context of one backtracking search. The mutable state — a
+/// **single** substitution extended in place plus the undo trail — travels as
+/// `&mut` through the recursion: no per-node substitution clone is made, only
+/// one clone per *reported* homomorphism.
+struct SearchCtx<'a> {
+    source: &'a [Atom],
+    order: &'a [usize],
+    target: &'a AtomIndex,
+    inequalities: &'a [(Term, Term)],
+    /// Target atoms at index `>= fresh_mark` are *fresh*; when restricted
+    /// (`fresh_mark < usize::MAX`) every reported homomorphism must match at
+    /// least one source atom to a fresh target atom. `usize::MAX` disables
+    /// the restriction.
+    fresh_mark: usize,
+    /// `suffix_has_fresh[pos]`: can any source atom at `order[pos..]` still
+    /// match a fresh target atom? When it cannot and none was used yet, the
+    /// whole subtree is abandoned. Empty when unrestricted.
+    suffix_has_fresh: Vec<bool>,
+    limit: Option<usize>,
+}
+
 fn search(
-    source: &[Atom],
-    order: &[usize],
+    ctx: &SearchCtx<'_>,
     pos: usize,
-    target: &AtomIndex,
-    sub: Substitution,
-    inequalities: &[(Term, Term)],
+    used_fresh: bool,
+    sub: &mut Substitution,
+    trail: &mut Vec<Variable>,
     all: &mut Option<&mut Vec<Substitution>>,
     found_one: &mut Option<Substitution>,
-    limit: Option<usize>,
 ) -> bool {
-    if pos == source.len() {
+    if pos == ctx.source.len() {
+        if ctx.fresh_mark != usize::MAX && !used_fresh {
+            return false;
+        }
         // Check premise inequalities under the found mapping: both sides must
         // be distinct terms after substitution (we treat distinct constants as
         // unequal; distinct variables/labelled nulls are also treated as
         // unequal, which is the standard semantics on canonical instances).
-        for (a, b) in inequalities {
-            let ia = sub.apply_term(*a);
-            let ib = sub.apply_term(*b);
-            if ia == ib {
+        for (a, b) in ctx.inequalities {
+            if sub.apply_term(*a) == sub.apply_term(*b) {
                 return false;
             }
         }
         match all {
             Some(v) => {
-                v.push(sub);
-                if let Some(lim) = limit {
-                    return v.len() >= lim;
-                }
-                false
+                v.push(sub.clone());
+                matches!(ctx.limit, Some(lim) if v.len() >= lim)
             }
             None => {
-                *found_one = Some(sub);
+                *found_one = Some(sub.clone());
                 true
             }
         }
     } else {
-        let atom = &source[order[pos]];
-        let mut stop = false;
-        for &i in target.candidates(atom.predicate) {
-            if let Some(next) = match_atom(atom, &target.atoms()[i], &sub) {
-                stop = search(
-                    source,
-                    order,
-                    pos + 1,
-                    target,
-                    next,
-                    inequalities,
-                    all,
-                    found_one,
-                    limit,
-                );
+        if ctx.fresh_mark != usize::MAX && !used_fresh && !ctx.suffix_has_fresh[pos] {
+            return false;
+        }
+        let atom = &ctx.source[ctx.order[pos]];
+        let mark = trail.len();
+        for &i in ctx.target.candidates(atom.predicate) {
+            if match_atom_in_place(atom, &ctx.target.atoms()[i], sub, trail) {
+                let fresh = used_fresh || i >= ctx.fresh_mark;
+                let stop = search(ctx, pos + 1, fresh, sub, trail, all, found_one);
+                unwind(sub, trail, mark);
                 if stop {
-                    break;
+                    return true;
                 }
             }
         }
-        stop
+        false
     }
+}
+
+/// Shared driver behind the public entry points.
+fn run_search(
+    source: &[Atom],
+    target: &AtomIndex,
+    initial: &Substitution,
+    inequalities: &[(Term, Term)],
+    fresh_mark: Option<usize>,
+    mut all: Option<&mut Vec<Substitution>>,
+    limit: Option<usize>,
+) -> Option<Substitution> {
+    let order = plan_order(source, target, initial);
+    let fresh_mark = fresh_mark.unwrap_or(usize::MAX);
+    let suffix_has_fresh = if fresh_mark == usize::MAX {
+        Vec::new()
+    } else {
+        // Candidate buckets are ascending, so the last entry decides whether
+        // a position can still contribute a fresh atom.
+        let mut suffix = vec![false; source.len() + 1];
+        for pos in (0..source.len()).rev() {
+            let has = target
+                .candidates(source[order[pos]].predicate)
+                .last()
+                .map(|&i| i >= fresh_mark)
+                .unwrap_or(false);
+            suffix[pos] = suffix[pos + 1] || has;
+        }
+        suffix
+    };
+    let ctx = SearchCtx {
+        source,
+        order: &order,
+        target,
+        inequalities,
+        fresh_mark,
+        suffix_has_fresh,
+        limit,
+    };
+    let mut sub = initial.clone();
+    let mut trail: Vec<Variable> = Vec::new();
+    let mut found_one = None;
+    search(&ctx, 0, false, &mut sub, &mut trail, &mut all, &mut found_one);
+    found_one
 }
 
 /// Find one homomorphism from `source` atoms into the indexed `target`,
@@ -196,10 +279,7 @@ pub fn find_homomorphism(
     target: &AtomIndex,
     initial: &Substitution,
 ) -> Option<Substitution> {
-    let order = plan_order(source, target, initial);
-    let mut found = None;
-    search(source, &order, 0, target, initial.clone(), &[], &mut None, &mut found, None);
-    found
+    run_search(source, target, initial, &[], None, None, None)
 }
 
 /// Find one homomorphism respecting the given source inequalities.
@@ -209,24 +289,38 @@ pub fn find_homomorphism_with_inequalities(
     target: &AtomIndex,
     initial: &Substitution,
 ) -> Option<Substitution> {
-    let order = plan_order(source, target, initial);
-    let mut found = None;
-    search(source, &order, 0, target, initial.clone(), inequalities, &mut None, &mut found, None);
-    found
+    run_search(source, target, initial, inequalities, None, None, None)
+}
+
+/// Find one homomorphism that matches at least one source atom to a target
+/// atom with index `>= fresh_mark`.
+///
+/// This restricted search is **complete** only under the caller's guarantee
+/// that no homomorphism maps entirely into the target atoms below the mark —
+/// the delta-restricted containment check of the backchase: when a memoized
+/// verdict proves the carried-over prefix of a resumed chase branch admits no
+/// mapping, any mapping into the grown branch must use a fresh atom, so
+/// subtrees that can no longer reach one are pruned.
+pub fn find_homomorphism_using_fresh(
+    source: &[Atom],
+    target: &AtomIndex,
+    initial: &Substitution,
+    fresh_mark: usize,
+) -> Option<Substitution> {
+    run_search(source, target, initial, &[], Some(fresh_mark), None, None)
 }
 
 /// Find all homomorphisms from `source` into `target` extending `initial`.
-/// `limit` optionally caps the number of results.
+/// `limit` optionally caps the number of results. The enumeration extends a
+/// single substitution in place (undo trail), cloning once per solution.
 pub fn find_all_homomorphisms(
     source: &[Atom],
     target: &AtomIndex,
     initial: &Substitution,
     limit: Option<usize>,
 ) -> Vec<Substitution> {
-    let order = plan_order(source, target, initial);
     let mut out = Vec::new();
-    let mut none = None;
-    search(source, &order, 0, target, initial.clone(), &[], &mut Some(&mut out), &mut none, limit);
+    run_search(source, target, initial, &[], None, Some(&mut out), limit);
     out
 }
 
@@ -445,6 +539,33 @@ mod tests {
         assert!(all.iter().any(|h| !extend_to_conclusion(&conclusion, h, &target)));
         // And there are also homomorphisms mapping q=r (both to x), which do satisfy it.
         assert!(all.iter().any(|h| extend_to_conclusion(&conclusion, h, &target)));
+    }
+
+    #[test]
+    fn fresh_restricted_search_requires_a_fresh_atom() {
+        // Target: R(a,b), R(b,c) carried over | R(c,d) fresh (mark = 2).
+        let target = AtomIndex::new(&[
+            Atom::named("R", vec![t("a"), t("b")]),
+            Atom::named("R", vec![t("b"), t("c")]),
+            Atom::named("R", vec![t("c"), t("d")]),
+        ]);
+        // R(x,y) alone has mappings below the mark; the restricted search
+        // must return one that uses the fresh atom.
+        let src = vec![Atom::named("R", vec![t("x"), t("y")])];
+        let h = find_homomorphism_using_fresh(&src, &target, &Substitution::new(), 2).unwrap();
+        assert_eq!(h.get(v("x")), Some(t("c")));
+        assert_eq!(h.get(v("y")), Some(t("d")));
+        // With the mark past the last atom nothing can satisfy it.
+        assert!(find_homomorphism_using_fresh(&src, &target, &Substitution::new(), 3).is_none());
+        // A two-atom chain can only reach the fresh atom via its suffix:
+        // R(x,y), R(y,z) restricted to the fresh atom forces b,c,d.
+        let chain =
+            vec![Atom::named("R", vec![t("x"), t("y")]), Atom::named("R", vec![t("y"), t("z")])];
+        let h = find_homomorphism_using_fresh(&chain, &target, &Substitution::new(), 2).unwrap();
+        assert_eq!(h.get(v("x")), Some(t("b")));
+        assert_eq!(h.get(v("z")), Some(t("d")));
+        // Unrestricted agrees with the classic search on existence.
+        assert!(find_homomorphism(&chain, &target, &Substitution::new()).is_some());
     }
 
     #[test]

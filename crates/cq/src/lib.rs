@@ -34,10 +34,13 @@ pub mod term;
 pub use atom::{Atom, Predicate};
 pub use atomset::AtomSet;
 pub use chase::{naive_chase, ChaseBudget, ChaseOutcome, ChaseTree};
-pub use containment::{contained_in, equivalent, minimize, ContainmentOptions, ContainmentTarget};
+pub use containment::{
+    contained_in, equivalent, minimize, ContainmentOptions, ContainmentTarget, DeltaTarget,
+};
 pub use ded::{Conjunct, Ded};
 pub use homomorphism::{
-    extend_to_conclusion, find_all_homomorphisms, find_homomorphism, AtomIndex,
+    extend_to_conclusion, find_all_homomorphisms, find_homomorphism, find_homomorphism_using_fresh,
+    AtomIndex,
 };
 pub use query::{ConjunctiveQuery, UnionQuery};
 pub use substitution::Substitution;

@@ -162,6 +162,16 @@ impl MarsOptions {
         self
     }
 
+    /// Builder: disable the cross-candidate containment memo in the
+    /// backchase, so every candidate's containment check runs from scratch.
+    /// The ablation baseline for the memoized containment engine: results
+    /// are byte-identical either way (only the reuse counters and phase
+    /// wall-times differ), only the homomorphism-search volume changes.
+    pub fn with_scratch_containment(mut self) -> MarsOptions {
+        self.cb.backchase.containment_memo = false;
+        self
+    }
+
     /// Builder: replace the exhaustive subquery enumeration with greedy
     /// minimization of the initial reformulation. An explicit trade of
     /// completeness (at most one reformulation, not necessarily the optimum)

@@ -425,6 +425,55 @@ proptest! {
             );
         }
     }
+
+    /// The determinism contract of the containment memo: disabling it (every
+    /// candidate's containment check from scratch) must produce byte-identical
+    /// reformulations, statistics and discovery order — at any thread count.
+    /// Only the reuse counters (success transfers, delta searches) and the
+    /// wall-clock fields may differ, and the scratch run's reuse counters
+    /// must be exactly zero.
+    #[test]
+    fn memoized_containment_is_byte_identical_to_scratch(
+        len in 2usize..4,
+        copy_mask in 0u8..16,
+        join_mask in 0u8..8,
+        exhaustive in proptest::bool::ANY,
+    ) {
+        use mars_system::chase::CbOptions;
+
+        let (engine, q) = redundant_chain_engine(len, copy_mask, join_mask);
+        let base = if exhaustive { CbOptions::exhaustive() } else { CbOptions::default() };
+        let memoized = engine.clone().with_options(base.clone()).reformulate(&q);
+        for threads in [1usize, 2, 4] {
+            let mut opts = base.clone();
+            opts.backchase.threads = threads;
+            opts.backchase.containment_memo = false;
+            let scratch = engine.clone().with_options(opts).reformulate(&q);
+
+            prop_assert_eq!(scratch.stats.containment_success_transfers, 0);
+            prop_assert_eq!(scratch.stats.containment_delta_searches, 0);
+            prop_assert_eq!(scratch.minimal.len(), memoized.minimal.len());
+            for ((qa, ca), (qb, cb)) in scratch.minimal.iter().zip(&memoized.minimal) {
+                prop_assert_eq!(&qa.name, &qb.name);
+                prop_assert_eq!(&qa.body, &qb.body);
+                prop_assert_eq!(ca, cb);
+            }
+            prop_assert_eq!(
+                scratch.best.as_ref().map(|(q, c)| (format!("{q}"), *c)),
+                memoized.best.as_ref().map(|(q, c)| (format!("{q}"), *c))
+            );
+            prop_assert_eq!(
+                scratch.stats.candidates_inspected,
+                memoized.stats.candidates_inspected
+            );
+            prop_assert_eq!(scratch.stats.equivalence_checks, memoized.stats.equivalence_checks);
+            prop_assert_eq!(
+                scratch.stats.containment_dead_cone_skips,
+                memoized.stats.containment_dead_cone_skips
+            );
+            prop_assert_eq!(scratch.stats.backchase_truncated, memoized.stats.backchase_truncated);
+        }
+    }
 }
 
 /// Monotone salt for service-cache properties: every generated request gets
