@@ -7,19 +7,22 @@
 //! numbers differ — different hardware and substitute engines — but the shape
 //! should match; see EXPERIMENTS.md).
 
-use mars::{MarsOptions, MarsService};
+use mars::{MarsError, MarsOptions, MarsService, ReformulationBudget};
 use mars_bench::{measure_fig5_opts, measure_fig8_threads};
 use mars_chase::{chase_to_universal_plan, ChaseOptions};
 use mars_cq::{naive_chase, ChaseBudget};
 use mars_storage::QueryExecutor;
+use mars_workloads::chaos::{adversarial_request, FaultInjector};
 use mars_workloads::{example11, star::StarConfig, stress, xmark};
 use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
-[--xmark] [--serve] [--all] [--max-nc N] [--threads N] [--serve-batch N] [--serve-requests N] \
+[--xmark] [--serve] [--chaos] [--all] [--max-nc N] [--threads N] [--serve-batch N] \
+[--serve-requests N] \
 [--fixed-scan-threshold N] [--naive-joins] [--scratch-containment] [--naive-executor]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
@@ -33,6 +36,12 @@ threads cold (no cache) and warm (shape-keyed plan cache), reporting
 reformulations/sec and end-to-end publishes/sec for both; the process exits
 non-zero if warm throughput does not beat cold. --serve is not part of
 --all (it reuses the fig5 workload and is gated separately in CI).
+--chaos (serve-scoped) replaces the throughput benchmark with a
+fault-injection run: adversarial cache-defeating arrivals, injected panics
+and stalls, zero-deadline budgets. Every arrival must be accounted as
+served, degraded, shed or panicked (0 lost) with at least one panic, one
+stall and one degradation exercised, or the process exits 1. Counters and
+per-request latency tails land in experiments_results.json.
 Ablations (results are byte-identical; only join cost changes):
 --fixed-scan-threshold N replaces the adaptive statistics-driven join
 planning with the historical fixed scan threshold, --naive-joins
@@ -52,6 +61,8 @@ struct Args {
     serve_batch: usize,
     /// Total number of serve-mode requests per phase.
     serve_requests: usize,
+    /// Run the serve-mode chaos harness instead of the throughput benchmark.
+    chaos: bool,
     /// `Some(n)` runs the fig5 sweep with the fixed-threshold planner
     /// ablation instead of adaptive planning.
     fixed_scan_threshold: Option<usize>,
@@ -78,6 +89,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         threads: 1,
         serve_batch: 8,
         serve_requests: 48,
+        chaos: false,
         fixed_scan_threshold: None,
         naive_joins: false,
         scratch_containment: false,
@@ -126,6 +138,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 ));
             }
             serve_flag_seen = true;
+        } else if arg == "--chaos" {
+            parsed.chaos = true;
+            serve_flag_seen = true;
         } else if arg == "--fixed-scan-threshold" {
             let value = it.next().ok_or("--fixed-scan-threshold requires a value".to_string())?;
             parsed.fixed_scan_threshold = Some(value.parse().map_err(|_| {
@@ -167,7 +182,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     // never serves would silently do nothing.
     if serve_flag_seen && !parsed.selected.iter().any(|a| a == "--serve") {
         return Err(
-            "--serve-batch / --serve-requests only apply to --serve; add --serve".to_string()
+            "--serve-batch / --serve-requests / --chaos only apply to --serve; add --serve"
+                .to_string(),
         );
     }
     Ok(parsed)
@@ -188,6 +204,7 @@ fn main() {
         threads,
         serve_batch,
         serve_requests,
+        chaos,
         fixed_scan_threshold,
         naive_joins,
         scratch_containment,
@@ -248,12 +265,24 @@ fn main() {
         timed("xmark", &mut results, &mut |r| xmark_feasibility(executor, r));
     }
     // Serve mode is opt-in only (it reuses the fig5 workload): run it when
-    // requested and gate the exit code on warm beating cold.
+    // requested and gate the exit code on warm beating cold. --chaos
+    // replaces the throughput benchmark with the fault-injection harness,
+    // gated on full request accounting instead.
     let mut warm_beats_cold = true;
-    if has("--serve") {
-        timed("serve", &mut results, &mut |r| {
-            warm_beats_cold = serve_experiment(max_nc, threads, serve_batch, serve_requests, r);
+    let mut serve_summary: Option<ServeSummary> = None;
+    let mut chaos_ok = true;
+    let mut chaos_summary: Option<serde_json::Value> = None;
+    if has("--serve") && chaos {
+        timed("chaos", &mut results, &mut |r| {
+            let (ok, summary) = chaos_experiment(max_nc, threads, serve_batch, serve_requests, r);
+            chaos_ok = ok;
+            chaos_summary = Some(summary);
         });
+    } else if has("--serve") {
+        timed("serve", &mut results, &mut |r| {
+            serve_summary = Some(serve_experiment(max_nc, threads, serve_batch, serve_requests, r));
+        });
+        warm_beats_cold = serve_summary.as_ref().map(|s| s.warm_beats_cold).unwrap_or(true);
     }
 
     let phases: std::collections::BTreeMap<String, serde_json::Value> = phase_wall_ms
@@ -286,6 +315,14 @@ fn main() {
             "cpu_cores": detected_cpu_cores(),
             "rustc": rustc_version(),
             "phase_wall_ms": serde_json::Value::Object(phases),
+            // Degradation accounting: a degraded or truncated answer is a
+            // recorded fact of the run, not a guess (null when the phase
+            // did not run).
+            "serve_degraded": serve_summary.as_ref().map(|s| s.degraded)
+                .map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+            "serve_truncated": serve_summary.as_ref().map(|s| s.truncated)
+                .map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+            "chaos": chaos_summary.clone().unwrap_or(serde_json::Value::Null),
         }),
     );
 
@@ -297,6 +334,13 @@ fn main() {
         eprintln!(
             "error: serve mode measured warm throughput at or below cold — the plan cache \
              is not paying for itself"
+        );
+        std::process::exit(1);
+    }
+    if !chaos_ok {
+        eprintln!(
+            "error: chaos serve run failed its gate — requests were lost, or no fault \
+             (panic / stall / degradation) was actually exercised"
         );
         std::process::exit(1);
     }
@@ -719,6 +763,17 @@ fn run_batched<F: Fn(&XBindQuery) + Sync>(
     start.elapsed()
 }
 
+/// What the serve phase reported (for the gate and the run metadata).
+struct ServeSummary {
+    /// Warm reformulation throughput beat cold (the serve gate).
+    warm_beats_cold: bool,
+    /// Requests answered degraded ([`mars::ServiceStats::degraded`]).
+    degraded: u64,
+    /// Served blocks whose backchase was truncated (the long-standing
+    /// silent flag, now propagated into the results file).
+    truncated: u64,
+}
+
 /// Serve mode: the resident reformulation service on the star workload.
 ///
 /// Every request is the fig5 client query at NC = `max_nc` plus a
@@ -737,7 +792,7 @@ fn serve_experiment(
     batch: usize,
     requests: usize,
     results: &mut HashMap<String, serde_json::Value>,
-) -> bool {
+) -> ServeSummary {
     println!(
         "\n== Serve mode: resident reformulation service \
          (star NC={max_nc}, {requests} requests, batch {batch}, {threads} thread(s)) =="
@@ -782,9 +837,13 @@ fn serve_experiment(
         .client_query()
         .with_atom(XBindAtom::Eq(XBindTerm::var("k"), XBindTerm::str("servekey_warmup")));
     service.reformulate_xbind(&primer).expect("priming request reformulates");
+    let truncated = AtomicU64::new(0);
     let warm_reform = run_batched(&reqs, batch, threads, |q| {
         let block = service.reformulate_xbind(q).expect("warm request reformulates");
         assert!(block.result.has_reformulation());
+        if block.result.stats.backchase_truncated {
+            truncated.fetch_add(1, Ordering::SeqCst);
+        }
         served.fetch_add(1, Ordering::SeqCst);
     });
     let start = Instant::now();
@@ -799,6 +858,8 @@ fn serve_experiment(
 
     let rps = |d: Duration| requests as f64 / d.as_secs_f64().max(1e-9);
     let stats = service.cache_stats();
+    let service_stats = service.service_stats();
+    let truncated = truncated.load(Ordering::SeqCst);
     println!("{:>22} {:>14} {:>14} {:>10}", "", "cold", "warm", "speedup");
     println!(
         "{:>22} {:>14.1} {:>14.1} {:>9.1}x",
@@ -831,9 +892,194 @@ fn serve_experiment(
             "publish_speedup": rps(warm_publish) / rps(cold_publish),
             "cache_hits": stats.hits,
             "cache_misses": stats.misses,
+            // Degradation accounting (satellite of the degradation ladder):
+            // a truncated or degraded answer is recorded, not guessed.
+            "served": service_stats.served,
+            "degraded": service_stats.degraded,
+            "shed": service_stats.shed,
+            "panicked": service_stats.panicked,
+            "degraded_uncached": stats.degraded_uncached,
+            "truncated_results": truncated,
         }),
     );
-    rps(warm_reform) > rps(cold_reform)
+    ServeSummary {
+        warm_beats_cold: rps(warm_reform) > rps(cold_reform),
+        degraded: service_stats.degraded,
+        truncated,
+    }
+}
+
+/// `p`-th percentile of an ascending-sorted latency list (nearest rank).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Chaos serve mode: drive the degradation ladder end to end and verify that
+/// no request is ever lost.
+///
+/// The arrival stream is adversarial ([`adversarial_request`]): shapes
+/// diverge so the plan cache cannot absorb them. A [`FaultInjector`] panics
+/// on every 5th cold reformulation and stalls on every 3rd lookup; every 4th
+/// request carries a zero deadline so it must degrade; admission is bounded
+/// below the worker count so overlap sheds. Workers model a well-behaved
+/// client: an [`MarsError::Overloaded`] rejection is retried with backoff a
+/// bounded number of times, and only a request that stays rejected counts as
+/// finally shed. The gate: every arrival's *final* outcome is accounted as
+/// served, degraded, shed or panicked (0 lost), every worker thread survives
+/// to the end (a panic escaping the service's isolation would abort the
+/// scoped drain), and at least one panic, one stall and one degradation were
+/// actually exercised. Returns `(gate_ok, run summary)`.
+fn chaos_experiment(
+    max_nc: usize,
+    threads: usize,
+    batch: usize,
+    requests: usize,
+    results: &mut HashMap<String, serde_json::Value>,
+) -> (bool, serde_json::Value) {
+    println!(
+        "\n== Chaos serve mode: fault-injected resident service \
+         (star NC={max_nc}, {requests} requests, batch {batch}, {threads} thread(s)) =="
+    );
+    let cfg = StarConfig::figure5(max_nc);
+    let injector = Arc::new(FaultInjector::new(5, 3, Duration::from_millis(2)));
+    let service = MarsService::new(cfg.mars(MarsOptions::specialized()))
+        .with_admission_limit(threads.saturating_sub(1).max(1))
+        .with_fault_hook(injector.hook());
+    let reqs: Vec<(XBindQuery, ReformulationBudget)> = (0..requests)
+        .map(|i| {
+            let budget = if i % 4 == 3 {
+                // A hopeless deadline: this arrival must degrade (and must
+                // not poison the cache for its shape).
+                ReformulationBudget::unbounded().with_deadline(Duration::ZERO)
+            } else {
+                ReformulationBudget::unbounded().with_deadline(Duration::from_secs(30))
+            };
+            (adversarial_request(&cfg, i), budget)
+        })
+        .collect();
+
+    // Injected panics are expected here: silence the default hook's
+    // backtrace spew for the drain (the service's catch_unwind still sees
+    // every unwind), then restore it.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(requests));
+    // Final per-arrival outcomes, harness-side. The service's own counters
+    // count every *attempt* (each retried rejection bumps `shed` again), so
+    // the zero-lost gate is stated over these finals.
+    let (f_served, f_degraded, f_shed, f_panicked) =
+        (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let lo = next.fetch_add(1, Ordering::SeqCst) * batch;
+                if lo >= reqs.len() {
+                    break;
+                }
+                for (q, budget) in &reqs[lo..(lo + batch).min(reqs.len())] {
+                    let arrived = Instant::now();
+                    let mut backoffs = 0u32;
+                    let outcome = loop {
+                        match service.reformulate_xbind_with(q, budget) {
+                            Err(MarsError::Overloaded { .. }) if backoffs < 250 => {
+                                backoffs += 1;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            other => break other,
+                        }
+                    };
+                    latencies.lock().unwrap().push(ms(arrived.elapsed()));
+                    match outcome {
+                        Ok(b) if b.is_degraded() => f_degraded.fetch_add(1, Ordering::SeqCst),
+                        Ok(_) => f_served.fetch_add(1, Ordering::SeqCst),
+                        Err(MarsError::Overloaded { .. }) => f_shed.fetch_add(1, Ordering::SeqCst),
+                        Err(MarsError::ReformulationPanicked { .. }) => {
+                            f_panicked.fetch_add(1, Ordering::SeqCst)
+                        }
+                        // Any other error is a hole in the ladder: the
+                        // arrival stays unaccounted and fails the gate.
+                        Err(_) => 0,
+                    };
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    std::panic::set_hook(prev_hook);
+
+    let stats = service.service_stats();
+    let cache = service.cache_stats();
+    let (served, degraded, shed, panicked) = (
+        f_served.load(Ordering::SeqCst),
+        f_degraded.load(Ordering::SeqCst),
+        f_shed.load(Ordering::SeqCst),
+        f_panicked.load(Ordering::SeqCst),
+    );
+    let lost = (requests as u64).saturating_sub(served + degraded + shed + panicked);
+    let panics = injector.injected_panics();
+    let stalls = injector.injected_stalls();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p95, p99) = (percentile(&lat, 0.50), percentile(&lat, 0.95), percentile(&lat, 0.99));
+    let max_ms = lat.last().copied().unwrap_or(0.0);
+
+    println!(
+        "arrivals: {requests}   served: {served}   degraded: {degraded}   shed: {shed}   \
+         panicked: {panicked}   lost: {lost}"
+    );
+    println!(
+        "injected: {panics} panic(s), {stalls} stall(s); service counters: \
+         {} served, {} degraded, {} rejections (retried rejections included), {} panicked",
+        stats.served, stats.degraded, stats.shed, stats.panicked
+    );
+    println!(
+        "latency ms: p50 {p50:.2}   p95 {p95:.2}   p99 {p99:.2}   max {max_ms:.2}   \
+         (wall {:.1} ms)",
+        ms(wall)
+    );
+    println!(
+        "cache: {} entries, {} hits, {} degraded results withheld",
+        cache.entries, cache.hits, cache.degraded_uncached
+    );
+
+    let gate_ok = lost == 0 && panics >= 1 && stalls >= 1 && degraded >= 1;
+    let summary = serde_json::json!({
+        "lost": lost,
+        "injected_panics": panics,
+        "injected_stalls": stalls,
+    });
+    results.insert(
+        "chaos".to_string(),
+        serde_json::json!({
+            "nc": max_nc,
+            "requests": requests,
+            "batch": batch,
+            "threads": threads,
+            "served": served,
+            "degraded": degraded,
+            "shed": shed,
+            "panicked": panicked,
+            "lost": lost,
+            "service_rejections": stats.shed,
+            "injected_panics": panics,
+            "injected_stalls": stalls,
+            "degraded_uncached": cache.degraded_uncached,
+            "cache_hits": cache.hits,
+            "latency_ms": serde_json::json!({
+                "p50": p50, "p95": p95, "p99": p99, "max": max_ms,
+            }),
+            "wall_ms": ms(wall),
+            "gate_ok": gate_ok,
+        }),
+    );
+    (gate_ok, summary)
 }
 
 #[cfg(test)]
@@ -865,6 +1111,22 @@ mod tests {
         assert!(parse(&["--serve-batch", "4"]).is_err());
         assert!(parse(&["--fig5", "--serve-requests", "16"]).is_err());
         assert!(parse(&["--serve", "--serve-batch", "4", "--serve-requests", "16"]).is_ok());
+    }
+
+    /// --chaos is serve-scoped like the other serve knobs, and strict-parsed
+    /// (garbage around it still exits 2 with usage).
+    #[test]
+    fn chaos_is_serve_scoped_and_strict() {
+        assert!(parse(&["--chaos"]).is_err(), "--chaos without --serve is rejected");
+        assert!(parse(&["--fig5", "--chaos"]).is_err());
+        assert!(parse(&["--serve", "--chaos"]).unwrap().chaos);
+        assert!(!parse(&["--serve"]).unwrap().chaos);
+        assert!(parse(&["--serve", "--chaos", "--frobnicate"]).is_err(), "unknown flag");
+        assert!(parse(&["--serve", "--chaos", "--threads", "zero"]).is_err());
+        let args =
+            parse(&["--serve", "--chaos", "--serve-requests", "24", "--serve-batch", "1"]).unwrap();
+        assert!(args.chaos);
+        assert_eq!((args.serve_requests, args.serve_batch), (24, 1));
     }
 
     #[test]

@@ -52,7 +52,8 @@
 
 use crate::chase::{
     chase_resident_with_atoms_compiled, chase_to_resident_compiled,
-    chase_to_universal_plan_compiled, ChaseOptions, ResidentBranch, ResidentChase, UniversalPlan,
+    chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, ChaseStop, ResidentBranch,
+    ResidentChase, UniversalPlan,
 };
 use crate::compiled::CompiledDeps;
 use crate::reach::{prune_parallel_desc, ReachabilityGraph};
@@ -61,6 +62,63 @@ use mars_cq::containment::{containment_mapping, ContainmentTarget, DeltaTarget};
 use mars_cq::{Atom, AtomSet, ConjunctiveQuery, Predicate, Variable};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
+
+/// Why an anytime backchase stopped short of a complete enumeration.
+///
+/// MARS's soundness does not depend on minimality: *any* equivalent
+/// reformulation answers the query correctly, minimization is an
+/// optimization. A budgeted run therefore degrades instead of erroring — it
+/// keeps the best (cheapest, minimal-so-far) reformulations found before the
+/// budget ran out, and tags the outcome with the reason. The universal plan
+/// itself is the floor of this degradation ladder: a sound answer always
+/// exists even when the enumeration found nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// The wall-clock deadline expired mid-search (the chase to the
+    /// universal plan, a back-chase, or the BFS level loop).
+    DeadlineExceeded,
+    /// [`BackchaseOptions::max_candidates`] stopped the enumeration.
+    CandidateBudget,
+    /// A structural chase ceiling ([`ChaseOptions::max_atoms`],
+    /// `max_rounds` or `max_branches`) stopped the universal-plan chase or a
+    /// back-chase, so some candidates could not be confirmed.
+    AtomCeiling,
+}
+
+impl Degradation {
+    /// Severity rank used by [`Degradation::merge`] (higher = reported in
+    /// preference).
+    fn rank(self) -> u8 {
+        match self {
+            Degradation::DeadlineExceeded => 2,
+            Degradation::CandidateBudget => 1,
+            Degradation::AtomCeiling => 0,
+        }
+    }
+
+    /// Keep the most severe of two optional degradation reasons (a deadline
+    /// stop outranks the candidate budget, which outranks a size ceiling).
+    pub fn merge(a: Option<Degradation>, b: Option<Degradation>) -> Option<Degradation> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if y.rank() > x.rank() { y } else { x }),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// The degradation reason carried by an incomplete chase, `None` for a
+    /// completed one. Structural ceilings (rounds/atoms/branches) all map to
+    /// [`Degradation::AtomCeiling`]; a clock stop maps to
+    /// [`Degradation::DeadlineExceeded`].
+    pub fn of_chase(stats: &ChaseStats) -> Option<Degradation> {
+        if stats.completed {
+            return None;
+        }
+        Some(match stats.stop {
+            Some(ChaseStop::Deadline) => Degradation::DeadlineExceeded,
+            _ => Degradation::AtomCeiling,
+        })
+    }
+}
 
 /// Options controlling the backchase.
 #[derive(Clone, Debug)]
@@ -106,6 +164,15 @@ pub struct BackchaseOptions {
     /// silently: without the opt-in every pool, however wide, is enumerated
     /// exhaustively.
     pub greedy: bool,
+    /// Absolute wall-clock deadline for the enumeration, checked between BFS
+    /// levels (level-synchronously, so an undegraded run stays byte-identical
+    /// for any thread count). When it expires the backchase returns
+    /// **anytime**: the minimal reformulations and best found so far, with
+    /// [`BackchaseOutcome::degradation`] set to
+    /// [`Degradation::DeadlineExceeded`]. Callers should set the same
+    /// deadline on [`BackchaseOptions::chase`] (via
+    /// [`ChaseOptions::deadline`]) so individual back-chases are bounded too.
+    pub deadline: Option<Instant>,
     /// Chase options used for the "back" chases (equivalence checks).
     pub chase: ChaseOptions,
 }
@@ -121,6 +188,7 @@ impl Default for BackchaseOptions {
             threads: 1,
             containment_memo: true,
             greedy: false,
+            deadline: None,
             chase: ChaseOptions::default(),
         }
     }
@@ -156,15 +224,24 @@ pub struct BackchaseOutcome {
     pub chase_cache_hits: usize,
     /// Number of candidates discarded by cost-based pruning.
     pub pruned_by_cost: usize,
-    /// `true` when [`BackchaseOptions::max_candidates`] stopped the
-    /// breadth-first enumeration before it exhausted the search space: the
-    /// reported `minimal` set may then be incomplete and (in exhaustive
-    /// mode) `best` may not be the optimum. A complete enumeration leaves
-    /// this `false`. This is the only truncation the engine performs — pool
-    /// width no longer truncates anything (the former 128-atom ceiling), and
-    /// the explicitly requested [`BackchaseOptions::greedy`] mode documents
-    /// its own incompleteness rather than reporting it here.
+    /// `true` when a budget ([`BackchaseOptions::max_candidates`] or
+    /// [`BackchaseOptions::deadline`]) stopped the breadth-first enumeration
+    /// before it exhausted the search space: the reported `minimal` set may
+    /// then be incomplete and (in exhaustive mode) `best` may not be the
+    /// optimum — `degradation` records which budget it was. A complete
+    /// enumeration leaves this `false`. These budgets are the only
+    /// truncation the engine performs — pool width no longer truncates
+    /// anything (the former 128-atom ceiling), and the explicitly requested
+    /// [`BackchaseOptions::greedy`] mode documents its own incompleteness
+    /// rather than reporting it here.
     pub truncated: bool,
+    /// Why the enumeration fell short of a complete search, when it did: the
+    /// most severe budget hit ([`Degradation::merge`]). `None` exactly when
+    /// nothing was cut — no level truncated, no deadline tripped, and every
+    /// back-chase completed — which is the precondition under which a
+    /// budgeted run is byte-identical to the unbounded one (property-tested
+    /// in `tests/property_based.rs`).
+    pub degradation: Option<Degradation>,
     /// Containment verdicts answered by transferring a memoized success from
     /// the seed candidate's branch (the carried-over atoms survived intact,
     /// so the seed's mapping is still a witness — no search ran).
@@ -523,6 +600,10 @@ struct CandidateEval {
     /// The candidate failed `original ⊆ candidate`, so its whole superset
     /// cone was cut (antichain dead-cone rule).
     dead_cone: bool,
+    /// The back-chase ran out of budget before reaching a fixpoint (the
+    /// candidate could then not be confirmed): the degradation reason to
+    /// surface on the outcome.
+    chase_degradation: Option<Degradation>,
     /// Branch verdicts answered by memo success transfer.
     success_transfers: usize,
     /// Branch verdicts answered by a delta-restricted search.
@@ -604,6 +685,7 @@ fn evaluate_candidate(
                     None => chase_to_resident_compiled(&candidate, ctx.deds, ctx.back_chase_opts),
                 };
                 eval.chase_time = chase_start.elapsed();
+                eval.chase_degradation = Degradation::of_chase(back.stats());
                 let confirm_start = Instant::now();
                 let memo_seed = if ctx.containment_memo { seed.map(|(m, _)| m) } else { None };
                 let (confirmed, verdicts) = confirm_with_memo(
@@ -795,6 +877,16 @@ pub fn backchase(
     }
 
     while !frontier.is_empty() {
+        // Anytime deadline, checked level-synchronously: an expired deadline
+        // stops the enumeration *between* levels, keeping everything found
+        // so far — never mid-level, so an undegraded run is byte-identical
+        // for any thread count.
+        if options.deadline.map(|d| Instant::now() >= d).unwrap_or(false) {
+            outcome.truncated = true;
+            outcome.degradation =
+                Degradation::merge(outcome.degradation, Some(Degradation::DeadlineExceeded));
+            break;
+        }
         // Minimality pruning: supersets of a found reformulation are not
         // minimal and are dropped without counting as inspected. (Within a
         // level no candidate can be a strict superset of another of the same
@@ -806,6 +898,8 @@ pub fn backchase(
         let remaining = options.max_candidates.saturating_sub(outcome.candidates_inspected);
         if level.len() > remaining {
             outcome.truncated = true;
+            outcome.degradation =
+                Degradation::merge(outcome.degradation, Some(Degradation::CandidateBudget));
             level.truncate(remaining);
         }
         if level.is_empty() {
@@ -854,6 +948,7 @@ pub fn backchase(
             if eval.checked {
                 outcome.equivalence_checks += 1;
             }
+            outcome.degradation = Degradation::merge(outcome.degradation, eval.chase_degradation);
             if eval.cache_hit {
                 outcome.chase_cache_hits += 1;
             }
@@ -1075,6 +1170,68 @@ mod tests {
         assert!(out.minimal.len() < 2);
         let complete = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
         assert!(!complete.truncated);
+    }
+
+    /// The candidate budget degrades anytime-style: whatever was found before
+    /// the cut is kept (tagged, not thrown away as an error).
+    #[test]
+    fn candidate_budget_degrades_to_best_so_far() {
+        let (q, deds, proprietary) = redundant_setup();
+        let opts = BackchaseOptions { max_candidates: 1, ..BackchaseOptions::exhaustive() };
+        let out = run(&q, &deds, &proprietary, &opts);
+        assert!(out.truncated);
+        assert_eq!(out.degradation, Some(Degradation::CandidateBudget));
+        assert_eq!(out.minimal.len(), 1, "the anytime result keeps what was found before the cut");
+        assert!(out.best.is_some());
+        let complete = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
+        assert_eq!(complete.degradation, None);
+        assert!(!complete.truncated);
+    }
+
+    /// An already-expired deadline stops the enumeration before the first
+    /// level — no error, an empty tagged outcome (the universal plan upstream
+    /// remains the sound floor of the ladder).
+    #[test]
+    fn expired_deadline_yields_anytime_degradation() {
+        let (q, deds, proprietary) = redundant_setup();
+        let opts = BackchaseOptions {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..BackchaseOptions::exhaustive()
+        };
+        let out = run(&q, &deds, &proprietary, &opts);
+        assert!(out.truncated);
+        assert_eq!(out.degradation, Some(Degradation::DeadlineExceeded));
+        assert!(out.minimal.is_empty());
+        assert_eq!(out.candidates_inspected, 0);
+        // A generous deadline is byte-identical to no deadline at all.
+        let generous = BackchaseOptions {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..BackchaseOptions::exhaustive()
+        };
+        let bounded = run(&q, &deds, &proprietary, &generous);
+        let unbounded = run(&q, &deds, &proprietary, &BackchaseOptions::exhaustive());
+        assert_eq!(
+            format!("{:?}", strip_duration(&bounded)),
+            format!("{:?}", strip_duration(&unbounded))
+        );
+    }
+
+    /// Degradation reasons merge by severity: a deadline stop outranks the
+    /// candidate budget, which outranks a size ceiling.
+    #[test]
+    fn degradation_merge_keeps_the_most_severe_reason() {
+        use Degradation::*;
+        assert_eq!(Degradation::merge(None, None), None);
+        assert_eq!(Degradation::merge(Some(AtomCeiling), None), Some(AtomCeiling));
+        assert_eq!(Degradation::merge(None, Some(CandidateBudget)), Some(CandidateBudget));
+        assert_eq!(
+            Degradation::merge(Some(CandidateBudget), Some(DeadlineExceeded)),
+            Some(DeadlineExceeded)
+        );
+        assert_eq!(
+            Degradation::merge(Some(DeadlineExceeded), Some(AtomCeiling)),
+            Some(DeadlineExceeded)
+        );
     }
 
     /// Regression for the memoized back-chase: resuming from a cached subset

@@ -12,7 +12,9 @@
 //!   just the initial reformulation (Section 2.3), for scenarios without
 //!   significant redundancy or when any reformulation is needed fast.
 
-use crate::backchase::{backchase, initial_reformulation, BackchaseOptions, BackchaseOutcome};
+use crate::backchase::{
+    backchase, initial_reformulation, BackchaseOptions, BackchaseOutcome, Degradation,
+};
 use crate::chase::{chase_to_universal_plan_compiled, ChaseOptions, ChaseStats};
 use crate::compiled::CompiledDeps;
 use mars_cost::{CostEstimator, WeightedAtomEstimator};
@@ -20,6 +22,88 @@ use mars_cq::{ConjunctiveQuery, Ded, Predicate};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A per-request budget for one reformulation: a wall-clock deadline plus
+/// candidate/atom ceilings, all optional. The budget extends the standing
+/// engine options ([`ChaseOptions::timeout`],
+/// [`BackchaseOptions::max_candidates`]) without replacing them: applying it
+/// ([`ReformulationBudget::apply`]) tightens a copy of the engine's
+/// [`CbOptions`] for this one request.
+///
+/// Budgets degrade, they do not error: a run that exhausts its budget
+/// returns the best reformulation found so far tagged with a
+/// [`Degradation`] reason (see [`CbStatistics::degradation`]), and the
+/// universal plan remains the sound floor when nothing was found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReformulationBudget {
+    /// Wall-clock budget for the whole chase → backchase pipeline. Converted
+    /// to one absolute [`Instant`] when applied, so the initial chase, every
+    /// back-chase (resumed ones included) and the BFS level loop all race
+    /// the same clock.
+    pub deadline: Option<Duration>,
+    /// Ceiling on backchase candidates inspected (`None` keeps the engine's
+    /// [`BackchaseOptions::max_candidates`]).
+    pub max_candidates: Option<usize>,
+    /// Ceiling on atoms per chase branch (`None` keeps the engine's
+    /// [`ChaseOptions::max_atoms`]).
+    pub max_atoms: Option<usize>,
+}
+
+impl ReformulationBudget {
+    /// The unbounded budget (keeps every engine default).
+    pub fn unbounded() -> ReformulationBudget {
+        ReformulationBudget::default()
+    }
+
+    /// Builder: bound the request by a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> ReformulationBudget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builder: bound the number of backchase candidates inspected.
+    pub fn with_max_candidates(mut self, n: usize) -> ReformulationBudget {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Builder: bound the atoms per chase branch.
+    pub fn with_max_atoms(mut self, n: usize) -> ReformulationBudget {
+        self.max_atoms = Some(n);
+        self
+    }
+
+    /// Does this budget constrain anything at all? The hot path skips the
+    /// per-request options clone when it does not.
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.max_candidates.is_none() && self.max_atoms.is_none()
+    }
+
+    /// Tighten a copy of `base` with this budget. The relative deadline is
+    /// resolved to one absolute [`Instant`] *now* and threaded into the
+    /// universal-plan chase, the backchase level loop and every back-chase,
+    /// so resumed chases cannot restart the clock (see
+    /// [`ChaseOptions::deadline`]).
+    pub fn apply(&self, base: &CbOptions) -> CbOptions {
+        let mut opts = base.clone();
+        if let Some(d) = self.deadline {
+            // `None` on overflow = a deadline too far away to ever trip.
+            if let Some(abs) = Instant::now().checked_add(d) {
+                opts.chase.deadline = Some(abs);
+                opts.backchase.deadline = Some(abs);
+                opts.backchase.chase.deadline = Some(abs);
+            }
+        }
+        if let Some(n) = self.max_candidates {
+            opts.backchase.max_candidates = n;
+        }
+        if let Some(n) = self.max_atoms {
+            opts.chase.max_atoms = n;
+            opts.backchase.chase.max_atoms = n;
+        }
+        opts
+    }
+}
 
 /// Options for the full C&B run.
 #[derive(Clone, Debug, Default)]
@@ -77,10 +161,16 @@ pub struct CbStatistics {
     pub backchase_chase_phase: Duration,
     /// Backchase wall-clock spent in containment (homomorphism) checks.
     pub backchase_containment_phase: Duration,
-    /// `true` when the backchase hit its candidate budget before exhausting
-    /// the search space (see [`BackchaseOutcome::truncated`]): the minimal
-    /// reformulation set is possibly incomplete.
+    /// `true` when the backchase hit its candidate budget or deadline before
+    /// exhausting the search space (see [`BackchaseOutcome::truncated`]): the
+    /// minimal reformulation set is possibly incomplete.
     pub backchase_truncated: bool,
+    /// Why this run degraded, when it did: the most severe budget hit across
+    /// the universal-plan chase and the backchase
+    /// ([`BackchaseOutcome::degradation`] merged with the chase's own stop
+    /// reason). `None` exactly when nothing was cut anywhere — the answer is
+    /// the same one an unbounded run would produce.
+    pub degradation: Option<Degradation>,
 }
 
 /// The result of reformulating one query.
@@ -224,6 +314,7 @@ impl ChaseBackchase {
             backchase_chase_phase: bc.chase_phase,
             backchase_containment_phase: bc.containment_phase,
             backchase_truncated: bc.truncated,
+            degradation: Degradation::merge(bc.degradation, Degradation::of_chase(&up.stats)),
         };
         ReformulationResult { universal_plan, initial, minimal: bc.minimal, best: bc.best, stats }
     }
@@ -241,6 +332,7 @@ impl ChaseBackchase {
         let initial = initial.filter(|q| !q.body.is_empty());
         let stats = CbStatistics {
             universal_plan_atoms: up.branches.first().map(|b| b.body.len()).unwrap_or(0),
+            degradation: Degradation::of_chase(&up.stats),
             chase: up.stats,
             time_to_universal_plan,
             time_to_initial: start.elapsed(),

@@ -32,8 +32,19 @@ pub struct ChaseOptions {
     pub max_atoms: usize,
     /// Maximum number of branches of the chase tree (disjunctive DEDs).
     pub max_branches: usize,
-    /// Wall-clock timeout.
+    /// Wall-clock timeout, measured from the start of each chase *run*. A
+    /// resumed chase (seeded or resident) restarts this clock — callers that
+    /// need one budget to span an initial chase **and** every resume (the
+    /// anytime backchase, per-request service deadlines) must set
+    /// [`ChaseOptions::deadline`] instead.
     pub timeout: Option<Duration>,
+    /// Absolute wall-clock deadline. Unlike [`ChaseOptions::timeout`], the
+    /// deadline is a fixed [`Instant`]: every branch worker of every level
+    /// and every *resumed* chase (thawed [`FrozenInstance`] seeds included)
+    /// checks against the same point in time, so a deadline set before a
+    /// resume cannot be silently ignored. A chase stopped by the deadline
+    /// reports `completed = false` with [`ChaseStop::Deadline`].
+    pub deadline: Option<Instant>,
     /// Lower bound for the disambiguator indices of invented (fresh)
     /// variables. The backchase raises this above every variable index of the
     /// candidate pool so that a chase of one candidate can later be extended
@@ -73,6 +84,7 @@ impl Default for ChaseOptions {
             max_atoms: 200_000,
             max_branches: 32,
             timeout: None,
+            deadline: None,
             min_fresh_index: 0,
             semi_naive: true,
             join_planner: JoinPlanner::default(),
@@ -90,6 +102,14 @@ impl ChaseOptions {
     /// Builder: set a wall-clock timeout.
     pub fn with_timeout(mut self, d: Duration) -> ChaseOptions {
         self.timeout = Some(d);
+        self
+    }
+
+    /// Builder: set an absolute wall-clock deadline honored by this run and
+    /// by every chase resumed from its branches (see
+    /// [`ChaseOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: Instant) -> ChaseOptions {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -127,6 +147,22 @@ impl ChaseOptions {
     }
 }
 
+/// Which budget stopped an incomplete chase. `None` in [`ChaseStats::stop`]
+/// whenever the chase reached its fixpoint ([`ChaseStats::completed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaseStop {
+    /// A branch exhausted [`ChaseOptions::max_rounds`].
+    Rounds,
+    /// A branch instance grew past [`ChaseOptions::max_atoms`].
+    Atoms,
+    /// The wall clock passed [`ChaseOptions::timeout`] or
+    /// [`ChaseOptions::deadline`].
+    Deadline,
+    /// The chase tree grew past [`ChaseOptions::max_branches`] and the
+    /// excess branches were parked unchased.
+    Branches,
+}
+
 /// Bookkeeping collected during the chase.
 #[derive(Clone, Debug, Default)]
 pub struct ChaseStats {
@@ -140,6 +176,10 @@ pub struct ChaseStats {
     pub failed_branches: usize,
     /// True if the chase reached a fixpoint within the budget.
     pub completed: bool,
+    /// The first budget that stopped the chase when `completed` is false
+    /// (`None` on a completed chase). Degraded answers are tagged from this
+    /// upstream, so a deadline stop is distinguishable from a size ceiling.
+    pub stop: Option<ChaseStop>,
     /// Wall-clock duration.
     pub duration: Duration,
 }
@@ -717,11 +757,20 @@ fn chase_branch(
     stats: &mut ChaseStats,
 ) -> BranchOutcome {
     loop {
-        let over_budget = branch.rounds >= options.max_rounds
-            || branch.inst.len() >= options.max_atoms
-            || options.timeout.map(|t| start.elapsed() > t).unwrap_or(false);
-        if over_budget {
+        let over_budget = if branch.rounds >= options.max_rounds {
+            Some(ChaseStop::Rounds)
+        } else if branch.inst.len() >= options.max_atoms {
+            Some(ChaseStop::Atoms)
+        } else if options.timeout.map(|t| start.elapsed() > t).unwrap_or(false)
+            || options.deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+        {
+            Some(ChaseStop::Deadline)
+        } else {
+            None
+        };
+        if let Some(stop) = over_budget {
             stats.completed = false;
+            stats.stop = Some(stop);
             return BranchOutcome::Done(Box::new(branch));
         }
         branch.rounds += 1;
@@ -878,6 +927,7 @@ fn run_chase_branches(
         // plan is flagged incomplete), matching the old worklist behaviour.
         if done.len() + level.len() > options.max_branches {
             stats.completed = false;
+            stats.stop.get_or_insert(ChaseStop::Branches);
             let keep = options.max_branches.saturating_sub(done.len());
             let parked = level.split_off(keep);
             done.extend(parked);
@@ -893,6 +943,9 @@ fn run_chase_branches(
             stats.shortcut_desc_added += s.shortcut_desc_added;
             stats.failed_branches += s.failed_branches;
             stats.completed &= s.completed;
+            if stats.stop.is_none() {
+                stats.stop = s.stop;
+            }
             match outcome {
                 BranchOutcome::Done(b) => done.push(*b),
                 BranchOutcome::Failed => {}
@@ -1423,5 +1476,106 @@ mod tests {
         let opts = ChaseOptions::default().with_timeout(Duration::from_millis(0));
         let up = chase_to_universal_plan(&q, &[d], &opts);
         assert!(!up.stats.completed);
+        assert_eq!(up.stats.stop, Some(ChaseStop::Deadline));
+    }
+
+    /// Incomplete chases report which budget stopped them.
+    #[test]
+    fn stop_reason_distinguishes_budgets() {
+        let d = Ded::tgd(
+            "inf",
+            vec![Atom::named("R", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("R", vec![t("y"), t("z")])],
+        );
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("a")])
+            .with_body(vec![Atom::named("R", vec![t("a"), t("b")])]);
+        let rounds = chase_to_universal_plan(
+            &q,
+            std::slice::from_ref(&d),
+            &ChaseOptions { max_rounds: 4, ..Default::default() },
+        );
+        assert_eq!(rounds.stats.stop, Some(ChaseStop::Rounds));
+        let atoms = chase_to_universal_plan(
+            &q,
+            std::slice::from_ref(&d),
+            &ChaseOptions { max_atoms: 2, ..Default::default() },
+        );
+        assert_eq!(atoms.stats.stop, Some(ChaseStop::Atoms));
+        let complete = chase_to_universal_plan(
+            &q,
+            &[],
+            &ChaseOptions { max_rounds: 4, max_atoms: 2, ..Default::default() },
+        );
+        assert!(complete.stats.completed);
+        assert_eq!(complete.stats.stop, None);
+    }
+
+    /// Regression for the resumed-chase deadline hole: `timeout` restarts its
+    /// clock on every run, so a deadline set before a resume used to be
+    /// silently ignored by the thawed-seed resume path. The absolute
+    /// `deadline` must stop the resumed chase exactly like a fresh one.
+    #[test]
+    fn expired_deadline_is_honored_on_resumed_chases() {
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![t("x")])
+            .with_body(vec![Atom::named("A", vec![t("x"), t("y")])]);
+        let ind = Ded::tgd(
+            "ind",
+            vec![Atom::named("A", vec![t("x"), t("y")])],
+            vec![v("z")],
+            vec![Atom::named("B", vec![t("y"), t("z")])],
+        );
+        let compiled = CompiledDeps::new(std::slice::from_ref(&ind));
+        // Seed chased to fixpoint without any deadline pressure.
+        let resident = chase_to_resident_compiled(&q, &compiled, &ChaseOptions::default());
+        assert!(resident.stats().completed);
+
+        let expired = Instant::now() - Duration::from_secs(1);
+        let extra = Atom::named("A", vec![t("y"), t("w")]);
+        // The resident resume respects the pre-set absolute deadline...
+        let resumed = chase_resident_with_atoms_compiled(
+            resident.branches(),
+            std::slice::from_ref(&extra),
+            &compiled,
+            &ChaseOptions::default().with_deadline(expired),
+        );
+        assert!(!resumed.stats().completed, "an already-expired deadline must stop the resume");
+        assert_eq!(resumed.stats().stop, Some(ChaseStop::Deadline));
+        assert_eq!(resumed.stats().applied_steps, 0);
+        // ...and so does the re-parsing resume path.
+        let up = chase_to_universal_plan_compiled(&q, &compiled, &ChaseOptions::default());
+        let seeds: Vec<(ConjunctiveQuery, Substitution)> =
+            up.branches.into_iter().zip(up.renamings).collect();
+        let seeded = chase_branches_with_atoms_compiled(
+            &seeds,
+            std::slice::from_ref(&extra),
+            "S",
+            &compiled,
+            &ChaseOptions::default().with_deadline(expired),
+        );
+        assert!(!seeded.stats.completed);
+        assert_eq!(seeded.stats.stop, Some(ChaseStop::Deadline));
+        // A generous deadline changes nothing: the resume completes and is
+        // byte-identical to an undeadlined resume.
+        let fut = Instant::now() + Duration::from_secs(3600);
+        let bounded = chase_resident_with_atoms_compiled(
+            resident.branches(),
+            std::slice::from_ref(&extra),
+            &compiled,
+            &ChaseOptions::default().with_deadline(fut),
+        );
+        let unbounded = chase_resident_with_atoms_compiled(
+            resident.branches(),
+            std::slice::from_ref(&extra),
+            &compiled,
+            &ChaseOptions::default(),
+        );
+        assert!(bounded.stats().completed);
+        assert_eq!(
+            format!("{:?}", bounded.branch_queries("S")),
+            format!("{:?}", unbounded.branch_queries("S"))
+        );
     }
 }

@@ -53,13 +53,13 @@ pub mod instance;
 pub mod reach;
 pub mod shortcut;
 
-pub use backchase::{backchase, BackchaseOptions, BackchaseOutcome};
-pub use cb::{CbOptions, CbStatistics, ChaseBackchase, ReformulationResult};
+pub use backchase::{backchase, BackchaseOptions, BackchaseOutcome, Degradation};
+pub use cb::{CbOptions, CbStatistics, ChaseBackchase, ReformulationBudget, ReformulationResult};
 pub use chase::{
     chase_branches_with_atoms, chase_branches_with_atoms_compiled,
     chase_resident_with_atoms_compiled, chase_to_resident_compiled, chase_to_universal_plan,
-    chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, ResidentBranch, ResidentChase,
-    UniversalPlan,
+    chase_to_universal_plan_compiled, ChaseOptions, ChaseStats, ChaseStop, ResidentBranch,
+    ResidentChase, UniversalPlan,
 };
 pub use compiled::{compilation_count, CompiledConclusion, CompiledDed, CompiledDeps};
 pub use evaluate::{

@@ -36,6 +36,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped because their fingerprint no longer matches.
     pub invalidations: u64,
+    /// Cold results that were computed but **not** inserted because they were
+    /// degraded (a budget cut them short). Cache hygiene rule: a degraded
+    /// answer is never cached — the next arrival of the shape must get a real
+    /// attempt.
+    pub degraded_uncached: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -54,6 +59,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    degraded_uncached: AtomicU64,
 }
 
 impl PlanCache {
@@ -69,8 +75,15 @@ impl PlanCache {
             hits: self.hits.load(Ordering::SeqCst),
             misses: self.misses.load(Ordering::SeqCst),
             invalidations: self.invalidations.load(Ordering::SeqCst),
+            degraded_uncached: self.degraded_uncached.load(Ordering::SeqCst),
             entries: self.entries.lock().expect("plan cache lock").len(),
         }
+    }
+
+    /// Record that a cold result was withheld from the cache because it was
+    /// degraded (see [`CacheStats::degraded_uncached`]).
+    pub fn note_degraded_uncached(&self) {
+        self.degraded_uncached.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Look up a reformulation for `shape` under `fingerprint`. On a hit the

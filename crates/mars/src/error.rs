@@ -35,6 +35,20 @@ pub enum MarsError {
         /// Name of the offending block.
         block: String,
     },
+    /// The service shed this request at admission: the bounded in-flight
+    /// limit was already reached. Retry later — nothing was computed and
+    /// nothing was cached.
+    Overloaded {
+        /// The in-flight admission limit that was hit.
+        limit: usize,
+    },
+    /// The reformulation thread panicked mid-request. The panic was isolated
+    /// (`catch_unwind`) so sibling requests are unaffected, and nothing was
+    /// cached for this shape — a retry gets a real attempt.
+    ReformulationPanicked {
+        /// Name of the block being reformulated when the panic fired.
+        block: String,
+    },
 }
 
 impl fmt::Display for MarsError {
@@ -56,6 +70,12 @@ impl fmt::Display for MarsError {
             }
             MarsError::NoReformulation { block } => {
                 write!(f, "no proprietary-schema reformulation exists for block '{block}'")
+            }
+            MarsError::Overloaded { limit } => {
+                write!(f, "request shed: service already has {limit} requests in flight")
+            }
+            MarsError::ReformulationPanicked { block } => {
+                write!(f, "reformulation of block '{block}' panicked (isolated; not cached)")
             }
         }
     }

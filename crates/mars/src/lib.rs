@@ -20,6 +20,12 @@
 //! constants skip the Chase & Backchase and are answered by re-substituting
 //! the fresh constants into the cached reformulation. Degenerate inputs
 //! surface as structured [`MarsError`]s rather than panics.
+//!
+//! Requests are survivable end to end: per-request
+//! [`ReformulationBudget`]s degrade to the best-so-far answer (tagged with a
+//! [`Degradation`] reason) instead of erroring, a bounded admission limit
+//! sheds overload with [`MarsError::Overloaded`], and panics are isolated
+//! per request — see the [`service`] module docs for the degradation ladder.
 
 #![deny(missing_docs)]
 
@@ -31,6 +37,7 @@ pub mod system;
 
 pub use cache::{CacheStats, PlanCache};
 pub use error::MarsError;
+pub use mars_chase::{Degradation, ReformulationBudget};
 pub use result::{BlockReformulation, MarsResult};
-pub use service::MarsService;
+pub use service::{FaultHook, MarsService, ServiceStats};
 pub use system::{Mars, MarsOptions, SchemaCorrespondence};

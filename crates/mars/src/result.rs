@@ -1,6 +1,6 @@
 //! Result types of the MARS pipeline.
 
-use mars_chase::ReformulationResult;
+use mars_chase::{Degradation, ReformulationResult};
 use mars_cq::ConjunctiveQuery;
 use mars_xquery::DecorrelatedQuery;
 use std::time::Duration;
@@ -24,6 +24,19 @@ impl BlockReformulation {
     /// The number of minimal reformulations found for this block.
     pub fn minimal_count(&self) -> usize {
         self.result.minimal.len()
+    }
+
+    /// Why this block's reformulation degraded, when it did (budget
+    /// exhaustion somewhere in the chase → backchase pipeline). `None`
+    /// exactly when the answer is what an unbounded run would produce —
+    /// which is also the precondition for caching it.
+    pub fn degradation(&self) -> Option<Degradation> {
+        self.result.stats.degradation
+    }
+
+    /// `true` when some budget cut this reformulation short.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation().is_some()
     }
 }
 

@@ -18,14 +18,68 @@
 //! The service is `Sync`: one instance can be shared across request threads
 //! (`&MarsService` handles), which is how the `experiments --serve` harness
 //! drives it.
+//!
+//! # The degradation ladder
+//!
+//! Every request is survivable. Arrivals pass **admission** first: when a
+//! bounded in-flight limit ([`MarsService::with_admission_limit`]) is
+//! saturated the request is *shed* with a typed
+//! [`MarsError::Overloaded`] — nothing queues forever. Admitted requests run
+//! under a per-request [`ReformulationBudget`] (the service default or an
+//! explicit one via [`MarsService::reformulate_xbind_with`]); budget
+//! exhaustion *degrades* to the best reformulation found so far rather than
+//! erroring. The whole request body runs inside `catch_unwind`, so a
+//! poisoned request surfaces as [`MarsError::ReformulationPanicked`] instead
+//! of killing sibling threads. Cache hygiene rule: **degraded or panicked
+//! results are never inserted into the [`PlanCache`]** — a retry of the
+//! shape gets a real attempt ([`CacheStats::degraded_uncached`] counts the
+//! withheld inserts).
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::error::MarsError;
 use crate::result::{BlockReformulation, MarsResult};
 use crate::system::Mars;
+use mars_chase::ReformulationBudget;
 use mars_xquery::{decorrelate, parse_xquery, shape_of, XBindQuery};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A fault-injection hook called at named pipeline points (`"lookup"` before
+/// the cache probe, `"reformulate"` before a cold chase & backchase). The
+/// hook runs *inside* the request's `catch_unwind` scope, so a hook that
+/// panics or stalls exercises exactly the isolation a real fault would.
+pub type FaultHook = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Monotone request-outcome counters for one service instance. Every
+/// admitted-or-shed arrival lands in exactly one bucket (degenerate-input
+/// client errors excepted — those are the caller's bug, not service load).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered at full fidelity (warm hits included).
+    pub served: u64,
+    /// Requests answered by a budget-degraded reformulation.
+    pub degraded: u64,
+    /// Requests rejected at admission ([`MarsError::Overloaded`]).
+    pub shed: u64,
+    /// Requests that panicked mid-flight and were isolated
+    /// ([`MarsError::ReformulationPanicked`]).
+    pub panicked: u64,
+}
+
+/// RAII in-flight slot: decrements on drop, unwinding included, so a
+/// panicking request can never leak its admission slot.
+struct InFlightPermit<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A resident [`Mars`] system with a plan cache (see the module docs).
 pub struct MarsService {
@@ -33,6 +87,14 @@ pub struct MarsService {
     cache: PlanCache,
     fingerprint: u64,
     reserved: HashSet<String>,
+    default_budget: ReformulationBudget,
+    max_in_flight: usize,
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    panicked: AtomicU64,
+    fault_hook: Option<FaultHook>,
 }
 
 impl MarsService {
@@ -41,7 +103,51 @@ impl MarsService {
     pub fn new(mars: Mars) -> MarsService {
         let fingerprint = mars.fingerprint();
         let reserved = mars.reserved_constants();
-        MarsService { mars, cache: PlanCache::new(), fingerprint, reserved }
+        MarsService {
+            mars,
+            cache: PlanCache::new(),
+            fingerprint,
+            reserved,
+            default_budget: ReformulationBudget::unbounded(),
+            max_in_flight: 0,
+            in_flight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            fault_hook: None,
+        }
+    }
+
+    /// Builder: the budget applied to requests that do not carry their own
+    /// (see [`MarsService::reformulate_xbind_with`]). Defaults to unbounded.
+    pub fn with_default_budget(mut self, budget: ReformulationBudget) -> MarsService {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Builder: bound concurrent in-flight requests. Arrivals beyond the
+    /// limit are shed at admission with [`MarsError::Overloaded`]. `0`
+    /// (the default) means unbounded.
+    pub fn with_admission_limit(mut self, max_in_flight: usize) -> MarsService {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Builder: install a [`FaultHook`] (chaos testing; see the type docs).
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> MarsService {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Request-outcome counters (see [`ServiceStats`]).
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            served: self.served.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            panicked: self.panicked.load(Ordering::SeqCst),
+        }
     }
 
     /// The wrapped system.
@@ -69,18 +175,75 @@ impl MarsService {
         self.cache.invalidate_except(self.fingerprint);
     }
 
-    /// Reformulate one navigation block through the cache: a shape hit
-    /// re-substitutes the cached plan with this query's constants, a miss
-    /// runs [`Mars::try_reformulate_xbind`] cold and caches the result.
-    /// Degenerate blocks surface the same [`MarsError`]s as the cold path.
+    /// Reformulate one navigation block through the cache under the
+    /// service's default budget: a shape hit re-substitutes the cached plan
+    /// with this query's constants, a miss runs
+    /// [`Mars::try_reformulate_xbind_budgeted`] cold. Non-degraded cold
+    /// results are cached; degraded ones are not (module docs). Degenerate
+    /// blocks surface the same [`MarsError`]s as the cold path.
     pub fn reformulate_xbind(&self, xbind: &XBindQuery) -> Result<BlockReformulation, MarsError> {
-        let shape = shape_of(xbind, &self.reserved);
-        if let Some(hit) = self.cache.lookup(&shape, self.fingerprint) {
-            return Ok(hit);
+        self.reformulate_xbind_with(xbind, &self.default_budget)
+    }
+
+    /// [`MarsService::reformulate_xbind`] with an explicit per-request
+    /// budget. This is the full degradation ladder: admission (shed on
+    /// overload), panic isolation, budgeted anytime reformulation, and the
+    /// never-cache-degraded rule.
+    pub fn reformulate_xbind_with(
+        &self,
+        xbind: &XBindQuery,
+        budget: &ReformulationBudget,
+    ) -> Result<BlockReformulation, MarsError> {
+        let _permit = self.admit()?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &self.fault_hook {
+                hook("lookup");
+            }
+            let shape = shape_of(xbind, &self.reserved);
+            if let Some(hit) = self.cache.lookup(&shape, self.fingerprint) {
+                return Ok(hit);
+            }
+            if let Some(hook) = &self.fault_hook {
+                hook("reformulate");
+            }
+            let block = self.mars.try_reformulate_xbind_budgeted(xbind, budget)?;
+            if block.is_degraded() {
+                self.cache.note_degraded_uncached();
+            } else {
+                self.cache.insert(shape, self.fingerprint, block.clone());
+            }
+            Ok(block)
+        }));
+        match outcome {
+            Ok(Ok(block)) => {
+                if block.is_degraded() {
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.served.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(block)
+            }
+            // Degenerate-input client errors bump no outcome counter: they
+            // are the caller's bug, not service load.
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                self.panicked.fetch_add(1, Ordering::SeqCst);
+                Err(MarsError::ReformulationPanicked { block: xbind.name.clone() })
+            }
         }
-        let block = self.mars.try_reformulate_xbind(xbind)?;
-        self.cache.insert(shape, self.fingerprint, block.clone());
-        Ok(block)
+    }
+
+    /// Take an in-flight slot or shed. The permit's `Drop` releases the slot
+    /// even when the request unwinds.
+    fn admit(&self) -> Result<InFlightPermit<'_>, MarsError> {
+        let prev = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let permit = InFlightPermit { counter: &self.in_flight };
+        if self.max_in_flight > 0 && prev >= self.max_in_flight {
+            drop(permit);
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            return Err(MarsError::Overloaded { limit: self.max_in_flight });
+        }
+        Ok(permit)
     }
 
     /// Reformulate a full client XQuery (text) through the cache: parse,
@@ -218,6 +381,96 @@ mod tests {
         let again = service.reformulate_xbind(&title_filter("T")).unwrap();
         assert!(again.result.has_reformulation());
         assert_eq!(service.cache_stats().entries, 1);
+    }
+
+    /// A saturated admission limit sheds the excess arrival with a typed
+    /// `Overloaded` error and counts it; the admitted request completes
+    /// normally once released. The blocking hook makes the overlap
+    /// deterministic.
+    #[test]
+    fn admission_limit_sheds_with_typed_overload() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::mpsc;
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let armed = AtomicBool::new(true);
+        let hook: FaultHook = Arc::new(move |point: &str| {
+            // Block only the first request at "lookup"; later arrivals
+            // (the post-release capacity check) must pass through.
+            if point == "lookup" && armed.swap(false, Ordering::SeqCst) {
+                entered_tx.send(()).unwrap();
+                release_rx.lock().unwrap().recv().unwrap();
+            }
+        });
+        let service = MarsService::new(Mars::new(correspondence()))
+            .with_admission_limit(1)
+            .with_fault_hook(hook);
+        std::thread::scope(|s| {
+            let first = s.spawn(|| service.reformulate_xbind(&title_filter("A")));
+            entered_rx.recv().unwrap(); // the first request holds its slot
+            let shed = service.reformulate_xbind(&title_filter("B"));
+            assert!(matches!(shed, Err(MarsError::Overloaded { limit: 1 })));
+            release_tx.send(()).unwrap();
+            assert!(first.join().unwrap().is_ok());
+        });
+        let stats = service.service_stats();
+        assert_eq!((stats.served, stats.shed), (1, 1));
+        // The shed request computed nothing and its slot was released.
+        assert_eq!(service.cache_stats().entries, 1);
+        let after = service.reformulate_xbind(&title_filter("C"));
+        assert!(after.is_ok(), "capacity is available again after the permits dropped");
+    }
+
+    /// A panic mid-request is isolated: the caller gets a typed error,
+    /// nothing is cached for the shape, and the next arrival gets a real
+    /// (successful) attempt.
+    #[test]
+    fn panics_are_isolated_and_never_cached() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let poison = Arc::new(AtomicBool::new(true));
+        let armed = poison.clone();
+        let hook: FaultHook = Arc::new(move |point: &str| {
+            if point == "reformulate" && armed.swap(false, Ordering::SeqCst) {
+                panic!("injected chaos panic");
+            }
+        });
+        let service = MarsService::new(Mars::new(correspondence())).with_fault_hook(hook);
+        let poisoned = service.reformulate_xbind(&title_filter("T"));
+        assert!(matches!(poisoned, Err(MarsError::ReformulationPanicked { .. })));
+        assert_eq!(service.cache_stats().entries, 0);
+        assert_eq!(service.service_stats().panicked, 1);
+        // The retry gets a real attempt — and is cached this time.
+        let retry = service.reformulate_xbind(&title_filter("T")).unwrap();
+        assert!(retry.result.has_reformulation());
+        assert_eq!(service.cache_stats().entries, 1);
+        assert_eq!(service.service_stats().served, 1);
+    }
+
+    /// Cache hygiene: a degraded cold result is withheld from the cache (and
+    /// counted), a later sane-budget arrival of the same shape recomputes
+    /// and *is* cached, and the arrival after that is a warm hit.
+    #[test]
+    fn degraded_results_are_never_cached() {
+        use std::time::Duration;
+        let service = MarsService::new(Mars::new(correspondence()))
+            .with_default_budget(ReformulationBudget::unbounded().with_deadline(Duration::ZERO));
+        let degraded = service.reformulate_xbind(&title_filter("T")).unwrap();
+        assert!(degraded.is_degraded(), "a zero deadline must degrade");
+        let cache = service.cache_stats();
+        assert_eq!((cache.entries, cache.degraded_uncached), (0, 1));
+        assert_eq!(service.service_stats().degraded, 1);
+
+        let sane = ReformulationBudget::unbounded();
+        let recomputed = service.reformulate_xbind_with(&title_filter("T"), &sane).unwrap();
+        assert!(!recomputed.is_degraded());
+        assert!(recomputed.result.has_reformulation());
+        assert_eq!(service.cache_stats().entries, 1);
+
+        let warm = service.reformulate_xbind_with(&title_filter("T"), &sane).unwrap();
+        assert!(!warm.is_degraded());
+        assert_eq!(service.cache_stats().hits, 1);
+        assert_eq!(service.service_stats().served, 2);
     }
 
     /// The full-XQuery service path parses, caches per block, and reports

@@ -2,7 +2,7 @@
 
 use crate::error::MarsError;
 use crate::result::{BlockReformulation, MarsResult};
-use mars_chase::{CbOptions, ChaseBackchase, JoinPlanner};
+use mars_chase::{CbOptions, ChaseBackchase, JoinPlanner, ReformulationBudget};
 use mars_cost::{CostEstimator, WeightedAtomEstimator};
 use mars_cq::{ConjunctiveQuery, Constant, Ded, Predicate, Term};
 use mars_grex::{
@@ -368,6 +368,32 @@ impl Mars {
 
     /// Reformulate a single XBind query (one navigation block).
     pub fn reformulate_xbind(&self, xbind: &XBindQuery) -> BlockReformulation {
+        self.reformulate_xbind_with_engine(xbind, &self.engine)
+    }
+
+    /// [`Mars::reformulate_xbind`] under a per-request budget. The budget
+    /// tightens a copy of the engine's standing options for this one request
+    /// (the shared engine and its fingerprint are untouched, so cache keys
+    /// stay comparable across budgets). Budget exhaustion degrades rather
+    /// than errors: the result carries the best reformulation found, tagged
+    /// via [`BlockReformulation::degradation`].
+    pub fn reformulate_xbind_budgeted(
+        &self,
+        xbind: &XBindQuery,
+        budget: &ReformulationBudget,
+    ) -> BlockReformulation {
+        if budget.is_unbounded() {
+            return self.reformulate_xbind(xbind);
+        }
+        let engine = self.engine.clone().with_options(budget.apply(&self.options.cb));
+        self.reformulate_xbind_with_engine(xbind, &engine)
+    }
+
+    fn reformulate_xbind_with_engine(
+        &self,
+        xbind: &XBindQuery,
+        engine: &ChaseBackchase,
+    ) -> BlockReformulation {
         let start = Instant::now();
         let effective =
             if self.options.use_specialization && !self.correspondence.specializations.is_empty() {
@@ -377,7 +403,7 @@ impl Mars {
             };
         let mut ctx = CompileContext::new();
         let compiled: ConjunctiveQuery = compile_xbind(&mut ctx, &effective);
-        let result = self.engine.reformulate(&compiled);
+        let result = engine.reformulate(&compiled);
         // Reformulations are safe (head variables bound in the body), so SQL
         // rendering cannot fail on them; `.ok()` guards the contract anyway.
         let sql = result.best_or_initial().and_then(|q| sql_for_query(q).ok());
@@ -409,6 +435,26 @@ impl Mars {
             return Err(MarsError::UnsafeBlock { block: xbind.name.clone() });
         }
         Ok(self.reformulate_xbind(xbind))
+    }
+
+    /// [`Mars::try_reformulate_xbind`] under a per-request budget: the same
+    /// degenerate-input checks, then a budgeted run (see
+    /// [`Mars::reformulate_xbind_budgeted`]).
+    pub fn try_reformulate_xbind_budgeted(
+        &self,
+        xbind: &XBindQuery,
+        budget: &ReformulationBudget,
+    ) -> Result<BlockReformulation, MarsError> {
+        if self.engine.deds().is_empty() && self.engine.proprietary.is_empty() {
+            return Err(MarsError::EmptyCorrespondence);
+        }
+        if xbind.atoms.is_empty() {
+            return Err(MarsError::EmptyBlock { block: xbind.name.clone() });
+        }
+        if !xbind.is_safe() {
+            return Err(MarsError::UnsafeBlock { block: xbind.name.clone() });
+        }
+        Ok(self.reformulate_xbind_budgeted(xbind, budget))
     }
 
     /// Reformulate a full client XQuery (text): parse, decorrelate, and

@@ -14,7 +14,12 @@
 //!   cacheEntry LAV views);
 //! * [`xmark`] — a scaled-down XMark-like auction scenario with realistic
 //!   queries and redundant views (Section 4.2's feasibility experiment).
+//!
+//! For robustness testing, [`chaos`] provides a deterministic fault
+//! injector and an adversarial (cache-defeating) arrival stream used by the
+//! `experiments --serve --chaos` harness.
 
+pub mod chaos;
 pub mod example11;
 pub mod star;
 pub mod stress;

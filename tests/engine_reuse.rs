@@ -286,6 +286,68 @@ fn concurrent_warm_cache_access_is_deterministic() {
     }
 }
 
+/// Cache hygiene under budgets: a degraded (best-so-far) result is never
+/// inserted into the plan cache — `CacheStats::degraded_uncached` counts it
+/// instead — so a later within-budget arrival of the same shape is computed
+/// cold, cached, and serves all subsequent warm traffic.
+#[test]
+fn degraded_results_never_poison_the_plan_cache() {
+    use mars_system::mars::{MarsService, ReformulationBudget};
+    use std::time::Duration;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let service = MarsService::new(Mars::new(correspondence()));
+
+    // A zero deadline degrades to the universal-plan floor on the cold path.
+    let strangled = ReformulationBudget::unbounded().with_deadline(Duration::ZERO);
+    let degraded = service
+        .reformulate_xbind_with(&title_filter("alpha"), &strangled)
+        .expect("degraded, not an error");
+    assert!(degraded.is_degraded(), "a zero deadline must cut something");
+    let stats = service.cache_stats();
+    assert_eq!(stats.entries, 0, "degraded plans are never cached");
+    assert_eq!(stats.degraded_uncached, 1);
+
+    // The same shape within budget: no stale hit is possible (nothing was
+    // cached), so it reformulates cold — and this one is cached.
+    let healthy = service.reformulate_xbind(&title_filter("beta")).expect("reformulates");
+    assert!(!healthy.is_degraded());
+    assert!(healthy.result.has_reformulation());
+    let stats = service.cache_stats();
+    assert_eq!((stats.entries, stats.hits, stats.misses), (1, 0, 2));
+
+    // Third arrival: a warm hit off the healthy entry, carrying its constant.
+    let warm = service.reformulate_xbind(&title_filter("gamma")).expect("reformulates");
+    assert!(!warm.is_degraded());
+    assert!(warm.sql.as_ref().expect("sql").contains("gamma"));
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.degraded_uncached, 1, "hygiene counter unmoved by healthy traffic");
+    let served = service.service_stats();
+    assert_eq!((served.served, served.degraded), (2, 1));
+}
+
+/// The cache outranks the budget in the degradation ladder: once a healthy
+/// plan is cached, even a zero-deadline arrival of the same shape is served
+/// warm and undegraded — budgets only bite on the cold path.
+#[test]
+fn warm_hits_survive_a_zero_budget() {
+    use mars_system::mars::{MarsService, ReformulationBudget};
+    use std::time::Duration;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let service = MarsService::new(Mars::new(correspondence()));
+    service.reformulate_xbind(&title_filter("alpha")).expect("cold healthy run");
+
+    let strangled = ReformulationBudget::unbounded().with_deadline(Duration::ZERO);
+    let warm = service.reformulate_xbind_with(&title_filter("beta"), &strangled).expect("warm run");
+    assert!(!warm.is_degraded(), "warm traffic must not degrade under any budget");
+    assert!(warm.sql.as_ref().expect("sql").contains("beta"));
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.degraded_uncached), (1, 0));
+    assert_eq!(service.service_stats().served, 2);
+}
+
 #[test]
 fn star_reformulation_reuses_the_engine_compilation() {
     let _serial = COUNTER_LOCK.lock().unwrap();

@@ -637,6 +637,79 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The anytime contract of the budgeted engine. Chase & Backchase
+    /// soundness says *every* rung of the degradation ladder — cost-optimal,
+    /// initial, or the bare universal plan — is an equivalent rewriting of
+    /// the client query, so a budget can only cost minimality, never
+    /// correctness: for any budget (including a deadline of zero and a
+    /// candidate ceiling of zero) the answer the budgeted run would serve is
+    /// equivalent to the unbounded one under the compiled dependency theory,
+    /// checked by containment in both directions. And whenever the run
+    /// reports no degradation, the whole result is byte-identical to the
+    /// unbounded one.
+    #[test]
+    fn budgeted_reformulation_is_equivalent_to_unbounded(
+        use_deadline in proptest::bool::ANY,
+        deadline_ms in 0u64..50,
+        use_candidates in proptest::bool::ANY,
+        max_candidates in 0usize..4,
+        filter_author in proptest::bool::ANY,
+    ) {
+        use mars_system::mars::{Mars, ReformulationBudget};
+        use std::time::Duration;
+
+        let mut budget = ReformulationBudget::unbounded();
+        if use_deadline {
+            budget = budget.with_deadline(Duration::from_millis(deadline_ms));
+        }
+        if use_candidates {
+            budget = budget.with_max_candidates(max_candidates);
+        }
+
+        let mars = Mars::new(service_correspondence());
+        let request =
+            service_request(&fresh_constant("title"), filter_author, &fresh_constant("author"));
+
+        let unbounded = mars.try_reformulate_xbind(&request).expect("unbounded run");
+        let budgeted = mars.try_reformulate_xbind_budgeted(&request, &budget).expect("budgeted run");
+
+        // Compare the answer each run actually serves: best, else initial,
+        // else the universal plan (the sound floor a zero budget falls to).
+        let served_u =
+            unbounded.result.best_or_initial().unwrap_or(&unbounded.result.universal_plan);
+        let served_b =
+            budgeted.result.best_or_initial().unwrap_or(&budgeted.result.universal_plan);
+        let deds = mars.dependencies();
+        let copts = ContainmentOptions::default();
+        prop_assert!(
+            contained_in(served_b, served_u, deds, &copts),
+            "budgeted answer not contained in unbounded answer under the dependency theory\n\
+             budgeted: {}\nunbounded: {}",
+            served_b,
+            served_u
+        );
+        prop_assert!(
+            contained_in(served_u, served_b, deds, &copts),
+            "unbounded answer not contained in budgeted answer under the dependency theory\n\
+             unbounded: {}\nbudgeted: {}",
+            served_u,
+            served_b
+        );
+
+        // Determinism half of the contract: no degradation report means
+        // nothing was cut, so the results must be byte-identical — and only
+        // a real budget is ever allowed to degrade.
+        if budgeted.degradation().is_none() {
+            prop_assert_eq!(block_bytes(&budgeted), block_bytes(&unbounded));
+        } else {
+            prop_assert!(!budget.is_unbounded(), "an unbounded budget must never degrade");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Physical executor: byte-identical to the naive evaluator and to the XML
 // engine (the cross-backend agreement contract of the physical plan layer).
