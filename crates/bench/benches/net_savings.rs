@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         let best = block.result.best_or_initial().cloned().expect("reformulation");
 
         g.bench_with_input(BenchmarkId::new("unreformulated_naive_xml", nc), &nc, |b, _| {
-            b.iter(|| xml.eval_xbind(&cfg.client_query(), &HashMap::new()))
+            b.iter(|| xml.eval_xbind(&cfg.client_query(), &HashMap::new()).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("reformulated_over_views", nc), &nc, |b, _| {
             b.iter(|| db.query(&best))

@@ -11,8 +11,9 @@ use mars::{MarsError, MarsOptions, MarsService, ReformulationBudget};
 use mars_bench::{measure_fig5_opts, measure_fig8_threads};
 use mars_chase::{chase_to_universal_plan, ChaseOptions};
 use mars_cq::{naive_chase, ChaseBudget};
-use mars_storage::QueryExecutor;
+use mars_storage::{BackendRouter, QueryExecutor, Route};
 use mars_workloads::chaos::{adversarial_request, FaultInjector};
+use mars_workloads::scenarios::Scenario;
 use mars_workloads::{example11, star::StarConfig, stress, xmark};
 use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
 use std::collections::HashMap;
@@ -21,8 +22,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "Usage: experiments [--fig5] [--fig8] [--stress] [--oldnew] [--savings] \
-[--xmark] [--serve] [--chaos] [--all] [--max-nc N] [--threads N] [--serve-batch N] \
-[--serve-requests N] \
+[--xmark] [--serve] [--chaos] [--all] [--route MODE] [--max-nc N] [--threads N] \
+[--serve-batch N] [--serve-requests N] \
 [--fixed-scan-threshold N] [--naive-joins] [--scratch-containment] [--naive-executor]
 
 Regenerates the paper's tables and figures (see EXPERIMENTS.md). With no
@@ -50,7 +51,17 @@ disables the cross-candidate containment memo (every candidate's
 containment check runs from scratch), across the fig5 sweep.
 --naive-executor runs the savings/xmark reformulated executions through the
 naive relational evaluator instead of the cost-based physical plans (the
-executor ablation; rows are byte-identical either way).";
+executor ablation; rows are byte-identical either way).
+--route MODE (auto | relational | xml) runs the backend-routing phase over
+the 12-point scenario matrix (chain/snowflake x uniform/skewed x redundancy
+0-2): every scenario's best reformulation is priced and executed on the
+auto-chosen route and on both forced routes (min-of-3 each), rows are
+byte-compared across routes, and per-route counters land in
+experiments_results.json. MODE picks which decision the counters follow;
+auto additionally gates the exit code: the router must pick the XML backend
+on at least one navigation-heavy (redundancy 0) scenario and the relational
+backend on at least one view-backed one, or the process exits 1. The
+routing phase is part of --all (in auto mode).";
 
 /// The parsed command line.
 struct Args {
@@ -75,6 +86,27 @@ struct Args {
     /// relational evaluator instead of the physical plans (the executor
     /// ablation).
     naive_executor: bool,
+    /// Which routing decision the scenario-matrix counters follow
+    /// (`auto` | `relational` | `xml`; `auto` also arms the exit gate).
+    route: RouteMode,
+}
+
+/// The `--route` ablation mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RouteMode {
+    Auto,
+    Relational,
+    Xml,
+}
+
+impl RouteMode {
+    fn label(self) -> &'static str {
+        match self {
+            RouteMode::Auto => "auto",
+            RouteMode::Relational => "relational",
+            RouteMode::Xml => "xml",
+        }
+    }
 }
 
 /// Parse the command line strictly: unknown flags and malformed values are
@@ -94,6 +126,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         naive_joins: false,
         scratch_containment: false,
         naive_executor: false,
+        route: RouteMode::Auto,
     };
     let mut serve_flag_seen = false;
     let mut it = args.iter();
@@ -152,6 +185,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             parsed.scratch_containment = true;
         } else if arg == "--naive-executor" {
             parsed.naive_executor = true;
+        } else if arg == "--route" {
+            let value = it.next().ok_or("--route requires a value".to_string())?;
+            parsed.route = match value.as_str() {
+                "auto" => RouteMode::Auto,
+                "relational" => RouteMode::Relational,
+                "xml" => RouteMode::Xml,
+                other => {
+                    return Err(format!(
+                        "invalid --route value: {other:?} (expected auto, relational or xml)"
+                    ))
+                }
+            };
+            parsed.selected.push(arg.clone());
         } else if FLAGS.contains(&arg.as_str()) {
             parsed.selected.push(arg.clone());
         } else {
@@ -209,6 +255,7 @@ fn main() {
         naive_joins,
         scratch_containment,
         naive_executor,
+        route,
     } = parsed;
     let executor = if naive_executor { QueryExecutor::Naive } else { QueryExecutor::Physical };
     let has = |flag: &str| args.iter().any(|a| a == flag);
@@ -264,6 +311,16 @@ fn main() {
     if all || has("--xmark") {
         timed("xmark", &mut results, &mut |r| xmark_feasibility(executor, r));
     }
+    // Backend routing over the scenario matrix. Auto mode arms the exit
+    // gate: the router must actually route (XML on at least one
+    // navigation-heavy scenario, relational on at least one view-backed
+    // one), or the statistics plumbing has regressed.
+    let mut routing_ok = true;
+    if all || has("--route") {
+        timed("routing", &mut results, &mut |r| {
+            routing_ok = routing_experiment(route, r);
+        });
+    }
     // Serve mode is opt-in only (it reuses the fig5 workload): run it when
     // requested and gate the exit code on warm beating cold. --chaos
     // replaces the throughput benchmark with the fault-injection harness,
@@ -312,6 +369,7 @@ fn main() {
                 QueryExecutor::Physical => "physical",
                 QueryExecutor::Naive => "naive",
             },
+            "route_mode": route.label(),
             "cpu_cores": detected_cpu_cores(),
             "rustc": rustc_version(),
             "phase_wall_ms": serde_json::Value::Object(phases),
@@ -341,6 +399,15 @@ fn main() {
         eprintln!(
             "error: chaos serve run failed its gate — requests were lost, or no fault \
              (panic / stall / degradation) was actually exercised"
+        );
+        std::process::exit(1);
+    }
+    if !routing_ok {
+        eprintln!(
+            "error: the auto router failed its smoke gate — it must pick the XML backend \
+             on at least one navigation-heavy scenario and the relational backend on at \
+             least one view-backed scenario (see the routing entry in \
+             experiments_results.json)"
         );
         std::process::exit(1);
     }
@@ -573,7 +640,9 @@ fn net_savings(executor: QueryExecutor, results: &mut HashMap<String, serde_json
 
         // Unreformulated execution on the naive XML engine (the Galax stand-in).
         let start = Instant::now();
-        let unref = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
+        let unref = xml
+            .eval_xbind(&cfg.client_query(), &HashMap::new())
+            .expect("star documents are stored");
         let unref_time = start.elapsed();
 
         // Reformulated execution: the best reformulation runs on the relational
@@ -734,6 +803,164 @@ fn xmark_feasibility(executor: QueryExecutor, results: &mut HashMap<String, serd
         block.result.has_reformulation(),
         block.result.minimal.len()
     );
+}
+
+/// The backend-routing phase: reformulate every scenario of the 12-point
+/// matrix, price the best reformulation against both backends, execute it on
+/// the auto-chosen route and on both forced routes (min-of-3 each), and
+/// byte-compare the row sets across routes. Returns whether the auto-mode
+/// smoke gate holds (always `true` for forced modes, which only shift the
+/// counters).
+fn routing_experiment(mode: RouteMode, results: &mut HashMap<String, serde_json::Value>) -> bool {
+    const SCALE: usize = 192;
+    const SEED: u64 = 11;
+    println!("\n=== Backend routing over the scenario matrix (mode: {}) ===", mode.label());
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>9} {:>9} {:>9} {:>6}",
+        "scenario", "route", "est(rel)", "est(xml)", "auto ms", "rel ms", "xml ms", "rows"
+    );
+
+    let min_of_3 = |router: &BackendRouter<'_>, plan: &mars_storage::RoutedPlan| {
+        let mut best: Option<mars_storage::RoutedExecution> = None;
+        for _ in 0..3 {
+            let exec = router.execute(plan).expect("scenario documents are stored");
+            if best.as_ref().map(|b| exec.duration < b.duration).unwrap_or(true) {
+                best = Some(exec);
+            }
+        }
+        best.expect("three runs produce a minimum")
+    };
+
+    let mut rows_json = Vec::new();
+    let mut counters: HashMap<&'static str, usize> = HashMap::new();
+    let mut xml_on_navigation_heavy = false;
+    let mut relational_on_view_backed = false;
+    let mut totals = (0.0f64, 0.0f64, 0.0f64); // auto, forced-relational, forced-xml
+    let mut auto_never_worst = true;
+    for scenario in Scenario::matrix() {
+        let mars = scenario.mars();
+        let block = mars
+            .try_reformulate_xbind(&scenario.client_query())
+            .expect("scenario queries are well-formed");
+        let best = block.result.best_or_initial().expect("every scenario has an executable query");
+        let (xml, db) = scenario.populate(SCALE, SEED);
+        let router = BackendRouter::new(&db, &xml);
+
+        let auto = router.plan(best);
+        let forced_rel = router.plan_forced(best, Route::Relational);
+        // The forced-XML policy means "run on the XML store natively". When
+        // the best reformulation is XML-infeasible (view-backed scenarios
+        // reformulate onto pure relations), the honest ablation executes the
+        // compiled navigation form of the client query instead of silently
+        // clamping to the relational backend.
+        let mut forced_xml = router.plan_forced(best, Route::Xml);
+        if forced_xml.decision.route != Route::Xml {
+            forced_xml = router.plan_forced(&scenario.navigation_query(), Route::Xml);
+        }
+        let auto_exec = min_of_3(&router, &auto);
+        let rel_exec = min_of_3(&router, &forced_rel);
+        let xml_exec = min_of_3(&router, &forced_xml);
+
+        // The differential contract, enforced in-run: every route returns
+        // the same rows, byte for byte.
+        assert_eq!(
+            auto_exec.rows,
+            rel_exec.rows,
+            "{}: auto and forced-relational rows differ",
+            scenario.name()
+        );
+        assert_eq!(
+            auto_exec.rows,
+            xml_exec.rows,
+            "{}: auto and forced-xml rows differ",
+            scenario.name()
+        );
+
+        let followed = match mode {
+            RouteMode::Auto => &auto,
+            RouteMode::Relational => &forced_rel,
+            RouteMode::Xml => &forced_xml,
+        };
+        let route_label = match followed.decision.route {
+            Route::Relational => "relational",
+            Route::Xml => "xml",
+            Route::Mixed => "mixed",
+        };
+        *counters.entry(route_label).or_insert(0) += 1;
+        if auto.decision.route == Route::Xml && !scenario.view_backed() {
+            xml_on_navigation_heavy = true;
+        }
+        if auto.decision.route == Route::Relational && scenario.view_backed() {
+            relational_on_view_backed = true;
+        }
+
+        let (auto_ms, rel_ms, xml_ms) =
+            (ms(auto_exec.duration), ms(rel_exec.duration), ms(xml_exec.duration));
+        totals = (totals.0 + auto_ms, totals.1 + rel_ms, totals.2 + xml_ms);
+        // Timing acceptance is *recorded*, not asserted: micro-timings on a
+        // shared CI core are too noisy to gate on, the route choices above
+        // are not.
+        if auto_ms > rel_ms.max(xml_ms) * 1.5 {
+            auto_never_worst = false;
+        }
+        println!(
+            "{:<22} {:>10} {:>12.1} {:>10} {:>9.3} {:>9.3} {:>9.3} {:>6}",
+            scenario.name(),
+            route_label,
+            auto.decision.costs.relational,
+            auto.decision.costs.xml.map(|c| format!("{c:.1}")).unwrap_or_else(|| "inf".to_string()),
+            auto_ms,
+            rel_ms,
+            xml_ms,
+            auto_exec.rows.len(),
+        );
+        rows_json.push(serde_json::json!({
+            "scenario": scenario.name(),
+            "redundancy": scenario.redundancy,
+            "view_backed": scenario.view_backed(),
+            "route": route_label,
+            "auto_route": format!("{}", auto.decision.route),
+            "estimated_cost_relational": auto.decision.costs.relational,
+            "estimated_cost_xml": auto.decision.costs.xml
+                .map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+            "estimated_cost_mixed": auto.decision.costs.mixed
+                .map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+            "auto_ms": auto_ms,
+            "forced_relational_ms": rel_ms,
+            "forced_xml_ms": xml_ms,
+            "forced_xml_effective_route": format!("{}", forced_xml.decision.route),
+            "rows": auto_exec.rows.len(),
+        }));
+    }
+
+    let auto_beats_best_single_backend = totals.0 < totals.1.min(totals.2);
+    let gate_ok = mode != RouteMode::Auto || (xml_on_navigation_heavy && relational_on_view_backed);
+    println!(
+        "totals: auto {:.3} ms, all-relational {:.3} ms, all-xml {:.3} ms",
+        totals.0, totals.1, totals.2
+    );
+    results.insert(
+        "routing".to_string(),
+        serde_json::json!({
+            "mode": mode.label(),
+            "scenarios": rows_json,
+            "counters": serde_json::json!({
+                "relational": counters.get("relational").copied().unwrap_or(0),
+                "xml": counters.get("xml").copied().unwrap_or(0),
+                "mixed": counters.get("mixed").copied().unwrap_or(0),
+            }),
+            "total_auto_ms": totals.0,
+            "total_forced_relational_ms": totals.1,
+            "total_forced_xml_ms": totals.2,
+            "acceptance": serde_json::json!({
+                "xml_on_navigation_heavy": xml_on_navigation_heavy,
+                "relational_on_view_backed": relational_on_view_backed,
+                "auto_never_worst_than_forced": auto_never_worst,
+                "auto_beats_best_single_backend": auto_beats_best_single_backend,
+            }),
+        }),
+    );
+    gate_ok
 }
 
 /// Drain `reqs` in batches of `batch` across `threads` worker threads
@@ -1174,5 +1401,23 @@ mod tests {
         assert!(parse(&["--all", "--naive-executor"]).unwrap().naive_executor);
         assert!(parse(&["--naive-executor"]).unwrap().naive_executor, "bare run implies --all");
         assert!(!parse(&["--savings"]).unwrap().naive_executor);
+    }
+
+    /// --route is value-carrying, strictly validated, and selects the
+    /// routing phase; the default mode is auto (what --all runs).
+    #[test]
+    fn route_parses_strictly_and_selects_the_phase() {
+        assert!(parse(&["--route"]).is_err(), "missing value");
+        assert!(parse(&["--route", "fastest"]).is_err(), "unknown mode");
+        assert!(parse(&["--route", "auto", "--frobnicate"]).is_err(), "unknown flag");
+        let args = parse(&["--route", "auto"]).unwrap();
+        assert_eq!(args.route, RouteMode::Auto);
+        assert_eq!(args.selected, vec!["--route"]);
+        assert_eq!(parse(&["--route", "relational"]).unwrap().route, RouteMode::Relational);
+        assert_eq!(parse(&["--route", "xml"]).unwrap().route, RouteMode::Xml);
+        assert_eq!(parse(&["--all"]).unwrap().route, RouteMode::Auto, "--all routes in auto");
+        // --route composes with other phases without implying --all.
+        let args = parse(&["--fig5", "--route", "xml"]).unwrap();
+        assert_eq!(args.selected, vec!["--fig5", "--route"]);
     }
 }

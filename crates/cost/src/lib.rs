@@ -24,18 +24,28 @@
 //! * [`physical_plan`], the logical→physical compiler turning a conjunctive
 //!   query into an executable operator tree (pruned scans with constant
 //!   pushdown, statistics-ordered hash joins with chosen build sides,
-//!   residual filters, project/distinct) — executed by `mars-storage`.
+//!   residual filters, project/distinct) — executed by `mars-storage`,
+//! * [`route_query`], the backend router: prices one reformulated query
+//!   against the relational executor, native XML navigation (via the
+//!   [`NavigationStatistics`] trait) and a mixed split plan, and returns a
+//!   deterministic [`RoutingDecision`] — executed by `mars-storage`'s
+//!   `BackendRouter`.
 
 pub mod catalog;
 pub mod estimator;
 pub mod join_order;
 pub mod physical;
+pub mod route;
 pub mod stats;
 
 pub use catalog::{Catalog, RelationStats};
 pub use estimator::{fold_atom_costs, CostEstimator, WeightedAtomEstimator};
 pub use join_order::{JoinOrderEstimator, JoinPlan};
 pub use physical::{physical_plan, BuildSide, Operand, PhysicalPlan, TableScan};
+pub use route::{
+    greedy_navigation_key, navigation_cost, navigation_parts, navigation_rank, route_query,
+    NavCost, NavigationStatistics, Route, RouteCosts, RoutingDecision,
+};
 pub use stats::StatisticsCatalog;
 
 #[cfg(test)]

@@ -64,6 +64,10 @@ pub struct TableScan {
     pub duplicates: Vec<(usize, usize)>,
     /// Estimated output rows (from exact tuple counts and distincts).
     pub est_rows: f64,
+    /// Tuples the scan reads before pushdown (the relation's cardinality).
+    /// Drives [`PhysicalPlan::estimated_cost`]; deliberately not rendered,
+    /// so the golden plan snapshots stay shape-only.
+    pub input_rows: f64,
 }
 
 /// A physical operator tree for one conjunctive query.
@@ -132,6 +136,28 @@ impl PhysicalPlan {
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Distinct { input } => input.est_rows(),
+        }
+    }
+
+    /// Estimated total work of executing this operator tree: every scan pays
+    /// its full input cardinality, every hash join pays both inputs (build +
+    /// probe) plus its output, and the row-at-a-time tail operators pay their
+    /// input once more. The unit is "rows touched" — the same unit the
+    /// backchase estimators use — so costs are comparable across plans and,
+    /// via `mars_cost::route_query`, across backends.
+    pub fn estimated_cost(&self) -> f64 {
+        match self {
+            PhysicalPlan::TableScan(scan) => scan.input_rows,
+            PhysicalPlan::HashJoin { left, right, est_rows, .. } => {
+                left.estimated_cost()
+                    + right.estimated_cost()
+                    + left.est_rows()
+                    + right.est_rows()
+                    + est_rows
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Distinct { input } => input.estimated_cost() + input.est_rows(),
         }
     }
 }
@@ -221,7 +247,15 @@ pub fn physical_plan(q: &ConjunctiveQuery, stats: &dyn StatisticsCatalog) -> Phy
                     .max(1);
                 est /= d as f64;
             }
-            TableScan { relation, columns, output, pushdown, duplicates, est_rows: est }
+            TableScan {
+                relation,
+                columns,
+                output,
+                pushdown,
+                duplicates,
+                est_rows: est,
+                input_rows: stats.tuple_count(relation) as f64,
+            }
         })
         .collect();
 

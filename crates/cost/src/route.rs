@@ -1,0 +1,553 @@
+//! Statistics-driven backend routing for reformulated query blocks.
+//!
+//! The backchase picks the cheapest *reformulation*; this module picks the
+//! cheapest *backend* for executing it. A minimal reformulation over GReX
+//! navigation predicates can run three ways:
+//!
+//! * **relational** — through the physical executor over the loaded ground
+//!   facts and materialized views ([`crate::physical_plan`]);
+//! * **xml** — by native navigation of the stored documents (feasible only
+//!   when every body atom is a GReX navigation atom over a stored document);
+//! * **mixed** — navigation atoms on the XML engine, the rest on the
+//!   relational engine, hash-joined on the shared variables (feasible only
+//!   when both groups are non-empty).
+//!
+//! [`route_query`] prices all three against a [`StatisticsCatalog`] (the
+//! relational side) and a [`NavigationStatistics`] source (the XML side) and
+//! returns a [`RoutingDecision`]. The decision is **advisory by
+//! construction**: every route returns byte-identical rows (property-tested
+//! in `mars-storage`'s router and in `tests/property_based.rs`), so a bad
+//! estimate costs time, never correctness. Decisions render stably and are
+//! golden-snapshotted under `tests/golden/routes/`.
+
+use crate::physical_plan;
+use crate::stats::StatisticsCatalog;
+use mars_cq::{Atom, ConjunctiveQuery, Predicate, Term, Variable};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The GReX navigation predicate bases (mirrors `mars_grex::GrexSchema`: a
+/// navigation predicate is named `base#document` with `base` in this list).
+/// The router re-parses the convention here so `mars-cost` stays independent
+/// of `mars-grex`.
+const NAVIGATION_BASES: [&str; 8] = ["root", "el", "child", "desc", "tag", "attr", "id", "text"];
+
+/// Split a GReX navigation predicate `base#document` into its parts.
+/// Returns `None` for ordinary relations (including view names that happen
+/// to contain `#`, which never start with a navigation base).
+pub fn navigation_parts(p: Predicate) -> Option<(&'static str, &'static str)> {
+    let (base, document) = p.name().split_once('#')?;
+    if NAVIGATION_BASES.contains(&base) {
+        Some((base, document))
+    } else {
+        None
+    }
+}
+
+/// Tie-break rank for the greedy navigation order: among equally-connected
+/// atoms, run the most selective base first. Compiled bodies arrive sorted
+/// by predicate name (`child` < `desc` < … < `tag`), so breaking ties on
+/// body position alone would run every expanding `child`/`desc` atom before
+/// the first `tag` filter — a multi-million-row intermediate on a
+/// 150-element document.
+pub fn navigation_rank(base: &str) -> usize {
+    match base {
+        "root" => 0,
+        "tag" => 1,
+        "text" => 2,
+        "attr" => 3,
+        "id" => 4,
+        "el" => 5,
+        "child" => 6,
+        "desc" => 7,
+        _ => 8,
+    }
+}
+
+/// Ordering key for the greedy most-bound-first navigation loop. Sort
+/// ascending by `(key, body position)`:
+///
+/// 1. atoms **joining an already-bound variable** come before atoms whose
+///    variables are all fresh — joining a fresh-variable atom early is a
+///    cross product that multiplies the intermediate by an unrelated factor
+///    (a `tag` filter seeded too early costs more than it prunes);
+/// 2. fewer **unbound variables** first — pure filters before expansions;
+/// 3. the most selective **base** first ([`navigation_rank`]).
+///
+/// Both [`navigation_cost`] and the native interpreter in `mars_storage` use
+/// this exact key; they must stay in lockstep for the cost model to price
+/// what execution does.
+pub fn greedy_navigation_key(
+    atom: &Atom,
+    base: &str,
+    any_bound: bool,
+    is_bound: impl Fn(&Variable) -> bool,
+) -> (usize, usize, usize) {
+    let mut vars = 0usize;
+    let mut unbound = 0usize;
+    for t in &atom.args {
+        if let Term::Var(v) = t {
+            vars += 1;
+            if !is_bound(v) {
+                unbound += 1;
+            }
+        }
+    }
+    // Disconnected: has variables, none bound, and we already have bindings —
+    // joining it now is a cross product, so defer it until nothing connected
+    // remains (it then seeds the next component).
+    let disconnected = usize::from(vars > 0 && vars == unbound && any_bound);
+    (disconnected, unbound, navigation_rank(base))
+}
+
+/// The statistics the XML side of the router reads: per-document counters a
+/// document store maintains (implemented by `mars_storage::XmlStore`). All
+/// counts refer to the *GReX encoding* of the document, so they price exactly
+/// the tuples native navigation enumerates.
+pub trait NavigationStatistics {
+    /// Whether `document` is stored (navigation atoms over absent documents
+    /// make a route infeasible).
+    fn has_document(&self, document: &str) -> bool;
+    /// Element nodes (the `el#d` cardinality).
+    fn element_count(&self, document: &str) -> usize;
+    /// Descendant-or-self pairs (the `desc#d` cardinality; reflexive).
+    fn descendant_pairs(&self, document: &str) -> usize;
+    /// Elements with tag `tag` (the selectivity of `tag#d(n, 'tag')`).
+    fn tag_count(&self, document: &str, tag: &str) -> usize;
+    /// Elements with non-empty direct text (the `text#d` cardinality).
+    fn text_count(&self, document: &str) -> usize;
+    /// Attribute entries across all elements (the `attr#d` cardinality).
+    fn attr_count(&self, document: &str) -> usize;
+}
+
+/// Which backend executes a (sub)query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// The physical relational executor over loaded facts and views.
+    Relational,
+    /// Native navigation of the stored XML documents.
+    Xml,
+    /// Navigation atoms on the XML engine, the rest relational, joined.
+    Mixed,
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Route::Relational => write!(f, "relational"),
+            Route::Xml => write!(f, "xml"),
+            Route::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// The estimated cost of each backend for one query (`None` = infeasible).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteCosts {
+    /// Relational execution (always feasible; body-less queries cost 0).
+    pub relational: f64,
+    /// Pure native navigation, when every atom is navigational.
+    pub xml: Option<f64>,
+    /// The split plan, when both atom groups are non-empty.
+    pub mixed: Option<f64>,
+}
+
+/// Estimated enumeration volume of running `atoms` natively (see
+/// [`navigation_cost`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NavCost {
+    /// Rows touched across the greedy nested-loop evaluation.
+    pub cost: f64,
+    /// Estimated bindings surviving all atoms.
+    pub rows: f64,
+}
+
+/// A priced routing decision for one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingDecision {
+    /// The chosen backend (the argmin of the feasible costs; ties prefer
+    /// relational, then xml, then mixed — a fixed order, so decisions are
+    /// deterministic and snapshot-stable).
+    pub route: Route,
+    /// The per-backend estimates the choice was made from.
+    pub costs: RouteCosts,
+    /// Body atoms classified as GReX navigation over a stored document.
+    pub navigation_atoms: usize,
+    /// Remaining body atoms (base relations, views, specializations).
+    pub relational_atoms: usize,
+}
+
+impl RoutingDecision {
+    /// The estimated cost of the chosen route.
+    pub fn chosen_cost(&self) -> f64 {
+        match self.route {
+            Route::Relational => self.costs.relational,
+            Route::Xml => self.costs.xml.unwrap_or(self.costs.relational),
+            Route::Mixed => self.costs.mixed.unwrap_or(self.costs.relational),
+        }
+    }
+}
+
+fn render_cost(f: &mut fmt::Formatter<'_>, label: &str, c: Option<f64>) -> fmt::Result {
+    match c {
+        Some(c) => writeln!(f, "  {label}: {c:.1}"),
+        None => writeln!(f, "  {label}: infeasible"),
+    }
+}
+
+impl fmt::Display for RoutingDecision {
+    /// Stable rendering, snapshot-tested under `tests/golden/routes/`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "route={} atoms={} navigation + {} relational",
+            self.route, self.navigation_atoms, self.relational_atoms
+        )?;
+        render_cost(f, "relational", Some(self.costs.relational))?;
+        render_cost(f, "xml", self.costs.xml)?;
+        render_cost(f, "mixed", self.costs.mixed)
+    }
+}
+
+/// Price native navigation of `atoms`: simulate the interpreter's greedy
+/// most-bound-first nested loops, charging each atom its estimated
+/// enumeration volume per surviving binding. Returns `None` when any atom is
+/// not a navigation atom over a stored document (the route is infeasible).
+///
+/// The model is deliberately coarse — routing is advisory, so the estimates
+/// only need to *rank* backends sensibly, never to be exact.
+pub fn navigation_cost(atoms: &[Atom], nav: &dyn NavigationStatistics) -> Option<NavCost> {
+    let mut parsed: Vec<(&str, &str)> = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        let (base, document) = navigation_parts(atom.predicate)?;
+        if !nav.has_document(document) {
+            return None;
+        }
+        parsed.push((base, document));
+    }
+
+    let mut bound: HashSet<Variable> = HashSet::new();
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    let mut rows = 1.0_f64;
+    let mut cost = 0.0_f64;
+    while !remaining.is_empty() {
+        // Greedy: connected-most-bound-first ([`greedy_navigation_key`]),
+        // ties on body position — the order the native interpreter uses.
+        let pos = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let key = greedy_navigation_key(&atoms[i], parsed[i].0, !bound.is_empty(), |v| {
+                    bound.contains(v)
+                });
+                (key, i)
+            })
+            .map(|(k, _)| k)
+            .expect("remaining is non-empty");
+        let i = remaining.remove(pos);
+        let atom = &atoms[i];
+        let (base, document) = parsed[i];
+
+        let n = nav.element_count(document).max(1) as f64;
+        let is_bound = |k: usize| match atom.args.get(k) {
+            Some(Term::Var(v)) => bound.contains(v),
+            Some(Term::Const(_)) => true,
+            None => true,
+        };
+        // Estimated output bindings per input binding. `< 1` means a
+        // selective check, `> 1` an enumeration.
+        let expansion = match base {
+            "root" => 1.0,
+            "el" | "id" => {
+                if is_bound(0) {
+                    1.0
+                } else {
+                    n
+                }
+            }
+            "child" => match (is_bound(0), is_bound(1)) {
+                (true, true) => 1.0,
+                // Average element fanout: one child edge per non-root element.
+                (true, false) => (n - 1.0).max(0.0) / n,
+                // Parent lookup is unique.
+                (false, true) => 1.0,
+                (false, false) => (n - 1.0).max(1.0),
+            },
+            "desc" => {
+                let d = nav.descendant_pairs(document).max(1) as f64;
+                match (is_bound(0), is_bound(1)) {
+                    (true, true) => 1.0,
+                    (true, false) | (false, true) => d / n,
+                    (false, false) => d,
+                }
+            }
+            "tag" => {
+                let t = match atom.args.get(1) {
+                    Some(Term::Const(c)) => nav.tag_count(document, &c.render()) as f64,
+                    _ => n,
+                };
+                match (is_bound(0), is_bound(1)) {
+                    // A bound node has exactly one tag; with a constant tag
+                    // the check keeps a t/n fraction of the bindings.
+                    (true, _) => (t / n).min(1.0),
+                    (false, _) => t.max(0.0),
+                }
+            }
+            "text" => {
+                let x = nav.text_count(document) as f64;
+                match (is_bound(0), is_bound(1)) {
+                    // Bound node: one text check. Bound value: the
+                    // interpreter's by-value index keeps this a probe, about
+                    // one match per binding.
+                    (true, _) | (false, true) => (x / n).min(1.0),
+                    (false, false) => x,
+                }
+            }
+            "attr" => {
+                let a = nav.attr_count(document) as f64;
+                if is_bound(0) {
+                    a / n
+                } else {
+                    a
+                }
+            }
+            _ => unreachable!("navigation_parts whitelists the bases"),
+        };
+        cost += rows * expansion.max(1.0);
+        rows = (rows * expansion).max(0.0);
+        for t in &atom.args {
+            if let Term::Var(v) = t {
+                bound.insert(*v);
+            }
+        }
+    }
+    Some(NavCost { cost, rows })
+}
+
+/// Price `q` against every backend and choose the cheapest feasible one.
+///
+/// * relational cost: [`physical_plan`]`(q, rel).estimated_cost()`;
+/// * xml cost: [`navigation_cost`] over the whole body, feasible only when
+///   every atom is navigational over a stored document;
+/// * mixed cost: navigation cost of the navigational group + physical cost
+///   of the relational subquery + the estimated join volume, feasible only
+///   when both groups are non-empty.
+///
+/// Deterministic: equal costs resolve in the fixed order relational, xml,
+/// mixed.
+pub fn route_query(
+    q: &ConjunctiveQuery,
+    rel: &dyn StatisticsCatalog,
+    nav: &dyn NavigationStatistics,
+) -> RoutingDecision {
+    let is_nav = |a: &Atom| navigation_parts(a.predicate).is_some_and(|(_, d)| nav.has_document(d));
+    let nav_group: Vec<Atom> = q.body.iter().filter(|a| is_nav(a)).cloned().collect();
+    let rel_indices: Vec<usize> =
+        q.body.iter().enumerate().filter(|(_, a)| !is_nav(a)).map(|(i, _)| i).collect();
+    let navigation_atoms = nav_group.len();
+    let relational_atoms = rel_indices.len();
+
+    let relational = if q.body.is_empty() { 0.0 } else { physical_plan(q, rel).estimated_cost() };
+    let xml = if relational_atoms == 0 && navigation_atoms > 0 {
+        navigation_cost(&q.body, nav).map(|n| n.cost)
+    } else {
+        None
+    };
+    let mixed = if navigation_atoms > 0 && relational_atoms > 0 {
+        navigation_cost(&nav_group, nav).map(|n| {
+            let sub = q.subquery(&rel_indices);
+            let plan = physical_plan(&sub, rel);
+            // Join volume: both sides are touched once more by the hash join.
+            n.cost + plan.estimated_cost() + n.rows + plan.est_rows()
+        })
+    } else {
+        None
+    };
+
+    let costs = RouteCosts { relational, xml, mixed };
+    RoutingDecision { route: choose(&costs), costs, navigation_atoms, relational_atoms }
+}
+
+/// The argmin over feasible costs; equal estimates resolve in the fixed
+/// order relational, xml, mixed (strict improvement required to switch).
+fn choose(costs: &RouteCosts) -> Route {
+    let mut route = Route::Relational;
+    let mut best = costs.relational;
+    if let Some(c) = costs.xml {
+        if c < best {
+            route = Route::Xml;
+            best = c;
+        }
+    }
+    if let Some(c) = costs.mixed {
+        if c < best {
+            route = Route::Mixed;
+        }
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct FixedRel(HashMap<Predicate, (usize, Vec<usize>)>);
+
+    impl StatisticsCatalog for FixedRel {
+        fn tuple_count(&self, relation: Predicate) -> usize {
+            self.0.get(&relation).map(|(n, _)| *n).unwrap_or(0)
+        }
+        fn column_count(&self, relation: Predicate) -> usize {
+            self.0.get(&relation).map(|(_, d)| d.len()).unwrap_or(0)
+        }
+        fn distinct_in_column(&self, relation: Predicate, col: usize) -> usize {
+            self.0.get(&relation).and_then(|(_, d)| d.get(col)).copied().unwrap_or(0)
+        }
+    }
+
+    struct FixedNav {
+        elements: usize,
+        pairs: usize,
+    }
+
+    impl NavigationStatistics for FixedNav {
+        fn has_document(&self, document: &str) -> bool {
+            document == "d.xml"
+        }
+        fn element_count(&self, _d: &str) -> usize {
+            self.elements
+        }
+        fn descendant_pairs(&self, _d: &str) -> usize {
+            self.pairs
+        }
+        fn tag_count(&self, _d: &str, _t: &str) -> usize {
+            self.elements / 4
+        }
+        fn text_count(&self, _d: &str) -> usize {
+            self.elements / 2
+        }
+        fn attr_count(&self, _d: &str) -> usize {
+            0
+        }
+    }
+
+    fn nav_atom(base: &str, args: Vec<Term>) -> Atom {
+        Atom::named(&format!("{base}#d.xml"), args)
+    }
+
+    #[test]
+    fn navigation_parts_follow_the_grex_convention() {
+        assert_eq!(navigation_parts(Predicate::new("desc#a.xml")), Some(("desc", "a.xml")));
+        assert_eq!(navigation_parts(Predicate::new("V1#star")), None, "views are not navigation");
+        assert_eq!(navigation_parts(Predicate::new("bookRel")), None);
+    }
+
+    /// A pure-navigation query over a stored document is feasible on all
+    /// backends that apply; a view-only query is relational-only.
+    #[test]
+    fn feasibility_follows_atom_classification() {
+        let rel = FixedRel(HashMap::new());
+        let nav = FixedNav { elements: 100, pairs: 500 };
+        let pure_nav = ConjunctiveQuery::new("Q").with_head(vec![Term::var("x")]).with_body(vec![
+            nav_atom("root", vec![Term::var("r")]),
+            nav_atom("desc", vec![Term::var("r"), Term::var("x")]),
+        ]);
+        let d = route_query(&pure_nav, &rel, &nav);
+        assert!(d.costs.xml.is_some());
+        assert!(d.costs.mixed.is_none(), "no relational atoms to mix");
+        assert_eq!((d.navigation_atoms, d.relational_atoms), (2, 0));
+
+        let view_only = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![Atom::named("V1", vec![Term::var("x")])]);
+        let d = route_query(&view_only, &rel, &nav);
+        assert_eq!(d.route, Route::Relational);
+        assert!(d.costs.xml.is_none());
+        assert!(d.costs.mixed.is_none());
+    }
+
+    /// Navigation over an *absent* document is not routable to the XML
+    /// engine, whatever the atom looks like.
+    #[test]
+    fn absent_documents_make_xml_infeasible() {
+        let rel = FixedRel(HashMap::new());
+        let nav = FixedNav { elements: 100, pairs: 500 };
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![Atom::named("desc#other.xml", vec![Term::var("r"), Term::var("x")])]);
+        let d = route_query(&q, &rel, &nav);
+        assert_eq!(d.route, Route::Relational);
+        assert!(d.costs.xml.is_none());
+        assert_eq!((d.navigation_atoms, d.relational_atoms), (0, 1));
+    }
+
+    /// When the relational side would scan a huge loaded `desc#` table but
+    /// native navigation starts from the unique root, the router picks XML.
+    #[test]
+    fn navigation_heavy_queries_route_to_xml() {
+        let rel = FixedRel(
+            [
+                (Predicate::new("root#d.xml"), (1, vec![1])),
+                (Predicate::new("desc#d.xml"), (50_000, vec![10_000, 10_000])),
+                (Predicate::new("tag#d.xml"), (10_000, vec![10_000, 20])),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let nav = FixedNav { elements: 10_000, pairs: 50_000 };
+        let q = ConjunctiveQuery::new("Q").with_head(vec![Term::var("x")]).with_body(vec![
+            nav_atom("root", vec![Term::var("r")]),
+            nav_atom("desc", vec![Term::var("r"), Term::var("x")]),
+            nav_atom("tag", vec![Term::var("x"), Term::constant_str("item")]),
+        ]);
+        let d = route_query(&q, &rel, &nav);
+        assert_eq!(d.route, Route::Xml, "{d}");
+        assert!(d.costs.xml.unwrap() < d.costs.relational, "{d}");
+    }
+
+    /// A small materialized view beats navigating a large document.
+    #[test]
+    fn view_backed_queries_route_to_relational() {
+        let rel = FixedRel([(Predicate::new("V1"), (8, vec![8, 8]))].into_iter().collect());
+        let nav = FixedNav { elements: 10_000, pairs: 50_000 };
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![Atom::named("V1", vec![Term::var("x"), Term::var("y")])]);
+        let d = route_query(&q, &rel, &nav);
+        assert_eq!(d.route, Route::Relational);
+        // Scan (8) + project pass (8) + distinct pass (8).
+        assert_eq!(d.costs.relational, 24.0);
+    }
+
+    /// The decision renders stably (golden-snapshot format).
+    #[test]
+    fn decision_display_is_stable() {
+        let d = RoutingDecision {
+            route: Route::Xml,
+            costs: RouteCosts { relational: 120.0, xml: Some(14.5), mixed: None },
+            navigation_atoms: 3,
+            relational_atoms: 0,
+        };
+        let text = d.to_string();
+        assert_eq!(
+            text,
+            "route=xml atoms=3 navigation + 0 relational\n  relational: 120.0\n  xml: 14.5\n  mixed: infeasible\n"
+        );
+        assert_eq!(d.chosen_cost(), 14.5);
+    }
+
+    /// Ties prefer the fixed order relational < xml < mixed, so equal
+    /// estimates can never flap between runs; a strict improvement switches.
+    #[test]
+    fn ties_break_deterministically() {
+        let tie = RouteCosts { relational: 10.0, xml: Some(10.0), mixed: Some(10.0) };
+        assert_eq!(choose(&tie), Route::Relational);
+        let xml_tie_mixed = RouteCosts { relational: 10.0, xml: Some(5.0), mixed: Some(5.0) };
+        assert_eq!(choose(&xml_tie_mixed), Route::Xml);
+        let mixed_wins = RouteCosts { relational: 10.0, xml: Some(5.0), mixed: Some(4.0) };
+        assert_eq!(choose(&mixed_wins), Route::Mixed);
+        let infeasible = RouteCosts { relational: 10.0, xml: None, mixed: None };
+        assert_eq!(choose(&infeasible), Route::Relational);
+    }
+}

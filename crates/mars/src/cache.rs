@@ -183,6 +183,9 @@ fn resubstitute(
         compiled: q(&block.compiled),
         result,
         sql,
+        // Routing depends on the query shape and the store statistics, not
+        // on the constants a shape abstracts over — replay it verbatim.
+        route: block.route.clone(),
         duration: block.duration,
     }
 }
@@ -251,6 +254,7 @@ mod tests {
                 stats: CbStatistics::default(),
             },
             sql,
+            route: None,
             duration: Duration::default(),
         }
     }

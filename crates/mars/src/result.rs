@@ -1,6 +1,7 @@
 //! Result types of the MARS pipeline.
 
 use mars_chase::{Degradation, ReformulationResult};
+use mars_cost::RoutingDecision;
 use mars_cq::ConjunctiveQuery;
 use mars_xquery::DecorrelatedQuery;
 use std::time::Duration;
@@ -16,6 +17,14 @@ pub struct BlockReformulation {
     pub result: ReformulationResult,
     /// SQL rendering of the chosen reformulation, when one exists.
     pub sql: Option<String>,
+    /// The backend routing decision for the chosen reformulation, when one
+    /// was priced (see [`Mars::try_reformulate_xbind_routed`]). Cached and
+    /// replayed alongside the SQL: the decision depends only on the query
+    /// shape and the store statistics, never on the constants, so
+    /// resubstitution clones it verbatim.
+    ///
+    /// [`Mars::try_reformulate_xbind_routed`]: crate::Mars::try_reformulate_xbind_routed
+    pub route: Option<RoutingDecision>,
     /// Wall-clock time spent reformulating this block.
     pub duration: Duration,
 }
@@ -81,6 +90,7 @@ mod tests {
                 stats: CbStatistics::default(),
             },
             sql: None,
+            route: None,
             duration: Duration::default(),
         }
     }

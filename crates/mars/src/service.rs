@@ -40,6 +40,7 @@ use crate::error::MarsError;
 use crate::result::{BlockReformulation, MarsResult};
 use crate::system::Mars;
 use mars_chase::ReformulationBudget;
+use mars_storage::{RelationalDatabase, XmlStore};
 use mars_xquery::{decorrelate, parse_xquery, shape_of, XBindQuery};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -225,6 +226,68 @@ impl MarsService {
             }
             // Degenerate-input client errors bump no outcome counter: they
             // are the caller's bug, not service load.
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                self.panicked.fetch_add(1, Ordering::SeqCst);
+                Err(MarsError::ReformulationPanicked { block: xbind.name.clone() })
+            }
+        }
+    }
+
+    /// [`MarsService::reformulate_xbind`] with backend routing: the cold
+    /// path prices the chosen reformulation against the two stores and the
+    /// route is cached *inside* the block, so a warm shape hit replays the
+    /// cached decision byte-identically instead of re-pricing (the decision
+    /// depends on the query shape and store statistics, not the constants).
+    /// A warm hit cached by an unrouted entry point carries no route and is
+    /// priced on the fly, without rewriting the cache entry.
+    ///
+    /// # Errors
+    ///
+    /// The same ladder as [`MarsService::reformulate_xbind_with`]:
+    /// [`MarsError::Overloaded`] on admission, degenerate-input errors, and
+    /// [`MarsError::ReformulationPanicked`] from panic isolation.
+    pub fn reformulate_xbind_routed(
+        &self,
+        xbind: &XBindQuery,
+        db: &RelationalDatabase,
+        xml: &XmlStore,
+    ) -> Result<BlockReformulation, MarsError> {
+        let _permit = self.admit()?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &self.fault_hook {
+                hook("lookup");
+            }
+            let shape = shape_of(xbind, &self.reserved);
+            if let Some(mut hit) = self.cache.lookup(&shape, self.fingerprint) {
+                if hit.route.is_none() {
+                    hit.route = hit
+                        .result
+                        .best_or_initial()
+                        .map(|best| mars_cost::route_query(best, db, xml));
+                }
+                return Ok(hit);
+            }
+            if let Some(hook) = &self.fault_hook {
+                hook("reformulate");
+            }
+            let block = self.mars.try_reformulate_xbind_routed(xbind, db, xml)?;
+            if block.is_degraded() {
+                self.cache.note_degraded_uncached();
+            } else {
+                self.cache.insert(shape, self.fingerprint, block.clone());
+            }
+            Ok(block)
+        }));
+        match outcome {
+            Ok(Ok(block)) => {
+                if block.is_degraded() {
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.served.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(block)
+            }
             Ok(Err(e)) => Err(e),
             Err(_) => {
                 self.panicked.fetch_add(1, Ordering::SeqCst);

@@ -10,7 +10,7 @@ use mars_grex::{
     ViewDef,
 };
 use mars_specialize::{specialize_query, specialize_view, specialize_xic, SpecializationMapping};
-use mars_storage::sql_for_query;
+use mars_storage::{sql_for_query, RelationalDatabase, XmlStore};
 use mars_xquery::{decorrelate, parse_xquery, XBindAtom, XBindQuery, Xic};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
@@ -412,6 +412,7 @@ impl Mars {
             compiled,
             result,
             sql,
+            route: None,
             duration: start.elapsed(),
         }
     }
@@ -455,6 +456,32 @@ impl Mars {
             return Err(MarsError::UnsafeBlock { block: xbind.name.clone() });
         }
         Ok(self.reformulate_xbind_budgeted(xbind, budget))
+    }
+
+    /// [`Mars::try_reformulate_xbind`], then price the chosen reformulation
+    /// against the two storage backends and attach the
+    /// [`RoutingDecision`](mars_cost::RoutingDecision) to the block.
+    ///
+    /// The decision is computed on
+    /// [`best_or_initial`](mars_chase::ReformulationResult::best_or_initial)
+    /// — the query the caller will actually execute — using the relational
+    /// store's exact statistics and the XML store's navigation statistics.
+    /// Blocks whose reformulation produced no executable query carry no
+    /// route.
+    ///
+    /// # Errors
+    ///
+    /// The same degenerate-input errors as [`Mars::try_reformulate_xbind`].
+    pub fn try_reformulate_xbind_routed(
+        &self,
+        xbind: &XBindQuery,
+        db: &RelationalDatabase,
+        xml: &XmlStore,
+    ) -> Result<BlockReformulation, MarsError> {
+        let mut block = self.try_reformulate_xbind(xbind)?;
+        block.route =
+            block.result.best_or_initial().map(|best| mars_cost::route_query(best, db, xml));
+        Ok(block)
     }
 
     /// Reformulate a full client XQuery (text): parse, decorrelate, and

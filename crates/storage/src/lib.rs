@@ -19,13 +19,20 @@
 //! * view [`materialization`](materialize) — running GAV/LAV view bodies over
 //!   the stores to populate the redundant storage (tables, cached documents),
 //!   and result **tagging** (the sorted-outer-union assembly of the XML result
-//!   from decorrelated binding tables).
+//!   from decorrelated binding tables);
+//! * the [`BackendRouter`] — the statistics-driven dispatcher that prices a
+//!   reformulated query block against the relational executor, native XML
+//!   navigation and a mixed plan, and executes it through a [`RoutedPlan`]
+//!   recording the chosen route and estimated vs actual cost. Every route
+//!   returns byte-identical rows (property-tested).
 
 pub mod executor;
 pub mod materialize;
 pub mod relational;
+pub mod router;
 pub mod xml_engine;
 
 pub use materialize::{materialize_view, tag_results};
 pub use relational::{sql_for_query, QueryExecutor, RelationalDatabase, Row, SqlUnboundVariable};
-pub use xml_engine::{Value, XmlStore};
+pub use router::{BackendRouter, Route, RouteCosts, RoutedExecution, RoutedPlan, RoutingDecision};
+pub use xml_engine::{Value, XmlStore, XmlStoreError};

@@ -9,7 +9,7 @@
 //!   outer-union approach the paper adopts from XPeranto.
 
 use crate::relational::RelationalDatabase;
-use crate::xml_engine::{Value, XmlStore};
+use crate::xml_engine::{Value, XmlStore, XmlStoreError};
 use mars_grex::{ViewDef, ViewOutput};
 use mars_xml::Document;
 use mars_xquery::{DecorrelatedQuery, TemplateNode};
@@ -18,12 +18,17 @@ use std::collections::HashMap;
 /// Materialize a view: evaluate its body over the XML store (its navigation
 /// part) and write the result either into the relational database or as a new
 /// document in the XML store. Returns the number of rows materialized.
+///
+/// # Errors
+///
+/// [`XmlStoreError::MissingDocument`] when the view body navigates a document
+/// the store does not hold.
 pub fn materialize_view(
     view: &ViewDef,
     xml: &mut XmlStore,
     relational: &mut RelationalDatabase,
-) -> usize {
-    let bindings = xml.eval_xbind(&view.body, &HashMap::new());
+) -> Result<usize, XmlStoreError> {
+    let bindings = xml.eval_xbind(&view.body, &HashMap::new())?;
     let rows: Vec<Vec<String>> = bindings
         .iter()
         .map(|b| {
@@ -69,7 +74,7 @@ pub fn materialize_view(
             xml.add_document(doc);
         }
     }
-    unique.len()
+    Ok(unique.len())
 }
 
 /// Assemble the XML result of a decorrelated query from the bindings of its
@@ -190,7 +195,7 @@ mod tests {
     fn materialize_relational_view_from_xml() {
         let mut xml = catalog_store();
         let mut db = RelationalDatabase::new();
-        let rows = materialize_view(&drug_price_view(), &mut xml, &mut db);
+        let rows = materialize_view(&drug_price_view(), &mut xml, &mut db).unwrap();
         assert_eq!(rows, 2);
         assert_eq!(db.cardinality("drugPrice"), 2);
     }
@@ -206,7 +211,7 @@ mod tests {
             "entry",
             &["name", "price"],
         );
-        let rows = materialize_view(&view, &mut xml, &mut db);
+        let rows = materialize_view(&view, &mut xml, &mut db).unwrap();
         assert_eq!(rows, 2);
         let doc = xml.document("cacheEntry.xml").expect("document materialized");
         assert_eq!(doc.children_with_tag(doc.root().unwrap(), "entry").count(), 2);
@@ -238,7 +243,7 @@ mod tests {
         )
         .unwrap();
         let dec = decorrelate(&ast, "books.xml");
-        let blocks = store.eval_blocks(&dec.blocks);
+        let blocks = store.eval_blocks(&dec.blocks).unwrap();
         let result = tag_results(&dec, &blocks, &store, "result.xml");
         let xml_text = result.to_xml();
         // Two writers, and Stevens' item groups both titles.

@@ -1,0 +1,872 @@
+//! The backend router: execute one reformulated query block on the cheapest
+//! backend.
+//!
+//! [`BackendRouter`] prices a conjunctive query (a minimal reformulation from
+//! the backchase) with [`mars_cost::route_query`] against the relational
+//! store's exact statistics and the XML store's navigation statistics, then
+//! executes it through a [`RoutedPlan`]:
+//!
+//! * **relational** — [`RelationalDatabase::query`] (the physical executor);
+//! * **xml** — a native GReX interpreter over the stored [`Document`]s: each
+//!   navigation atom (`root#d`, `el#d`, `child#d`, `desc#d`, `tag#d`,
+//!   `attr#d`, `id#d`, `text#d`) is enumerated directly from the document
+//!   arena, producing exactly the tuples `mars_grex::encode_document` would
+//!   load (node identities are the same `"<doc>/n<k>"` constants), so the
+//!   two backends agree byte for byte;
+//! * **mixed** — the navigation atoms run natively, the remaining atoms run
+//!   as a relational subquery, and the two binding sets are hash-joined on
+//!   their shared variables.
+//!
+//! Every route ends in the same head projection (unsafe head variables
+//! evaluate to themselves), residual inequality filtering, and ascending
+//! [`BTreeSet`] deduplication as the relational executor — the routing
+//! decision is advisory, the row set is invariant (property-tested in
+//! `tests/property_based.rs` and gated in CI).
+
+use crate::relational::{RelationalDatabase, Row};
+use crate::xml_engine::{XmlStore, XmlStoreError};
+use mars_cost::{greedy_navigation_key, navigation_parts, route_query};
+pub use mars_cost::{Route, RouteCosts, RoutingDecision};
+use mars_cq::{Atom, ConjunctiveQuery, Term, Variable};
+use mars_xml::{Document, NodeId};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// Navigation bindings in slot-indexed form: the variable→column map plus
+/// one `Option<Term>` row per surviving binding (see
+/// [`BackendRouter::navigate_slots`]).
+type SlotBindings = (HashMap<Variable, usize>, Vec<Vec<Option<Term>>>);
+
+/// A query paired with its priced routing decision (see [`BackendRouter::plan`]).
+#[derive(Clone, Debug)]
+pub struct RoutedPlan {
+    /// The query to execute (a reformulation's `best_or_initial`).
+    pub query: ConjunctiveQuery,
+    /// The decision: chosen route and per-backend estimates.
+    pub decision: RoutingDecision,
+}
+
+/// The outcome of executing a [`RoutedPlan`]: estimated vs actual cost.
+#[derive(Clone, Debug)]
+pub struct RoutedExecution {
+    /// The route that actually executed (equals the plan's decision).
+    pub route: Route,
+    /// The router's estimate for that route, in rows touched.
+    pub estimated_cost: f64,
+    /// The result rows — deduplicated, ascending, identical on every route.
+    pub rows: Vec<Row>,
+    /// Wall-clock execution time (the actual cost).
+    pub duration: Duration,
+}
+
+impl RoutedExecution {
+    /// Number of result rows actually produced.
+    pub fn actual_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A router over one relational store and one XML store (see module docs).
+pub struct BackendRouter<'a> {
+    db: &'a RelationalDatabase,
+    xml: &'a XmlStore,
+    /// Per-document navigation indexes, built on first use and reused across
+    /// executions — the router borrows the store immutably, so they stay
+    /// valid for its whole lifetime.
+    indexes: RefCell<HashMap<String, DocIndex<'a>>>,
+}
+
+impl<'a> BackendRouter<'a> {
+    /// A router over the two stores.
+    pub fn new(db: &'a RelationalDatabase, xml: &'a XmlStore) -> BackendRouter<'a> {
+        BackendRouter { db, xml, indexes: RefCell::new(HashMap::new()) }
+    }
+
+    /// Price `query` against every backend and choose the cheapest (auto
+    /// routing).
+    pub fn plan(&self, query: &ConjunctiveQuery) -> RoutedPlan {
+        let decision = route_query(query, self.db, self.xml);
+        RoutedPlan { query: query.clone(), decision }
+    }
+
+    /// Force a route, clamped to feasibility: forcing XML on a query with
+    /// relational atoms degrades to mixed (navigation still runs natively
+    /// wherever possible) and to relational when nothing is navigational;
+    /// forcing mixed degrades the same way. The decision records the
+    /// *effective* route, so ablation results stay honest.
+    pub fn plan_forced(&self, query: &ConjunctiveQuery, route: Route) -> RoutedPlan {
+        let mut decision = route_query(query, self.db, self.xml);
+        decision.route = match route {
+            Route::Relational => Route::Relational,
+            Route::Xml | Route::Mixed => {
+                if route == Route::Xml && decision.costs.xml.is_some() {
+                    Route::Xml
+                } else if decision.costs.mixed.is_some() {
+                    Route::Mixed
+                } else if decision.costs.xml.is_some() {
+                    Route::Xml
+                } else {
+                    Route::Relational
+                }
+            }
+        };
+        RoutedPlan { query: query.clone(), decision }
+    }
+
+    /// Execute a routed plan.
+    ///
+    /// # Errors
+    ///
+    /// [`XmlStoreError::MissingDocument`] when an XML or mixed route
+    /// references a document that left the store after planning (routing
+    /// itself never chooses a route over absent documents).
+    pub fn execute(&self, plan: &RoutedPlan) -> Result<RoutedExecution, XmlStoreError> {
+        let start = Instant::now();
+        let rows = match plan.decision.route {
+            Route::Relational => self.db.query(&plan.query),
+            Route::Xml => self.execute_native(&plan.query, &plan.query.body)?,
+            Route::Mixed => self.execute_mixed(&plan.query)?,
+        };
+        Ok(RoutedExecution {
+            route: plan.decision.route,
+            estimated_cost: plan.decision.chosen_cost(),
+            rows,
+            duration: start.elapsed(),
+        })
+    }
+
+    /// Run the navigation atoms natively and finish the query (inequalities,
+    /// head projection, set semantics). `nav_atoms` must cover every variable
+    /// the query needs — for the pure XML route that is the whole body.
+    fn execute_native(
+        &self,
+        q: &ConjunctiveQuery,
+        nav_atoms: &[Atom],
+    ) -> Result<Vec<Row>, XmlStoreError> {
+        let (slot_of, rows) = self.navigate_slots(nav_atoms)?;
+        let resolve = |row: &[Option<Term>], t: &Term| match t {
+            Term::Const(_) => *t,
+            Term::Var(v) => slot_of.get(v).and_then(|&s| row[s]).unwrap_or(Term::Var(*v)),
+        };
+        let mut out: BTreeSet<Row> = BTreeSet::new();
+        for row in &rows {
+            if q.inequalities.iter().any(|(a, b)| resolve(row, a) == resolve(row, b)) {
+                continue;
+            }
+            out.insert(q.head.iter().map(|t| resolve(row, t)).collect());
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// The mixed route: navigation atoms natively, the rest as a relational
+    /// subquery, hash-joined on the shared variables.
+    fn execute_mixed(&self, q: &ConjunctiveQuery) -> Result<Vec<Row>, XmlStoreError> {
+        let is_nav = |a: &Atom| {
+            navigation_parts(a.predicate).is_some_and(|(_, d)| self.xml.document(d).is_some())
+        };
+        let nav_atoms: Vec<Atom> = q.body.iter().filter(|a| is_nav(a)).cloned().collect();
+        let rel_atoms: Vec<Atom> = q.body.iter().filter(|a| !is_nav(a)).cloned().collect();
+        let nav_rows = self.navigate(&nav_atoms)?;
+
+        // The relational subquery answers *all* variables of its atoms so the
+        // join loses nothing; inequalities are applied once, after the join.
+        let mut rel_vars: Vec<Variable> = Vec::new();
+        for atom in &rel_atoms {
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    if !rel_vars.contains(v) {
+                        rel_vars.push(*v);
+                    }
+                }
+            }
+        }
+        let sub = ConjunctiveQuery::new(&format!("{}__rel", q.name))
+            .with_head(rel_vars.iter().map(|v| Term::Var(*v)).collect())
+            .with_body(rel_atoms);
+        let rel_rows = self.db.query(&sub);
+
+        // Hash the relational side on the shared variables, probe with the
+        // navigation bindings. An empty shared set is a cross product.
+        let shared: Vec<usize> = rel_vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| nav_rows.first().map(|r| r.contains_key(v)).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        let mut table: HashMap<Vec<Term>, Vec<usize>> = HashMap::new();
+        for (i, row) in rel_rows.iter().enumerate() {
+            let key: Vec<Term> = shared.iter().map(|&c| row[c]).collect();
+            table.entry(key).or_default().push(i);
+        }
+        let mut joined: Vec<HashMap<Variable, Term>> = Vec::new();
+        for nav in &nav_rows {
+            let key: Vec<Term> = shared.iter().map(|&c| nav[&rel_vars[c]]).collect();
+            let Some(matches) = table.get(&key) else { continue };
+            for &i in matches {
+                let mut merged = nav.clone();
+                for (v, t) in rel_vars.iter().zip(&rel_rows[i]) {
+                    merged.insert(*v, *t);
+                }
+                joined.push(merged);
+            }
+        }
+        Ok(finish(q, joined))
+    }
+
+    /// Evaluate a conjunction of GReX navigation atoms over the stored
+    /// documents by greedy most-bound-first nested loops. Produces exactly
+    /// the bindings joining `encode_document`'s ground facts would.
+    fn navigate(&self, atoms: &[Atom]) -> Result<Vec<HashMap<Variable, Term>>, XmlStoreError> {
+        let (slot_of, rows) = self.navigate_slots(atoms)?;
+        // Name the surviving bindings (cheap: result-sized, not
+        // intermediate-sized).
+        Ok(rows
+            .into_iter()
+            .map(|row| slot_of.iter().filter_map(|(v, &s)| row[s].map(|t| (*v, t))).collect())
+            .collect())
+    }
+
+    /// The slot-indexed core of [`BackendRouter::navigate`]: bindings are
+    /// rows of `Option<Term>` columns keyed by the returned variable→slot
+    /// map, so extending a row is a short copy, not a map clone.
+    fn navigate_slots(&self, atoms: &[Atom]) -> Result<SlotBindings, XmlStoreError> {
+        {
+            let mut cache = self.indexes.borrow_mut();
+            for atom in atoms {
+                let (_, document) = navigation_parts(atom.predicate)
+                    .expect("navigate is only called on navigation atoms");
+                if !cache.contains_key(document) {
+                    let doc = self.xml.document(document).ok_or_else(|| {
+                        XmlStoreError::MissingDocument { document: document.to_string() }
+                    })?;
+                    cache.insert(document.to_string(), DocIndex::new(doc));
+                }
+            }
+        }
+        let indexes = self.indexes.borrow();
+        let parsed: Vec<(&str, &str)> = atoms
+            .iter()
+            .map(|a| navigation_parts(a.predicate).expect("classified as navigation"))
+            .collect();
+
+        let mut slot_of: HashMap<Variable, usize> = HashMap::new();
+        for atom in atoms {
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    let next = slot_of.len();
+                    slot_of.entry(*v).or_insert(next);
+                }
+            }
+        }
+
+        let mut rows: Vec<Vec<Option<Term>>> = vec![vec![None; slot_of.len()]];
+        let mut bound: BTreeSet<Variable> = BTreeSet::new();
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        while !remaining.is_empty() {
+            // Same order the cost model simulates (`greedy_navigation_key`):
+            // connected atoms first, fewest unbound variables, most selective
+            // base, ties on body position.
+            let pos = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| {
+                    let key =
+                        greedy_navigation_key(&atoms[i], parsed[i].0, !bound.is_empty(), |v| {
+                            bound.contains(v)
+                        });
+                    (key, i)
+                })
+                .map(|(k, _)| k)
+                .expect("remaining is non-empty");
+            let i = remaining.remove(pos);
+            let atom = &atoms[i];
+            let (base, document) = parsed[i];
+            let index = &indexes[document];
+            let arg_slots: Vec<Option<usize>> = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Some(slot_of[v]),
+                    Term::Const(_) => None,
+                })
+                .collect();
+            // Resolve into a fixed stack buffer — GReX arities are ≤ 3.
+            let resolve = |row: &[Option<Term>]| -> [Option<Term>; 3] {
+                let mut buf = [None; 3];
+                for (k, (t, s)) in atom.args.iter().zip(&arg_slots).enumerate() {
+                    buf[k] = match s {
+                        None => Some(*t),
+                        Some(s) => row[*s],
+                    };
+                }
+                buf
+            };
+            let arity = atom.args.len();
+
+            let fully_bound = atom.args.iter().all(|t| match t {
+                Term::Var(v) => bound.contains(v),
+                Term::Const(_) => true,
+            });
+            // Tag pushdown: an unbound variable of this atom that a later
+            // `tag(v, "c")` atom over the same document constrains. A
+            // candidate binding violating the tag is rejected before the row
+            // is cloned — the tag atom itself stays in `remaining` and
+            // verifies afterwards, so pushdown only skips candidates the tag
+            // filter would drop anyway (the same move the relational planner
+            // makes when it joins `tag` before the expanding atom).
+            let pending_tag: Vec<Option<Term>> = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) if !bound.contains(v) => remaining.iter().find_map(|&j| {
+                        match (navigation_parts(atoms[j].predicate), &atoms[j].args[..]) {
+                            (Some(("tag", d)), [Term::Var(tv), c @ Term::Const(_)])
+                                if d == document && tv == v =>
+                            {
+                                Some(*c)
+                            }
+                            _ => None,
+                        }
+                    }),
+                    _ => None,
+                })
+                .collect();
+
+            if fully_bound {
+                // A pure filter: keep the rows the atom holds on, in place.
+                rows.retain(|row| {
+                    let resolved = resolve(row);
+                    let mut ok = false;
+                    index.for_each_tuple(base, &resolved[..arity], &mut |tuple| {
+                        ok = ok || match_tuple(&atom.args, &arg_slots, tuple, row).is_some();
+                    });
+                    ok
+                });
+            } else {
+                let mut next = Vec::new();
+                for row in &rows {
+                    let resolved = resolve(row);
+                    let mut emit = |tuple: &[Term]| {
+                        let Some(new_binds) = match_tuple(&atom.args, &arg_slots, tuple, row)
+                        else {
+                            return;
+                        };
+                        for (k, c) in pending_tag.iter().enumerate() {
+                            let (Some(c), Some(s)) = (c, arg_slots[k]) else { continue };
+                            let fresh = new_binds.iter().find(|(bs, _)| *bs == s);
+                            if let Some((_, t)) = fresh {
+                                if !index.node_has_tag(*t, *c) {
+                                    return;
+                                }
+                            }
+                        }
+                        let mut r = row.clone();
+                        for (s, t) in new_binds {
+                            r[s] = Some(t);
+                        }
+                        next.push(r);
+                    };
+                    // A text probe by value narrows further through the
+                    // fused (tag, text) index: on skewed data the plain
+                    // by-text bucket for a hot key holds every pointer
+                    // sharing the value.
+                    match (base, pending_tag[0], resolved[0], resolved[1]) {
+                        ("text", Some(tag), None, Some(value)) => {
+                            let nodes = index.by_tag_text.get(&(tag, value));
+                            for &e in nodes.map(Vec::as_slice).unwrap_or_default() {
+                                emit(&[index.term(e), value]);
+                            }
+                        }
+                        _ => index.for_each_tuple(base, &resolved[..arity], &mut emit),
+                    }
+                }
+                rows = next;
+            }
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    bound.insert(*v);
+                }
+            }
+            if rows.is_empty() {
+                break;
+            }
+        }
+
+        Ok((slot_of, rows))
+    }
+}
+
+/// Apply the residual inequalities and the head projection to a binding set,
+/// then deduplicate in ascending order — the exact tail the physical executor
+/// runs (`Filter`, `Project`, `Distinct`), including the unsafe-head-variable
+/// convention (an unbound variable evaluates to itself).
+fn finish(q: &ConjunctiveQuery, bindings: Vec<HashMap<Variable, Term>>) -> Vec<Row> {
+    let resolve = |row: &HashMap<Variable, Term>, t: &Term| match t {
+        Term::Const(_) => *t,
+        Term::Var(v) => row.get(v).copied().unwrap_or(Term::Var(*v)),
+    };
+    let mut out: BTreeSet<Row> = BTreeSet::new();
+    for row in &bindings {
+        if q.inequalities.iter().any(|(a, b)| resolve(row, a) == resolve(row, b)) {
+            continue;
+        }
+        out.insert(q.head.iter().map(|t| resolve(row, t)).collect());
+    }
+    out.into_iter().collect()
+}
+
+/// Match one candidate tuple against an atom's argument pattern under a
+/// partial binding. Returns the new bindings, or `None` on a clash (constants
+/// and already-bound or repeated variables must agree).
+fn match_tuple(
+    args: &[Term],
+    arg_slots: &[Option<usize>],
+    tuple: &[Term],
+    row: &[Option<Term>],
+) -> Option<Vec<(usize, Term)>> {
+    let mut new_binds: Vec<(usize, Term)> = Vec::new();
+    for (k, val) in tuple.iter().enumerate() {
+        match arg_slots[k] {
+            None => {
+                if args[k] != *val {
+                    return None;
+                }
+            }
+            Some(s) => {
+                let existing =
+                    row[s].or_else(|| new_binds.iter().find(|(bs, _)| *bs == s).map(|(_, t)| *t));
+                match existing {
+                    Some(t) => {
+                        if t != *val {
+                            return None;
+                        }
+                    }
+                    None => new_binds.push((s, *val)),
+                }
+            }
+        }
+    }
+    Some(new_binds)
+}
+
+/// Per-document lookup structures for the native interpreter: element node
+/// constants (the same `"<doc>/n<k>"` identities `encode_document` emits) and
+/// the reverse map for bound-argument lookups.
+struct DocIndex<'d> {
+    doc: &'d Document,
+    elements: Vec<NodeId>,
+    term: HashMap<NodeId, Term>,
+    node_of: HashMap<Term, NodeId>,
+    /// Elements by tag term — makes a `tag(X, "c")` seed enumerate its `t`
+    /// matches instead of scanning all `n` elements per binding.
+    by_tag: HashMap<Term, Vec<NodeId>>,
+    /// Elements by text-value term — the value-join lookup that keeps
+    /// key/pointer joins (`text(X, v)` with `v` bound) at one probe per
+    /// binding instead of a full element scan.
+    by_text: HashMap<Term, Vec<NodeId>>,
+    /// Elements by (tag term, text-value term) — the fused lookup for a
+    /// value probe whose node variable carries a pending constant-tag
+    /// constraint. On skewed data the plain by-text bucket for a hot key
+    /// holds every pointer sharing the value; narrowing by tag first is the
+    /// same move the relational planner makes when it joins `tag` with
+    /// `text` before the key join.
+    by_tag_text: HashMap<(Term, Term), Vec<NodeId>>,
+    /// Tag term of every element — the O(1) check behind tag pushdown.
+    tag_of: HashMap<NodeId, Term>,
+}
+
+impl<'d> DocIndex<'d> {
+    fn new(doc: &'d Document) -> DocIndex<'d> {
+        let elements: Vec<NodeId> =
+            doc.all_nodes().filter(|id| doc.node(*id).is_element()).collect();
+        let term: HashMap<NodeId, Term> = elements
+            .iter()
+            .map(|id| (*id, Term::constant_str(&format!("{}/n{}", doc.name, id.0))))
+            .collect();
+        let node_of: HashMap<Term, NodeId> = term.iter().map(|(id, t)| (*t, *id)).collect();
+        let mut by_tag: HashMap<Term, Vec<NodeId>> = HashMap::new();
+        let mut by_text: HashMap<Term, Vec<NodeId>> = HashMap::new();
+        let mut by_tag_text: HashMap<(Term, Term), Vec<NodeId>> = HashMap::new();
+        let mut tag_of: HashMap<NodeId, Term> = HashMap::new();
+        for &e in &elements {
+            let tag = Term::constant_str(doc.node(e).tag().unwrap_or_default());
+            by_tag.entry(tag).or_default().push(e);
+            tag_of.insert(e, tag);
+            let text = doc.text_of(e);
+            if !text.is_empty() {
+                let value = Term::constant_str(&text);
+                by_text.entry(value).or_default().push(e);
+                by_tag_text.entry((tag, value)).or_default().push(e);
+            }
+        }
+        DocIndex { doc, elements, term, node_of, by_tag, by_text, by_tag_text, tag_of }
+    }
+
+    /// Whether `t` denotes an element of this document carrying `tag`.
+    fn node_has_tag(&self, t: Term, tag: Term) -> bool {
+        self.node_of.get(&t).is_some_and(|id| self.tag_of[id] == tag)
+    }
+
+    fn term(&self, id: NodeId) -> Term {
+        self.term[&id]
+    }
+
+    /// The element a bound argument denotes, if it is a node constant of
+    /// this document.
+    fn node(&self, t: Option<Term>) -> Option<NodeId> {
+        t.and_then(|t| self.node_of.get(&t).copied())
+    }
+
+    fn tag_term(&self, id: NodeId) -> Term {
+        Term::constant_str(self.doc.node(id).tag().unwrap_or_default())
+    }
+
+    /// Enumerate the candidate ground tuples of `base#doc` narrowed by the
+    /// resolved (bound) arguments. Narrowing is an optimization only — the
+    /// caller re-checks every position via [`match_tuple`].
+    fn for_each_tuple(&self, base: &str, resolved: &[Option<Term>], emit: &mut dyn FnMut(&[Term])) {
+        let doc = self.doc;
+        match base {
+            "root" => {
+                if let Some(r) = doc.root() {
+                    emit(&[self.term(r)]);
+                }
+            }
+            "el" => match self.node(resolved[0]) {
+                Some(n) => emit(&[self.term(n)]),
+                None if resolved[0].is_some() => {}
+                None => {
+                    for &e in &self.elements {
+                        emit(&[self.term(e)]);
+                    }
+                }
+            },
+            "id" => {
+                let emit_one = |n: NodeId, emit: &mut dyn FnMut(&[Term])| {
+                    let t = self.term(n);
+                    emit(&[t, t]);
+                };
+                match self.node(resolved[0]).or_else(|| self.node(resolved[1])) {
+                    Some(n) => emit_one(n, emit),
+                    None if resolved[0].is_some() || resolved[1].is_some() => {}
+                    None => {
+                        for &e in &self.elements {
+                            emit_one(e, emit);
+                        }
+                    }
+                }
+            }
+            "tag" => match (self.node(resolved[0]), resolved[1]) {
+                (Some(n), _) => emit(&[self.term(n), self.tag_term(n)]),
+                (None, _) if resolved[0].is_some() => {}
+                (None, Some(t)) => {
+                    for &e in self.by_tag.get(&t).map(Vec::as_slice).unwrap_or_default() {
+                        emit(&[self.term(e), t]);
+                    }
+                }
+                (None, None) => {
+                    for &e in &self.elements {
+                        emit(&[self.term(e), self.tag_term(e)]);
+                    }
+                }
+            },
+            "text" => {
+                let emit_text = |n: NodeId, emit: &mut dyn FnMut(&[Term])| {
+                    let text = doc.text_of(n);
+                    if !text.is_empty() {
+                        emit(&[self.term(n), Term::constant_str(&text)]);
+                    }
+                };
+                match (self.node(resolved[0]), resolved[1]) {
+                    (Some(n), _) => emit_text(n, emit),
+                    (None, _) if resolved[0].is_some() => {}
+                    (None, Some(v)) => {
+                        for &e in self.by_text.get(&v).map(Vec::as_slice).unwrap_or_default() {
+                            emit(&[self.term(e), v]);
+                        }
+                    }
+                    (None, None) => {
+                        for &e in &self.elements {
+                            emit_text(e, emit);
+                        }
+                    }
+                }
+            }
+            "attr" => {
+                let mut emit_attrs = |n: NodeId| {
+                    for (name, value) in &doc.node(n).attributes {
+                        emit(&[self.term(n), Term::constant_str(name), Term::constant_str(value)]);
+                    }
+                };
+                match self.node(resolved[0]) {
+                    Some(n) => emit_attrs(n),
+                    None if resolved[0].is_some() => {}
+                    None => {
+                        for &e in &self.elements {
+                            emit_attrs(e);
+                        }
+                    }
+                }
+            }
+            "child" => match (self.node(resolved[0]), self.node(resolved[1])) {
+                (Some(p), _) => {
+                    for c in doc.child_elements(p) {
+                        emit(&[self.term(p), self.term(c)]);
+                    }
+                }
+                (None, _) if resolved[0].is_some() => {}
+                (None, Some(c)) => {
+                    if let Some(p) = doc.node(c).parent {
+                        emit(&[self.term(p), self.term(c)]);
+                    }
+                }
+                (None, None) if resolved[1].is_some() => {}
+                (None, None) => {
+                    for &p in &self.elements {
+                        for c in doc.child_elements(p) {
+                            emit(&[self.term(p), self.term(c)]);
+                        }
+                    }
+                }
+            },
+            // desc is descendant-or-self, exactly as encoded.
+            "desc" => {
+                let not_a_node =
+                    |k: usize| resolved[k].is_some() && self.node(resolved[k]).is_none();
+                if not_a_node(0) || not_a_node(1) {
+                    // A bound argument outside this document matches nothing.
+                } else if let Some(d) = self.node(resolved[1]) {
+                    // The descendant is bound: walk its ancestors — depth
+                    // steps, never a subtree enumeration (match_tuple checks
+                    // a bound ancestor argument against the emitted pairs).
+                    let mut a = Some(d);
+                    while let Some(n) = a {
+                        emit(&[self.term(n), self.term(d)]);
+                        a = doc.node(n).parent;
+                    }
+                } else if let Some(a) = self.node(resolved[0]) {
+                    for d in doc.descendants_or_self(a) {
+                        emit(&[self.term(a), self.term(d)]);
+                    }
+                } else {
+                    for &a in &self.elements {
+                        for d in doc.descendants_or_self(a) {
+                            emit(&[self.term(a), self.term(d)]);
+                        }
+                    }
+                }
+            }
+            other => unreachable!("navigation_parts whitelists the bases, got {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_grex::encode_document;
+    use mars_xml::parse_document;
+
+    fn sample_doc() -> Document {
+        parse_document(
+            "shop.xml",
+            r#"<shop>
+                 <item sku="a1"><name>bolt</name><price>3</price></item>
+                 <item sku="b2"><name>nut</name><price>3</price></item>
+                 <section><item sku="c3"><name>washer</name></item></section>
+               </shop>"#,
+        )
+        .unwrap()
+    }
+
+    fn stores() -> (RelationalDatabase, XmlStore) {
+        let doc = sample_doc();
+        let mut db = RelationalDatabase::new();
+        db.load_facts(&encode_document(&doc));
+        let mut xml = XmlStore::new();
+        xml.add_document(doc);
+        (db, xml)
+    }
+
+    fn nav(base: &str, args: Vec<Term>) -> Atom {
+        Atom::named(&format!("{base}#shop.xml"), args)
+    }
+
+    /// One query per navigation base: the native interpreter must return
+    /// exactly what the relational executor returns over the loaded
+    /// `encode_document` facts — the byte-identity anchor of routing.
+    #[test]
+    fn native_interpreter_matches_the_encoded_facts_per_base() {
+        let (db, xml) = stores();
+        let router = BackendRouter::new(&db, &xml);
+        let x = Term::var("x");
+        let y = Term::var("y");
+        let z = Term::var("z");
+        let cases: Vec<(&str, ConjunctiveQuery)> = vec![
+            (
+                "root",
+                ConjunctiveQuery::new("Q").with_head(vec![x]).with_body(vec![nav("root", vec![x])]),
+            ),
+            (
+                "el",
+                ConjunctiveQuery::new("Q").with_head(vec![x]).with_body(vec![nav("el", vec![x])]),
+            ),
+            (
+                "id",
+                ConjunctiveQuery::new("Q")
+                    .with_head(vec![x, y])
+                    .with_body(vec![nav("id", vec![x, y])]),
+            ),
+            (
+                "tag",
+                ConjunctiveQuery::new("Q")
+                    .with_head(vec![x, y])
+                    .with_body(vec![nav("tag", vec![x, y])]),
+            ),
+            (
+                "text",
+                ConjunctiveQuery::new("Q")
+                    .with_head(vec![x, y])
+                    .with_body(vec![nav("text", vec![x, y])]),
+            ),
+            (
+                "attr",
+                ConjunctiveQuery::new("Q")
+                    .with_head(vec![x, y, z])
+                    .with_body(vec![nav("attr", vec![x, y, z])]),
+            ),
+            (
+                "child",
+                ConjunctiveQuery::new("Q")
+                    .with_head(vec![x, y])
+                    .with_body(vec![nav("child", vec![x, y])]),
+            ),
+            (
+                "desc",
+                ConjunctiveQuery::new("Q")
+                    .with_head(vec![x, y])
+                    .with_body(vec![nav("desc", vec![x, y])]),
+            ),
+        ];
+        for (label, q) in cases {
+            let native = router.execute_native(&q, &q.body).unwrap();
+            assert_eq!(native, db.query(&q), "base {label} disagrees with the encoding");
+            assert!(!native.is_empty(), "base {label} should match something");
+        }
+    }
+
+    /// A multi-atom navigation join with a constant and an inequality: both
+    /// backends and the forced routes agree.
+    #[test]
+    fn all_routes_agree_on_a_navigation_join() {
+        let (db, xml) = stores();
+        let router = BackendRouter::new(&db, &xml);
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("n"), Term::var("t")])
+            .with_body(vec![
+                nav("root", vec![Term::var("r")]),
+                nav("desc", vec![Term::var("r"), Term::var("n")]),
+                nav("tag", vec![Term::var("n"), Term::constant_str("item")]),
+                nav("desc", vec![Term::var("n"), Term::var("m")]),
+                nav("text", vec![Term::var("m"), Term::var("t")]),
+            ])
+            .with_inequality(Term::var("t"), Term::constant_str("nut"));
+        let reference = db.query(&q);
+        assert!(!reference.is_empty());
+        for route in [Route::Relational, Route::Xml, Route::Mixed] {
+            let plan = router.plan_forced(&q, route);
+            let exec = router.execute(&plan).unwrap();
+            assert_eq!(exec.rows, reference, "forced {route} must agree");
+        }
+        let auto = router.execute(&router.plan(&q)).unwrap();
+        assert_eq!(auto.rows, reference);
+        assert_eq!(auto.actual_rows(), reference.len());
+    }
+
+    /// The mixed route joins native navigation with a relational subquery on
+    /// the shared variables.
+    #[test]
+    fn mixed_route_joins_navigation_with_relations() {
+        let (mut db, xml) = stores();
+        // A relational side table keyed by the item name.
+        for (name, origin) in [("bolt", "de"), ("nut", "fr")] {
+            db.insert_strs("origin", &[name, origin]);
+        }
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("n"), Term::var("o")])
+            .with_body(vec![
+                nav("tag", vec![Term::var("i"), Term::constant_str("name")]),
+                nav("text", vec![Term::var("i"), Term::var("n")]),
+                Atom::named("origin", vec![Term::var("n"), Term::var("o")]),
+            ]);
+        let router = BackendRouter::new(&db, &xml);
+        let plan = router.plan_forced(&q, Route::Mixed);
+        assert_eq!(plan.decision.route, Route::Mixed);
+        assert_eq!(plan.decision.navigation_atoms, 2);
+        assert_eq!(plan.decision.relational_atoms, 1);
+        let exec = router.execute(&plan).unwrap();
+        assert_eq!(exec.rows, db.query(&q), "mixed must agree with relational");
+        assert_eq!(exec.rows.len(), 2);
+    }
+
+    /// Forcing XML on a query with relational atoms degrades to mixed, and
+    /// to relational when nothing is navigational — the effective route is
+    /// recorded, never silently lied about.
+    #[test]
+    fn forced_routes_clamp_to_feasibility() {
+        let (mut db, xml) = stores();
+        db.insert_strs("origin", &["bolt", "de"]);
+        let router = BackendRouter::new(&db, &xml);
+
+        let with_rel = ConjunctiveQuery::new("Q").with_head(vec![Term::var("n")]).with_body(vec![
+            nav("text", vec![Term::var("i"), Term::var("n")]),
+            Atom::named("origin", vec![Term::var("n"), Term::var("o")]),
+        ]);
+        assert_eq!(router.plan_forced(&with_rel, Route::Xml).decision.route, Route::Mixed);
+
+        let rel_only = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("n")])
+            .with_body(vec![Atom::named("origin", vec![Term::var("n"), Term::var("o")])]);
+        assert_eq!(router.plan_forced(&rel_only, Route::Xml).decision.route, Route::Relational);
+        assert_eq!(router.plan_forced(&rel_only, Route::Mixed).decision.route, Route::Relational);
+
+        let nav_only = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("i")])
+            .with_body(vec![nav("el", vec![Term::var("i")])]);
+        assert_eq!(router.plan_forced(&nav_only, Route::Xml).decision.route, Route::Xml);
+        assert_eq!(
+            router.plan_forced(&nav_only, Route::Relational).decision.route,
+            Route::Relational
+        );
+    }
+
+    /// A document that vanishes between planning and execution surfaces the
+    /// typed store error, not an empty result.
+    #[test]
+    fn vanished_documents_error_at_execution() {
+        let (db, xml) = stores();
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x")])
+            .with_body(vec![nav("el", vec![Term::var("x")])]);
+        let plan = BackendRouter::new(&db, &xml).plan_forced(&q, Route::Xml);
+        let empty = XmlStore::new();
+        let err = BackendRouter::new(&db, &empty).execute(&plan).unwrap_err();
+        assert_eq!(err, XmlStoreError::MissingDocument { document: "shop.xml".to_string() });
+    }
+
+    /// Unsafe head variables evaluate to themselves on every route, matching
+    /// the naive evaluator's convention.
+    #[test]
+    fn unsafe_head_variables_agree_across_routes() {
+        let (db, xml) = stores();
+        let router = BackendRouter::new(&db, &xml);
+        let q = ConjunctiveQuery::new("Q")
+            .with_head(vec![Term::var("x"), Term::var("ghost"), Term::constant_str("lit")])
+            .with_body(vec![nav("root", vec![Term::var("x")])]);
+        let reference = db.query(&q);
+        let native = router.execute(&router.plan_forced(&q, Route::Xml)).unwrap();
+        assert_eq!(native.rows, reference);
+        assert_eq!(native.rows[0][1], Term::var("ghost"));
+    }
+}

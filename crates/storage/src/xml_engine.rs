@@ -11,6 +11,34 @@
 use mars_xml::{eval_path, Document, NodeId, PathValue};
 use mars_xquery::{XBindAtom, XBindQuery, XBindTerm};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A typed evaluation error from the XML store.
+///
+/// Historically a path atom over an absent document silently produced zero
+/// bindings, which made "the document is not loaded" indistinguishable from
+/// "the document is empty". Evaluation is now fallible, aligned with the
+/// `MarsError`-style structured errors of the rest of the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlStoreError {
+    /// A path atom referenced a document the store does not hold.
+    MissingDocument {
+        /// The name the atom (or a prior binding) referenced.
+        document: String,
+    },
+}
+
+impl fmt::Display for XmlStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlStoreError::MissingDocument { document } => {
+                write!(f, "document '{document}' is not in the XML store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlStoreError {}
 
 /// A value bound by XBind evaluation: an element node of a named document, or
 /// a string.
@@ -82,37 +110,44 @@ impl XmlStore {
     /// using previously computed results for `QueryRef` atoms (keyed by query
     /// name). Returns one binding map per result (deduplicated when the query
     /// is `distinct`).
+    ///
+    /// # Errors
+    ///
+    /// [`XmlStoreError::MissingDocument`] when a path atom references a
+    /// document the store does not hold — an absent document is a storage
+    /// misconfiguration, not an empty result.
     pub fn eval_xbind(
         &self,
         query: &XBindQuery,
         prior: &HashMap<String, Vec<HashMap<String, Value>>>,
-    ) -> Vec<HashMap<String, Value>> {
+    ) -> Result<Vec<HashMap<String, Value>>, XmlStoreError> {
+        let missing =
+            |document: &str| XmlStoreError::MissingDocument { document: document.to_string() };
         let mut rows: Vec<HashMap<String, Value>> = vec![HashMap::new()];
         for atom in &query.atoms {
             let mut next = Vec::new();
             for row in &rows {
                 match atom {
                     XBindAtom::AbsolutePath { document, path, var } => {
-                        if let Some(doc) = self.document(document) {
-                            for v in eval_path(doc, path, None) {
-                                let val = self.path_values(&v, document);
-                                if let Some(existing) = row.get(var) {
-                                    if existing == &val {
-                                        next.push(row.clone());
-                                    }
-                                    continue;
+                        let doc = self.document(document).ok_or_else(|| missing(document))?;
+                        for v in eval_path(doc, path, None) {
+                            let val = self.path_values(&v, document);
+                            if let Some(existing) = row.get(var) {
+                                if existing == &val {
+                                    next.push(row.clone());
                                 }
-                                let mut r = row.clone();
-                                r.insert(var.clone(), val);
-                                next.push(r);
+                                continue;
                             }
+                            let mut r = row.clone();
+                            r.insert(var.clone(), val);
+                            next.push(r);
                         }
                     }
                     XBindAtom::RelativePath { path, source, var } => {
                         let Some(Value::Node { document, node }) = row.get(source) else {
                             continue;
                         };
-                        let Some(doc) = self.document(document) else { continue };
+                        let doc = self.document(document).ok_or_else(|| missing(document))?;
                         for v in eval_path(doc, path, Some(*node)) {
                             let val = self.path_values(&v, document);
                             if let Some(existing) = row.get(var) {
@@ -182,9 +217,9 @@ impl XmlStore {
                     seen.push(projected);
                 }
             }
-            seen
+            Ok(seen)
         } else {
-            rows
+            Ok(rows)
         }
     }
 
@@ -201,16 +236,65 @@ impl XmlStore {
     /// Evaluate a chain of decorrelated blocks (outermost first), feeding each
     /// block the results of the previous ones. Returns the bindings of every
     /// block, keyed by block name.
+    ///
+    /// # Errors
+    ///
+    /// [`XmlStoreError::MissingDocument`] when any block references a
+    /// document the store does not hold (see [`XmlStore::eval_xbind`]).
     pub fn eval_blocks(
         &self,
         blocks: &[XBindQuery],
-    ) -> HashMap<String, Vec<HashMap<String, Value>>> {
+    ) -> Result<HashMap<String, Vec<HashMap<String, Value>>>, XmlStoreError> {
         let mut results: HashMap<String, Vec<HashMap<String, Value>>> = HashMap::new();
         for block in blocks {
-            let rows = self.eval_xbind(block, &results);
+            let rows = self.eval_xbind(block, &results)?;
             results.insert(block.name.clone(), rows);
         }
-        results
+        Ok(results)
+    }
+}
+
+/// Navigation statistics over the stored documents, computed from the node
+/// arenas on demand. These are the XML-side counters the backend router
+/// prices native navigation with (the relational side reads the exact
+/// [`StatisticsCatalog`](mars_cost::StatisticsCatalog) counters instead).
+/// Documents are small and routing runs once per query block, so a linear
+/// walk per call is deliberate — no shadow counters to keep coherent.
+impl mars_cost::NavigationStatistics for XmlStore {
+    fn has_document(&self, document: &str) -> bool {
+        self.documents.contains_key(document)
+    }
+
+    fn element_count(&self, document: &str) -> usize {
+        self.document(document).map(Document::element_count).unwrap_or(0)
+    }
+
+    fn descendant_pairs(&self, document: &str) -> usize {
+        let Some(doc) = self.document(document) else { return 0 };
+        doc.all_nodes()
+            .filter(|id| doc.node(*id).is_element())
+            .map(|id| 1 + doc.descendants(id).len())
+            .sum()
+    }
+
+    fn tag_count(&self, document: &str, tag: &str) -> usize {
+        let Some(doc) = self.document(document) else { return 0 };
+        doc.all_nodes().filter(|id| doc.node(*id).tag() == Some(tag)).count()
+    }
+
+    fn text_count(&self, document: &str) -> usize {
+        let Some(doc) = self.document(document) else { return 0 };
+        doc.all_nodes()
+            .filter(|id| doc.node(*id).is_element() && !doc.text_of(*id).is_empty())
+            .count()
+    }
+
+    fn attr_count(&self, document: &str) -> usize {
+        let Some(doc) = self.document(document) else { return 0 };
+        doc.all_nodes()
+            .filter(|id| doc.node(*id).is_element())
+            .map(|id| doc.node(id).attributes.len())
+            .sum()
     }
 }
 
@@ -241,7 +325,7 @@ mod tests {
         let store = books_store();
         let (xbo, xbi) = example_2_1();
         // The example names the blocks Xbo/Xbi; the inner references "Xbo".
-        let results = store.eval_blocks(&[xbo.clone(), xbi.clone()]);
+        let results = store.eval_blocks(&[xbo.clone(), xbi.clone()]).unwrap();
         // Distinct authors: Stevens, Abiteboul, Suciu.
         assert_eq!(results["Xbo"].len(), 3);
         // Correlated inner bindings: one per (author, book-with-that-author) pair
@@ -258,17 +342,21 @@ mod tests {
         let (xbo, _) = example_2_1();
         let mut non_distinct = xbo.clone();
         non_distinct.distinct = false;
-        let with = store.eval_xbind(&xbo, &HashMap::new());
-        let without = store.eval_xbind(&non_distinct, &HashMap::new());
+        let with = store.eval_xbind(&xbo, &HashMap::new()).unwrap();
+        let without = store.eval_xbind(&non_distinct, &HashMap::new()).unwrap();
         assert_eq!(with.len(), 3);
         assert_eq!(without.len(), 4); // Stevens appears twice
     }
 
+    /// A path atom over an absent document is a typed error, not an empty
+    /// result — the silent-empty behavior hid storage misconfigurations.
     #[test]
-    fn missing_documents_give_empty_results() {
+    fn missing_documents_are_a_typed_error() {
         let store = XmlStore::new();
         let (xbo, _) = example_2_1();
-        assert!(store.eval_xbind(&xbo, &HashMap::new()).is_empty());
+        let err = store.eval_xbind(&xbo, &HashMap::new()).unwrap_err();
+        assert_eq!(err, XmlStoreError::MissingDocument { document: "books.xml".to_string() });
+        assert!(err.to_string().contains("books.xml"));
         assert_eq!(store.total_elements(), 0);
         assert!(store.document_names().is_empty());
     }
@@ -284,7 +372,7 @@ mod tests {
                 var: "a".to_string(),
             })
             .with_atom(XBindAtom::Neq(XBindTerm::var("a"), XBindTerm::str("Stevens")));
-        let rows = store.eval_xbind(&q, &HashMap::new());
+        let rows = store.eval_xbind(&q, &HashMap::new()).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r["a"].as_str() != Some("Stevens")));
     }

@@ -208,8 +208,10 @@ pub fn populate(patients: usize) -> (XmlStore, RelationalDatabase) {
     xml.add_document(case_doc);
 
     // Materialize the LAV tuning views.
-    materialize_view(&drug_price_map(), &mut xml, &mut db);
-    materialize_view(&cache_map(), &mut xml, &mut db);
+    materialize_view(&drug_price_map(), &mut xml, &mut db)
+        .expect("DrugPriceMap navigates the freshly added catalog");
+    materialize_view(&cache_map(), &mut xml, &mut db)
+        .expect("cacheEntry view navigates the freshly added documents");
     // Ground GReX encodings of the proprietary catalog and the cached
     // document: reformulations navigate them with `tag#`/`child#`/... atoms,
     // which the relational executor can only satisfy from loaded facts.

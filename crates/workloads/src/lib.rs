@@ -18,9 +18,15 @@
 //! For robustness testing, [`chaos`] provides a deterministic fault
 //! injector and an adversarial (cache-defeating) arrival stream used by the
 //! `experiments --serve --chaos` harness.
+//!
+//! For the backend router, [`scenarios`] provides the 12-point scenario
+//! matrix (chain/snowflake schema × uniform/skewed data × redundancy 0–2)
+//! behind the cross-backend differential suite and the
+//! `experiments --route` ablation.
 
 pub mod chaos;
 pub mod example11;
+pub mod scenarios;
 pub mod star;
 pub mod stress;
 pub mod xmark;

@@ -303,10 +303,12 @@ impl StarConfig {
         xml.add_document(self.generate_document(hubs, corner_size, seed));
         let mut db = RelationalDatabase::new();
         for l in 1..=self.nv {
-            materialize_view(&self.view(l), &mut xml, &mut db);
+            materialize_view(&self.view(l), &mut xml, &mut db)
+                .expect("star views navigate the freshly added document");
         }
         for m in self.specializations() {
-            materialize_view(&m.definition_view(), &mut xml, &mut db);
+            materialize_view(&m.definition_view(), &mut xml, &mut db)
+                .expect("star specializations navigate the freshly added document");
         }
         (xml, db)
     }
@@ -405,7 +407,7 @@ mod tests {
     fn unreformulated_query_executes_on_the_naive_engine() {
         let cfg = StarConfig::figure5(3);
         let (xml, _) = cfg.populate(3, 3, 1);
-        let rows = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
+        let rows = xml.eval_xbind(&cfg.client_query(), &HashMap::new()).unwrap();
         assert_eq!(rows.len(), 3, "each hub matches exactly one row per corner");
     }
 }

@@ -279,10 +279,12 @@ pub fn populate(people: usize, items: usize, auctions: usize) -> (XmlStore, Rela
     xml.add_document(generate_document(people, items, auctions, 42));
     let mut db = RelationalDatabase::new();
     for v in [person_view(), item_view(), auction_view()] {
-        materialize_view(&v, &mut xml, &mut db);
+        materialize_view(&v, &mut xml, &mut db)
+            .expect("xmark views navigate the freshly added document");
     }
     for m in specializations() {
-        materialize_view(&m.definition_view(), &mut xml, &mut db);
+        materialize_view(&m.definition_view(), &mut xml, &mut db)
+            .expect("xmark specializations navigate the freshly added document");
     }
     // The auction document is proprietary and published at once; loading its
     // ground GReX encoding makes navigation-only reformulations executable

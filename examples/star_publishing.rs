@@ -68,7 +68,7 @@ fn main() {
     // reformulation (relational engine over the materialized views and
     // specialization relations).
     let (xml, db) = cfg.populate(5, 4, 1);
-    let unreformulated = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
+    let unreformulated = xml.eval_xbind(&cfg.client_query(), &HashMap::new()).unwrap();
     let reformulated = block.result.best_or_initial().map(|q| db.query(q)).unwrap_or_default();
     println!(
         "answers: unreformulated = {}, reformulated over views = {}",

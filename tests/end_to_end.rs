@@ -15,7 +15,7 @@ fn star_reformulation_preserves_answers() {
     let block = mars.reformulate_xbind(&cfg.client_query());
     assert!(block.result.has_reformulation());
 
-    let unreformulated = xml.eval_xbind(&cfg.client_query(), &HashMap::new());
+    let unreformulated = xml.eval_xbind(&cfg.client_query(), &HashMap::new()).unwrap();
     let best = block.result.best_or_initial().unwrap();
     let reformulated = db.query(best);
     assert_eq!(

@@ -364,3 +364,81 @@ fn star_reformulation_reuses_the_engine_compilation() {
     assert!(block.result.stats.equivalence_checks > 10);
     assert_eq!(compilation_count() - after_build, 0, "back-chases must not recompile");
 }
+
+/// Warm plan-cache hits replay the cached routing decision byte-identically:
+/// the cold routed request prices the best reformulation against both stores
+/// and caches the decision inside the block, so the warm hit carries the same
+/// rendered decision without re-pricing.
+#[test]
+fn warm_plan_cache_hits_replay_the_cached_route() {
+    use mars_system::mars::MarsService;
+    use mars_system::workloads::scenarios::Scenario;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let scenario = Scenario::matrix()
+        .into_iter()
+        .find(|s| s.name() == "chain-skewed-r0")
+        .expect("the matrix contains the navigation-heavy chain point");
+    let (xml, db) = scenario.populate(8, 7);
+    let service = MarsService::new(scenario.mars());
+
+    let cold = service
+        .reformulate_xbind_routed(&scenario.client_query(), &db, &xml)
+        .expect("reformulates");
+    let cold_route = cold.route.as_ref().expect("the routed entry point prices the plan");
+
+    let warm = service
+        .reformulate_xbind_routed(&scenario.client_query(), &db, &xml)
+        .expect("reformulates");
+    let warm_route = warm.route.as_ref().expect("the warm hit still carries a route");
+
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "second arrival is a shape hit");
+    assert_eq!(
+        cold_route.to_string(),
+        warm_route.to_string(),
+        "the warm hit must replay the cached decision byte-identically"
+    );
+    // The navigation-heavy point routes to the XML backend — the cached
+    // decision preserves that, it does not fall back to a default.
+    assert!(cold_route.to_string().starts_with("route=xml"), "{cold_route}");
+}
+
+/// Fingerprint invalidation strands cached routes along with cached plans:
+/// after `replace()` with a changed correspondence, the stale route is
+/// dropped and the next routed arrival re-prices cold under the new system.
+#[test]
+fn fingerprint_invalidation_drops_cached_routes() {
+    use mars_system::mars::MarsService;
+    use mars_system::workloads::scenarios::Scenario;
+
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let scenario = Scenario::matrix()
+        .into_iter()
+        .find(|s| s.name() == "chain-skewed-r0")
+        .expect("the matrix contains the navigation-heavy chain point");
+    let (xml, db) = scenario.populate(8, 7);
+    let mut service = MarsService::new(scenario.mars());
+
+    service.reformulate_xbind_routed(&scenario.client_query(), &db, &xml).expect("reformulates");
+    assert_eq!(service.cache_stats().entries, 1);
+    let old_fingerprint = service.fingerprint();
+
+    let mut changed = scenario.correspondence();
+    changed.proprietary_relations.push("auditLog".to_string());
+    service.replace(Mars::new(changed));
+    assert_ne!(service.fingerprint(), old_fingerprint, "the dependency set changed");
+    let stats = service.cache_stats();
+    assert_eq!(
+        (stats.entries, stats.invalidations),
+        (0, 1),
+        "stale plans and their routes are dropped, not served"
+    );
+
+    let again = service
+        .reformulate_xbind_routed(&scenario.client_query(), &db, &xml)
+        .expect("re-prices cold under the new fingerprint");
+    assert!(again.route.is_some(), "the cold path prices a fresh route");
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 2));
+}

@@ -1,0 +1,76 @@
+//! Golden-file tests for backend routing decisions.
+//!
+//! Snapshots the rendered [`RoutingDecision`](mars_system::storage::RoutingDecision)
+//! — chosen route plus the per-backend cost estimates — for the best
+//! reformulation of every scenario-matrix point over deterministically
+//! populated stores. Router changes (the navigation cost model, the greedy
+//! atom order, feasibility clamping) cannot silently flip a route or shift an
+//! estimate: the routing layer steers *where* a query runs, never what it
+//! returns (the differential suite in `property_based.rs` pins byte-identical
+//! rows on every route), so a golden diff here is a routing review, not a
+//! correctness one.
+//!
+//! # Regenerating the snapshots
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_routes
+//! ```
+//!
+//! then review the diff under `tests/golden/routes/` like any other code
+//! change. The estimates come from exact statistics of the populated stores,
+//! so they are sensitive to the workload generators' scale and seed (pinned
+//! below) and to the navigation cost model in `mars-cost`.
+
+use mars_system::storage::BackendRouter;
+use mars_workloads::scenarios::Scenario;
+use std::path::PathBuf;
+
+/// Scale and seed for the snapshot stores — small enough to populate fast,
+/// large enough that the per-backend estimates separate clearly.
+const SCALE: usize = 8;
+const SEED: u64 = 7;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/routes").join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim(),
+        actual.trim(),
+        "routing decision for {name} diverged from the golden snapshot; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// One snapshot per scenario-matrix point: the auto route chosen for the
+/// best reformulation, with every backend's estimate (or `infeasible`).
+#[test]
+fn routing_decisions_are_stable_across_the_scenario_matrix() {
+    for scenario in Scenario::matrix() {
+        let block = scenario
+            .mars()
+            .try_reformulate_xbind(&scenario.client_query())
+            .expect("scenario queries are well-formed");
+        let best = block.result.best_or_initial().expect("every scenario has an executable query");
+        let (xml, db) = scenario.populate(SCALE, SEED);
+        let router = BackendRouter::new(&db, &xml);
+        let plan = router.plan(best);
+        assert_matches_golden(
+            &format!("{}.route.txt", scenario.name()),
+            &plan.decision.to_string(),
+        );
+    }
+}

@@ -818,6 +818,7 @@ proptest! {
         let head = cfg.client_query().head;
         let xml_rows: BTreeSet<Vec<String>> = xml
             .eval_xbind(&cfg.client_query(), &HashMap::new())
+            .expect("star documents are stored")
             .iter()
             .map(|row| {
                 head.iter()
@@ -827,5 +828,109 @@ proptest! {
             .collect();
         let rel_rows: BTreeSet<Vec<String>> = db.query_strings(best).into_iter().collect();
         prop_assert_eq!(xml_rows, rel_rows);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend routing: the cross-backend differential suite over the scenario
+// matrix. Every route — auto, forced-relational (physical and naive), and
+// forced-XML — must return byte-identical rows on every matrix point.
+// ---------------------------------------------------------------------------
+
+/// The best reformulation of every scenario-matrix point, computed once.
+/// Reformulation depends only on the schema correspondence (never on data
+/// scale or seed), so the routing tests below share one pass over the matrix.
+fn matrix_reformulations() -> &'static Vec<(mars_workloads::scenarios::Scenario, ConjunctiveQuery)>
+{
+    use std::sync::OnceLock;
+    static BEST: OnceLock<Vec<(mars_workloads::scenarios::Scenario, ConjunctiveQuery)>> =
+        OnceLock::new();
+    BEST.get_or_init(|| {
+        mars_workloads::scenarios::Scenario::matrix()
+            .into_iter()
+            .map(|scenario| {
+                let block = scenario
+                    .mars()
+                    .try_reformulate_xbind(&scenario.client_query())
+                    .expect("scenario queries are well-formed");
+                let best = block
+                    .result
+                    .best_or_initial()
+                    .expect("every scenario has an executable query")
+                    .clone();
+                (scenario, best)
+            })
+            .collect()
+    })
+}
+
+/// Auto routing plus both forced ablations return identical rows on every
+/// point of the scenario matrix — the differential contract the `--route`
+/// experiment ablation rests on. The forced-XML leg falls back to the
+/// compiled navigation form of the client query where the best reformulation
+/// is XML-infeasible, exactly as the experiment does.
+#[test]
+fn all_routes_return_identical_results() {
+    use mars_system::storage::{BackendRouter, Route};
+
+    for (scenario, best) in matrix_reformulations() {
+        let (xml, db) = scenario.populate(8, 7);
+        let router = BackendRouter::new(&db, &xml);
+
+        let auto = router.plan(best);
+        let forced_rel = router.plan_forced(best, Route::Relational);
+        let mut forced_xml = router.plan_forced(best, Route::Xml);
+        if forced_xml.decision.route != Route::Xml {
+            forced_xml = router.plan_forced(&scenario.navigation_query(), Route::Xml);
+        }
+        let forced_mixed = router.plan_forced(best, Route::Mixed);
+
+        let rows = router.execute(&auto).expect("documents are stored").rows;
+        for (label, plan) in
+            [("relational", &forced_rel), ("xml", &forced_xml), ("mixed", &forced_mixed)]
+        {
+            let forced = router.execute(plan).expect("documents are stored");
+            assert_eq!(
+                rows,
+                forced.rows,
+                "{}: auto and forced-{} rows differ",
+                scenario.name(),
+                label
+            );
+        }
+        assert!(!rows.is_empty(), "{}: scenario data must produce rows", scenario.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The routed execution — whichever backend the router picked for the
+    /// sampled scale and seed — agrees byte for byte with both relational
+    /// executors (cost-based physical and naive bindings) running the same
+    /// reformulation directly.
+    #[test]
+    fn routed_execution_agrees_with_both_executors(
+        idx in 0usize..12,
+        scale in 3usize..10,
+        seed in 0u64..1000,
+    ) {
+        use mars_system::storage::BackendRouter;
+
+        let points = matrix_reformulations();
+        let (scenario, best) = &points[idx % points.len()];
+        let (xml, db) = scenario.populate(scale, seed);
+        let router = BackendRouter::new(&db, &xml);
+        let routed = router.execute(&router.plan(best)).expect("documents are stored");
+        prop_assert_eq!(
+            &routed.rows,
+            &db.query(best),
+            "{}: routed ({:?}) and physical rows differ", scenario.name(), routed.route
+        );
+        prop_assert_eq!(
+            &routed.rows,
+            &db.query_naive(best),
+            "{}: routed ({:?}) and naive rows differ", scenario.name(), routed.route
+        );
     }
 }
